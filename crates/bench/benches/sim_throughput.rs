@@ -1,0 +1,69 @@
+//! Simulator throughput: leakage-aware frame simulation of syndrome-
+//! extraction rounds, tableau verification speed, and density-matrix kernel
+//! cost.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use density_sim::{gates, DensityMatrix};
+use eraser_bench::round_ops;
+use leak_sim::{Discriminator, FrameSimulator, TableauSimulator};
+use qec_core::{NoiseParams, Rng};
+use std::hint::black_box;
+
+fn frame_simulator(c: &mut Criterion) {
+    let mut group = c.benchmark_group("frame_sim_round");
+    group.sample_size(40);
+    for d in [3usize, 7, 11] {
+        let (code, ops, keys) = round_ops(d);
+        let mut sim = FrameSimulator::new(
+            code.num_qubits(),
+            keys,
+            NoiseParams::standard(1e-3),
+            Discriminator::TwoLevel,
+            Rng::new(1),
+        );
+        group.bench_function(format!("d{d}"), |b| {
+            b.iter(|| {
+                sim.reset_shot();
+                sim.run(black_box(&ops));
+            })
+        });
+    }
+    group.finish();
+}
+
+fn tableau_simulator(c: &mut Criterion) {
+    let mut group = c.benchmark_group("tableau_round");
+    group.sample_size(20);
+    for d in [3usize, 5] {
+        let (code, ops, _) = round_ops(d);
+        group.bench_function(format!("d{d}"), |b| {
+            b.iter(|| {
+                let mut sim = TableauSimulator::new(code.num_qubits(), 7);
+                let mut outcomes = Vec::new();
+                sim.run_circuit_ops(black_box(&ops), &mut outcomes);
+                outcomes
+            })
+        });
+    }
+    group.finish();
+}
+
+fn density_kernels(c: &mut Criterion) {
+    let mut group = c.benchmark_group("density_sim");
+    group.sample_size(20);
+    // Three-ququart register: the same kernels Fig 8 runs on five ququarts.
+    group.bench_function("cnot_3ququarts", |b| {
+        let mut rho = DensityMatrix::new_pure(3, &[2, 0, 0]);
+        let cx = gates::cnot();
+        b.iter(|| rho.apply_two(0, 2, black_box(&cx)))
+    });
+    group.bench_function("transport_kraus_3ququarts", |b| {
+        let mut rho = DensityMatrix::new_pure(3, &[2, 0, 0]);
+        let ks = gates::leak_transport_kraus(0.1);
+        b.iter(|| rho.apply_kraus_two(0, 1, black_box(&ks)))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, frame_simulator, tableau_simulator, density_kernels);
+criterion_main!(benches);

@@ -1,0 +1,70 @@
+//! Shared fixtures for the Criterion benchmark suite.
+//!
+//! The benches cover (a) component performance — simulator throughput,
+//! detector-error-model construction, decoder latency, LSB speculation
+//! latency, RTL generation — and (b) one smoke benchmark per paper
+//! table/figure pipeline (tiny shot budgets; the full regeneration lives in
+//! the `eraser-experiments` harness).
+
+use eraser_core::{LrcPolicy, MemoryRunner, RunConfig};
+use qec_core::circuit::DetectorBasis;
+use qec_core::{NoiseParams, Op, Rng};
+use qec_decoder::{build_dem, DecodingGraph, DetectorErrorModel};
+use surface_code::{MemoryExperiment, RotatedCode};
+
+/// A fully prepared decode fixture: graph plus pre-sampled defect sets.
+pub struct DecodeFixture {
+    pub graph: DecodingGraph,
+    pub dem: DetectorErrorModel,
+    pub syndromes: Vec<Vec<usize>>,
+}
+
+/// Builds a decoding fixture for a `d`-distance, `rounds`-round experiment
+/// with `n_syndromes` random multi-fault syndromes.
+pub fn decode_fixture(d: usize, rounds: usize, n_syndromes: usize) -> DecodeFixture {
+    let exp = MemoryExperiment::new(RotatedCode::new(d), NoiseParams::standard(1e-3), rounds);
+    let detectors = exp.detectors();
+    let dem = build_dem(&exp.base_circuit(), &detectors, &exp.observable_keys());
+    let graph = DecodingGraph::from_dem(&dem, &detectors, DetectorBasis::Z);
+    let mut rng = Rng::new(99);
+    let mut syndromes = Vec::with_capacity(n_syndromes);
+    for _ in 0..n_syndromes {
+        let mut events = vec![false; graph.num_nodes()];
+        for _ in 0..6 {
+            let mech = &dem.mechanisms[rng.below(dem.mechanisms.len() as u64) as usize];
+            for &det in &mech.detectors {
+                if let Some(node) = graph.node_of_detector(det) {
+                    events[node] ^= true;
+                }
+            }
+        }
+        syndromes.push((0..graph.num_nodes()).filter(|&n| events[n]).collect());
+    }
+    DecodeFixture { graph, dem, syndromes }
+}
+
+/// The ops of one plain syndrome-extraction round (for simulator throughput).
+pub fn round_ops(d: usize) -> (RotatedCode, Vec<Op>, usize) {
+    let exp = MemoryExperiment::new(RotatedCode::new(d), NoiseParams::standard(1e-3), 1);
+    let builder = exp.round_builder();
+    let round = builder.round(0, &[], exp.keys());
+    let mut ops = round.pre;
+    ops.extend(round.measure);
+    ops.extend(round.mr_reset);
+    let total = exp.keys().total();
+    (exp.code().clone(), ops, total)
+}
+
+/// Runs a tiny policy workload (shared by the per-figure smoke benches).
+pub fn smoke_run(
+    d: usize,
+    rounds: usize,
+    shots: u64,
+    decode: bool,
+    factory: &(dyn Fn(&RotatedCode) -> Box<dyn LrcPolicy> + Sync),
+) -> f64 {
+    let runner = MemoryRunner::new(d, NoiseParams::standard(1e-3), rounds);
+    let config = RunConfig { shots, seed: 5, decode, ..RunConfig::default() };
+    let result = runner.run(factory, &config);
+    result.ler() + result.mean_lpr()
+}

@@ -1,0 +1,175 @@
+//! The paper's analytical leakage models (§3.1 and §4.1.1).
+//!
+//! These closed forms motivate ERASER: Eq. (2) being ≈3× Eq. (1) is the
+//! evidence that LRCs *facilitate* leakage transport, and Eq. (3) is the
+//! insight that almost all leakage becomes visible within two rounds.
+
+/// Default CNOT leakage-error probability used in §3.1 (`0.1 p` at
+/// `p = 10⁻³`).
+pub const P_LEAK_DEFAULT: f64 = 1e-4;
+
+/// Default CNOT leakage-transport probability (§3.1, Table 1).
+pub const P_TRANSPORT_DEFAULT: f64 = 0.1;
+
+/// Eq. (1): probability that a data qubit ends a round leaked, given its
+/// parity qubit started the round leaked (no LRC).
+///
+/// The data qubit can leak through (a) the transport term of its CNOT with
+/// the leaked parity qubit, or (b) an operation-induced leakage error in any
+/// of its four dance CNOTs.
+///
+/// # Example
+///
+/// ```
+/// use eraser_core::analysis::{p_data_leak_given_parity_leak, P_LEAK_DEFAULT, P_TRANSPORT_DEFAULT};
+///
+/// let p = p_data_leak_given_parity_leak(P_LEAK_DEFAULT, P_TRANSPORT_DEFAULT);
+/// assert!((p - 0.10).abs() < 0.01, "paper estimates ≈10%");
+/// ```
+pub fn p_data_leak_given_parity_leak(p_leak: f64, p_transport: f64) -> f64 {
+    let op_term: f64 = (1..=4)
+        .map(|k| (1.0 - p_leak).powi(k - 1) * p_leak)
+        .sum();
+    p_transport + op_term
+}
+
+/// Eq. (2): probability that the parity qubit ends a round leaked, given its
+/// LRC partner data qubit started the round leaked.
+///
+/// Under an LRC the parity qubit participates in nine CNOTs (four dance +
+/// five SWAP CNOTs), four of which interact with the still-leaked data qubit
+/// before its reset and can transport leakage.
+///
+/// # Example
+///
+/// ```
+/// use eraser_core::analysis::{p_parity_leak_given_data_leak, P_LEAK_DEFAULT, P_TRANSPORT_DEFAULT};
+///
+/// let p = p_parity_leak_given_data_leak(P_LEAK_DEFAULT, P_TRANSPORT_DEFAULT);
+/// assert!((p - 0.34).abs() < 0.01, "paper estimates ≈34%");
+/// ```
+pub fn p_parity_leak_given_data_leak(p_leak: f64, p_transport: f64) -> f64 {
+    let op_term: f64 = (1..=9)
+        .map(|k| (1.0 - p_leak).powi(k - 1) * p_leak)
+        .sum();
+    let transport_term: f64 = (1..=4)
+        .map(|k| (1.0 - p_transport).powi(k - 1) * p_transport)
+        .sum();
+    op_term + transport_term
+}
+
+/// Eq. (3): probability that a leaked data qubit stays *invisible* to
+/// syndrome extraction for exactly `rounds` rounds.
+///
+/// A leaked data qubit randomizes each of its (up to four) neighbouring
+/// parity measurements with probability ½, so it escapes notice in one round
+/// with probability (½)⁴ = 1/16.
+///
+/// # Example
+///
+/// ```
+/// use eraser_core::analysis::p_invisible;
+///
+/// // Table 2 of the paper.
+/// assert!((p_invisible(0) - 0.938).abs() < 0.001);
+/// assert!((p_invisible(1) - 0.0590).abs() < 0.001);
+/// assert!((p_invisible(2) - 0.0036).abs() < 0.0002);
+/// ```
+pub fn p_invisible(rounds: u32) -> f64 {
+    (15.0 / 16.0) * (1.0f64 / 16.0).powi(rounds as i32)
+}
+
+/// The ratio Eq.(2)/Eq.(1) at the paper's constants — the "LRCs facilitate
+/// leakage transport" headline factor (≈3×, §3.1.3).
+pub fn transport_amplification_ratio() -> f64 {
+    p_parity_leak_given_data_leak(P_LEAK_DEFAULT, P_TRANSPORT_DEFAULT)
+        / p_data_leak_given_parity_leak(P_LEAK_DEFAULT, P_TRANSPORT_DEFAULT)
+}
+
+/// First-order birth–death prediction of the steady-state **data-qubit**
+/// leakage population ratio under Always-LRC scheduling.
+///
+/// Balance argument: a data qubit leaks at rate
+/// `λ = p_leak · (1 + c̄)` per round (one environment-induced chance at round
+/// start plus `c̄` CNOT-induced chances, where `c̄ ≈ 4` dance CNOTs plus the
+/// amortized `5/2` LRC CNOTs), stays leaked for `T̄` rounds on average until
+/// its next LRC (`T̄ ≈ 1.5` when every qubit is swapped every other round),
+/// and each LRC on a leaked qubit re-seeds the lattice through the parity
+/// qubit with probability Eq. (2) — a multiplicative factor `1 + P(L_p|L_d)`.
+///
+/// The Monte-Carlo LPR (Fig 5) equilibrates near this value; the paper's
+/// curves are still rising at round 70 toward a higher level, a
+/// leakage-model difference documented in EXPERIMENTS.md. The test-suite
+/// checks simulation-vs-model agreement within a factor of two.
+pub fn predicted_always_lrc_data_lpr(p: f64, leak_fraction: f64, p_transport: f64) -> f64 {
+    let p_leak = leak_fraction * p;
+    let cnots_per_round = 4.0 + 5.0 / 2.0;
+    let injection = p_leak * (1.0 + cnots_per_round);
+    let mean_residence = 1.5;
+    let reseed = 1.0 + p_parity_leak_given_data_leak(p_leak, p_transport);
+    injection * mean_residence * reseed
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn equation_1_matches_paper_estimate() {
+        let p = p_data_leak_given_parity_leak(P_LEAK_DEFAULT, P_TRANSPORT_DEFAULT);
+        assert!((p - 0.1004).abs() < 1e-3, "got {p}");
+    }
+
+    #[test]
+    fn equation_2_matches_paper_estimate() {
+        let p = p_parity_leak_given_data_leak(P_LEAK_DEFAULT, P_TRANSPORT_DEFAULT);
+        assert!((p - 0.3448).abs() < 1e-2, "got {p}");
+    }
+
+    #[test]
+    fn transport_amplification_is_about_three() {
+        let r = transport_amplification_ratio();
+        assert!((2.9..3.9).contains(&r), "got {r}");
+    }
+
+    #[test]
+    fn invisibility_table_2() {
+        // Paper Table 2: 93.8%, 5.90%, 0.36%, 0.02%.
+        assert!((p_invisible(0) * 100.0 - 93.8).abs() < 0.1);
+        assert!((p_invisible(1) * 100.0 - 5.90).abs() < 0.05);
+        assert!((p_invisible(2) * 100.0 - 0.36).abs() < 0.02);
+        assert!((p_invisible(3) * 100.0 - 0.02).abs() < 0.01);
+    }
+
+    #[test]
+    fn invisibility_probabilities_sum_to_one() {
+        let total: f64 = (0..40).map(p_invisible).sum();
+        assert!((total - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn more_than_99_percent_visible_within_two_rounds() {
+        let within_two: f64 = (0..=1).map(p_invisible).sum();
+        assert!(within_two > 0.99, "ERASER insight #1");
+    }
+
+    #[test]
+    fn equilibrium_model_matches_simulation_within_2x() {
+        use crate::policy::AlwaysLrcPolicy;
+        use crate::runtime::{MemoryRunner, RunConfig};
+        use qec_core::NoiseParams;
+
+        let noise = NoiseParams::standard(1e-3);
+        let runner = MemoryRunner::new(5, noise, 40);
+        let cfg = RunConfig { shots: 300, seed: 8, decode: false, ..RunConfig::default() };
+        let result = runner.run(&|c| Box::new(AlwaysLrcPolicy::new(c)), &cfg);
+        // Late-round (equilibrated) data LPR.
+        let tail: f64 = result.lpr_data[30..].iter().sum::<f64>() / 10.0;
+        let model = predicted_always_lrc_data_lpr(1e-3, 0.1, 0.1);
+        let ratio = tail / model;
+        assert!(
+            (0.5..2.0).contains(&ratio),
+            "sim {tail:.2e} vs model {model:.2e} (ratio {ratio:.2})"
+        );
+    }
+}

@@ -1,0 +1,54 @@
+//! ERASER: adaptive leakage suppression for fault-tolerant quantum computing.
+//!
+//! This crate implements the paper's contribution (§4) and its evaluation
+//! machinery (§5–6):
+//!
+//! * [`SwapLookupTable`] — precomputed primary/backup SWAP partners per data
+//!   qubit (the DLI's lookup table, §4.4), built from a maximum bipartite
+//!   matching on the code lattice.
+//! * [`LrcPolicy`] and the five scheduling policies: [`NoLrcPolicy`],
+//!   [`AlwaysLrcPolicy`] (state of the art before ERASER), [`EraserPolicy`]
+//!   (the Leakage Speculation Block with its Leakage Tracking Table, Parity
+//!   Usage Tracking Table, and ≥2-flip rule), ERASER+M (multi-level readout,
+//!   §4.6), and [`OptimalPolicy`] (the idealized oracle).
+//! * [`MemoryRunner`] — the Monte-Carlo memory-experiment runtime: executes
+//!   policy-adapted rounds on the leakage-aware frame simulator, decodes with
+//!   MWPM / union-find / greedy, and reports logical error rate, leakage
+//!   population ratio, LRC counts, and speculation accuracy (TP/FP/FN/TN).
+//! * [`analysis`] — the paper's analytical models: Eq. (1), Eq. (2), the
+//!   invisible-leakage distribution of Eq. (3)/Table 2.
+//! * [`rtl`] / [`resource`] — a SystemVerilog generator for the
+//!   LSB + DLI hardware (mirroring the artifact's `eraser_rtl_gen`) and an
+//!   analytical LUT/FF/latency model for the Kintex UltraScale+ part used in
+//!   Table 3.
+//!
+//! # Example
+//!
+//! ```
+//! use eraser_core::{EraserPolicy, MemoryRunner, RunConfig};
+//! use qec_core::NoiseParams;
+//!
+//! let runner = MemoryRunner::new(3, NoiseParams::standard(1e-3), 3);
+//! let config = RunConfig { shots: 20, seed: 1, ..RunConfig::default() };
+//! let result = runner.run(&|code| Box::new(EraserPolicy::new(code)), &config);
+//! assert_eq!(result.shots, 20);
+//! assert!(result.ler() <= 1.0);
+//! ```
+
+pub mod analysis;
+pub mod policy;
+pub mod resource;
+pub mod rtl;
+pub mod runtime;
+pub mod swap_table;
+
+pub use policy::{
+    AlwaysLrcPolicy, EraserOptions, EraserPolicy, LrcPolicy, NoLrcPolicy, OptimalPolicy,
+    RoundContext,
+};
+pub use resource::{FpgaPart, ResourceEstimate};
+pub use runtime::{
+    DecoderKind, LrcProtocol, MemoryRunResult, MemoryRunner, PostSelection, RunConfig,
+    SpeculationStats,
+};
+pub use swap_table::SwapLookupTable;

@@ -1,0 +1,724 @@
+//! Memory-experiment runtime: policy-adaptive Monte-Carlo simulation with
+//! decoding and the paper's metrics.
+//!
+//! Per shot, the runner executes `R` syndrome-extraction rounds. Before each
+//! round it consults the [`LrcPolicy`] with the previous round's detection
+//! events (and readout labels under multi-level readout), builds the round
+//! circuit — SWAP-LRC or DQLR protocol — and executes it on the
+//! leakage-aware frame simulator, handling ERASER+M's intra-round branch
+//! (squash the swap-back and reset the parity qubit when the LRC's data
+//! readout is |L⟩, §4.6.2). After the final transversal readout the Z-basis
+//! detector graph is decoded and the logical-Z outcome compared.
+//!
+//! Metrics collected per run (paper §5.4, §6.4):
+//!
+//! * **LER** — logical error rate (Eq. 4);
+//! * **LPR** — leakage population ratio per round (Eq. 5), probed between
+//!   the entangling layers and the measurement layer, split into data/parity;
+//! * **LRC count** — average LRCs per round (Table 4);
+//! * **speculation stats** — TP/FP/FN/TN of "this data qubit is leaked"
+//!   decisions against simulator ground truth (Fig 16).
+
+use crate::policy::{LrcPolicy, RoundContext};
+use leak_sim::{Discriminator, FrameSimulator};
+use qec_core::circuit::DetectorBasis;
+use qec_core::{DetectorInfo, MeasKey, NoiseParams, Op, Rng};
+use qec_decoder::{build_dem, Decoder, DecodingGraph, GreedyDecoder, MwpmDecoder, UnionFindDecoder};
+use surface_code::{
+    LrcAssignment, MemoryBasis, MemoryExperiment, RotatedCode, SyndromeRound,
+};
+
+/// Which leakage-removal protocol the scheduled pairs execute.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum LrcProtocol {
+    /// SWAP-based LRC (Fig 1(b), the main text's protocol).
+    #[default]
+    Swap,
+    /// Google's DQLR protocol (Appendix A.2).
+    Dqlr,
+}
+
+/// Decoder selection for a run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum DecoderKind {
+    /// MWPM below [`DecoderKind::AUTO_MWPM_NODE_LIMIT`] graph nodes,
+    /// union-find above (the O(n³) matching and O(n²) path table are
+    /// impractical for d ≥ 9 over 110 rounds).
+    #[default]
+    Auto,
+    /// Exact blossom MWPM (the paper's decoder).
+    Mwpm,
+    /// Weighted union-find.
+    UnionFind,
+    /// Greedy nearest-first (ablation baseline).
+    Greedy,
+}
+
+impl DecoderKind {
+    /// Node count above which `Auto` switches from MWPM to union-find.
+    pub const AUTO_MWPM_NODE_LIMIT: usize = 3000;
+}
+
+/// Monte-Carlo run configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct RunConfig {
+    /// Number of shots.
+    pub shots: u64,
+    /// Root RNG seed; the whole run is a pure function of it (for a fixed
+    /// thread count).
+    pub seed: u64,
+    /// Worker threads; 0 means all available cores.
+    pub threads: usize,
+    /// Decoder selection.
+    pub decoder: DecoderKind,
+    /// Leakage-removal protocol executed for scheduled pairs.
+    pub protocol: LrcProtocol,
+    /// Whether to decode at all. LPR-only experiments (Fig 5, 15, 18, 21)
+    /// disable decoding; `logical_errors` is then 0 and the LER meaningless.
+    pub decode: bool,
+}
+
+impl Default for RunConfig {
+    fn default() -> RunConfig {
+        RunConfig {
+            shots: 1000,
+            seed: 0x2023,
+            threads: 0,
+            decoder: DecoderKind::Auto,
+            protocol: LrcProtocol::Swap,
+            decode: true,
+        }
+    }
+}
+
+/// Confusion-matrix counts for per-round, per-data-qubit "leaked?" decisions.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SpeculationStats {
+    /// LRC scheduled and the qubit was leaked.
+    pub true_positive: u64,
+    /// LRC scheduled but the qubit was not leaked.
+    pub false_positive: u64,
+    /// No LRC but the qubit was leaked.
+    pub false_negative: u64,
+    /// No LRC and the qubit was not leaked.
+    pub true_negative: u64,
+}
+
+impl SpeculationStats {
+    /// Fraction of correct decisions (Fig 16 top).
+    pub fn accuracy(&self) -> f64 {
+        let total = self.true_positive + self.false_positive + self.false_negative + self.true_negative;
+        if total == 0 {
+            return 1.0;
+        }
+        (self.true_positive + self.true_negative) as f64 / total as f64
+    }
+
+    /// False-positive rate FP/(FP+TN) (Fig 16 bottom).
+    pub fn false_positive_rate(&self) -> f64 {
+        let denom = self.false_positive + self.true_negative;
+        if denom == 0 {
+            return 0.0;
+        }
+        self.false_positive as f64 / denom as f64
+    }
+
+    /// False-negative rate FN/(FN+TP) (Fig 16 bottom).
+    pub fn false_negative_rate(&self) -> f64 {
+        let denom = self.false_negative + self.true_positive;
+        if denom == 0 {
+            return 0.0;
+        }
+        self.false_negative as f64 / denom as f64
+    }
+
+    fn merge(&mut self, other: &SpeculationStats) {
+        self.true_positive += other.true_positive;
+        self.false_positive += other.false_positive;
+        self.false_negative += other.false_negative;
+        self.true_negative += other.true_negative;
+    }
+}
+
+/// Offline leakage post-selection statistics (the paper's §2.4 prior-work
+/// category (1)): a shot is *flagged* when its syndrome history contains a
+/// leakage-like pattern (some data qubit with at least half of its
+/// neighbouring parity checks firing in one round — the LSB rule applied
+/// offline). Post-selection discards flagged shots; it can clean up memory
+/// experiments but cannot be used during real computation, which is the
+/// paper's motivation for real-time suppression.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PostSelection {
+    /// Shots whose syndrome history was flagged as leakage-suspect.
+    pub flagged_shots: u64,
+    /// Logical errors among the *unflagged* (kept) shots.
+    pub errors_on_kept: u64,
+}
+
+impl PostSelection {
+    /// Fraction of shots that survive post-selection.
+    pub fn keep_fraction(&self, shots: u64) -> f64 {
+        if shots == 0 {
+            return 1.0;
+        }
+        (shots - self.flagged_shots) as f64 / shots as f64
+    }
+
+    /// Logical error rate over the kept shots.
+    pub fn ler_postselected(&self, shots: u64) -> f64 {
+        let kept = shots - self.flagged_shots;
+        if kept == 0 {
+            return 0.0;
+        }
+        self.errors_on_kept as f64 / kept as f64
+    }
+}
+
+/// Aggregated result of a Monte-Carlo run.
+#[derive(Debug, Clone)]
+pub struct MemoryRunResult {
+    /// Shots executed.
+    pub shots: u64,
+    /// Shots whose decoded logical-Z outcome was wrong.
+    pub logical_errors: u64,
+    /// Rounds per shot.
+    pub rounds: usize,
+    /// Per-round mean leaked fraction over all qubits (LPR, Eq. 5).
+    pub lpr_total: Vec<f64>,
+    /// Per-round mean leaked fraction over data qubits.
+    pub lpr_data: Vec<f64>,
+    /// Per-round mean leaked fraction over parity qubits.
+    pub lpr_parity: Vec<f64>,
+    /// Total LRCs scheduled across all shots and rounds.
+    pub total_lrcs: u64,
+    /// Speculation confusion matrix.
+    pub speculation: SpeculationStats,
+    /// Offline post-selection statistics.
+    pub postselection: PostSelection,
+    /// Policy display name.
+    pub policy: String,
+    /// Decoder display name.
+    pub decoder: String,
+}
+
+impl MemoryRunResult {
+    /// Logical error rate (Eq. 4).
+    pub fn ler(&self) -> f64 {
+        self.logical_errors as f64 / self.shots as f64
+    }
+
+    /// One-sigma binomial error bar on the LER.
+    pub fn ler_stderr(&self) -> f64 {
+        let p = self.ler();
+        (p * (1.0 - p) / self.shots as f64).sqrt()
+    }
+
+    /// Mean LRCs scheduled per round (Table 4).
+    pub fn lrcs_per_round(&self) -> f64 {
+        self.total_lrcs as f64 / (self.shots as f64 * self.rounds as f64)
+    }
+
+    /// Mean LPR across all rounds.
+    pub fn mean_lpr(&self) -> f64 {
+        if self.lpr_total.is_empty() {
+            return 0.0;
+        }
+        self.lpr_total.iter().sum::<f64>() / self.lpr_total.len() as f64
+    }
+}
+
+#[derive(Default)]
+struct PartialStats {
+    logical_errors: u64,
+    lpr_data_sum: Vec<f64>,
+    lpr_parity_sum: Vec<f64>,
+    total_lrcs: u64,
+    speculation: SpeculationStats,
+    postselection: PostSelection,
+}
+
+/// Reusable memory-experiment runner: owns the experiment description, the
+/// detector list, and the decoding graph (built once from the base no-LRC
+/// circuit — the decoder is LRC- and leakage-unaware, the paper's premise).
+#[derive(Debug)]
+pub struct MemoryRunner {
+    exp: MemoryExperiment,
+    detectors: Vec<DetectorInfo>,
+    observable: Vec<MeasKey>,
+    graph: DecodingGraph,
+    init_segment: Vec<Op>,
+    final_segment: Vec<Op>,
+    /// Per stabilizer: whether its round-0 outcome is deterministic (it
+    /// belongs to the memory basis) and hence produces a round-0 event.
+    stab_deterministic_round0: Vec<bool>,
+}
+
+impl MemoryRunner {
+    /// Builds the runner for a distance-`d` memory-Z experiment over `rounds`
+    /// rounds under `noise` (the paper's workload).
+    pub fn new(d: usize, noise: NoiseParams, rounds: usize) -> MemoryRunner {
+        MemoryRunner::new_with_basis(d, noise, rounds, MemoryBasis::Z)
+    }
+
+    /// Builds the runner for a memory experiment preserving the given logical
+    /// basis.
+    pub fn new_with_basis(
+        d: usize,
+        noise: NoiseParams,
+        rounds: usize,
+        basis: MemoryBasis,
+    ) -> MemoryRunner {
+        let code = RotatedCode::new(d);
+        let exp = MemoryExperiment::new_with_basis(code, noise, rounds, basis);
+        let detectors = exp.detectors();
+        let observable = exp.observable_keys();
+        let dem = build_dem(&exp.base_circuit(), &detectors, &observable);
+        let graph_basis = match basis {
+            MemoryBasis::Z => DetectorBasis::Z,
+            MemoryBasis::X => DetectorBasis::X,
+        };
+        let graph = DecodingGraph::from_dem(&dem, &detectors, graph_basis);
+        debug_assert_eq!(
+            graph.undetectable_observable_flips(),
+            0,
+            "observable flips must be detectable in the memory basis"
+        );
+        let init_segment = exp.init_segment();
+        let final_segment = exp.final_segment();
+        let stab_deterministic_round0 = exp
+            .code()
+            .stabilizers()
+            .iter()
+            .map(|s| s.kind == basis.stab_kind())
+            .collect();
+        MemoryRunner {
+            exp,
+            detectors,
+            observable,
+            graph,
+            init_segment,
+            final_segment,
+            stab_deterministic_round0,
+        }
+    }
+
+    /// The experiment description.
+    pub fn experiment(&self) -> &MemoryExperiment {
+        &self.exp
+    }
+
+    /// The Z-basis decoding graph.
+    pub fn graph(&self) -> &DecodingGraph {
+        &self.graph
+    }
+
+    /// Runs `config.shots` shots of the experiment under the policy produced
+    /// by `policy_factory` (one instance per worker thread).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `config.shots == 0`.
+    pub fn run(
+        &self,
+        policy_factory: &(dyn Fn(&RotatedCode) -> Box<dyn LrcPolicy> + Sync),
+        config: &RunConfig,
+    ) -> MemoryRunResult {
+        assert!(config.shots >= 1, "a run needs at least one shot");
+        let decoder: Option<Box<dyn Decoder + Sync + '_>> = if !config.decode {
+            None
+        } else {
+            Some(match config.decoder {
+                DecoderKind::Mwpm => Box::new(MwpmDecoder::new(&self.graph)),
+                DecoderKind::UnionFind => Box::new(UnionFindDecoder::new(&self.graph)),
+                DecoderKind::Greedy => Box::new(GreedyDecoder::new(&self.graph)),
+                DecoderKind::Auto => {
+                    if self.graph.num_nodes() <= DecoderKind::AUTO_MWPM_NODE_LIMIT {
+                        Box::new(MwpmDecoder::new(&self.graph))
+                    } else {
+                        Box::new(UnionFindDecoder::new(&self.graph))
+                    }
+                }
+            })
+        };
+        let decoder = decoder.as_deref();
+
+        let threads = if config.threads == 0 {
+            std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+        } else {
+            config.threads
+        };
+        let threads = threads.min(config.shots.max(1) as usize).max(1);
+        let mut root_rng = Rng::new(config.seed);
+        let mut jobs: Vec<(u64, Rng)> = Vec::with_capacity(threads);
+        let base = config.shots / threads as u64;
+        let extra = (config.shots % threads as u64) as usize;
+        for t in 0..threads {
+            let shots = base + u64::from(t < extra);
+            jobs.push((shots, root_rng.fork()));
+        }
+
+        let partials: Vec<PartialStats> = std::thread::scope(|scope| {
+            let handles: Vec<_> = jobs
+                .into_iter()
+                .map(|(shots, rng)| {
+                    scope.spawn(move || self.run_shots(shots, rng, policy_factory, decoder, config))
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().expect("worker panicked")).collect()
+        });
+
+        let rounds = self.exp.rounds();
+        let mut merged = PartialStats {
+            lpr_data_sum: vec![0.0; rounds],
+            lpr_parity_sum: vec![0.0; rounds],
+            ..PartialStats::default()
+        };
+        for p in &partials {
+            merged.logical_errors += p.logical_errors;
+            merged.total_lrcs += p.total_lrcs;
+            merged.speculation.merge(&p.speculation);
+            merged.postselection.flagged_shots += p.postselection.flagged_shots;
+            merged.postselection.errors_on_kept += p.postselection.errors_on_kept;
+            for r in 0..rounds {
+                merged.lpr_data_sum[r] += p.lpr_data_sum[r];
+                merged.lpr_parity_sum[r] += p.lpr_parity_sum[r];
+            }
+        }
+        let code = self.exp.code();
+        let shots_f = config.shots as f64;
+        let num_data = code.num_data() as f64;
+        let num_parity = code.num_stabs() as f64;
+        let num_all = code.num_qubits() as f64;
+        let lpr_data: Vec<f64> = merged
+            .lpr_data_sum
+            .iter()
+            .map(|&s| s / (shots_f * num_data))
+            .collect();
+        let lpr_parity: Vec<f64> = merged
+            .lpr_parity_sum
+            .iter()
+            .map(|&s| s / (shots_f * num_parity))
+            .collect();
+        let lpr_total: Vec<f64> = merged
+            .lpr_data_sum
+            .iter()
+            .zip(&merged.lpr_parity_sum)
+            .map(|(&d, &p)| (d + p) / (shots_f * num_all))
+            .collect();
+        let policy_name = policy_factory(code).name().to_string();
+        MemoryRunResult {
+            shots: config.shots,
+            logical_errors: merged.logical_errors,
+            rounds,
+            lpr_total,
+            lpr_data,
+            lpr_parity,
+            total_lrcs: merged.total_lrcs,
+            speculation: merged.speculation,
+            postselection: merged.postselection,
+            policy: policy_name,
+            decoder: decoder.map(|d| d.name()).unwrap_or("none").to_string(),
+        }
+    }
+
+    fn run_shots(
+        &self,
+        shots: u64,
+        rng: Rng,
+        policy_factory: &(dyn Fn(&RotatedCode) -> Box<dyn LrcPolicy> + Sync),
+        decoder: Option<&(dyn Decoder + Sync)>,
+        config: &RunConfig,
+    ) -> PartialStats {
+        let code = self.exp.code();
+        let keys = self.exp.keys();
+        let rounds = self.exp.rounds();
+        let builder = self.exp.round_builder();
+        let num_data = code.num_data();
+        let num_stabs = code.num_stabs();
+
+        let mut policy = policy_factory(code);
+        let discriminator = if policy.uses_multilevel() {
+            Discriminator::MultiLevel
+        } else {
+            Discriminator::TwoLevel
+        };
+        let mut sim = FrameSimulator::new(
+            code.num_qubits(),
+            keys.total(),
+            *self.exp.noise(),
+            discriminator,
+            rng,
+        );
+
+        let mut stats = PartialStats {
+            lpr_data_sum: vec![0.0; rounds],
+            lpr_parity_sum: vec![0.0; rounds],
+            ..PartialStats::default()
+        };
+        let mut prev_syndrome = vec![false; num_stabs];
+        let mut events = vec![false; num_stabs];
+        let mut leaked_readouts = vec![false; num_stabs];
+        let mut oracle = vec![false; num_data];
+        let mut det_events = vec![false; self.detectors.len()];
+
+        for _ in 0..shots {
+            sim.reset_shot();
+            policy.reset_shot();
+            sim.run(&self.init_segment);
+            prev_syndrome.fill(false);
+            events.fill(false);
+            leaked_readouts.fill(false);
+            let mut last_lrcs: Vec<LrcAssignment> = Vec::new();
+            // Offline post-selection flag: leakage-like syndrome pattern seen
+            // anywhere in the shot's history.
+            let mut suspect = false;
+
+            for r in 0..rounds {
+                for (q, slot) in oracle.iter_mut().enumerate() {
+                    *slot = sim.is_leaked(q);
+                }
+                let plan = policy.plan_round(&RoundContext {
+                    round: r,
+                    events: &events,
+                    leaked_readouts: &leaked_readouts,
+                    oracle_leaked_data: &oracle,
+                    last_lrcs: &last_lrcs,
+                });
+                // Confusion matrix against ground truth at planning time.
+                let mut planned = vec![false; num_data];
+                for lrc in &plan {
+                    planned[lrc.data] = true;
+                }
+                for q in 0..num_data {
+                    match (planned[q], oracle[q]) {
+                        (true, true) => stats.speculation.true_positive += 1,
+                        (true, false) => stats.speculation.false_positive += 1,
+                        (false, true) => stats.speculation.false_negative += 1,
+                        (false, false) => stats.speculation.true_negative += 1,
+                    }
+                }
+                stats.total_lrcs += plan.len() as u64;
+
+                let round_circ: SyndromeRound = match config.protocol {
+                    LrcProtocol::Swap => builder.round(r, &plan, keys),
+                    LrcProtocol::Dqlr => builder.dqlr_round(r, &plan, keys),
+                };
+                sim.run(&round_circ.pre);
+                // LPR probe: after the entangling layers, before readout
+                // (captures leakage accumulated during the round).
+                stats.lpr_data_sum[r] += sim.leaked_count_in(0..num_data) as f64;
+                stats.lpr_parity_sum[r] +=
+                    sim.leaked_count_in(num_data..code.num_qubits()) as f64;
+                sim.run(&round_circ.measure);
+                sim.run(&round_circ.mr_reset);
+                for tail in &round_circ.lrc_post {
+                    if policy.uses_multilevel() && sim.record().label(tail.data_key).is_leaked()
+                    {
+                        // §4.6.2: the SWAP failed; reset P, squash swap-back.
+                        sim.run(&tail.leak_path);
+                    } else {
+                        sim.run(&tail.swap_back);
+                    }
+                }
+                sim.run(&round_circ.post);
+
+                for s in 0..num_stabs {
+                    let key = keys.stab_key(r, s);
+                    let flip = sim.record().flip(key);
+                    events[s] = if r == 0 {
+                        // Round 0: memory-basis stabilizers are deterministic;
+                        // the other basis has a random reference and produces
+                        // no event yet.
+                        self.stab_deterministic_round0[s] && flip
+                    } else {
+                        flip ^ prev_syndrome[s]
+                    };
+                    prev_syndrome[s] = flip;
+                    leaked_readouts[s] = sim.record().label(key).is_leaked();
+                }
+                if !suspect {
+                    // The LSB rule applied offline: at least half of some data
+                    // qubit's neighbouring checks fired this round.
+                    suspect = (0..num_data).any(|q| {
+                        let adj = code.adjacent_stabs(q);
+                        let flips = adj.iter().filter(|&&s| events[s]).count();
+                        flips >= adj.len().div_ceil(2)
+                    });
+                }
+                last_lrcs = plan;
+            }
+            sim.run(&self.final_segment);
+
+            if suspect {
+                stats.postselection.flagged_shots += 1;
+            }
+            if let Some(decoder) = decoder {
+                for (i, det) in self.detectors.iter().enumerate() {
+                    det_events[i] = sim.record().parity(&det.keys);
+                }
+                let defects = self.graph.defects_from_events(&det_events);
+                let predicted = decoder.decode(&defects);
+                let actual = sim.record().parity(&self.observable);
+                if predicted != actual {
+                    stats.logical_errors += 1;
+                    if !suspect {
+                        stats.postselection.errors_on_kept += 1;
+                    }
+                }
+            }
+        }
+        stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::policy::{AlwaysLrcPolicy, EraserPolicy, NoLrcPolicy, OptimalPolicy};
+
+    fn cfg(shots: u64) -> RunConfig {
+        RunConfig { shots, seed: 11, threads: 2, ..RunConfig::default() }
+    }
+
+    #[test]
+    fn noiseless_run_has_zero_ler() {
+        let runner = MemoryRunner::new(3, NoiseParams::without_leakage(0.0), 3);
+        let result = runner.run(&|_| Box::new(NoLrcPolicy::new()), &cfg(50));
+        assert_eq!(result.logical_errors, 0);
+        assert!(result.lpr_total.iter().all(|&x| x == 0.0));
+    }
+
+    #[test]
+    fn pauli_only_noise_gives_small_ler() {
+        let runner = MemoryRunner::new(3, NoiseParams::without_leakage(1e-3), 3);
+        let result = runner.run(&|_| Box::new(NoLrcPolicy::new()), &cfg(400));
+        assert!(result.ler() < 0.1, "LER {} too high for p=1e-3 d=3", result.ler());
+    }
+
+    #[test]
+    fn results_are_deterministic_for_fixed_seed_and_threads() {
+        let runner = MemoryRunner::new(3, NoiseParams::standard(1e-3), 3);
+        let a = runner.run(&|c| Box::new(EraserPolicy::new(c)), &cfg(120));
+        let b = runner.run(&|c| Box::new(EraserPolicy::new(c)), &cfg(120));
+        assert_eq!(a.logical_errors, b.logical_errors);
+        assert_eq!(a.total_lrcs, b.total_lrcs);
+        assert_eq!(a.speculation, b.speculation);
+    }
+
+    #[test]
+    fn leakage_increases_lpr_over_rounds_without_lrcs() {
+        let runner = MemoryRunner::new(3, NoiseParams::standard(5e-3), 9);
+        let result = runner.run(&|_| Box::new(NoLrcPolicy::new()), &cfg(300));
+        let early = result.lpr_total[0];
+        let late = result.lpr_total[8];
+        assert!(
+            late > early,
+            "LPR must grow without leakage removal: {early} vs {late}"
+        );
+    }
+
+    #[test]
+    fn optimal_policy_has_perfect_fpr() {
+        let runner = MemoryRunner::new(3, NoiseParams::standard(1e-3), 6);
+        let result = runner.run(&|c| Box::new(OptimalPolicy::new(c)), &cfg(200));
+        assert_eq!(result.speculation.false_positive, 0);
+        assert!(result.speculation.accuracy() > 0.999);
+    }
+
+    #[test]
+    fn always_lrc_schedules_half_the_lattice_per_round() {
+        let runner = MemoryRunner::new(3, NoiseParams::standard(1e-3), 8);
+        let result = runner.run(&|c| Box::new(AlwaysLrcPolicy::new(c)), &cfg(20));
+        let per_round = result.lrcs_per_round();
+        assert!((per_round - 4.0).abs() < 0.01, "got {per_round}");
+    }
+
+    #[test]
+    fn eraser_schedules_far_fewer_lrcs_than_always() {
+        let runner = MemoryRunner::new(3, NoiseParams::standard(1e-3), 8);
+        let always = runner.run(&|c| Box::new(AlwaysLrcPolicy::new(c)), &cfg(100));
+        let eraser = runner.run(&|c| Box::new(EraserPolicy::new(c)), &cfg(100));
+        assert!(
+            eraser.lrcs_per_round() < always.lrcs_per_round() / 4.0,
+            "eraser {} vs always {}",
+            eraser.lrcs_per_round(),
+            always.lrcs_per_round()
+        );
+    }
+
+    #[test]
+    fn dqlr_protocol_runs_and_keeps_lpr_bounded() {
+        let runner = MemoryRunner::new(3, NoiseParams::exchange_transport(1e-3), 8);
+        let config = RunConfig { protocol: LrcProtocol::Dqlr, ..cfg(100) };
+        let result = runner.run(&|c| Box::new(AlwaysLrcPolicy::every_round(c)), &config);
+        assert!(result.mean_lpr() < 0.05);
+    }
+
+    #[test]
+    fn speculation_stats_identities() {
+        let s = SpeculationStats {
+            true_positive: 10,
+            false_positive: 10,
+            false_negative: 20,
+            true_negative: 60,
+        };
+        assert!((s.accuracy() - 0.7).abs() < 1e-12);
+        assert!((s.false_positive_rate() - 10.0 / 70.0).abs() < 1e-12);
+        assert!((s.false_negative_rate() - 20.0 / 30.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one shot")]
+    fn zero_shot_runs_are_rejected() {
+        let runner = MemoryRunner::new(3, NoiseParams::standard(1e-3), 2);
+        runner.run(&|_| Box::new(NoLrcPolicy::new()), &cfg(0));
+    }
+
+    #[test]
+    fn postselection_cleans_up_leaky_shots() {
+        // With leakage on, post-selection must (a) flag a nonzero fraction of
+        // shots and (b) achieve an LER on the kept shots no worse than the
+        // raw LER (it removes leakage-corrupted trials).
+        let runner = MemoryRunner::new(3, NoiseParams::standard(5e-3), 12);
+        let result = runner.run(&|_| Box::new(NoLrcPolicy::new()), &cfg(600));
+        let ps = result.postselection;
+        assert!(ps.flagged_shots > 0, "leaky shots must be flagged");
+        assert!(ps.flagged_shots < result.shots, "not everything is flagged");
+        assert!(
+            ps.ler_postselected(result.shots) <= result.ler() + 0.01,
+            "post-selected LER {} vs raw {}",
+            ps.ler_postselected(result.shots),
+            result.ler()
+        );
+        // Without leakage, far fewer shots get flagged.
+        let clean = MemoryRunner::new(3, NoiseParams::without_leakage(5e-3), 12);
+        let clean_result = clean.run(&|_| Box::new(NoLrcPolicy::new()), &cfg(600));
+        assert!(
+            clean_result.postselection.keep_fraction(clean_result.shots)
+                > ps.keep_fraction(result.shots),
+            "leakage must reduce the keep fraction"
+        );
+    }
+
+    #[test]
+    fn memory_x_runner_works_end_to_end() {
+        use surface_code::MemoryBasis;
+        let noiseless =
+            MemoryRunner::new_with_basis(3, NoiseParams::without_leakage(0.0), 3, MemoryBasis::X);
+        let clean = noiseless.run(&|_| Box::new(NoLrcPolicy::new()), &cfg(40));
+        assert_eq!(clean.logical_errors, 0, "noiseless memory-X must be exact");
+
+        let noisy = MemoryRunner::new_with_basis(3, NoiseParams::standard(1e-3), 6, MemoryBasis::X);
+        let result = noisy.run(&|c| Box::new(EraserPolicy::new(c)), &cfg(200));
+        assert!(result.ler() < 0.2);
+    }
+
+    #[test]
+    fn single_threaded_matches_shape() {
+        let runner = MemoryRunner::new(3, NoiseParams::standard(1e-3), 2);
+        let config = RunConfig { threads: 1, ..cfg(30) };
+        let result = runner.run(&|c| Box::new(EraserPolicy::new(c)), &config);
+        assert_eq!(result.shots, 30);
+        assert_eq!(result.lpr_total.len(), 2);
+    }
+}

@@ -1,0 +1,181 @@
+//! The DLI's SWAP Lookup Table (§4.4).
+//!
+//! Every data qubit gets a pre-determined *primary* parity-qubit partner and
+//! one *backup*. Primaries form a maximum bipartite matching between data
+//! qubits and their adjacent stabilizers — since a distance-`d` code has `d²`
+//! data but only `d² − 1` parity qubits, exactly one data qubit is left
+//! without a primary (it is served by its backup, and under Always-LRC
+//! scheduling it is the LRC carried into the next round, Fig 3).
+
+use surface_code::RotatedCode;
+
+/// Primary/backup SWAP partners per data qubit.
+///
+/// # Example
+///
+/// ```
+/// use eraser_core::SwapLookupTable;
+/// use surface_code::RotatedCode;
+///
+/// let code = RotatedCode::new(3);
+/// let table = SwapLookupTable::new(&code);
+/// // Exactly one data qubit lacks a primary (d² data, d²−1 parities).
+/// let unmatched = (0..code.num_data()).filter(|&q| table.primary(q).is_none()).count();
+/// assert_eq!(unmatched, 1);
+/// // Every data qubit has a backup.
+/// assert!((0..code.num_data()).all(|q| table.backup(q).is_some()));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SwapLookupTable {
+    primary: Vec<Option<usize>>,
+    backup: Vec<Option<usize>>,
+}
+
+impl SwapLookupTable {
+    /// Builds the table for a code via maximum bipartite matching
+    /// (augmenting paths; the lattice is tiny, so O(V·E) is irrelevant).
+    pub fn new(code: &RotatedCode) -> SwapLookupTable {
+        let num_data = code.num_data();
+        let num_stabs = code.num_stabs();
+        // stab -> matched data qubit.
+        let mut stab_owner: Vec<Option<usize>> = vec![None; num_stabs];
+        let mut primary: Vec<Option<usize>> = vec![None; num_data];
+
+        fn try_assign(
+            q: usize,
+            code: &RotatedCode,
+            stab_owner: &mut [Option<usize>],
+            primary: &mut [Option<usize>],
+            visited: &mut [bool],
+        ) -> bool {
+            for &s in code.adjacent_stabs(q) {
+                if visited[s] {
+                    continue;
+                }
+                visited[s] = true;
+                let free = match stab_owner[s] {
+                    None => true,
+                    Some(owner) => try_assign(owner, code, stab_owner, primary, visited),
+                };
+                if free {
+                    stab_owner[s] = Some(q);
+                    primary[q] = Some(s);
+                    return true;
+                }
+            }
+            false
+        }
+
+        for q in 0..num_data {
+            let mut visited = vec![false; num_stabs];
+            try_assign(q, code, &mut stab_owner, &mut primary, &mut visited);
+        }
+
+        // Backup: a different adjacent stabilizer, spread by round-robin so
+        // backups don't all collide on the same parity qubits.
+        let mut backup: Vec<Option<usize>> = vec![None; num_data];
+        let mut backup_load = vec![0usize; num_stabs];
+        for q in 0..num_data {
+            let choice = code
+                .adjacent_stabs(q)
+                .iter()
+                .copied()
+                .filter(|&s| Some(s) != primary[q])
+                .min_by_key(|&s| backup_load[s]);
+            if let Some(s) = choice {
+                backup_load[s] += 1;
+                backup[q] = Some(s);
+            } else {
+                // Degenerate: a data qubit with a single neighbour (cannot
+                // happen on a rotated code, where every data qubit touches at
+                // least two stabilizers).
+                backup[q] = primary[q];
+            }
+        }
+        SwapLookupTable { primary, backup }
+    }
+
+    /// The primary SWAP partner (stabilizer index) of data qubit `q`, if any.
+    pub fn primary(&self, q: usize) -> Option<usize> {
+        self.primary[q]
+    }
+
+    /// The backup SWAP partner of data qubit `q`.
+    pub fn backup(&self, q: usize) -> Option<usize> {
+        self.backup[q]
+    }
+
+    /// The data qubit left without a primary (exactly one per code).
+    pub fn unmatched_data(&self) -> Option<usize> {
+        self.primary.iter().position(|p| p.is_none())
+    }
+
+    /// Lookup order used by the DLI: primary first, then backup.
+    pub fn candidates(&self, q: usize) -> impl Iterator<Item = usize> + '_ {
+        self.primary[q].into_iter().chain(
+            self.backup[q]
+                .into_iter()
+                .filter(move |&b| Some(b) != self.primary[q]),
+        )
+    }
+
+    /// Number of data qubits covered.
+    pub fn num_data(&self) -> usize {
+        self.primary.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn primaries_form_a_matching() {
+        for d in [3usize, 5, 7, 9, 11] {
+            let code = RotatedCode::new(d);
+            let table = SwapLookupTable::new(&code);
+            let mut used = vec![false; code.num_stabs()];
+            let mut matched = 0;
+            for q in 0..code.num_data() {
+                if let Some(s) = table.primary(q) {
+                    assert!(!used[s], "stab {s} matched twice at d={d}");
+                    assert!(code.adjacent_stabs(q).contains(&s), "non-adjacent primary");
+                    used[s] = true;
+                    matched += 1;
+                }
+            }
+            // Maximum matching saturates all d²−1 parity qubits.
+            assert_eq!(matched, code.num_stabs(), "matching not maximum at d={d}");
+            assert_eq!(table.unmatched_data().into_iter().count(), 1);
+        }
+    }
+
+    #[test]
+    fn backups_differ_from_primaries_and_are_adjacent() {
+        let code = RotatedCode::new(5);
+        let table = SwapLookupTable::new(&code);
+        for q in 0..code.num_data() {
+            let b = table.backup(q).expect("backup exists");
+            assert!(code.adjacent_stabs(q).contains(&b));
+            if let Some(p) = table.primary(q) {
+                assert_ne!(p, b, "backup equals primary for data {q}");
+            }
+        }
+    }
+
+    #[test]
+    fn candidates_order_primary_then_backup() {
+        let code = RotatedCode::new(3);
+        let table = SwapLookupTable::new(&code);
+        for q in 0..code.num_data() {
+            let c: Vec<usize> = table.candidates(q).collect();
+            match table.primary(q) {
+                Some(p) => {
+                    assert_eq!(c[0], p);
+                    assert_eq!(c.len(), 2);
+                }
+                None => assert_eq!(c.len(), 1),
+            }
+        }
+    }
+}

@@ -1,0 +1,410 @@
+//! Weighted decoding graphs for one stabilizer basis.
+//!
+//! A [`DecodingGraph`] projects a [`crate::DetectorErrorModel`]
+//! onto the detectors of a single basis (the paper decodes X and Z
+//! independently, §2.2). Mechanisms touching one detector become boundary
+//! edges, mechanisms touching two become regular edges, and rarer
+//! many-detector mechanisms (e.g. `X⊗X` components of two-qubit depolarizing
+//! channels) are decomposed onto existing elementary edges, matching the
+//! standard Stim/PyMatching `decompose_errors` behaviour.
+
+use crate::dem::{combine_probability, DetectorErrorModel};
+use qec_core::circuit::DetectorBasis;
+use qec_core::DetectorInfo;
+use std::collections::HashMap;
+
+/// One edge of the decoding graph.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GraphEdge {
+    /// First endpoint (graph node id).
+    pub a: usize,
+    /// Second endpoint; equal to [`DecodingGraph::boundary`] for boundary
+    /// edges.
+    pub b: usize,
+    /// Total mechanism probability on this edge.
+    pub probability: f64,
+    /// Matching weight `ln((1−p)/p)` (clamped to a small positive floor).
+    pub weight: f64,
+    /// Whether traversing the edge flips the logical observable.
+    pub flips_observable: bool,
+}
+
+/// A matchable decoding graph over the detectors of one basis.
+///
+/// # Example
+///
+/// ```
+/// use qec_core::NoiseParams;
+/// use qec_core::circuit::DetectorBasis;
+/// use qec_decoder::{build_dem, DecodingGraph};
+/// use surface_code::{MemoryExperiment, RotatedCode};
+///
+/// let exp = MemoryExperiment::new(RotatedCode::new(3), NoiseParams::standard(1e-3), 2);
+/// let detectors = exp.detectors();
+/// let dem = build_dem(&exp.base_circuit(), &detectors, &exp.observable_keys());
+/// let graph = DecodingGraph::from_dem(&dem, &detectors, DetectorBasis::Z);
+/// assert!(graph.num_nodes() > 0);
+/// assert!(graph.edges().len() > graph.num_nodes() / 2);
+/// ```
+#[derive(Debug, Clone)]
+pub struct DecodingGraph {
+    num_nodes: usize,
+    edges: Vec<GraphEdge>,
+    /// node -> incident edge indices (boundary node included, last slot).
+    adjacency: Vec<Vec<usize>>,
+    /// graph node -> global detector index.
+    node_to_detector: Vec<usize>,
+    /// global detector index -> graph node.
+    detector_to_node: Vec<Option<usize>>,
+    /// Mechanisms that flip the observable while firing no detector of this
+    /// basis. Zero when the graph's basis matches the observable's detecting
+    /// basis (otherwise a single fault could cause an invisible logical
+    /// error — a code-distance violation).
+    undetectable_observable_flips: usize,
+}
+
+impl DecodingGraph {
+    /// Builds the graph for `basis` from a detector error model.
+    pub fn from_dem(
+        dem: &DetectorErrorModel,
+        detectors: &[DetectorInfo],
+        basis: DetectorBasis,
+    ) -> DecodingGraph {
+        assert_eq!(dem.num_detectors, detectors.len());
+        let mut node_to_detector = Vec::new();
+        let mut detector_to_node = vec![None; detectors.len()];
+        for (idx, det) in detectors.iter().enumerate() {
+            if det.basis == basis {
+                detector_to_node[idx] = Some(node_to_detector.len());
+                node_to_detector.push(idx);
+            }
+        }
+        let num_nodes = node_to_detector.len();
+        let boundary = num_nodes;
+
+        // First pass: project every mechanism; collect elementary (≤2 node)
+        // ones directly, defer larger ones for decomposition.
+        let mut edge_map: HashMap<(usize, usize), (f64, bool)> = HashMap::new();
+        let mut deferred: Vec<(Vec<usize>, bool, f64)> = Vec::new();
+        let mut undetectable_observable_flips = 0;
+        for mech in &dem.mechanisms {
+            let nodes: Vec<usize> = mech
+                .detectors
+                .iter()
+                .filter_map(|&d| detector_to_node[d])
+                .collect();
+            match nodes.len() {
+                0 => {
+                    // Invisible to this basis (e.g. a Z error for the Z
+                    // graph). A mechanism that flips the observable while
+                    // firing no detector of the observable's detecting basis
+                    // would be a distance-0 error; surface-code circuits
+                    // never produce one for the matching basis (asserted in
+                    // tests via `undetectable_observable_flips`).
+                    if mech.flips_observable {
+                        undetectable_observable_flips += 1;
+                    }
+                }
+                1 => {
+                    let key = (nodes[0], boundary);
+                    merge_edge(&mut edge_map, key, mech.probability, mech.flips_observable);
+                }
+                2 => {
+                    let key = ordered(nodes[0], nodes[1]);
+                    merge_edge(&mut edge_map, key, mech.probability, mech.flips_observable);
+                }
+                _ => deferred.push((nodes, mech.flips_observable, mech.probability)),
+            }
+        }
+
+        // Second pass: decompose hyperedges into pairs of existing elementary
+        // edges whose observable parities XOR to the mechanism's.
+        for (mut nodes, obs, p) in deferred {
+            nodes.sort_unstable();
+            let parts = decompose(&nodes, obs, boundary, &edge_map);
+            for (key, part_obs) in parts {
+                merge_edge(&mut edge_map, key, p, part_obs);
+            }
+        }
+
+        let mut edges: Vec<GraphEdge> = edge_map
+            .into_iter()
+            .map(|((a, b), (probability, flips_observable))| {
+                let p = probability.clamp(1e-12, 0.5 - 1e-9);
+                GraphEdge {
+                    a,
+                    b,
+                    probability,
+                    weight: ((1.0 - p) / p).ln().max(1e-4),
+                    flips_observable,
+                }
+            })
+            .collect();
+        edges.sort_by_key(|x| (x.a, x.b));
+
+        let mut adjacency = vec![Vec::new(); num_nodes + 1];
+        for (i, e) in edges.iter().enumerate() {
+            adjacency[e.a].push(i);
+            adjacency[e.b].push(i);
+        }
+        DecodingGraph {
+            num_nodes,
+            edges,
+            adjacency,
+            node_to_detector,
+            detector_to_node,
+            undetectable_observable_flips,
+        }
+    }
+
+    /// Number of mechanisms that flip the observable without firing any
+    /// detector of this basis. Must be zero when the graph's basis is the
+    /// observable's detecting basis (checked by the test-suite; a non-zero
+    /// value on the matching basis would mean an effective distance of 0).
+    pub fn undetectable_observable_flips(&self) -> usize {
+        self.undetectable_observable_flips
+    }
+
+    /// Number of detector nodes (the virtual boundary node is
+    /// [`DecodingGraph::boundary`], one past the end).
+    pub fn num_nodes(&self) -> usize {
+        self.num_nodes
+    }
+
+    /// The virtual boundary node id.
+    pub fn boundary(&self) -> usize {
+        self.num_nodes
+    }
+
+    /// All edges.
+    pub fn edges(&self) -> &[GraphEdge] {
+        &self.edges
+    }
+
+    /// Edge indices incident to `node` (boundary allowed).
+    pub fn incident(&self, node: usize) -> &[usize] {
+        &self.adjacency[node]
+    }
+
+    /// Maps a graph node back to its global detector index.
+    pub fn detector_of_node(&self, node: usize) -> usize {
+        self.node_to_detector[node]
+    }
+
+    /// Maps a global detector index to its graph node, if it belongs to this
+    /// basis.
+    pub fn node_of_detector(&self, detector: usize) -> Option<usize> {
+        self.detector_to_node[detector]
+    }
+
+    /// Extracts the defect node list from a global detector-event bitmap.
+    pub fn defects_from_events(&self, events: &[bool]) -> Vec<usize> {
+        self.node_to_detector
+            .iter()
+            .enumerate()
+            .filter(|&(_, &det)| events[det])
+            .map(|(node, _)| node)
+            .collect()
+    }
+}
+
+fn ordered(a: usize, b: usize) -> (usize, usize) {
+    if a <= b {
+        (a, b)
+    } else {
+        (b, a)
+    }
+}
+
+fn merge_edge(
+    map: &mut HashMap<(usize, usize), (f64, bool)>,
+    key: (usize, usize),
+    p: f64,
+    obs: bool,
+) {
+    let entry = map.entry(key).or_insert((0.0, obs));
+    entry.0 = combine_probability(entry.0, p);
+    // Parallel mechanisms with conflicting observable parity are dominated by
+    // the heavier one; in surface-code DEMs the parity always agrees, which
+    // the graph tests assert.
+    entry.1 = obs || entry.1;
+}
+
+/// Splits a >2-node mechanism into pairs, preferring pairs that already exist
+/// as elementary edges and whose observable parities XOR to `obs`.
+fn decompose(
+    nodes: &[usize],
+    obs: bool,
+    boundary: usize,
+    edges: &HashMap<(usize, usize), (f64, bool)>,
+) -> Vec<((usize, usize), bool)> {
+    // Try exact recursive pairing onto existing edges.
+    fn recurse(
+        remaining: &[usize],
+        edges: &HashMap<(usize, usize), (f64, bool)>,
+        acc: &mut Vec<(usize, usize)>,
+    ) -> bool {
+        if remaining.is_empty() {
+            return true;
+        }
+        let first = remaining[0];
+        for i in 1..remaining.len() {
+            let partner = remaining[i];
+            let key = ordered(first, partner);
+            if edges.contains_key(&key) {
+                let rest: Vec<usize> = remaining
+                    .iter()
+                    .copied()
+                    .filter(|&n| n != first && n != partner)
+                    .collect();
+                acc.push(key);
+                if recurse(&rest, edges, acc) {
+                    return true;
+                }
+                acc.pop();
+            }
+        }
+        false
+    }
+
+    let mut acc = Vec::new();
+    let exact = recurse(nodes, edges, &mut acc);
+    if !exact {
+        // Fallback: pair consecutive nodes (they are sorted, hence typically
+        // adjacent in space-time); odd leftover goes to the boundary.
+        acc.clear();
+        let mut it = nodes.chunks_exact(2);
+        for pair in &mut it {
+            acc.push(ordered(pair[0], pair[1]));
+        }
+        if let [last] = it.remainder() {
+            acc.push((*last, boundary));
+        }
+    }
+    // Distribute the observable parity: give it to the first component whose
+    // existing edge carries it, else to the first component.
+    let mut out: Vec<((usize, usize), bool)> = acc.iter().map(|&k| (k, false)).collect();
+    if obs {
+        let idx = acc
+            .iter()
+            .position(|k| edges.get(k).map(|&(_, o)| o).unwrap_or(false))
+            .unwrap_or(0);
+        out[idx].1 = true;
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dem::build_dem;
+    use qec_core::NoiseParams;
+    use surface_code::{MemoryExperiment, RotatedCode};
+
+    fn graph_for(d: usize, rounds: usize, basis: DetectorBasis) -> (DecodingGraph, usize) {
+        let exp = MemoryExperiment::new(RotatedCode::new(d), NoiseParams::standard(1e-3), rounds);
+        let detectors = exp.detectors();
+        let dem = build_dem(&exp.base_circuit(), &detectors, &exp.observable_keys());
+        let g = DecodingGraph::from_dem(&dem, &detectors, basis);
+        (g, detectors.len())
+    }
+
+    #[test]
+    fn z_graph_covers_all_z_detectors() {
+        let (g, _) = graph_for(3, 3, DetectorBasis::Z);
+        // d=3, rounds=3: 4 + 2·4 + 4 = 16 Z detectors.
+        assert_eq!(g.num_nodes(), 16);
+        // Every node must be matchable: at least one incident edge.
+        for node in 0..g.num_nodes() {
+            assert!(!g.incident(node).is_empty(), "isolated node {node}");
+        }
+    }
+
+    #[test]
+    fn observable_flips_always_detected_in_matching_basis() {
+        // A memory-Z observable is flipped only by mechanisms with Z-basis
+        // detectors; the Z graph must see all of them.
+        let (g, _) = graph_for(3, 3, DetectorBasis::Z);
+        assert_eq!(g.undetectable_observable_flips(), 0);
+    }
+
+    #[test]
+    fn node_detector_mapping_round_trips() {
+        let (g, n_det) = graph_for(3, 2, DetectorBasis::Z);
+        for node in 0..g.num_nodes() {
+            let det = g.detector_of_node(node);
+            assert!(det < n_det);
+            assert_eq!(g.node_of_detector(det), Some(node));
+        }
+    }
+
+    #[test]
+    fn x_graph_is_disjoint_from_z_graph() {
+        let (gz, n_det) = graph_for(3, 3, DetectorBasis::Z);
+        let (gx, _) = graph_for(3, 3, DetectorBasis::X);
+        let z_dets: std::collections::HashSet<_> =
+            (0..gz.num_nodes()).map(|n| gz.detector_of_node(n)).collect();
+        let x_dets: std::collections::HashSet<_> =
+            (0..gx.num_nodes()).map(|n| gx.detector_of_node(n)).collect();
+        assert!(z_dets.is_disjoint(&x_dets));
+        assert_eq!(z_dets.len() + x_dets.len(), n_det);
+    }
+
+    #[test]
+    fn weights_are_positive_and_probabilities_sane() {
+        let (g, _) = graph_for(3, 3, DetectorBasis::Z);
+        for e in g.edges() {
+            assert!(e.weight > 0.0);
+            assert!(e.probability > 0.0 && e.probability < 0.5);
+        }
+    }
+
+    #[test]
+    fn some_boundary_edges_flip_observable() {
+        // A data X error next to the logical-Z row must produce a
+        // boundary-connected, observable-flipping edge.
+        let (g, _) = graph_for(3, 2, DetectorBasis::Z);
+        let boundary = g.boundary();
+        assert!(g
+            .edges()
+            .iter()
+            .any(|e| e.b == boundary && e.flips_observable));
+        // And there must be bulk edges that do not flip it.
+        assert!(g.edges().iter().any(|e| e.b != boundary && !e.flips_observable));
+    }
+
+    #[test]
+    fn defect_extraction_matches_events() {
+        let (g, n_det) = graph_for(3, 2, DetectorBasis::Z);
+        let mut events = vec![false; n_det];
+        let det0 = g.detector_of_node(0);
+        let det3 = g.detector_of_node(3);
+        events[det0] = true;
+        events[det3] = true;
+        assert_eq!(g.defects_from_events(&events), vec![0, 3]);
+    }
+
+    #[test]
+    fn graph_is_connected_through_boundary() {
+        // Union-find over edges (including boundary) must yield a single
+        // component: otherwise some defects could never be matched.
+        let (g, _) = graph_for(5, 3, DetectorBasis::Z);
+        let n = g.num_nodes() + 1;
+        let mut parent: Vec<usize> = (0..n).collect();
+        fn find(p: &mut Vec<usize>, x: usize) -> usize {
+            if p[x] != x {
+                let r = find(p, p[x]);
+                p[x] = r;
+            }
+            p[x]
+        }
+        for e in g.edges() {
+            let (ra, rb) = (find(&mut parent, e.a), find(&mut parent, e.b));
+            parent[ra] = rb;
+        }
+        let root = find(&mut parent, 0);
+        for v in 0..n {
+            assert_eq!(find(&mut parent, v), root, "node {v} disconnected");
+        }
+    }
+}

@@ -1,0 +1,846 @@
+//! Exact maximum-weight matching on general graphs (blossom algorithm).
+//!
+//! This is a Rust port of the classic O(n³) primal–dual blossom
+//! implementation by Van Rantwijk (the `mwmatching.py` formulation of Galil's
+//! algorithm, also used by NetworkX), specialized to integer weights so the
+//! dual variables stay exact.
+//!
+//! The MWPM decoder reduces minimum-weight perfect matching to this routine
+//! by negating distances against a large constant and requesting maximum
+//! cardinality.
+//!
+//! The test-suite validates the implementation against an exhaustive
+//! brute-force matcher on thousands of random graphs.
+
+const NO: usize = usize::MAX;
+
+/// Computes a maximum-weight matching of an undirected graph.
+///
+/// `edges` are `(u, v, weight)` triples with `u != v`; vertices are the dense
+/// range `0..=max_vertex`. If `max_cardinality` is true, only maximum-
+/// cardinality matchings are considered (required for perfect-matching
+/// reductions).
+///
+/// Returns `mate`, where `mate[v]` is `Some(partner)` or `None`.
+///
+/// # Panics
+///
+/// Panics if an edge is a self-loop.
+///
+/// # Example
+///
+/// ```
+/// use qec_decoder::max_weight_matching;
+///
+/// // Path 0-1-2 with a heavy middle edge: the middle edge wins.
+/// let mate = max_weight_matching(&[(0, 1, 2), (1, 2, 5)], false);
+/// assert_eq!(mate[1], Some(2));
+/// assert_eq!(mate[0], None);
+/// ```
+pub fn max_weight_matching(edges: &[(usize, usize, i64)], max_cardinality: bool) -> Vec<Option<usize>> {
+    if edges.is_empty() {
+        return Vec::new();
+    }
+    let mut m = Matcher::new(edges, max_cardinality);
+    m.solve();
+    m.mate
+        .iter()
+        .map(|&p| if p == NO { None } else { Some(m.endpoint[p]) })
+        .collect()
+}
+
+struct Matcher<'e> {
+    edges: &'e [(usize, usize, i64)],
+    max_cardinality: bool,
+    nvertex: usize,
+    endpoint: Vec<usize>,
+    neighbend: Vec<Vec<usize>>,
+    mate: Vec<usize>,
+    label: Vec<u8>,
+    labelend: Vec<usize>,
+    inblossom: Vec<usize>,
+    blossomparent: Vec<usize>,
+    blossomchilds: Vec<Vec<usize>>,
+    blossombase: Vec<usize>,
+    blossomendps: Vec<Vec<usize>>,
+    bestedge: Vec<usize>,
+    blossombestedges: Vec<Vec<usize>>,
+    unusedblossoms: Vec<usize>,
+    dualvar: Vec<i64>,
+    allowedge: Vec<bool>,
+    queue: Vec<usize>,
+}
+
+impl<'e> Matcher<'e> {
+    fn new(edges: &'e [(usize, usize, i64)], max_cardinality: bool) -> Matcher<'e> {
+        let mut nvertex = 0;
+        for &(i, j, _) in edges {
+            assert!(i != j, "self-loop in matching input");
+            nvertex = nvertex.max(i + 1).max(j + 1);
+        }
+        let maxweight = edges.iter().map(|e| e.2).max().unwrap_or(0).max(0);
+        let nedge = edges.len();
+        let endpoint: Vec<usize> = (0..2 * nedge)
+            .map(|p| if p % 2 == 0 { edges[p / 2].0 } else { edges[p / 2].1 })
+            .collect();
+        let mut neighbend = vec![Vec::new(); nvertex];
+        for (k, &(i, j, _)) in edges.iter().enumerate() {
+            neighbend[i].push(2 * k + 1);
+            neighbend[j].push(2 * k);
+        }
+        Matcher {
+            edges,
+            max_cardinality,
+            nvertex,
+            endpoint,
+            neighbend,
+            mate: vec![NO; nvertex],
+            label: vec![0; 2 * nvertex],
+            labelend: vec![NO; 2 * nvertex],
+            inblossom: (0..nvertex).collect(),
+            blossomparent: vec![NO; 2 * nvertex],
+            blossomchilds: vec![Vec::new(); 2 * nvertex],
+            blossombase: (0..nvertex).chain(std::iter::repeat_n(NO, nvertex)).collect(),
+            blossomendps: vec![Vec::new(); 2 * nvertex],
+            bestedge: vec![NO; 2 * nvertex],
+            blossombestedges: vec![Vec::new(); 2 * nvertex],
+            unusedblossoms: (nvertex..2 * nvertex).collect(),
+            dualvar: std::iter::repeat_n(maxweight, nvertex)
+                .chain(std::iter::repeat_n(0, nvertex))
+                .collect(),
+            allowedge: vec![false; nedge],
+            queue: Vec::new(),
+        }
+    }
+
+    fn slack(&self, k: usize) -> i64 {
+        let (i, j, wt) = self.edges[k];
+        self.dualvar[i] + self.dualvar[j] - 2 * wt
+    }
+
+    fn blossom_leaves(&self, b: usize, out: &mut Vec<usize>) {
+        if b < self.nvertex {
+            out.push(b);
+        } else {
+            // Children are cloned into a worklist to sidestep borrow issues;
+            // blossom trees are shallow in practice.
+            let childs = self.blossomchilds[b].clone();
+            for t in childs {
+                self.blossom_leaves(t, out);
+            }
+        }
+    }
+
+    fn leaves(&self, b: usize) -> Vec<usize> {
+        let mut out = Vec::new();
+        self.blossom_leaves(b, &mut out);
+        out
+    }
+
+    fn assign_label(&mut self, w: usize, t: u8, p: usize) {
+        let b = self.inblossom[w];
+        debug_assert!(self.label[w] == 0 && self.label[b] == 0);
+        self.label[w] = t;
+        self.label[b] = t;
+        self.labelend[w] = p;
+        self.labelend[b] = p;
+        self.bestedge[w] = NO;
+        self.bestedge[b] = NO;
+        if t == 1 {
+            let mut l = self.leaves(b);
+            self.queue.append(&mut l);
+        } else if t == 2 {
+            let base = self.blossombase[b];
+            debug_assert!(self.mate[base] != NO);
+            let mb = self.mate[base];
+            self.assign_label(self.endpoint[mb], 1, mb ^ 1);
+        }
+    }
+
+    fn scan_blossom(&mut self, v0: usize, w0: usize) -> usize {
+        let mut path = Vec::new();
+        let mut base = NO;
+        let mut v = v0;
+        let mut w = w0;
+        loop {
+            if v == NO && w == NO {
+                break;
+            }
+            if v != NO {
+                let b = self.inblossom[v];
+                if self.label[b] & 4 != 0 {
+                    base = self.blossombase[b];
+                    break;
+                }
+                debug_assert_eq!(self.label[b], 1);
+                path.push(b);
+                self.label[b] = 5;
+                debug_assert_eq!(self.labelend[b], self.mate[self.blossombase[b]]);
+                if self.labelend[b] == NO {
+                    v = NO;
+                } else {
+                    let t = self.endpoint[self.labelend[b]];
+                    let bt = self.inblossom[t];
+                    debug_assert_eq!(self.label[bt], 2);
+                    debug_assert!(self.labelend[bt] != NO);
+                    v = self.endpoint[self.labelend[bt]];
+                }
+            }
+            if w != NO {
+                std::mem::swap(&mut v, &mut w);
+            }
+        }
+        for b in path {
+            self.label[b] = 1;
+        }
+        base
+    }
+
+    fn add_blossom(&mut self, base: usize, k: usize) {
+        let (mut v, mut w, _) = self.edges[k];
+        let bb = self.inblossom[base];
+        let mut bv = self.inblossom[v];
+        let mut bw = self.inblossom[w];
+        let b = self.unusedblossoms.pop().expect("blossom pool exhausted");
+        self.blossombase[b] = base;
+        self.blossomparent[b] = NO;
+        self.blossomparent[bb] = b;
+        let mut path = Vec::new();
+        let mut endps = Vec::new();
+        while bv != bb {
+            self.blossomparent[bv] = b;
+            path.push(bv);
+            endps.push(self.labelend[bv]);
+            debug_assert!(
+                self.label[bv] == 2
+                    || (self.label[bv] == 1
+                        && self.labelend[bv] == self.mate[self.blossombase[bv]])
+            );
+            debug_assert!(self.labelend[bv] != NO);
+            v = self.endpoint[self.labelend[bv]];
+            bv = self.inblossom[v];
+        }
+        path.push(bb);
+        path.reverse();
+        endps.reverse();
+        endps.push(2 * k);
+        while bw != bb {
+            self.blossomparent[bw] = b;
+            path.push(bw);
+            endps.push(self.labelend[bw] ^ 1);
+            debug_assert!(
+                self.label[bw] == 2
+                    || (self.label[bw] == 1
+                        && self.labelend[bw] == self.mate[self.blossombase[bw]])
+            );
+            debug_assert!(self.labelend[bw] != NO);
+            w = self.endpoint[self.labelend[bw]];
+            bw = self.inblossom[w];
+        }
+        self.blossomchilds[b] = path.clone();
+        self.blossomendps[b] = endps;
+        debug_assert_eq!(self.label[bb], 1);
+        self.label[b] = 1;
+        self.labelend[b] = self.labelend[bb];
+        self.dualvar[b] = 0;
+        for v in self.leaves(b) {
+            if self.label[self.inblossom[v]] == 2 {
+                self.queue.push(v);
+            }
+            self.inblossom[v] = b;
+        }
+        // Compute blossombestedges[b].
+        let mut bestedgeto = vec![NO; 2 * self.nvertex];
+        for &bv in &path {
+            let nblists: Vec<Vec<usize>> = if self.blossombestedges[bv].is_empty() {
+                self.leaves(bv)
+                    .into_iter()
+                    .map(|v| self.neighbend[v].iter().map(|p| p / 2).collect())
+                    .collect()
+            } else {
+                vec![self.blossombestedges[bv].clone()]
+            };
+            for nblist in nblists {
+                for k in nblist {
+                    let (mut i, mut j, _) = self.edges[k];
+                    if self.inblossom[j] == b {
+                        std::mem::swap(&mut i, &mut j);
+                    }
+                    let bj = self.inblossom[j];
+                    if bj != b
+                        && self.label[bj] == 1
+                        && (bestedgeto[bj] == NO || self.slack(k) < self.slack(bestedgeto[bj]))
+                    {
+                        bestedgeto[bj] = k;
+                    }
+                }
+            }
+            self.blossombestedges[bv] = Vec::new();
+            self.bestedge[bv] = NO;
+        }
+        self.blossombestedges[b] = bestedgeto.into_iter().filter(|&k| k != NO).collect();
+        self.bestedge[b] = NO;
+        for idx in 0..self.blossombestedges[b].len() {
+            let k = self.blossombestedges[b][idx];
+            if self.bestedge[b] == NO || self.slack(k) < self.slack(self.bestedge[b]) {
+                self.bestedge[b] = k;
+            }
+        }
+    }
+
+    /// Wraparound indexing matching Python's negative-index semantics.
+    fn child_at(&self, b: usize, j: isize) -> usize {
+        let n = self.blossomchilds[b].len() as isize;
+        self.blossomchilds[b][(((j % n) + n) % n) as usize]
+    }
+
+    fn endp_at(&self, b: usize, j: isize) -> usize {
+        let n = self.blossomendps[b].len() as isize;
+        self.blossomendps[b][(((j % n) + n) % n) as usize]
+    }
+
+    fn expand_blossom(&mut self, b: usize, endstage: bool) {
+        let childs = self.blossomchilds[b].clone();
+        for &s in &childs {
+            self.blossomparent[s] = NO;
+            if s < self.nvertex {
+                self.inblossom[s] = s;
+            } else if endstage && self.dualvar[s] == 0 {
+                self.expand_blossom(s, endstage);
+            } else {
+                for v in self.leaves(s) {
+                    self.inblossom[v] = s;
+                }
+            }
+        }
+        if !endstage && self.label[b] == 2 {
+            debug_assert!(self.labelend[b] != NO);
+            let entrychild = self.inblossom[self.endpoint[self.labelend[b] ^ 1]];
+            let mut j = childs.iter().position(|&c| c == entrychild).unwrap() as isize;
+            let (jstep, endptrick): (isize, usize) = if j & 1 != 0 {
+                j -= childs.len() as isize;
+                (1, 0)
+            } else {
+                (-1, 1)
+            };
+            let mut p = self.labelend[b];
+            while j != 0 {
+                // Relabel the T-sub-blossom.
+                self.label[self.endpoint[p ^ 1]] = 0;
+                let q = self.endp_at(b, j - endptrick as isize) ^ endptrick ^ 1;
+                self.label[self.endpoint[q]] = 0;
+                self.assign_label(self.endpoint[p ^ 1], 2, p);
+                // Step to the next S-sub-blossom and note its forward endpoint.
+                let fwd = self.endp_at(b, j - endptrick as isize) / 2;
+                self.allowedge[fwd] = true;
+                j += jstep;
+                p = self.endp_at(b, j - endptrick as isize) ^ endptrick;
+                // Step to the next T-sub-blossom.
+                self.allowedge[p / 2] = true;
+                j += jstep;
+            }
+            // Relabel the base T-sub-blossom WITHOUT stepping through to its
+            // mate.
+            let bv = self.child_at(b, j);
+            let ep = self.endpoint[p ^ 1];
+            self.label[ep] = 2;
+            self.label[bv] = 2;
+            self.labelend[ep] = p;
+            self.labelend[bv] = p;
+            self.bestedge[bv] = NO;
+            // Continue along the blossom until we get back to entrychild.
+            j += jstep;
+            while self.child_at(b, j) != entrychild {
+                let bv = self.child_at(b, j);
+                if self.label[bv] == 1 {
+                    j += jstep;
+                    continue;
+                }
+                let labelled = self.leaves(bv).into_iter().find(|&v| self.label[v] != 0);
+                if let Some(v) = labelled {
+                    debug_assert_eq!(self.label[v], 2);
+                    debug_assert_eq!(self.inblossom[v], bv);
+                    self.label[v] = 0;
+                    let base_mate = self.mate[self.blossombase[bv]];
+                    self.label[self.endpoint[base_mate]] = 0;
+                    let le = self.labelend[v];
+                    self.assign_label(v, 2, le);
+                }
+                j += jstep;
+            }
+        }
+        // Recycle the blossom number.
+        self.label[b] = 0;
+        self.labelend[b] = NO;
+        self.blossomchilds[b] = Vec::new();
+        self.blossomendps[b] = Vec::new();
+        self.blossombase[b] = NO;
+        self.blossombestedges[b] = Vec::new();
+        self.bestedge[b] = NO;
+        self.unusedblossoms.push(b);
+    }
+
+    fn augment_blossom(&mut self, b: usize, v: usize) {
+        let mut t = v;
+        while self.blossomparent[t] != b {
+            t = self.blossomparent[t];
+        }
+        if t >= self.nvertex {
+            self.augment_blossom(t, v);
+        }
+        let i = self.blossomchilds[b].iter().position(|&c| c == t).unwrap() as isize;
+        let mut j = i;
+        let (jstep, endptrick): (isize, usize) = if i & 1 != 0 {
+            j -= self.blossomchilds[b].len() as isize;
+            (1, 0)
+        } else {
+            (-1, 1)
+        };
+        while j != 0 {
+            j += jstep;
+            let t1 = self.child_at(b, j);
+            let p = self.endp_at(b, j - endptrick as isize) ^ endptrick;
+            if t1 >= self.nvertex {
+                self.augment_blossom(t1, self.endpoint[p]);
+            }
+            j += jstep;
+            let t2 = self.child_at(b, j);
+            if t2 >= self.nvertex {
+                self.augment_blossom(t2, self.endpoint[p ^ 1]);
+            }
+            self.mate[self.endpoint[p]] = p ^ 1;
+            self.mate[self.endpoint[p ^ 1]] = p;
+        }
+        let i = i as usize;
+        self.blossomchilds[b].rotate_left(i);
+        self.blossomendps[b].rotate_left(i);
+        self.blossombase[b] = self.blossombase[self.blossomchilds[b][0]];
+        debug_assert_eq!(self.blossombase[b], v);
+    }
+
+    fn augment_matching(&mut self, k: usize) {
+        let (v, w, _) = self.edges[k];
+        for (mut s, mut p) in [(v, 2 * k + 1), (w, 2 * k)] {
+            loop {
+                let bs = self.inblossom[s];
+                debug_assert_eq!(self.label[bs], 1);
+                debug_assert_eq!(self.labelend[bs], self.mate[self.blossombase[bs]]);
+                if bs >= self.nvertex {
+                    self.augment_blossom(bs, s);
+                }
+                self.mate[s] = p;
+                if self.labelend[bs] == NO {
+                    break;
+                }
+                let t = self.endpoint[self.labelend[bs]];
+                let bt = self.inblossom[t];
+                debug_assert_eq!(self.label[bt], 2);
+                debug_assert!(self.labelend[bt] != NO);
+                s = self.endpoint[self.labelend[bt]];
+                let j = self.endpoint[self.labelend[bt] ^ 1];
+                debug_assert_eq!(self.blossombase[bt], t);
+                if bt >= self.nvertex {
+                    self.augment_blossom(bt, j);
+                }
+                self.mate[j] = self.labelend[bt];
+                p = self.labelend[bt] ^ 1;
+            }
+        }
+    }
+
+    fn solve(&mut self) {
+        let nvertex = self.nvertex;
+        for _ in 0..nvertex {
+            self.label.fill(0);
+            self.bestedge.fill(NO);
+            for b in nvertex..2 * nvertex {
+                self.blossombestedges[b] = Vec::new();
+            }
+            self.allowedge.fill(false);
+            self.queue.clear();
+            for v in 0..nvertex {
+                if self.mate[v] == NO && self.label[self.inblossom[v]] == 0 {
+                    self.assign_label(v, 1, NO);
+                }
+            }
+            let mut augmented = false;
+            loop {
+                while let Some(v) = if augmented { None } else { self.queue.pop() } {
+                    debug_assert_eq!(self.label[self.inblossom[v]], 1);
+                    let neigh = self.neighbend[v].clone();
+                    for p in neigh {
+                        let k = p / 2;
+                        let w = self.endpoint[p];
+                        if self.inblossom[v] == self.inblossom[w] {
+                            continue;
+                        }
+                        if !self.allowedge[k] {
+                            let kslack = self.slack(k);
+                            if kslack <= 0 {
+                                self.allowedge[k] = true;
+                            } else if self.label[self.inblossom[w]] == 1 {
+                                let b = self.inblossom[v];
+                                if self.bestedge[b] == NO
+                                    || kslack < self.slack(self.bestedge[b])
+                                {
+                                    self.bestedge[b] = k;
+                                }
+                            } else if self.label[w] == 0
+                                && (self.bestedge[w] == NO
+                                    || kslack < self.slack(self.bestedge[w]))
+                            {
+                                self.bestedge[w] = k;
+                            }
+                        }
+                        if self.allowedge[k] {
+                            if self.label[self.inblossom[w]] == 0 {
+                                self.assign_label(w, 2, p ^ 1);
+                            } else if self.label[self.inblossom[w]] == 1 {
+                                let base = self.scan_blossom(v, w);
+                                if base != NO {
+                                    self.add_blossom(base, k);
+                                } else {
+                                    self.augment_matching(k);
+                                    augmented = true;
+                                    break;
+                                }
+                            } else if self.label[w] == 0 {
+                                debug_assert_eq!(self.label[self.inblossom[w]], 2);
+                                self.label[w] = 2;
+                                self.labelend[w] = p ^ 1;
+                            }
+                        }
+                    }
+                }
+                if augmented {
+                    break;
+                }
+                // Compute delta.
+                let mut deltatype = -1i32;
+                let mut delta = 0i64;
+                let mut deltaedge = NO;
+                let mut deltablossom = NO;
+                if !self.max_cardinality {
+                    deltatype = 1;
+                    delta = self.dualvar[..nvertex].iter().copied().min().unwrap().max(0);
+                }
+                for v in 0..nvertex {
+                    if self.label[self.inblossom[v]] == 0 && self.bestedge[v] != NO {
+                        let d = self.slack(self.bestedge[v]);
+                        if deltatype == -1 || d < delta {
+                            delta = d;
+                            deltatype = 2;
+                            deltaedge = self.bestedge[v];
+                        }
+                    }
+                }
+                for b in 0..2 * nvertex {
+                    if self.blossomparent[b] == NO
+                        && self.label[b] == 1
+                        && self.bestedge[b] != NO
+                    {
+                        let kslack = self.slack(self.bestedge[b]);
+                        debug_assert_eq!(kslack % 2, 0, "integral weights keep slack even");
+                        let d = kslack / 2;
+                        if deltatype == -1 || d < delta {
+                            delta = d;
+                            deltatype = 3;
+                            deltaedge = self.bestedge[b];
+                        }
+                    }
+                }
+                for b in nvertex..2 * nvertex {
+                    if self.blossombase[b] != NO
+                        && self.blossomparent[b] == NO
+                        && self.label[b] == 2
+                        && (deltatype == -1 || self.dualvar[b] < delta)
+                    {
+                        delta = self.dualvar[b];
+                        deltatype = 4;
+                        deltablossom = b;
+                    }
+                }
+                if deltatype == -1 {
+                    debug_assert!(self.max_cardinality);
+                    deltatype = 1;
+                    delta = self.dualvar[..nvertex].iter().copied().min().unwrap().max(0);
+                }
+                // Update dual variables.
+                for v in 0..nvertex {
+                    match self.label[self.inblossom[v]] {
+                        1 => self.dualvar[v] -= delta,
+                        2 => self.dualvar[v] += delta,
+                        _ => {}
+                    }
+                }
+                for b in nvertex..2 * nvertex {
+                    if self.blossombase[b] != NO && self.blossomparent[b] == NO {
+                        match self.label[b] {
+                            1 => self.dualvar[b] += delta,
+                            2 => self.dualvar[b] -= delta,
+                            _ => {}
+                        }
+                    }
+                }
+                match deltatype {
+                    1 => break,
+                    2 => {
+                        self.allowedge[deltaedge] = true;
+                        let (mut i, j, _) = self.edges[deltaedge];
+                        if self.label[self.inblossom[i]] == 0 {
+                            i = j;
+                        }
+                        debug_assert_eq!(self.label[self.inblossom[i]], 1);
+                        self.queue.push(i);
+                    }
+                    3 => {
+                        self.allowedge[deltaedge] = true;
+                        let (i, _, _) = self.edges[deltaedge];
+                        debug_assert_eq!(self.label[self.inblossom[i]], 1);
+                        self.queue.push(i);
+                    }
+                    _ => self.expand_blossom(deltablossom, false),
+                }
+            }
+            if !augmented {
+                break;
+            }
+            for b in nvertex..2 * nvertex {
+                if self.blossomparent[b] == NO
+                    && self.blossombase[b] != NO
+                    && self.label[b] == 1
+                    && self.dualvar[b] == 0
+                {
+                    self.expand_blossom(b, true);
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Exhaustive matcher for validation: maximizes (cardinality, weight) if
+    /// `max_cardinality`, else plain weight.
+    fn brute_force(
+        n: usize,
+        edges: &[(usize, usize, i64)],
+        max_cardinality: bool,
+    ) -> (usize, i64) {
+        fn rec(
+            edges: &[(usize, usize, i64)],
+            used: &mut Vec<bool>,
+            idx: usize,
+            card: usize,
+            weight: i64,
+            best: &mut (usize, i64),
+            max_cardinality: bool,
+        ) {
+            let better = if max_cardinality {
+                (card, weight) > *best
+            } else {
+                weight > best.1
+            };
+            if better {
+                *best = (card, weight);
+            }
+            if idx == edges.len() {
+                return;
+            }
+            rec(edges, used, idx + 1, card, weight, best, max_cardinality);
+            let (u, v, w) = edges[idx];
+            if !used[u] && !used[v] {
+                used[u] = true;
+                used[v] = true;
+                rec(edges, used, idx + 1, card + 1, weight + w, best, max_cardinality);
+                used[u] = false;
+                used[v] = false;
+            }
+        }
+        let mut best = (0, 0);
+        let mut used = vec![false; n];
+        rec(edges, &mut used, 0, 0, 0, &mut best, max_cardinality);
+        best
+    }
+
+    fn matching_stats(mate: &[Option<usize>], edges: &[(usize, usize, i64)]) -> (usize, i64) {
+        // Validate symmetry.
+        for (v, &m) in mate.iter().enumerate() {
+            if let Some(w) = m {
+                assert_eq!(mate[w], Some(v), "asymmetric mate array");
+            }
+        }
+        let mut card = 0;
+        let mut weight = 0;
+        for &(u, v, w) in edges {
+            if mate.get(u).copied().flatten() == Some(v) {
+                card += 1;
+                weight += w;
+            }
+        }
+        (card, weight)
+    }
+
+    #[test]
+    fn empty_graph() {
+        assert!(max_weight_matching(&[], false).is_empty());
+    }
+
+    #[test]
+    fn single_edge() {
+        let mate = max_weight_matching(&[(0, 1, 5)], false);
+        assert_eq!(mate[0], Some(1));
+        assert_eq!(mate[1], Some(0));
+    }
+
+    #[test]
+    fn negative_weight_ignored_without_cardinality() {
+        let mate = max_weight_matching(&[(0, 1, -5)], false);
+        assert_eq!(mate[0], None);
+    }
+
+    #[test]
+    fn negative_weight_used_with_cardinality() {
+        let mate = max_weight_matching(&[(0, 1, -5)], true);
+        assert_eq!(mate[0], Some(1));
+    }
+
+    #[test]
+    fn path_prefers_heavy_middle() {
+        let mate = max_weight_matching(&[(0, 1, 2), (1, 2, 5), (2, 3, 2)], false);
+        // Taking the two outer edges (weight 4) loses to… actually 2+2=4 < 5?
+        // No: outer edges are disjoint, total 4 < 5. Middle edge alone wins.
+        assert_eq!(mate[1], Some(2));
+        assert_eq!(mate[0], None);
+        assert_eq!(mate[3], None);
+    }
+
+    #[test]
+    fn classic_blossom_case() {
+        // Triangle 0-1-2 plus pendant 2-3: must form a blossom and match
+        // (0,1), (2,3).
+        let edges = [(0, 1, 6), (0, 2, 5), (1, 2, 5), (2, 3, 4)];
+        let mate = max_weight_matching(&edges, false);
+        assert_eq!(mate[0], Some(1));
+        assert_eq!(mate[2], Some(3));
+    }
+
+    #[test]
+    fn nested_blossom_expansion() {
+        // The classic nested S-blossom test from mwmatching.py (test case
+        // t_nested): create nested S-blossom, use for augmentation.
+        let edges = [
+            (1, 2, 9),
+            (1, 3, 9),
+            (2, 3, 10),
+            (2, 4, 8),
+            (3, 5, 8),
+            (4, 5, 10),
+            (5, 6, 6),
+        ];
+        let mate = max_weight_matching(&edges, false);
+        assert_eq!(mate[1], Some(3));
+        assert_eq!(mate[2], Some(4));
+        assert_eq!(mate[5], Some(6));
+    }
+
+    #[test]
+    fn s_blossom_relabel_expand() {
+        // mwmatching.py t_relabel_nested: create nested S-blossom, relabel as
+        // T, expand.
+        let edges = [
+            (1, 2, 19),
+            (1, 3, 20),
+            (1, 8, 8),
+            (2, 3, 25),
+            (2, 4, 18),
+            (3, 5, 18),
+            (4, 5, 13),
+            (4, 7, 7),
+            (5, 6, 7),
+        ];
+        let mate = max_weight_matching(&edges, false);
+        let expect = [NO, 8, 3, 2, 7, 6, 5, 4, 1];
+        for v in 1..=8 {
+            assert_eq!(mate[v], Some(expect[v]), "vertex {v}");
+        }
+    }
+
+    #[test]
+    fn t_blossom_augmented_expand() {
+        // mwmatching.py t_nasty: create blossom, relabel as T in more than
+        // one way, expand, augment.
+        let edges = [
+            (1, 2, 45),
+            (1, 5, 45),
+            (2, 3, 50),
+            (3, 4, 45),
+            (4, 5, 50),
+            (1, 6, 30),
+            (3, 9, 35),
+            (4, 8, 35),
+            (5, 7, 26),
+            (9, 10, 5),
+        ];
+        let mate = max_weight_matching(&edges, false);
+        let expect = [NO, 6, 3, 2, 8, 7, 1, 5, 4, 10, 9];
+        for v in 1..=10 {
+            assert_eq!(mate[v], Some(expect[v]), "vertex {v}");
+        }
+    }
+
+    #[test]
+    fn random_graphs_match_brute_force_weight() {
+        let mut rng = qec_core::Rng::new(20240607);
+        for trial in 0..400 {
+            let n = 2 + (rng.below(6) as usize); // 2..=7 vertices
+            let mut edges = Vec::new();
+            for u in 0..n {
+                for v in (u + 1)..n {
+                    if rng.bernoulli(0.7) {
+                        let w = rng.below(21) as i64 - 4; // some negatives
+                        edges.push((u, v, w));
+                    }
+                }
+            }
+            if edges.is_empty() {
+                continue;
+            }
+            for &maxcard in &[false, true] {
+                let mate = max_weight_matching(&edges, maxcard);
+                let mut mate_full = mate.clone();
+                mate_full.resize(n, None);
+                let (card, weight) = matching_stats(&mate_full, &edges);
+                let (bcard, bweight) = brute_force(n, &edges, maxcard);
+                if maxcard {
+                    assert_eq!(
+                        (card, weight),
+                        (bcard, bweight),
+                        "trial {trial} maxcard: edges {edges:?}"
+                    );
+                } else {
+                    assert_eq!(weight, bweight, "trial {trial}: edges {edges:?}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn perfect_matching_on_complete_even_graph() {
+        // Complete K6 with random weights must produce a perfect matching
+        // under max_cardinality.
+        let mut rng = qec_core::Rng::new(9);
+        for _ in 0..50 {
+            let mut edges = Vec::new();
+            for u in 0..6 {
+                for v in (u + 1)..6 {
+                    edges.push((u, v, rng.below(100) as i64));
+                }
+            }
+            let mate = max_weight_matching(&edges, true);
+            assert!(mate.iter().all(|m| m.is_some()), "not perfect: {mate:?}");
+        }
+    }
+}

@@ -1,0 +1,402 @@
+//! Dense operators and the n-ququart density matrix.
+
+use crate::complex::Complex;
+
+/// Local ququart dimension.
+pub const Q: usize = 4;
+
+/// A dense square operator (4×4 for one ququart, 16×16 for a pair).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Mat {
+    dim: usize,
+    a: Vec<Complex>,
+}
+
+impl Mat {
+    /// Zero matrix of dimension `dim`.
+    pub fn zeros(dim: usize) -> Mat {
+        Mat { dim, a: vec![Complex::ZERO; dim * dim] }
+    }
+
+    /// Identity matrix.
+    pub fn identity(dim: usize) -> Mat {
+        let mut m = Mat::zeros(dim);
+        for i in 0..dim {
+            m[(i, i)] = Complex::ONE;
+        }
+        m
+    }
+
+    /// Builds a matrix from a function of (row, col).
+    pub fn from_fn(dim: usize, f: impl Fn(usize, usize) -> Complex) -> Mat {
+        let mut m = Mat::zeros(dim);
+        for r in 0..dim {
+            for c in 0..dim {
+                m[(r, c)] = f(r, c);
+            }
+        }
+        m
+    }
+
+    /// Dimension.
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// Conjugate transpose.
+    pub fn dagger(&self) -> Mat {
+        Mat::from_fn(self.dim, |r, c| self[(c, r)].conj())
+    }
+
+    /// Matrix product.
+    pub fn matmul(&self, rhs: &Mat) -> Mat {
+        assert_eq!(self.dim, rhs.dim);
+        let mut out = Mat::zeros(self.dim);
+        for r in 0..self.dim {
+            for k in 0..self.dim {
+                let v = self[(r, k)];
+                if v == Complex::ZERO {
+                    continue;
+                }
+                for c in 0..self.dim {
+                    out[(r, c)] += v * rhs[(k, c)];
+                }
+            }
+        }
+        out
+    }
+
+    /// Scales every entry by a real factor.
+    pub fn scaled(&self, s: f64) -> Mat {
+        Mat { dim: self.dim, a: self.a.iter().map(|x| x.scale(s)).collect() }
+    }
+
+    /// Whether `self · self† = I` within tolerance (unitarity check for
+    /// tests).
+    pub fn is_unitary(&self, tol: f64) -> bool {
+        let p = self.matmul(&self.dagger());
+        for r in 0..self.dim {
+            for c in 0..self.dim {
+                let expect = if r == c { Complex::ONE } else { Complex::ZERO };
+                if (p[(r, c)] - expect).norm_sqr() > tol {
+                    return false;
+                }
+            }
+        }
+        true
+    }
+}
+
+impl std::ops::Index<(usize, usize)> for Mat {
+    type Output = Complex;
+    fn index(&self, (r, c): (usize, usize)) -> &Complex {
+        &self.a[r * self.dim + c]
+    }
+}
+
+impl std::ops::IndexMut<(usize, usize)> for Mat {
+    fn index_mut(&mut self, (r, c): (usize, usize)) -> &mut Complex {
+        &mut self.a[r * self.dim + c]
+    }
+}
+
+/// An n-ququart density matrix (dimension 4ⁿ).
+///
+/// Qudit 0 is the least-significant base-4 digit of a basis index.
+///
+/// # Example
+///
+/// ```
+/// use density_sim::DensityMatrix;
+///
+/// let rho = DensityMatrix::new_pure(2, &[2, 1]);
+/// assert!((rho.population(0, 2) - 1.0).abs() < 1e-12);
+/// assert!((rho.population(1, 1) - 1.0).abs() < 1e-12);
+/// assert!((rho.leak_probability(0) - 1.0).abs() < 1e-12);
+/// assert!((rho.leak_probability(1) - 0.0).abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone)]
+pub struct DensityMatrix {
+    n: usize,
+    dim: usize,
+    a: Vec<Complex>,
+}
+
+impl DensityMatrix {
+    /// All qudits in |0⟩.
+    pub fn new_ground(n: usize) -> DensityMatrix {
+        DensityMatrix::new_pure(n, &vec![0; n])
+    }
+
+    /// A pure computational basis state; `levels[q]` is qudit `q`'s level.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `levels.len() != n` or any level is ≥ 4.
+    pub fn new_pure(n: usize, levels: &[usize]) -> DensityMatrix {
+        assert_eq!(levels.len(), n);
+        assert!(levels.iter().all(|&l| l < Q));
+        let dim = Q.pow(n as u32);
+        let mut idx = 0;
+        for (q, &l) in levels.iter().enumerate() {
+            idx += l * Q.pow(q as u32);
+        }
+        let mut a = vec![Complex::ZERO; dim * dim];
+        a[idx * dim + idx] = Complex::ONE;
+        DensityMatrix { n, dim, a }
+    }
+
+    /// Number of qudits.
+    pub fn num_qudits(&self) -> usize {
+        self.n
+    }
+
+    /// Hilbert-space dimension.
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// Trace (should stay 1 under unitaries and trace-preserving channels).
+    pub fn trace(&self) -> Complex {
+        let mut t = Complex::ZERO;
+        for i in 0..self.dim {
+            t += self.a[i * self.dim + i];
+        }
+        t
+    }
+
+    fn digit(&self, index: usize, q: usize) -> usize {
+        (index / Q.pow(q as u32)) % Q
+    }
+
+    /// Probability that qudit `q` occupies `level`.
+    pub fn population(&self, q: usize, level: usize) -> f64 {
+        let mut p = 0.0;
+        for i in 0..self.dim {
+            if self.digit(i, q) == level {
+                p += self.a[i * self.dim + i].re;
+            }
+        }
+        p
+    }
+
+    /// Probability that qudit `q` is leaked (level 2 or 3).
+    pub fn leak_probability(&self, q: usize) -> f64 {
+        self.population(q, 2) + self.population(q, 3)
+    }
+
+    /// Applies a 4×4 unitary to qudit `q`: ρ ← UρU†.
+    pub fn apply_one(&mut self, q: usize, u: &Mat) {
+        assert_eq!(u.dim(), Q);
+        self.apply(&[q], u);
+    }
+
+    /// Applies a 16×16 unitary to qudits `(qa, qb)` (qa is the
+    /// most-significant digit of the 16-dim index): ρ ← UρU†.
+    pub fn apply_two(&mut self, qa: usize, qb: usize, u: &Mat) {
+        assert_eq!(u.dim(), Q * Q);
+        assert_ne!(qa, qb);
+        self.apply(&[qa, qb], u);
+    }
+
+    /// Applies a Kraus channel on one qudit: ρ ← Σ KρK†.
+    pub fn apply_kraus_one(&mut self, q: usize, ks: &[Mat]) {
+        self.apply_kraus(&[q], ks);
+    }
+
+    /// Applies a Kraus channel on a qudit pair.
+    pub fn apply_kraus_two(&mut self, qa: usize, qb: usize, ks: &[Mat]) {
+        self.apply_kraus(&[qa, qb], ks);
+    }
+
+    /// Measure-and-reset qudit `q` to |0⟩ (trace out and re-prepare),
+    /// implemented as the Kraus channel {|0⟩⟨l|}.
+    pub fn reset(&mut self, q: usize) {
+        let ks: Vec<Mat> = (0..Q)
+            .map(|l| {
+                let mut k = Mat::zeros(Q);
+                k[(0, l)] = Complex::ONE;
+                k
+            })
+            .collect();
+        self.apply_kraus_one(q, &ks);
+    }
+
+    fn apply_kraus(&mut self, qs: &[usize], ks: &[Mat]) {
+        let mut acc = vec![Complex::ZERO; self.dim * self.dim];
+        for k in ks {
+            let mut branch = self.clone();
+            branch.apply(qs, k);
+            for (dst, src) in acc.iter_mut().zip(&branch.a) {
+                *dst += *src;
+            }
+        }
+        self.a = acc;
+    }
+
+    /// ρ ← M ρ M† for an operator M acting on the given qudits (not
+    /// necessarily unitary; used by both unitaries and Kraus terms).
+    fn apply(&mut self, qs: &[usize], m: &Mat) {
+        let msize = m.dim();
+        debug_assert_eq!(msize, Q.pow(qs.len() as u32));
+        let strides: Vec<usize> = qs.iter().map(|&q| Q.pow(q as u32)).collect();
+        // Offsets of the m local basis states within a global index; local
+        // index i has digits (most-significant first over qs).
+        let mut offsets = vec![0usize; msize];
+        for (i, off) in offsets.iter_mut().enumerate() {
+            let mut rem = i;
+            for (slot, stride) in strides.iter().enumerate() {
+                let shift = qs.len() - 1 - slot;
+                let digit = (rem / Q.pow(shift as u32)) % Q;
+                rem %= Q.pow(shift as u32);
+                *off += digit * stride;
+            }
+        }
+        // Base indices: global indices whose digits at qs are all zero.
+        let mut bases = Vec::with_capacity(self.dim / msize);
+        for i in 0..self.dim {
+            if qs.iter().all(|&q| self.digit(i, q) == 0) {
+                bases.push(i);
+            }
+        }
+
+        let dim = self.dim;
+        // Sparsity map: most gates are permutations or near-diagonal, so
+        // skipping zero entries is a large win.
+        let nonzero: Vec<Vec<(usize, Complex)>> = (0..msize)
+            .map(|r| {
+                (0..msize)
+                    .filter(|&c| m[(r, c)] != Complex::ZERO)
+                    .map(|c| (c, m[(r, c)]))
+                    .collect()
+            })
+            .collect();
+
+        // Rows: A = M ρ, processed one base-group (msize rows) at a time with
+        // contiguous row AXPYs.
+        let mut scratch = vec![Complex::ZERO; msize * dim];
+        for &base in &bases {
+            for (i, &off) in offsets.iter().enumerate() {
+                let src = (base + off) * dim;
+                scratch[i * dim..(i + 1) * dim].copy_from_slice(&self.a[src..src + dim]);
+            }
+            for (r, &off) in offsets.iter().enumerate() {
+                let dst = (base + off) * dim;
+                let row_out = &mut self.a[dst..dst + dim];
+                row_out.fill(Complex::ZERO);
+                for &(c, factor) in &nonzero[r] {
+                    let src_row = &scratch[c * dim..(c + 1) * dim];
+                    for (o, &s) in row_out.iter_mut().zip(src_row) {
+                        *o += factor * s;
+                    }
+                }
+            }
+        }
+        // Columns: ρ' = A M† — column vectors transform with conj(M).
+        let mut vin = vec![Complex::ZERO; msize];
+        for row in 0..dim {
+            let row_slice = &mut self.a[row * dim..(row + 1) * dim];
+            for &base in &bases {
+                for (i, &off) in offsets.iter().enumerate() {
+                    vin[i] = row_slice[base + off];
+                }
+                for (c, &off) in offsets.iter().enumerate() {
+                    let mut acc = Complex::ZERO;
+                    for &(k, factor) in &nonzero[c] {
+                        acc += factor.conj() * vin[k];
+                    }
+                    row_slice[base + off] = acc;
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pure_state_populations() {
+        let rho = DensityMatrix::new_pure(3, &[1, 0, 3]);
+        assert!((rho.population(0, 1) - 1.0).abs() < 1e-12);
+        assert!((rho.population(1, 0) - 1.0).abs() < 1e-12);
+        assert!((rho.population(2, 3) - 1.0).abs() < 1e-12);
+        assert!((rho.trace().re - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn one_qudit_unitary_moves_population() {
+        // X on the qubit subspace.
+        let x = Mat::from_fn(Q, |r, c| {
+            let v = matches!((r, c), (0, 1) | (1, 0) | (2, 2) | (3, 3));
+            if v {
+                Complex::ONE
+            } else {
+                Complex::ZERO
+            }
+        });
+        assert!(x.is_unitary(1e-12));
+        let mut rho = DensityMatrix::new_ground(2);
+        rho.apply_one(1, &x);
+        assert!((rho.population(1, 1) - 1.0).abs() < 1e-12);
+        assert!((rho.population(0, 0) - 1.0).abs() < 1e-12);
+        assert!((rho.trace().re - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn reset_restores_ground() {
+        let mut rho = DensityMatrix::new_pure(2, &[3, 1]);
+        rho.reset(0);
+        assert!((rho.population(0, 0) - 1.0).abs() < 1e-12);
+        // Partner untouched.
+        assert!((rho.population(1, 1) - 1.0).abs() < 1e-12);
+        assert!((rho.trace().re - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn kraus_mixture_preserves_trace() {
+        // 50/50 identity-or-X mixture.
+        let x = Mat::from_fn(Q, |r, c| match (r, c) {
+            (0, 1) | (1, 0) | (2, 2) | (3, 3) => Complex::ONE,
+            _ => Complex::ZERO,
+        });
+        let ks = [Mat::identity(Q).scaled(0.5f64.sqrt()), x.scaled(0.5f64.sqrt())];
+        let mut rho = DensityMatrix::new_ground(1);
+        rho.apply_kraus_one(0, &ks);
+        assert!((rho.trace().re - 1.0).abs() < 1e-12);
+        assert!((rho.population(0, 0) - 0.5).abs() < 1e-12);
+        assert!((rho.population(0, 1) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn two_qudit_ordering_convention() {
+        // A unitary that maps |a=1, b=0⟩ -> |a=1, b=1⟩ (controlled on the
+        // first argument being 1).
+        let u = Mat::from_fn(Q * Q, |r, c| {
+            let (ra, rb) = (r / Q, r % Q);
+            let (ca, cb) = (c / Q, c % Q);
+            let flip = ca == 1 && cb < 2;
+            let target = if flip { (ca, cb ^ 1) } else { (ca, cb) };
+            if (ra, rb) == target {
+                Complex::ONE
+            } else {
+                Complex::ZERO
+            }
+        });
+        assert!(u.is_unitary(1e-12));
+        let mut rho = DensityMatrix::new_pure(3, &[0, 1, 0]); // qudit1 = 1
+        rho.apply_two(1, 2, &u); // control qudit1, target qudit2
+        assert!((rho.population(2, 1) - 1.0).abs() < 1e-12);
+        assert!((rho.population(0, 0) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn matmul_and_dagger() {
+        let a = Mat::from_fn(2, |r, c| Complex::new((r + c) as f64, r as f64 - c as f64));
+        let id = Mat::identity(2);
+        assert_eq!(a.matmul(&id), a);
+        let d = a.dagger();
+        assert_eq!(d[(0, 1)], a[(1, 0)].conj());
+    }
+}

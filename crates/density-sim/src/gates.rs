@@ -1,0 +1,236 @@
+//! Ququart-embedded gates and leakage channels (paper Fig 7(b)).
+//!
+//! Quantum operations are calibrated for the computational basis, so every
+//! embedded qubit gate acts as the identity on |2⟩ and |3⟩. Each noisy CNOT
+//! of the §3.3 study is followed by three effects:
+//!
+//! 1. **leakage transport** — a probabilistic state exchange between the
+//!    operands ([`leak_transport_kraus`]);
+//! 2. **an RX(0.65π) kick** on an unleaked operand whose partner is leaked
+//!    ([`rx_if_partner_leaked`]; 0.65π is the rotation Google measured on
+//!    Sycamore);
+//! 3. **leakage injection** — |1⟩ → |2⟩ with small probability
+//!    ([`leak_inject_kraus`]).
+
+use crate::complex::Complex;
+use crate::density::{Mat, Q};
+
+/// Embeds a 2×2 qubit gate into a ququart (identity on |2⟩, |3⟩).
+pub fn embed_qubit_gate(u00: Complex, u01: Complex, u10: Complex, u11: Complex) -> Mat {
+    let mut m = Mat::identity(Q);
+    m[(0, 0)] = u00;
+    m[(0, 1)] = u01;
+    m[(1, 0)] = u10;
+    m[(1, 1)] = u11;
+    m
+}
+
+/// Embedded Hadamard.
+pub fn hadamard() -> Mat {
+    let s = Complex::real(1.0 / 2.0f64.sqrt());
+    embed_qubit_gate(s, s, s, -s)
+}
+
+/// Embedded RX(θ) (the leakage-induced kick uses θ = 0.65π).
+pub fn rx(theta: f64) -> Mat {
+    let c = Complex::real((theta / 2.0).cos());
+    let s = Complex::new(0.0, -(theta / 2.0).sin());
+    embed_qubit_gate(c, s, s, c)
+}
+
+/// The rotation angle Google measured for leakage-induced kicks on Sycamore.
+pub const SYCAMORE_KICK: f64 = 0.65 * std::f64::consts::PI;
+
+/// Embedded CNOT on a ququart pair `(control, target)` — the first index of
+/// [`crate::DensityMatrix::apply_two`] is the control. Acts only when both
+/// operands are in the computational subspace.
+pub fn cnot() -> Mat {
+    Mat::from_fn(Q * Q, |r, c| {
+        let (ca, cb) = (c / Q, c % Q);
+        let flip = ca == 1 && cb < 2;
+        let (ta, tb) = if flip { (ca, cb ^ 1) } else { (ca, cb) };
+        if (r / Q, r % Q) == (ta, tb) {
+            Complex::ONE
+        } else {
+            Complex::ZERO
+        }
+    })
+}
+
+/// Full two-ququart SWAP.
+pub fn swap() -> Mat {
+    Mat::from_fn(Q * Q, |r, c| {
+        let (ca, cb) = (c / Q, c % Q);
+        if (r / Q, r % Q) == (cb, ca) {
+            Complex::ONE
+        } else {
+            Complex::ZERO
+        }
+    })
+}
+
+/// Leakage transport after a CNOT: with probability `p` the operands
+/// exchange states (moving any leaked population across), otherwise nothing
+/// happens. Kraus form of the unitary mixture.
+pub fn leak_transport_kraus(p: f64) -> Vec<Mat> {
+    vec![
+        Mat::identity(Q * Q).scaled((1.0 - p).sqrt()),
+        swap().scaled(p.sqrt()),
+    ]
+}
+
+/// Conditional kick: applies RX(θ) to the second qudit exactly when the
+/// first qudit is leaked (block-diagonal, hence unitary). Use twice with the
+/// operands swapped to kick whichever partner is unleaked.
+pub fn rx_if_partner_leaked(theta: f64) -> Mat {
+    let kick = rx(theta);
+    Mat::from_fn(Q * Q, |r, c| {
+        let (ra, rb) = (r / Q, r % Q);
+        let (ca, cb) = (c / Q, c % Q);
+        if ra != ca {
+            return Complex::ZERO;
+        }
+        if ca >= 2 {
+            kick[(rb, cb)]
+        } else if rb == cb {
+            Complex::ONE
+        } else {
+            Complex::ZERO
+        }
+    })
+}
+
+/// Google's `LeakageISWAP` from the DQLR protocol (paper App A.2, Fig 19):
+/// an iSWAP calibrated on the |11⟩/|20⟩ submanifold of a (data, parity)
+/// pair. With the parity qubit freshly reset to |0⟩ it converts a leaked
+/// data qubit |2_d 0_p⟩ into |1_d 1_p⟩ (the parity excitation is then reset
+/// away); if the parity reset *failed* (|1_p⟩) the same coupling excites a
+/// data |1⟩ to |2⟩ — exactly the failure mode of Fig 19(b).
+///
+/// Operand order for [`crate::DensityMatrix::apply_two`]: `(data, parity)`.
+pub fn leakage_iswap() -> Mat {
+    Mat::from_fn(Q * Q, |r, c| {
+        let (cd, cp) = (c / Q, c % Q);
+        // |2_d 0_p⟩ ↔ |1_d 1_p⟩ (iSWAP phase folded into the mixture use).
+        let (td, tp) = match (cd, cp) {
+            (2, 0) => (1, 1),
+            (1, 1) => (2, 0),
+            other => other,
+        };
+        if (r / Q, r % Q) == (td, tp) {
+            Complex::ONE
+        } else {
+            Complex::ZERO
+        }
+    })
+}
+
+/// Leakage injection on one ququart: |1⟩ decays to |2⟩ with probability `p`.
+pub fn leak_inject_kraus(p: f64) -> Vec<Mat> {
+    let mut k0 = Mat::identity(Q);
+    k0[(1, 1)] = Complex::real((1.0 - p).sqrt());
+    let mut k1 = Mat::zeros(Q);
+    k1[(2, 1)] = Complex::real(p.sqrt());
+    vec![k0, k1]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::density::DensityMatrix;
+
+    #[test]
+    fn embedded_gates_are_unitary() {
+        assert!(hadamard().is_unitary(1e-12));
+        assert!(rx(SYCAMORE_KICK).is_unitary(1e-12));
+        assert!(cnot().is_unitary(1e-12));
+        assert!(swap().is_unitary(1e-12));
+        assert!(rx_if_partner_leaked(SYCAMORE_KICK).is_unitary(1e-12));
+    }
+
+    #[test]
+    fn cnot_truth_table_on_computational_states() {
+        for (c, t, expect) in [(0, 0, 0), (0, 1, 1), (1, 0, 1), (1, 1, 0)] {
+            let mut rho = DensityMatrix::new_pure(2, &[c, t]);
+            rho.apply_two(0, 1, &cnot());
+            assert!((rho.population(1, expect) - 1.0).abs() < 1e-12, "CX|{c}{t}⟩");
+        }
+    }
+
+    #[test]
+    fn cnot_is_identity_on_leaked_control() {
+        for leaked in [2usize, 3] {
+            let mut rho = DensityMatrix::new_pure(2, &[leaked, 1]);
+            rho.apply_two(0, 1, &cnot());
+            assert!((rho.population(1, 1) - 1.0).abs() < 1e-12);
+            assert!((rho.leak_probability(0) - 1.0).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn transport_moves_leakage() {
+        let mut rho = DensityMatrix::new_pure(2, &[2, 0]);
+        rho.apply_kraus_two(0, 1, &leak_transport_kraus(1.0));
+        assert!((rho.leak_probability(0) - 0.0).abs() < 1e-12);
+        assert!((rho.leak_probability(1) - 1.0).abs() < 1e-12);
+        // Partial transport splits the population.
+        let mut rho = DensityMatrix::new_pure(2, &[2, 0]);
+        rho.apply_kraus_two(0, 1, &leak_transport_kraus(0.1));
+        assert!((rho.leak_probability(1) - 0.1).abs() < 1e-12);
+        assert!((rho.trace().re - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn injection_leaks_excited_states_only() {
+        let mut ground = DensityMatrix::new_ground(1);
+        ground.apply_kraus_one(0, &leak_inject_kraus(0.3));
+        assert!((ground.leak_probability(0)).abs() < 1e-12);
+
+        let mut excited = DensityMatrix::new_pure(1, &[1]);
+        excited.apply_kraus_one(0, &leak_inject_kraus(0.3));
+        assert!((excited.leak_probability(0) - 0.3).abs() < 1e-12);
+        assert!((excited.trace().re - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn leakage_iswap_removes_data_leakage_onto_parity() {
+        let u = leakage_iswap();
+        assert!(u.is_unitary(1e-12));
+        // Nominal DQLR step: leaked data, reset parity.
+        let mut rho = DensityMatrix::new_pure(2, &[2, 0]);
+        rho.apply_two(0, 1, &u);
+        assert!((rho.leak_probability(0)).abs() < 1e-12, "data leakage removed");
+        assert!((rho.population(0, 1) - 1.0).abs() < 1e-12, "data lands in |1⟩");
+        assert!((rho.population(1, 1) - 1.0).abs() < 1e-12, "parity excited");
+        // The follow-up parity reset completes the protocol.
+        rho.reset(1);
+        assert!((rho.population(1, 0) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn leakage_iswap_reset_failure_excites_data() {
+        // Fig 19(b): parity reset failed (|1⟩), data in |1⟩ → data leaks.
+        let mut rho = DensityMatrix::new_pure(2, &[1, 1]);
+        rho.apply_two(0, 1, &leakage_iswap());
+        assert!((rho.leak_probability(0) - 1.0).abs() < 1e-12);
+        // Computational data + correctly reset parity: identity.
+        for d in [0usize, 1] {
+            let mut calm = DensityMatrix::new_pure(2, &[d, 0]);
+            calm.apply_two(0, 1, &leakage_iswap());
+            assert!((calm.population(0, d) - 1.0).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn conditional_kick_fires_only_on_leaked_partner() {
+        // Partner unleaked: nothing happens.
+        let mut calm = DensityMatrix::new_pure(2, &[0, 0]);
+        calm.apply_two(0, 1, &rx_if_partner_leaked(SYCAMORE_KICK));
+        assert!((calm.population(1, 0) - 1.0).abs() < 1e-12);
+        // Partner leaked: the qubit rotates.
+        let mut kicked = DensityMatrix::new_pure(2, &[2, 0]);
+        kicked.apply_two(0, 1, &rx_if_partner_leaked(SYCAMORE_KICK));
+        let expect_p1 = (SYCAMORE_KICK / 2.0).sin().powi(2);
+        assert!((kicked.population(1, 1) - expect_p1).abs() < 1e-12);
+    }
+}

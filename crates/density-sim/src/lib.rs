@@ -1,0 +1,40 @@
+//! Ququart density-matrix simulation of leakage spread (paper §3.3).
+//!
+//! The paper characterizes how leakage moves through a single Z stabilizer
+//! with a density-matrix simulation over **ququarts** (|0⟩, |1⟩, |2⟩, |3⟩,
+//! where |2⟩/|3⟩ are the leaked states Google observed on Sycamore). This
+//! crate implements that simulation from scratch:
+//!
+//! * [`Complex`] / [`Mat`] — minimal complex arithmetic and dense operators
+//!   (no external dependencies);
+//! * [`DensityMatrix`] — an n-ququart density matrix with 1- and 2-qudit
+//!   unitaries and Kraus channels;
+//! * [`gates`] — embedded qubit gates (CNOT, RX(θ) with the Sycamore-measured
+//!   θ = 0.65π), the leakage-transport mixture, leakage-injection and reset
+//!   channels;
+//! * [`stabilizer`] — the Fig 7/8 experiment: a Z stabilizer whose data qubit
+//!   `q0` starts in |2⟩, executing an LRC round followed by a plain round,
+//!   recording each qudit's leakage population and the probability of
+//!   reading the correct stabilizer outcome after every CNOT.
+//!
+//! # Example
+//!
+//! ```
+//! use density_sim::{gates, DensityMatrix};
+//!
+//! // CNOT is calibrated for the computational basis only: a leaked control
+//! // does nothing.
+//! let mut rho = DensityMatrix::new_pure(2, &[2, 0]);
+//! rho.apply_two(0, 1, &gates::cnot());
+//! assert!((rho.population(1, 0) - 1.0).abs() < 1e-12);
+//! assert!((rho.leak_probability(0) - 1.0).abs() < 1e-12);
+//! ```
+
+pub mod complex;
+pub mod density;
+pub mod gates;
+pub mod stabilizer;
+
+pub use complex::Complex;
+pub use density::{DensityMatrix, Mat};
+pub use stabilizer::{StabilizerLeakageStudy, StepRecord};

@@ -1,0 +1,202 @@
+//! The paper's §3.3 study: leakage spread across one Z stabilizer (Fig 7/8).
+//!
+//! Five ququarts: data qubits `q0..q3` and the parity qubit `P`. `q0` starts
+//! in |2⟩. The circuit is an LRC round followed by a plain round:
+//!
+//! ```text
+//! round 1:  CX(q0→P) CX(q1→P) CX(q2→P) CX(q3→P)   // dance
+//!           CX(q0,P) CX(P,q0) CX(q0,P)            // SWAP-in (LRC)
+//!           MR(q0)                                 // readout + reset
+//!           CX(P,q0) CX(q0,P)                      // swap-back
+//! round 2:  CX(q0→P) CX(q1→P) CX(q2→P) CX(q3→P)   // dance
+//!           MR(P)
+//! ```
+//!
+//! After every CNOT the three Fig 7(b) channels fire: leakage transport,
+//! RX(0.65π) on the unleaked operand of a leaked pair, leakage injection.
+//! The study records each qudit's leakage population and the probability of
+//! reading the *correct* stabilizer outcome (0 — there are no X errors on
+//! the data qubits) from the parity qubit.
+
+use crate::density::DensityMatrix;
+use crate::gates;
+
+/// One sampled point of the study.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StepRecord {
+    /// Human-readable step label (e.g. `"CX#4"`, `"A: after LRC swap-in"`).
+    pub label: String,
+    /// Leakage probability of `[q0, q1, q2, q3, P]`.
+    pub leak: [f64; 5],
+    /// Probability that a two-level readout of P now returns the correct
+    /// outcome 0 (leaked population reads out randomly, contributing ½).
+    pub p_correct: f64,
+}
+
+/// Configuration and driver for the single-stabilizer leakage study.
+///
+/// # Example
+///
+/// ```
+/// use density_sim::StabilizerLeakageStudy;
+///
+/// let records = StabilizerLeakageStudy::default().run();
+/// assert!(records.len() > 10);
+/// // q0 starts fully leaked.
+/// assert!((records[0].leak[0] - 1.0).abs() < 1e-9);
+/// ```
+#[derive(Debug, Clone, Copy)]
+pub struct StabilizerLeakageStudy {
+    /// Leakage-transport probability per CNOT (paper: 0.1).
+    pub p_transport: f64,
+    /// Leakage-injection probability per CNOT operand (paper: 1e-4).
+    pub p_inject: f64,
+    /// Kick angle for leaked-pair CNOTs (paper: 0.65π from Sycamore).
+    pub kick_theta: f64,
+}
+
+impl Default for StabilizerLeakageStudy {
+    fn default() -> StabilizerLeakageStudy {
+        StabilizerLeakageStudy {
+            p_transport: 0.1,
+            p_inject: 1e-4,
+            kick_theta: gates::SYCAMORE_KICK,
+        }
+    }
+}
+
+/// Index of the parity qudit in the 5-qudit register.
+pub const PARITY: usize = 4;
+
+impl StabilizerLeakageStudy {
+    /// Runs the full two-round circuit, returning one record per step.
+    pub fn run(&self) -> Vec<StepRecord> {
+        let mut rho = DensityMatrix::new_pure(5, &[2, 0, 0, 0, 0]);
+        let mut records = Vec::new();
+        self.record(&rho, "init (q0 = |2⟩)", &mut records);
+
+        // ---- Round 1: dance + LRC ------------------------------------
+        for (i, q) in (0..4).enumerate() {
+            self.noisy_cnot(&mut rho, q, PARITY);
+            let label = format!("CX#{}", i + 1);
+            self.record(&rho, &label, &mut records);
+        }
+        // SWAP-in: three CNOTs between q0 and P.
+        self.noisy_cnot(&mut rho, 0, PARITY);
+        self.record(&rho, "CX#5 (swap-in 1/3)", &mut records);
+        self.noisy_cnot(&mut rho, PARITY, 0);
+        self.record(&rho, "CX#6 (swap-in 2/3)", &mut records);
+        self.noisy_cnot(&mut rho, 0, PARITY);
+        self.record(&rho, "A: CX#7 (LRC swap-in done)", &mut records);
+        // MR on the data qubit: removes its leakage.
+        rho.reset(0);
+        self.record(&rho, "MR(q0)", &mut records);
+        // Swap-back: two CNOTs.
+        self.noisy_cnot(&mut rho, PARITY, 0);
+        self.record(&rho, "CX#8 (swap-back 1/2)", &mut records);
+        self.noisy_cnot(&mut rho, 0, PARITY);
+        self.record(&rho, "CX#9 (swap-back 2/2)", &mut records);
+
+        // ---- Round 2: plain extraction --------------------------------
+        rho.reset(PARITY);
+        self.record(&rho, "MR(P) / round 2 start", &mut records);
+        for (i, q) in (0..4).enumerate() {
+            self.noisy_cnot(&mut rho, q, PARITY);
+            let label = if i == 3 {
+                "C: CX#13 (before MR(P))".to_string()
+            } else {
+                format!("CX#{}", 10 + i)
+            };
+            self.record(&rho, &label, &mut records);
+        }
+        records
+    }
+
+    fn noisy_cnot(&self, rho: &mut DensityMatrix, control: usize, target: usize) {
+        rho.apply_two(control, target, &gates::cnot());
+        // Fig 7(b) channel sequence: transport, conditional kicks, injection.
+        rho.apply_kraus_two(control, target, &gates::leak_transport_kraus(self.p_transport));
+        let kick = gates::rx_if_partner_leaked(self.kick_theta);
+        rho.apply_two(control, target, &kick);
+        rho.apply_two(target, control, &kick);
+        rho.apply_kraus_one(control, &gates::leak_inject_kraus(self.p_inject));
+        rho.apply_kraus_one(target, &gates::leak_inject_kraus(self.p_inject));
+    }
+
+    fn record(&self, rho: &DensityMatrix, label: &str, out: &mut Vec<StepRecord>) {
+        let leak = [
+            rho.leak_probability(0),
+            rho.leak_probability(1),
+            rho.leak_probability(2),
+            rho.leak_probability(3),
+            rho.leak_probability(PARITY),
+        ];
+        // Correct outcome is 0: computational |0⟩ population reads 0, leaked
+        // population reads a uniformly random label.
+        let p_correct = rho.population(PARITY, 0) + 0.5 * rho.leak_probability(PARITY);
+        out.push(StepRecord { label: label.to_string(), leak, p_correct });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::OnceLock;
+
+    /// The 5-ququart study is the most expensive computation in the test
+    /// suite; run it once and share across assertions.
+    fn study() -> &'static [StepRecord] {
+        static CACHE: OnceLock<Vec<StepRecord>> = OnceLock::new();
+        CACHE.get_or_init(|| StabilizerLeakageStudy::default().run())
+    }
+
+    #[test]
+    fn q0_leakage_removed_by_lrc_readout() {
+        let records = study();
+        let before = records.iter().position(|r| r.label.starts_with("A:")).unwrap();
+        let after = records.iter().position(|r| r.label.starts_with("MR(q0)")).unwrap();
+        assert!(records[before].leak[0] > 0.5, "q0 still mostly leaked pre-MR");
+        assert!(records[after].leak[0] < 1e-9, "reset clears q0");
+    }
+
+    #[test]
+    fn lrc_transports_leakage_onto_parity() {
+        // Point A of Fig 8: after the swap-in, P has significantly leaked.
+        let records = study();
+        let a = records.iter().find(|r| r.label.starts_with("A:")).unwrap();
+        // ~1-(1-0.1)^5 from five interacting CNOTs so far; the paper reads
+        // "significantly leaked" off the same mechanism.
+        assert!(a.leak[4] > 0.2, "parity leakage at A: {}", a.leak[4]);
+    }
+
+    #[test]
+    fn leaked_parity_randomizes_measurement() {
+        // Point C of Fig 8: the correct-readout probability is depressed
+        // towards ½ (random) while P carries leakage.
+        let records = study();
+        let c = records.iter().find(|r| r.label.starts_with("C:")).unwrap();
+        assert!(c.p_correct < 0.95, "readout must be degraded: {}", c.p_correct);
+        assert!(c.p_correct > 0.5, "but better than a coin flip: {}", c.p_correct);
+    }
+
+    #[test]
+    fn leakage_spreads_to_other_data_qubits_in_round_two() {
+        let records = study();
+        let last = records.last().unwrap();
+        let spread: f64 = last.leak[1] + last.leak[2] + last.leak[3];
+        assert!(spread > 0.005, "round-2 dance spreads leakage: {spread}");
+    }
+
+    #[test]
+    fn trace_is_preserved_throughout() {
+        // The run uses only unitaries and trace-preserving channels; the
+        // probabilities must stay normalized.
+        let records = study();
+        for r in records {
+            for &l in &r.leak {
+                assert!((-1e-9..=1.0 + 1e-9).contains(&l), "{r:?}");
+            }
+            assert!((0.0..=1.0 + 1e-9).contains(&r.p_correct));
+        }
+    }
+}

@@ -1,0 +1,115 @@
+//! Table printing and CSV export.
+
+use std::fs;
+use std::io::Write as _;
+use std::path::Path;
+
+/// A simple result table that prints aligned to stdout and exports CSV.
+pub struct Table {
+    title: String,
+    columns: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    pub fn new(title: &str, columns: &[&str]) -> Table {
+        Table {
+            title: title.to_string(),
+            columns: columns.iter().map(|c| c.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    pub fn row(&mut self, cells: Vec<String>) {
+        assert_eq!(cells.len(), self.columns.len(), "row width mismatch");
+        self.rows.push(cells);
+    }
+
+    pub fn print(&self) {
+        self.print_every(1);
+    }
+
+    /// Prints the header plus every `step`-th row (long per-round tables are
+    /// subsampled on stdout; their CSV export holds every row).
+    pub fn print_every(&self, step: usize) {
+        println!("\n== {} ==", self.title);
+        let mut widths: Vec<usize> = self.columns.iter().map(|c| c.len()).collect();
+        for row in &self.rows {
+            for (w, cell) in widths.iter_mut().zip(row) {
+                *w = (*w).max(cell.len());
+            }
+        }
+        let header: Vec<String> = self
+            .columns
+            .iter()
+            .zip(&widths)
+            .map(|(c, w)| format!("{c:>w$}"))
+            .collect();
+        println!("{}", header.join("  "));
+        let step = step.max(1);
+        for (i, row) in self.rows.iter().enumerate() {
+            if i % step != 0 && i != self.rows.len() - 1 {
+                continue;
+            }
+            let line: Vec<String> = row
+                .iter()
+                .zip(&widths)
+                .map(|(c, w)| format!("{c:>w$}"))
+                .collect();
+            println!("{}", line.join("  "));
+        }
+        if step > 1 {
+            println!("  (showing every {step}th round; full data in the CSV)");
+        }
+    }
+
+    /// Writes the table as `<dir>/<name>.csv`.
+    pub fn write_csv(&self, dir: &Path, name: &str) -> Result<(), String> {
+        fs::create_dir_all(dir).map_err(|e| format!("mkdir {dir:?}: {e}"))?;
+        let path = dir.join(format!("{name}.csv"));
+        let mut f = fs::File::create(&path).map_err(|e| format!("create {path:?}: {e}"))?;
+        let mut emit = |cells: &[String]| -> Result<(), String> {
+            let line = cells
+                .iter()
+                .map(|c| {
+                    if c.contains(',') || c.contains('"') {
+                        format!("\"{}\"", c.replace('"', "\"\""))
+                    } else {
+                        c.clone()
+                    }
+                })
+                .collect::<Vec<_>>()
+                .join(",");
+            writeln!(f, "{line}").map_err(|e| format!("write {path:?}: {e}"))
+        };
+        emit(&self.columns)?;
+        for row in &self.rows {
+            emit(row)?;
+        }
+        println!("  -> wrote {}", path.display());
+        Ok(())
+    }
+}
+
+/// Scientific notation with three significant digits.
+pub fn sci(x: f64) -> String {
+    if x == 0.0 {
+        "0".to_string()
+    } else {
+        format!("{x:.2e}")
+    }
+}
+
+/// Fixed-point with `n` decimals.
+pub fn fixed(x: f64, n: usize) -> String {
+    format!("{x:.n$}")
+}
+
+/// A ratio like "4.3x"; `inf` guarded.
+pub fn ratio(num: f64, den: f64) -> String {
+    if den <= 0.0 {
+        "n/a".to_string()
+    } else {
+        format!("{:.1}x", num / den)
+    }
+}

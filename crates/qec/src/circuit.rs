@@ -1,0 +1,382 @@
+//! Circuit intermediate representation with explicit noise operations.
+//!
+//! The representation follows Stim's philosophy: noise channels are first-class
+//! operations interleaved with gates, so the Monte-Carlo simulator and the
+//! detector-error-model builder enumerate *exactly the same* fault sites.
+//!
+//! Leakage-specific operations ([`Op::LeakInject`], [`Op::Seep`],
+//! [`Op::LeakIswap`]) are executed by the leakage-aware frame simulator and
+//! deliberately ignored by the decoder's error-model builder — the decoder is
+//! leakage-unaware, which is the premise of the ERASER paper.
+
+use std::fmt;
+
+/// Index of a physical qubit within a circuit.
+pub type QubitId = usize;
+
+/// Index into the measurement record of an experiment.
+///
+/// Keys are allocated once per experiment and remain stable across
+/// dynamically-rescheduled rounds: an LRC round measures the *data* qubit in
+/// place of the parity qubit but records the outcome under the same key, so
+/// detector definitions never change.
+pub type MeasKey = usize;
+
+/// One circuit operation: a Clifford gate, a measurement/reset, or an explicit
+/// noise channel.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Op {
+    /// Hadamard gate.
+    H(QubitId),
+    /// Controlled-NOT gate.
+    Cnot {
+        /// Control qubit.
+        control: QubitId,
+        /// Target qubit.
+        target: QubitId,
+    },
+    /// Controlled-NOT whose leakage-transport channel is suppressed. Used for
+    /// the LRC swap-back CNOTs: the data qubit was just reset to |0⟩, so the
+    /// |11⟩↔|02⟩ transport pathway is closed (the paper's Eq. (2) counts
+    /// "the other two CNOTs … are unlikely to cause leakage transport"). A
+    /// leaked operand still kicks a random Pauli onto its partner.
+    CnotNoTransport {
+        /// Control qubit.
+        control: QubitId,
+        /// Target qubit.
+        target: QubitId,
+    },
+    /// Z-basis measurement recording its outcome under `key`.
+    Measure {
+        /// Measured qubit.
+        qubit: QubitId,
+        /// Measurement-record slot.
+        key: MeasKey,
+    },
+    /// Z-basis reset to |0⟩. Removes leakage (the physical reset protocol
+    /// returns the qubit to the computational ground state).
+    Reset(QubitId),
+    /// Single-qubit depolarizing channel: with probability `p`, apply a
+    /// uniformly random Pauli from {X, Y, Z}.
+    Depolarize1 {
+        /// Affected qubit.
+        qubit: QubitId,
+        /// Channel probability.
+        p: f64,
+    },
+    /// Two-qubit depolarizing channel: with probability `p`, apply a uniformly
+    /// random non-identity two-qubit Pauli (15 components).
+    Depolarize2 {
+        /// First operand.
+        a: QubitId,
+        /// Second operand.
+        b: QubitId,
+        /// Channel probability.
+        p: f64,
+    },
+    /// X error with probability `p` (used for measurement flips before
+    /// `Measure` and initialization errors after `Reset`).
+    XError {
+        /// Affected qubit.
+        qubit: QubitId,
+        /// Error probability.
+        p: f64,
+    },
+    /// Leakage injection: with probability `p` the qubit leaves the
+    /// computational basis and enters |L⟩ (§5.2.2 of the paper; `0.1p` at
+    /// round start on data qubits and after every CNOT on both operands).
+    LeakInject {
+        /// Affected qubit.
+        qubit: QubitId,
+        /// Injection probability.
+        p: f64,
+    },
+    /// Seepage: if the qubit is leaked, it returns to a uniformly random
+    /// computational state with probability `p` (§5.2.2, footnote 5).
+    Seep {
+        /// Affected qubit.
+        qubit: QubitId,
+        /// Return probability.
+        p: f64,
+    },
+    /// Google's `LeakageISWAP` from the DQLR protocol (Appendix A.2): moves
+    /// leakage from the data qubit onto the (just-reset) parity qubit; acts as
+    /// the identity on computational states unless the parity-qubit reset
+    /// failed, in which case it may excite the data qubit to |L⟩.
+    LeakIswap {
+        /// Data qubit whose leakage is removed.
+        data: QubitId,
+        /// Parity qubit receiving the leakage.
+        parity: QubitId,
+    },
+    /// Layer separator; semantically a no-op, useful for debugging output.
+    Tick,
+}
+
+impl Op {
+    /// The qubits this operation touches, in operand order.
+    pub fn qubits(&self) -> Vec<QubitId> {
+        match *self {
+            Op::H(q)
+            | Op::Measure { qubit: q, .. }
+            | Op::Reset(q)
+            | Op::Depolarize1 { qubit: q, .. }
+            | Op::XError { qubit: q, .. }
+            | Op::LeakInject { qubit: q, .. }
+            | Op::Seep { qubit: q, .. } => vec![q],
+            Op::Cnot { control, target } | Op::CnotNoTransport { control, target } => {
+                vec![control, target]
+            }
+            Op::Depolarize2 { a, b, .. } => vec![a, b],
+            Op::LeakIswap { data, parity } => vec![data, parity],
+            Op::Tick => vec![],
+        }
+    }
+
+    /// Whether this is a unitary gate (as opposed to noise, measurement, or
+    /// reset).
+    pub fn is_gate(&self) -> bool {
+        matches!(
+            self,
+            Op::H(_) | Op::Cnot { .. } | Op::CnotNoTransport { .. } | Op::LeakIswap { .. }
+        )
+    }
+
+    /// Whether this is an explicit noise channel.
+    pub fn is_noise(&self) -> bool {
+        matches!(
+            self,
+            Op::Depolarize1 { .. }
+                | Op::Depolarize2 { .. }
+                | Op::XError { .. }
+                | Op::LeakInject { .. }
+                | Op::Seep { .. }
+        )
+    }
+}
+
+impl fmt::Display for Op {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match *self {
+            Op::H(q) => write!(f, "H {q}"),
+            Op::Cnot { control, target } => write!(f, "CX {control} {target}"),
+            Op::CnotNoTransport { control, target } => write!(f, "CX_NT {control} {target}"),
+            Op::Measure { qubit, key } => write!(f, "M {qubit} -> k{key}"),
+            Op::Reset(q) => write!(f, "R {q}"),
+            Op::Depolarize1 { qubit, p } => write!(f, "DEPOLARIZE1({p}) {qubit}"),
+            Op::Depolarize2 { a, b, p } => write!(f, "DEPOLARIZE2({p}) {a} {b}"),
+            Op::XError { qubit, p } => write!(f, "X_ERROR({p}) {qubit}"),
+            Op::LeakInject { qubit, p } => write!(f, "LEAK({p}) {qubit}"),
+            Op::Seep { qubit, p } => write!(f, "SEEP({p}) {qubit}"),
+            Op::LeakIswap { data, parity } => write!(f, "LEAKAGE_ISWAP {data} {parity}"),
+            Op::Tick => write!(f, "TICK"),
+        }
+    }
+}
+
+/// An ordered sequence of [`Op`]s over a fixed qubit register, plus a
+/// measurement-key allocator.
+///
+/// # Example
+///
+/// ```
+/// use qec_core::{Circuit, Op};
+///
+/// let mut c = Circuit::new(3);
+/// c.push(Op::H(0));
+/// let k = c.alloc_key();
+/// c.push(Op::Measure { qubit: 0, key: k });
+/// assert_eq!(c.num_qubits(), 3);
+/// assert_eq!(c.num_keys(), 1);
+/// assert_eq!(c.ops().len(), 2);
+/// ```
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Circuit {
+    num_qubits: usize,
+    next_key: MeasKey,
+    ops: Vec<Op>,
+}
+
+impl Circuit {
+    /// Creates an empty circuit over `num_qubits` qubits.
+    pub fn new(num_qubits: usize) -> Circuit {
+        Circuit {
+            num_qubits,
+            next_key: 0,
+            ops: Vec::new(),
+        }
+    }
+
+    /// Number of qubits in the register.
+    pub fn num_qubits(&self) -> usize {
+        self.num_qubits
+    }
+
+    /// Number of measurement keys allocated so far.
+    pub fn num_keys(&self) -> usize {
+        self.next_key
+    }
+
+    /// The operation sequence.
+    pub fn ops(&self) -> &[Op] {
+        &self.ops
+    }
+
+    /// Appends an operation.
+    ///
+    /// # Panics
+    ///
+    /// Panics (in debug builds) if the operation references a qubit outside the
+    /// register or a measurement key that was never allocated.
+    pub fn push(&mut self, op: Op) {
+        debug_assert!(
+            op.qubits().iter().all(|&q| q < self.num_qubits),
+            "op {op} out of range for {} qubits",
+            self.num_qubits
+        );
+        if let Op::Measure { key, .. } = op {
+            debug_assert!(key < self.next_key, "measurement key {key} not allocated");
+        }
+        self.ops.push(op);
+    }
+
+    /// Appends every operation from `ops`.
+    pub fn extend(&mut self, ops: impl IntoIterator<Item = Op>) {
+        for op in ops {
+            self.push(op);
+        }
+    }
+
+    /// Allocates the next measurement key.
+    pub fn alloc_key(&mut self) -> MeasKey {
+        let k = self.next_key;
+        self.next_key += 1;
+        k
+    }
+
+    /// Pre-allocates keys `0..n` in bulk (used by experiment builders that lay
+    /// out the whole measurement record up front).
+    ///
+    /// # Panics
+    ///
+    /// Panics if keys were already allocated.
+    pub fn alloc_keys(&mut self, n: usize) {
+        assert_eq!(self.next_key, 0, "keys already allocated");
+        self.next_key = n;
+    }
+
+    /// Counts operations satisfying a predicate (handy in tests:
+    /// `c.count(|op| matches!(op, Op::Cnot { .. }))`).
+    pub fn count(&self, pred: impl Fn(&Op) -> bool) -> usize {
+        self.ops.iter().filter(|op| pred(op)).count()
+    }
+}
+
+impl fmt::Display for Circuit {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "# circuit: {} qubits, {} keys",
+            self.num_qubits, self.next_key
+        )?;
+        for op in &self.ops {
+            writeln!(f, "{op}")?;
+        }
+        Ok(())
+    }
+}
+
+/// Which stabilizer basis a detector belongs to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum DetectorBasis {
+    /// Compares X-stabilizer measurements (sensitive to Z errors).
+    X,
+    /// Compares Z-stabilizer measurements (sensitive to X errors).
+    Z,
+}
+
+/// A detector: a set of measurement keys whose XOR is deterministic (0) in the
+/// absence of errors, annotated with the stabilizer it tracks.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct DetectorInfo {
+    /// Measurement keys whose parity forms the detector value.
+    pub keys: Vec<MeasKey>,
+    /// Basis of the underlying stabilizer.
+    pub basis: DetectorBasis,
+    /// Index of the stabilizer within the code (dense, over all stabilizers).
+    pub stabilizer: usize,
+    /// Syndrome-extraction round the detector compares *up to* (the final
+    /// data-measurement detector uses round = number of rounds).
+    pub round: usize,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn push_and_count() {
+        let mut c = Circuit::new(4);
+        c.push(Op::H(0));
+        c.push(Op::Cnot { control: 0, target: 1 });
+        c.push(Op::Cnot { control: 2, target: 3 });
+        let k = c.alloc_key();
+        c.push(Op::Measure { qubit: 3, key: k });
+        assert_eq!(c.count(|o| matches!(o, Op::Cnot { .. })), 2);
+        assert_eq!(c.count(Op::is_gate), 3);
+        assert_eq!(c.num_keys(), 1);
+    }
+
+    // The operand checks are debug assertions (hot path); they only fire in
+    // debug builds.
+    #[test]
+    #[should_panic]
+    #[cfg(debug_assertions)]
+    fn out_of_range_qubit_panics() {
+        let mut c = Circuit::new(1);
+        c.push(Op::H(1));
+    }
+
+    #[test]
+    #[should_panic]
+    #[cfg(debug_assertions)]
+    fn unallocated_key_panics() {
+        let mut c = Circuit::new(1);
+        c.push(Op::Measure { qubit: 0, key: 0 });
+    }
+
+    #[test]
+    fn bulk_key_allocation() {
+        let mut c = Circuit::new(2);
+        c.alloc_keys(10);
+        assert_eq!(c.num_keys(), 10);
+        c.push(Op::Measure { qubit: 0, key: 9 });
+    }
+
+    #[test]
+    fn op_qubits_and_classes() {
+        assert_eq!(Op::Cnot { control: 3, target: 5 }.qubits(), vec![3, 5]);
+        assert_eq!(Op::Tick.qubits(), Vec::<usize>::new());
+        assert!(Op::Depolarize1 { qubit: 0, p: 0.1 }.is_noise());
+        assert!(!Op::Reset(0).is_noise());
+        assert!(Op::LeakIswap { data: 0, parity: 1 }.is_gate());
+    }
+
+    #[test]
+    fn display_is_parsable_by_eye() {
+        let mut c = Circuit::new(2);
+        c.push(Op::H(0));
+        c.push(Op::Cnot { control: 0, target: 1 });
+        let text = c.to_string();
+        assert!(text.contains("H 0"));
+        assert!(text.contains("CX 0 1"));
+    }
+
+    #[test]
+    fn extend_appends_in_order() {
+        let mut c = Circuit::new(2);
+        c.extend([Op::H(0), Op::H(1)]);
+        assert_eq!(c.ops().len(), 2);
+        assert_eq!(c.ops()[1], Op::H(1));
+    }
+}

@@ -1,0 +1,44 @@
+//! Core types shared by every crate in the ERASER reproduction.
+//!
+//! This crate provides the vocabulary of the whole workspace:
+//!
+//! * [`Pauli`] — single-qubit Pauli operators with multiplication and
+//!   commutation rules, used by the frame simulator and the detector-error-model
+//!   builder.
+//! * [`Circuit`] and [`Op`] — a Stim-style circuit intermediate representation
+//!   with *explicit* noise operations, so the simulator and the decoder consume
+//!   exactly the same fault sites.
+//! * [`NoiseParams`] — the paper's circuit-level error model (§5.2): gate /
+//!   measurement / reset errors at rate `p`, leakage injection at `0.1p`,
+//!   leakage transport at `0.1`, seepage at `0.1p`, multi-level readout error
+//!   at `10p`.
+//! * [`Rng`] — a deterministic, seedable xoshiro256++ generator so that every
+//!   experiment in the repository is exactly reproducible from a seed.
+//!
+//! # Example
+//!
+//! ```
+//! use qec_core::{Circuit, NoiseParams, Op, Rng};
+//!
+//! let mut rng = Rng::new(7);
+//! let p = NoiseParams::standard(1e-3);
+//! assert!((p.leak_p() - 1e-4).abs() < 1e-12);
+//!
+//! let mut c = Circuit::new(2);
+//! c.push(Op::H(0));
+//! c.push(Op::Cnot { control: 0, target: 1 });
+//! let key = c.alloc_key();
+//! c.push(Op::Measure { qubit: 1, key });
+//! assert_eq!(c.num_keys(), 1);
+//! let _ = rng.f64();
+//! ```
+
+pub mod circuit;
+pub mod noise;
+pub mod pauli;
+pub mod rng;
+
+pub use circuit::{Circuit, DetectorBasis, DetectorInfo, MeasKey, Op, QubitId};
+pub use noise::{NoiseParams, TransportModel};
+pub use pauli::Pauli;
+pub use rng::Rng;

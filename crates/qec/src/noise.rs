@@ -1,0 +1,166 @@
+//! The paper's circuit-level error model with leakage (§5.2).
+//!
+//! All rates derive from a single physical error rate `p`:
+//!
+//! | channel                                   | rate    |
+//! |-------------------------------------------|---------|
+//! | data depolarizing at round start          | `p`     |
+//! | depolarizing after CNOT / H               | `p`     |
+//! | measurement flip                          | `p`     |
+//! | reset/initialization flip                 | `p`     |
+//! | leakage injection (round start, post-CNOT)| `0.1 p` |
+//! | seepage (leaked → random computational)   | `0.1 p` |
+//! | leakage transport per leaked CNOT         | `0.1`   |
+//! | multi-level readout error on |L⟩          | `10 p`  |
+
+/// How leakage moves between the operands of a two-qubit gate when exactly one
+/// operand is leaked (§5.2.2 and Appendix A.1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum TransportModel {
+    /// The main text's conservative model: the receiving qubit becomes leaked
+    /// and the source qubit *stays* leaked (leakage duplicates).
+    #[default]
+    Conservative,
+    /// Appendix A.1's alternative: the qubits *exchange* leakage — the
+    /// receiver becomes leaked while the source returns to the computational
+    /// basis in a random state. If the receiver is already leaked, the
+    /// transport has no effect.
+    Exchange,
+}
+
+/// Parameters of the circuit-level noise + leakage model.
+///
+/// # Example
+///
+/// ```
+/// use qec_core::{NoiseParams, TransportModel};
+///
+/// let noise = NoiseParams::standard(1e-3);
+/// assert_eq!(noise.p, 1e-3);
+/// assert!((noise.leak_p() - 1e-4).abs() < 1e-15);
+/// assert!((noise.multilevel_error_p() - 1e-2).abs() < 1e-15);
+/// assert_eq!(noise.transport, TransportModel::Conservative);
+///
+/// let quiet = NoiseParams::without_leakage(1e-3);
+/// assert_eq!(quiet.leak_p(), 0.0);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct NoiseParams {
+    /// Physical error rate `p` for depolarizing / measurement / reset errors.
+    pub p: f64,
+    /// Leakage-injection rate as a fraction of `p` (paper: 0.1).
+    pub leak_fraction: f64,
+    /// Seepage rate as a fraction of `p` (paper: 0.1).
+    pub seep_fraction: f64,
+    /// Leakage-transport probability per CNOT with exactly one leaked operand
+    /// (paper: 0.1; this is an absolute probability, not a fraction of `p`).
+    pub p_transport: f64,
+    /// Multi-level readout error as a multiple of `p` (paper: 10).
+    pub multilevel_error_factor: f64,
+    /// Transport model (main text vs Appendix A.1).
+    pub transport: TransportModel,
+    /// Master switch for every leakage channel; `false` reproduces the
+    /// "without leakage" baselines of Fig 2(c).
+    pub leakage_enabled: bool,
+}
+
+impl NoiseParams {
+    /// The paper's default model at physical error rate `p` (leakage on,
+    /// conservative transport).
+    pub fn standard(p: f64) -> NoiseParams {
+        NoiseParams {
+            p,
+            leak_fraction: 0.1,
+            seep_fraction: 0.1,
+            p_transport: 0.1,
+            multilevel_error_factor: 10.0,
+            transport: TransportModel::Conservative,
+            leakage_enabled: true,
+        }
+    }
+
+    /// The same Pauli model with every leakage channel disabled (the
+    /// "No leakage" series of Fig 2(c)).
+    pub fn without_leakage(p: f64) -> NoiseParams {
+        NoiseParams {
+            leakage_enabled: false,
+            ..NoiseParams::standard(p)
+        }
+    }
+
+    /// The standard model with the Appendix A.1 exchange-transport variant.
+    pub fn exchange_transport(p: f64) -> NoiseParams {
+        NoiseParams {
+            transport: TransportModel::Exchange,
+            ..NoiseParams::standard(p)
+        }
+    }
+
+    /// Leakage-injection probability (`0.1 p`, or 0 when leakage is disabled).
+    pub fn leak_p(&self) -> f64 {
+        if self.leakage_enabled {
+            self.leak_fraction * self.p
+        } else {
+            0.0
+        }
+    }
+
+    /// Seepage probability (`0.1 p`, or 0 when leakage is disabled).
+    pub fn seep_p(&self) -> f64 {
+        if self.leakage_enabled {
+            self.seep_fraction * self.p
+        } else {
+            0.0
+        }
+    }
+
+    /// Error rate of the multi-level discriminator when classifying |L⟩
+    /// (`10 p`).
+    pub fn multilevel_error_p(&self) -> f64 {
+        self.multilevel_error_factor * self.p
+    }
+}
+
+impl Default for NoiseParams {
+    /// The paper's default configuration: `p = 1e-3` with leakage.
+    fn default() -> NoiseParams {
+        NoiseParams::standard(1e-3)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn standard_rates() {
+        let n = NoiseParams::standard(1e-3);
+        assert_eq!(n.p, 1e-3);
+        assert!((n.leak_p() - 1e-4).abs() < 1e-15);
+        assert!((n.seep_p() - 1e-4).abs() < 1e-15);
+        assert_eq!(n.p_transport, 0.1);
+        assert!((n.multilevel_error_p() - 1e-2).abs() < 1e-15);
+        assert!(n.leakage_enabled);
+    }
+
+    #[test]
+    fn without_leakage_zeroes_leak_channels() {
+        let n = NoiseParams::without_leakage(1e-3);
+        assert_eq!(n.leak_p(), 0.0);
+        assert_eq!(n.seep_p(), 0.0);
+        // Pauli noise is untouched.
+        assert_eq!(n.p, 1e-3);
+    }
+
+    #[test]
+    fn exchange_variant() {
+        let n = NoiseParams::exchange_transport(1e-3);
+        assert_eq!(n.transport, TransportModel::Exchange);
+        assert!(n.leakage_enabled);
+    }
+
+    #[test]
+    fn default_is_standard_1e3() {
+        assert_eq!(NoiseParams::default(), NoiseParams::standard(1e-3));
+    }
+}

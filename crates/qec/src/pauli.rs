@@ -1,0 +1,162 @@
+//! Single-qubit Pauli operators.
+//!
+//! The frame simulator tracks errors as (X-part, Z-part) bit pairs; [`Pauli`]
+//! is the friendly enum view of those bit pairs and is also used when
+//! enumerating depolarizing-channel components for the detector error model.
+
+use std::fmt;
+
+/// A single-qubit Pauli operator (ignoring global phase).
+///
+/// # Example
+///
+/// ```
+/// use qec_core::Pauli;
+///
+/// assert_eq!(Pauli::X * Pauli::Z, Pauli::Y);
+/// assert!(!Pauli::X.commutes_with(Pauli::Z));
+/// assert!(Pauli::Y.commutes_with(Pauli::Y));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, PartialOrd, Ord)]
+pub enum Pauli {
+    /// Identity.
+    #[default]
+    I,
+    /// Bit flip.
+    X,
+    /// Bit and phase flip.
+    Y,
+    /// Phase flip.
+    Z,
+}
+
+impl Pauli {
+    /// All four Paulis in index order `I, X, Y, Z`.
+    pub const ALL: [Pauli; 4] = [Pauli::I, Pauli::X, Pauli::Y, Pauli::Z];
+
+    /// The three non-identity Paulis (the components of a depolarizing
+    /// channel).
+    pub const ERRORS: [Pauli; 3] = [Pauli::X, Pauli::Y, Pauli::Z];
+
+    /// Builds a Pauli from its X/Z component bits.
+    ///
+    /// `(false, false) -> I`, `(true, false) -> X`, `(true, true) -> Y`,
+    /// `(false, true) -> Z`.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use qec_core::Pauli;
+    /// assert_eq!(Pauli::from_bits(true, true), Pauli::Y);
+    /// ```
+    pub fn from_bits(x: bool, z: bool) -> Pauli {
+        match (x, z) {
+            (false, false) => Pauli::I,
+            (true, false) => Pauli::X,
+            (true, true) => Pauli::Y,
+            (false, true) => Pauli::Z,
+        }
+    }
+
+    /// Whether the operator has an X component (flips Z-basis measurements).
+    pub fn has_x(self) -> bool {
+        matches!(self, Pauli::X | Pauli::Y)
+    }
+
+    /// Whether the operator has a Z component (flips X-basis measurements).
+    pub fn has_z(self) -> bool {
+        matches!(self, Pauli::Z | Pauli::Y)
+    }
+
+    /// Whether `self` and `other` commute.
+    ///
+    /// Two Paulis commute iff the symplectic product of their (x, z) bit
+    /// vectors is zero.
+    pub fn commutes_with(self, other: Pauli) -> bool {
+        let anti = (self.has_x() && other.has_z()) ^ (self.has_z() && other.has_x());
+        !anti
+    }
+
+    /// Whether this is the identity.
+    pub fn is_identity(self) -> bool {
+        self == Pauli::I
+    }
+}
+
+impl std::ops::Mul for Pauli {
+    type Output = Pauli;
+
+    /// Phaseless Pauli product: `X * Z = Y` (the ±i phase is dropped, which is
+    /// all a frame simulator needs).
+    fn mul(self, rhs: Pauli) -> Pauli {
+        Pauli::from_bits(self.has_x() ^ rhs.has_x(), self.has_z() ^ rhs.has_z())
+    }
+}
+
+impl fmt::Display for Pauli {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            Pauli::I => "I",
+            Pauli::X => "X",
+            Pauli::Y => "Y",
+            Pauli::Z => "Z",
+        };
+        f.write_str(s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn multiplication_table() {
+        use Pauli::*;
+        assert_eq!(X * X, I);
+        assert_eq!(Y * Y, I);
+        assert_eq!(Z * Z, I);
+        assert_eq!(X * Z, Y);
+        assert_eq!(Z * X, Y);
+        assert_eq!(X * Y, Z);
+        assert_eq!(Y * Z, X);
+        for p in Pauli::ALL {
+            assert_eq!(p * I, p);
+            assert_eq!(I * p, p);
+        }
+    }
+
+    #[test]
+    fn commutation() {
+        use Pauli::*;
+        assert!(X.commutes_with(X));
+        assert!(!X.commutes_with(Z));
+        assert!(!X.commutes_with(Y));
+        assert!(!Y.commutes_with(Z));
+        for p in Pauli::ALL {
+            assert!(p.commutes_with(I));
+            assert!(p.commutes_with(p));
+        }
+    }
+
+    #[test]
+    fn bits_round_trip() {
+        for p in Pauli::ALL {
+            assert_eq!(Pauli::from_bits(p.has_x(), p.has_z()), p);
+        }
+    }
+
+    #[test]
+    fn display_names() {
+        let names: Vec<String> = Pauli::ALL.iter().map(|p| p.to_string()).collect();
+        assert_eq!(names, ["I", "X", "Y", "Z"]);
+    }
+
+    #[test]
+    fn product_is_commutative_up_to_phase() {
+        for a in Pauli::ALL {
+            for b in Pauli::ALL {
+                assert_eq!(a * b, b * a, "phaseless product must be symmetric");
+            }
+        }
+    }
+}

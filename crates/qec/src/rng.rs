@@ -1,0 +1,243 @@
+//! Deterministic pseudo-random number generation.
+//!
+//! Monte-Carlo estimates of logical error rates must be reproducible from a
+//! seed across platforms and thread counts, so the workspace uses its own
+//! xoshiro256++ implementation (public-domain algorithm by Blackman & Vigna)
+//! seeded through SplitMix64 instead of an external crate. Thread-parallel
+//! experiment runners derive independent streams with [`Rng::fork`].
+
+use crate::pauli::Pauli;
+
+/// A seedable xoshiro256++ pseudo-random number generator.
+///
+/// # Example
+///
+/// ```
+/// use qec_core::Rng;
+///
+/// let mut a = Rng::new(42);
+/// let mut b = Rng::new(42);
+/// assert_eq!(a.next_u64(), b.next_u64());
+///
+/// // Forked streams are decorrelated but still deterministic.
+/// let mut child = a.fork();
+/// assert_ne!(a.next_u64(), child.next_u64());
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Rng {
+    state: [u64; 4],
+}
+
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+impl Rng {
+    /// Creates a generator from a 64-bit seed (expanded via SplitMix64).
+    pub fn new(seed: u64) -> Rng {
+        let mut sm = seed;
+        let mut state = [0u64; 4];
+        for s in &mut state {
+            *s = splitmix64(&mut sm);
+        }
+        // xoshiro256++ requires a nonzero state; SplitMix64 only produces the
+        // all-zero expansion with negligible probability, but guard anyway.
+        if state.iter().all(|&s| s == 0) {
+            state[0] = 0x1;
+        }
+        Rng { state }
+    }
+
+    /// Returns the next 64 uniformly random bits.
+    pub fn next_u64(&mut self) -> u64 {
+        let s = &mut self.state;
+        let result = s[0]
+            .wrapping_add(s[3])
+            .rotate_left(23)
+            .wrapping_add(s[0]);
+        let t = s[1] << 17;
+        s[2] ^= s[0];
+        s[3] ^= s[1];
+        s[1] ^= s[2];
+        s[0] ^= s[3];
+        s[2] ^= t;
+        s[3] = s[3].rotate_left(45);
+        result
+    }
+
+    /// Uniform float in `[0, 1)` with 53 bits of precision.
+    pub fn f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// Bernoulli trial: `true` with probability `p`.
+    ///
+    /// Probabilities outside `[0, 1]` are clamped (a `p = 0` channel must
+    /// never fire, a `p >= 1` channel always fires).
+    pub fn bernoulli(&mut self, p: f64) -> bool {
+        if p <= 0.0 {
+            false
+        } else if p >= 1.0 {
+            true
+        } else {
+            self.f64() < p
+        }
+    }
+
+    /// A uniformly random bit.
+    pub fn bit(&mut self) -> bool {
+        self.next_u64() >> 63 != 0
+    }
+
+    /// Uniform integer in `0..n`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0`.
+    pub fn below(&mut self, n: u64) -> u64 {
+        assert!(n > 0, "below(0) is meaningless");
+        // Debiased multiply-shift (Lemire). The retry loop terminates with
+        // probability 1.
+        loop {
+            let x = self.next_u64();
+            let m = (x as u128).wrapping_mul(n as u128);
+            let low = m as u64;
+            if low >= n {
+                return (m >> 64) as u64;
+            }
+            let threshold = n.wrapping_neg() % n;
+            if low >= threshold {
+                return (m >> 64) as u64;
+            }
+        }
+    }
+
+    /// A uniformly random Pauli from `{I, X, Y, Z}` (used for the random error
+    /// a leaked qubit inflicts on its CNOT partner, §5.2.2).
+    pub fn uniform_pauli(&mut self) -> Pauli {
+        Pauli::ALL[self.below(4) as usize]
+    }
+
+    /// A uniformly random *non-identity* Pauli from `{X, Y, Z}` (a
+    /// depolarizing-channel component).
+    pub fn error_pauli(&mut self) -> Pauli {
+        Pauli::ERRORS[self.below(3) as usize]
+    }
+
+    /// Derives an independent child stream.
+    ///
+    /// The child is seeded from fresh output of `self`, so calling `fork` in a
+    /// loop yields decorrelated streams for worker threads while keeping the
+    /// whole experiment a pure function of the root seed.
+    pub fn fork(&mut self) -> Rng {
+        Rng::new(self.next_u64() ^ 0x9E37_79B9_7F4A_7C15)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_from_seed() {
+        let mut a = Rng::new(123);
+        let mut b = Rng::new(123);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let mut a = Rng::new(1);
+        let mut b = Rng::new(2);
+        let same = (0..16).filter(|_| a.next_u64() == b.next_u64()).count();
+        assert_eq!(same, 0);
+    }
+
+    #[test]
+    fn f64_in_unit_interval() {
+        let mut rng = Rng::new(9);
+        for _ in 0..10_000 {
+            let x = rng.f64();
+            assert!((0.0..1.0).contains(&x));
+        }
+    }
+
+    #[test]
+    fn bernoulli_edge_cases() {
+        let mut rng = Rng::new(5);
+        assert!(!rng.bernoulli(0.0));
+        assert!(rng.bernoulli(1.0));
+        assert!(!rng.bernoulli(-1.0));
+        assert!(rng.bernoulli(2.0));
+    }
+
+    #[test]
+    fn bernoulli_mean_close() {
+        let mut rng = Rng::new(77);
+        let n = 100_000;
+        let hits = (0..n).filter(|_| rng.bernoulli(0.3)).count();
+        let mean = hits as f64 / n as f64;
+        assert!((mean - 0.3).abs() < 0.01, "mean {mean}");
+    }
+
+    #[test]
+    fn below_is_uniform_and_in_range() {
+        let mut rng = Rng::new(31);
+        let mut counts = [0usize; 7];
+        for _ in 0..70_000 {
+            let v = rng.below(7);
+            assert!(v < 7);
+            counts[v as usize] += 1;
+        }
+        for &c in &counts {
+            assert!((c as f64 - 10_000.0).abs() < 600.0, "counts {counts:?}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "below(0)")]
+    fn below_zero_panics() {
+        Rng::new(0).below(0);
+    }
+
+    #[test]
+    fn uniform_pauli_covers_all() {
+        let mut rng = Rng::new(4);
+        let mut seen = std::collections::HashSet::new();
+        for _ in 0..200 {
+            seen.insert(rng.uniform_pauli());
+        }
+        assert_eq!(seen.len(), 4);
+    }
+
+    #[test]
+    fn error_pauli_never_identity() {
+        let mut rng = Rng::new(4);
+        for _ in 0..1000 {
+            assert_ne!(rng.error_pauli(), Pauli::I);
+        }
+    }
+
+    #[test]
+    fn fork_decorrelates() {
+        let mut parent = Rng::new(10);
+        let mut child = parent.fork();
+        let matches = (0..32)
+            .filter(|_| parent.next_u64() == child.next_u64())
+            .count();
+        assert_eq!(matches, 0);
+    }
+
+    #[test]
+    fn bit_is_balanced() {
+        let mut rng = Rng::new(1234);
+        let ones = (0..100_000).filter(|_| rng.bit()).count();
+        assert!((ones as f64 - 50_000.0).abs() < 1_500.0);
+    }
+}

@@ -1,0 +1,52 @@
+//! Measurement discriminators (§4.6 and §5.2.3 of the paper).
+//!
+//! A physical readout pulse is classified by a trained discriminator. The
+//! standard **two-level** discriminator only knows |0⟩ and |1⟩, so a leaked
+//! qubit is classified into a *uniformly random* computational label — leakage
+//! is invisible to it. A **multi-level** discriminator is additionally trained
+//! on |L⟩ and reports it, at the cost of an elevated error rate (`10p` on the
+//! leaked state, consistent with real-system results the paper cites).
+
+/// The classifier model applied to every measurement.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum Discriminator {
+    /// Standard |0⟩/|1⟩ classifier: leaked qubits read out randomly and are
+    /// never labelled as leaked. Used by ERASER.
+    #[default]
+    TwoLevel,
+    /// |0⟩/|1⟩/|L⟩ classifier: a leaked qubit is labelled [`ReadoutLabel::Leaked`]
+    /// with probability `1 − 10p`, otherwise it falls back to a random
+    /// computational label. Used by ERASER+M.
+    MultiLevel,
+}
+
+/// The label a discriminator attached to one measurement outcome.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum ReadoutLabel {
+    /// Classified into the computational basis (the recorded bit is the
+    /// syndrome value).
+    #[default]
+    Computational,
+    /// Classified as |L⟩ (only possible with [`Discriminator::MultiLevel`]).
+    Leaked,
+}
+
+impl ReadoutLabel {
+    /// Whether the label is |L⟩.
+    pub fn is_leaked(self) -> bool {
+        self == ReadoutLabel::Leaked
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults() {
+        assert_eq!(Discriminator::default(), Discriminator::TwoLevel);
+        assert_eq!(ReadoutLabel::default(), ReadoutLabel::Computational);
+        assert!(!ReadoutLabel::Computational.is_leaked());
+        assert!(ReadoutLabel::Leaked.is_leaked());
+    }
+}

@@ -1,0 +1,388 @@
+//! Aaronson–Gottesman stabilizer tableau simulator.
+//!
+//! This is the *verification* simulator of the workspace: it executes Clifford
+//! circuits exactly (tracking the full stabilizer group, not just a Pauli
+//! frame), so the test-suite can prove properties the frame simulator merely
+//! assumes — e.g. that every detector of a memory experiment is deterministic
+//! in the absence of noise, including rounds with LRC swap circuits.
+//!
+//! The implementation follows the CHP algorithm (Aaronson & Gottesman,
+//! "Improved simulation of stabilizer circuits", 2004): a `2n × 2n` binary
+//! tableau of destabilizer/stabilizer generators plus sign bits.
+
+use qec_core::{Op, QubitId};
+
+/// Exact stabilizer-circuit simulator.
+///
+/// Supports H, CNOT, X, Z, S, Z-basis measurement and reset. Noise operations
+/// in a [`qec_core::Circuit`] are ignored by [`TableauSimulator::run_circuit_ops`]
+/// (it executes the *noiseless* reference circuit).
+///
+/// # Example
+///
+/// ```
+/// use leak_sim::TableauSimulator;
+///
+/// // Bell pair: measurements agree.
+/// let mut sim = TableauSimulator::new(2, 7);
+/// sim.h(0);
+/// sim.cnot(0, 1);
+/// let a = sim.measure(0);
+/// let b = sim.measure(1);
+/// assert_eq!(a, b);
+/// ```
+#[derive(Debug, Clone)]
+pub struct TableauSimulator {
+    n: usize,
+    /// x[i][q], z[i][q] for rows i in 0..2n (destabilizers then stabilizers).
+    x: Vec<Vec<bool>>,
+    z: Vec<Vec<bool>>,
+    /// Sign bit per row (phase −1 iff true).
+    r: Vec<bool>,
+    rng: qec_core::Rng,
+}
+
+impl TableauSimulator {
+    /// Creates a simulator with every qubit in |0⟩, using `seed` for the
+    /// random outcomes of indeterminate measurements.
+    pub fn new(n: usize, seed: u64) -> TableauSimulator {
+        let mut x = vec![vec![false; n]; 2 * n];
+        let mut z = vec![vec![false; n]; 2 * n];
+        for q in 0..n {
+            x[q][q] = true; // destabilizer X_q
+            z[n + q][q] = true; // stabilizer Z_q
+        }
+        TableauSimulator {
+            n,
+            x,
+            z,
+            r: vec![false; 2 * n],
+            rng: qec_core::Rng::new(seed),
+        }
+    }
+
+    /// Number of qubits.
+    pub fn num_qubits(&self) -> usize {
+        self.n
+    }
+
+    /// Hadamard on `q`.
+    pub fn h(&mut self, q: QubitId) {
+        for i in 0..2 * self.n {
+            self.r[i] ^= self.x[i][q] && self.z[i][q];
+            std::mem::swap(&mut self.x[i][q], &mut self.z[i][q]);
+        }
+    }
+
+    /// Phase gate S on `q`.
+    pub fn s(&mut self, q: QubitId) {
+        for i in 0..2 * self.n {
+            self.r[i] ^= self.x[i][q] && self.z[i][q];
+            self.z[i][q] ^= self.x[i][q];
+        }
+    }
+
+    /// CNOT with control `c`, target `t`.
+    pub fn cnot(&mut self, c: QubitId, t: QubitId) {
+        for i in 0..2 * self.n {
+            self.r[i] ^= self.x[i][c] && self.z[i][t] && (self.x[i][t] ^ self.z[i][c] ^ true);
+            self.x[i][t] ^= self.x[i][c];
+            self.z[i][c] ^= self.z[i][t];
+        }
+    }
+
+    /// Pauli X on `q`.
+    pub fn x_gate(&mut self, q: QubitId) {
+        for i in 0..2 * self.n {
+            self.r[i] ^= self.z[i][q];
+        }
+    }
+
+    /// Pauli Z on `q`.
+    pub fn z_gate(&mut self, q: QubitId) {
+        for i in 0..2 * self.n {
+            self.r[i] ^= self.x[i][q];
+        }
+    }
+
+    /// The phase exponent contribution g(x1,z1,x2,z2) from the CHP paper
+    /// (how the sign changes when multiplying two Pauli factors).
+    fn g(x1: bool, z1: bool, x2: bool, z2: bool) -> i32 {
+        match (x1, z1) {
+            (false, false) => 0,
+            (true, true) => (z2 as i32) - (x2 as i32),
+            (true, false) => (z2 as i32) * (2 * (x2 as i32) - 1),
+            (false, true) => (x2 as i32) * (1 - 2 * (z2 as i32)),
+        }
+    }
+
+    /// Row `h` ← row `h` · row `i` (Pauli multiplication with sign tracking).
+    fn rowsum(&mut self, h: usize, i: usize) {
+        let mut phase = 2 * (self.r[h] as i32) + 2 * (self.r[i] as i32);
+        for q in 0..self.n {
+            phase += Self::g(self.x[i][q], self.z[i][q], self.x[h][q], self.z[h][q]);
+        }
+        phase = phase.rem_euclid(4);
+        debug_assert!(phase == 0 || phase == 2, "tableau invariant broken");
+        self.r[h] = phase == 2;
+        for q in 0..self.n {
+            self.x[h][q] ^= self.x[i][q];
+            self.z[h][q] ^= self.z[i][q];
+        }
+    }
+
+    /// Z-basis measurement of `q`; returns the outcome bit.
+    pub fn measure(&mut self, q: QubitId) -> bool {
+        self.measure_with(q, None)
+    }
+
+    /// Z-basis measurement with a forced outcome for indeterminate results
+    /// (useful for constructing specific post-measurement states in tests).
+    pub fn measure_with(&mut self, q: QubitId, forced: Option<bool>) -> bool {
+        let n = self.n;
+        // Find a stabilizer generator anticommuting with Z_q.
+        if let Some(p) = (n..2 * n).find(|&i| self.x[i][q]) {
+            // Indeterminate: outcome is random.
+            let outcome = forced.unwrap_or_else(|| self.rng.bit());
+            let rows: Vec<usize> = (0..2 * n).filter(|&i| i != p && self.x[i][q]).collect();
+            for i in rows {
+                self.rowsum(i, p);
+            }
+            // Destabilizer row p-n takes the old stabilizer; row p becomes Z_q
+            // with the measured sign.
+            self.x[p - n] = std::mem::take(&mut self.x[p]);
+            self.z[p - n] = std::mem::take(&mut self.z[p]);
+            self.r[p - n] = self.r[p];
+            self.x[p] = vec![false; n];
+            self.z[p] = vec![false; n];
+            self.z[p][q] = true;
+            self.r[p] = outcome;
+            outcome
+        } else {
+            // Determinate: accumulate into a scratch row.
+            
+            self.scratch_measure(q)
+        }
+    }
+
+    fn scratch_measure(&mut self, q: QubitId) -> bool {
+        self.determinate_z_parity(&[q])
+            .expect("caller guarantees determinism")
+    }
+
+    /// If the Pauli product `Z_{support}` is in the stabilizer group (up to
+    /// sign), returns its eigenvalue parity (`true` for −1); otherwise `None`.
+    fn determinate_z_parity(&self, support: &[QubitId]) -> Option<bool> {
+        let n = self.n;
+        // Deterministic iff every stabilizer generator commutes with the
+        // product, i.e. has even X-overlap with the support.
+        for i in n..2 * n {
+            let overlap = support.iter().filter(|&&q| self.x[i][q]).count();
+            if overlap % 2 == 1 {
+                return None;
+            }
+        }
+        // Accumulate the stabilizer rows whose destabilizer partners
+        // anticommute with the product; the accumulated sign is the outcome.
+        let mut sx = vec![false; n];
+        let mut sz = vec![false; n];
+        let mut sr = false;
+        for i in 0..n {
+            let overlap = support.iter().filter(|&&q| self.x[i][q]).count();
+            if overlap % 2 == 1 {
+                let mut phase = 2 * (sr as i32) + 2 * (self.r[i + n] as i32);
+                for k in 0..n {
+                    phase += Self::g(self.x[i + n][k], self.z[i + n][k], sx[k], sz[k]);
+                }
+                phase = phase.rem_euclid(4);
+                debug_assert!(phase == 0 || phase == 2);
+                sr = phase == 2;
+                for k in 0..n {
+                    sx[k] ^= self.x[i + n][k];
+                    sz[k] ^= self.z[i + n][k];
+                }
+            }
+        }
+        Some(sr)
+    }
+
+    /// Whether a Z-basis measurement of `q` would be deterministic.
+    pub fn is_deterministic(&self, q: QubitId) -> bool {
+        (self.n..2 * self.n).all(|i| !self.x[i][q])
+    }
+
+    /// Measure-and-reset to |0⟩.
+    pub fn reset(&mut self, q: QubitId) {
+        let outcome = self.measure(q);
+        if outcome {
+            self.x_gate(q);
+        }
+    }
+
+    /// The eigenvalue parity of the Pauli-Z product over `support`, if the
+    /// product is stabilized: `Some(true)` for eigenvalue −1, `Some(false)`
+    /// for +1, `None` if the product is indeterminate.
+    ///
+    /// Used to check stabilizer/logical eigenvalues without disturbing the
+    /// state.
+    pub fn z_product_parity(&self, support: &[QubitId]) -> Option<bool> {
+        self.determinate_z_parity(support)
+    }
+
+    /// Executes the gate/measure/reset skeleton of a circuit op, ignoring
+    /// noise channels, and returns the outcome for `Measure` ops.
+    ///
+    /// `LeakIswap` acts as the identity on computational states and is
+    /// skipped.
+    pub fn apply_op(&mut self, op: &Op) -> Option<(usize, bool)> {
+        match *op {
+            Op::H(q) => {
+                self.h(q);
+                None
+            }
+            Op::Cnot { control, target } | Op::CnotNoTransport { control, target } => {
+                self.cnot(control, target);
+                None
+            }
+            Op::Measure { qubit, key } => Some((key, self.measure(qubit))),
+            Op::Reset(q) => {
+                self.reset(q);
+                None
+            }
+            _ => None,
+        }
+    }
+
+    /// Runs a sequence of ops noiselessly, returning the measurement outcomes
+    /// keyed by measurement record slot.
+    pub fn run_circuit_ops(&mut self, ops: &[Op], outcomes: &mut Vec<Option<bool>>) {
+        for op in ops {
+            if let Some((key, bit)) = self.apply_op(op) {
+                if outcomes.len() <= key {
+                    outcomes.resize(key + 1, None);
+                }
+                outcomes[key] = Some(bit);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fresh_qubits_measure_zero() {
+        let mut sim = TableauSimulator::new(3, 1);
+        for q in 0..3 {
+            assert!(sim.is_deterministic(q));
+            assert!(!sim.measure(q));
+        }
+    }
+
+    #[test]
+    fn x_flips_measurement() {
+        let mut sim = TableauSimulator::new(1, 1);
+        sim.x_gate(0);
+        assert!(sim.measure(0));
+    }
+
+    #[test]
+    fn h_then_measure_is_random_but_repeatable() {
+        let mut sim = TableauSimulator::new(1, 1);
+        sim.h(0);
+        assert!(!sim.is_deterministic(0));
+        let first = sim.measure(0);
+        // After projection the state is an eigenstate: repeated measurement
+        // agrees.
+        assert!(sim.is_deterministic(0));
+        assert_eq!(sim.measure(0), first);
+    }
+
+    #[test]
+    fn bell_pair_correlations() {
+        for seed in 0..20 {
+            let mut sim = TableauSimulator::new(2, seed);
+            sim.h(0);
+            sim.cnot(0, 1);
+            assert_eq!(sim.measure(0), sim.measure(1));
+        }
+    }
+
+    #[test]
+    fn ghz_parity() {
+        for seed in 0..10 {
+            let mut sim = TableauSimulator::new(3, seed);
+            sim.h(0);
+            sim.cnot(0, 1);
+            sim.cnot(1, 2);
+            let bits = [sim.measure(0), sim.measure(1), sim.measure(2)];
+            assert!(bits.iter().all(|&b| b == bits[0]));
+        }
+    }
+
+    #[test]
+    fn s_gate_squares_to_z() {
+        let mut sim = TableauSimulator::new(1, 1);
+        // |+⟩, apply S twice (=Z), back to X basis: deterministic 1.
+        sim.h(0);
+        sim.s(0);
+        sim.s(0);
+        sim.h(0);
+        assert!(sim.is_deterministic(0));
+        assert!(sim.measure(0));
+    }
+
+    #[test]
+    fn reset_forces_zero() {
+        for seed in 0..10 {
+            let mut sim = TableauSimulator::new(1, seed);
+            sim.h(0);
+            sim.reset(0);
+            assert!(sim.is_deterministic(0));
+            assert!(!sim.measure(0));
+        }
+    }
+
+    #[test]
+    fn forced_measurement_controls_outcome() {
+        let mut sim = TableauSimulator::new(1, 1);
+        sim.h(0);
+        assert!(sim.measure_with(0, Some(true)));
+        assert!(sim.measure(0));
+    }
+
+    #[test]
+    fn z_product_parity_on_bell() {
+        let mut sim = TableauSimulator::new(2, 1);
+        sim.h(0);
+        sim.cnot(0, 1);
+        // Z0 Z1 stabilizes the Bell state with eigenvalue +1.
+        assert_eq!(sim.z_product_parity(&[0, 1]), Some(false));
+        // Single-qubit Z is indeterminate.
+        assert_eq!(sim.z_product_parity(&[0]), None);
+    }
+
+    #[test]
+    fn swap_via_three_cnots_moves_state() {
+        let mut sim = TableauSimulator::new(2, 1);
+        sim.x_gate(0);
+        sim.cnot(0, 1);
+        sim.cnot(1, 0);
+        sim.cnot(0, 1);
+        assert!(!sim.measure(0));
+        assert!(sim.measure(1));
+    }
+
+    #[test]
+    fn two_cnot_move_after_reset() {
+        // The LRC swap-back trick: CX(p,d); CX(d,p) moves p's state onto a
+        // reset d, leaving p in |0⟩.
+        let mut sim = TableauSimulator::new(2, 1);
+        sim.x_gate(0); // p = qubit 0 in |1⟩, d = qubit 1 in |0⟩
+        sim.cnot(0, 1);
+        sim.cnot(1, 0);
+        assert!(!sim.measure(0), "p ends in |0⟩");
+        assert!(sim.measure(1), "d received the state");
+    }
+}

@@ -1,0 +1,108 @@
+//! Property-based equivalence of the frame simulator and the exact tableau
+//! simulator on randomly chosen error injections, plus frame-simulator
+//! invariants under leakage.
+
+use leak_sim::{Discriminator, FrameSimulator, TableauSimulator};
+use proptest::prelude::*;
+use qec_core::{NoiseParams, Op, Pauli, Rng};
+use surface_code::{MemoryExperiment, RotatedCode};
+
+fn experiment_ops(exp: &MemoryExperiment) -> Vec<Op> {
+    let mut ops = exp.init_segment();
+    let builder = exp.round_builder();
+    for r in 0..exp.rounds() {
+        let round = builder.round(r, &[], exp.keys());
+        ops.extend(round.pre);
+        ops.extend(round.measure);
+        ops.extend(round.mr_reset);
+    }
+    ops.extend(exp.final_segment());
+    ops
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn frame_equals_tableau_for_any_single_injection(
+        pos_sel in any::<prop::sample::Index>(),
+        qubit_sel in any::<prop::sample::Index>(),
+        pauli_sel in 0u8..3,
+        seed in any::<u64>(),
+    ) {
+        let exp = MemoryExperiment::new(
+            RotatedCode::new(3),
+            NoiseParams::without_leakage(0.0),
+            2,
+        );
+        let ops = experiment_ops(&exp);
+        let pos = pos_sel.index(ops.len() + 1);
+        let qubit = qubit_sel.index(exp.code().num_qubits());
+        let pauli = Pauli::ERRORS[pauli_sel as usize];
+
+        let mut tab = TableauSimulator::new(exp.code().num_qubits(), seed);
+        let mut outcomes: Vec<Option<bool>> = Vec::new();
+        tab.run_circuit_ops(&ops[..pos], &mut outcomes);
+        if pauli.has_x() {
+            tab.x_gate(qubit);
+        }
+        if pauli.has_z() {
+            tab.z_gate(qubit);
+        }
+        tab.run_circuit_ops(&ops[pos..], &mut outcomes);
+        let exact: Vec<bool> = outcomes.into_iter().map(|o| o.unwrap()).collect();
+
+        let mut frame = FrameSimulator::new(
+            exp.code().num_qubits(),
+            exp.keys().total(),
+            *exp.noise(),
+            Discriminator::TwoLevel,
+            Rng::new(seed ^ 0xABCD),
+        );
+        frame.run(&ops[..pos]);
+        frame.apply_pauli(qubit, pauli);
+        frame.run(&ops[pos..]);
+
+        for det in exp.detectors() {
+            let exact_parity = det.keys.iter().fold(false, |acc, &k| acc ^ exact[k]);
+            prop_assert_eq!(exact_parity, frame.record().parity(&det.keys));
+        }
+        let obs = exp.observable_keys();
+        let exact_obs = obs.iter().fold(false, |acc, &k| acc ^ exact[k]);
+        prop_assert_eq!(exact_obs, frame.record().parity(&obs));
+    }
+
+    #[test]
+    fn reset_always_clears_leakage(seed in any::<u64>(), q_sel in any::<prop::sample::Index>()) {
+        let mut sim = FrameSimulator::new(
+            8,
+            0,
+            NoiseParams::standard(1e-2),
+            Discriminator::TwoLevel,
+            Rng::new(seed),
+        );
+        let q = q_sel.index(8);
+        sim.force_leak(q);
+        sim.apply(&Op::Reset(q));
+        prop_assert!(!sim.is_leaked(q));
+    }
+
+    #[test]
+    fn leakage_flags_are_monotone_under_injection(seed in any::<u64>()) {
+        // Applying LeakInject with p=1 always leaks; no other op on disjoint
+        // qubits may clear it.
+        let mut sim = FrameSimulator::new(
+            4,
+            0,
+            NoiseParams::standard(1e-3),
+            Discriminator::TwoLevel,
+            Rng::new(seed),
+        );
+        sim.apply(&Op::LeakInject { qubit: 0, p: 1.0 });
+        prop_assert!(sim.is_leaked(0));
+        sim.apply(&Op::H(1));
+        sim.apply(&Op::Cnot { control: 2, target: 3 });
+        sim.apply(&Op::Depolarize1 { qubit: 1, p: 1.0 });
+        prop_assert!(sim.is_leaked(0), "ops on other qubits cannot unleak");
+    }
+}

@@ -1,0 +1,509 @@
+//! Syndrome-extraction round synthesis, with and without leakage-reduction
+//! circuits.
+//!
+//! A plain round (Fig 4(a)) is: round-start noise, H on X-ancillas, four CNOT
+//! dance layers, H, measure + reset of every parity qubit.
+//!
+//! A SWAP-LRC on a pair `(D, P)` (Fig 4(b)) extends P's round with five extra
+//! CNOTs:
+//!
+//! 1. after the dance, `SWAP(D, P)` as three CNOTs — D now holds the
+//!    stabilizer readout state, P holds D's (possibly leaked) state;
+//! 2. D is measured in place of P (the outcome is recorded under the *same*
+//!    measurement key, so detectors are unchanged) and reset — this is the
+//!    step that removes leakage from D, because a leaked state does not move
+//!    through the computational-basis SWAP and gets destroyed by D's reset;
+//! 3. two CNOTs `CX(P,D); CX(D,P)` move P's held state back onto the reset D,
+//!    leaving P in |0⟩.
+//!
+//! The parity qubit therefore participates in 4 + 3 + 2 = 9 CNOTs, four of
+//! which interact with D before D's reset — exactly the operation counts
+//! behind the paper's Eq. (1) and Eq. (2).
+//!
+//! The DQLR protocol (Appendix A.2, Fig 19) instead appends, after the normal
+//! measure+reset, a `LeakageISWAP(D, P)` followed by a second reset of P.
+
+use crate::experiment::KeyLayout;
+use crate::layout::{RotatedCode, StabKind};
+use qec_core::{MeasKey, NoiseParams, Op, QubitId};
+
+/// A scheduled leakage-reduction circuit: data qubit `data` swaps with the
+/// parity qubit of stabilizer `stab`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LrcAssignment {
+    /// The data qubit whose leakage should be removed.
+    pub data: QubitId,
+    /// Index of the stabilizer whose parity qubit is borrowed for the SWAP.
+    pub stab: usize,
+}
+
+/// The post-measurement tail of one SWAP-LRC, kept separate so an adaptive
+/// controller (ERASER+M, §4.6.2) can branch on the data qubit's readout label.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LrcPost {
+    /// Data qubit of the pair.
+    pub data: QubitId,
+    /// Parity qubit of the pair.
+    pub parity: QubitId,
+    /// Measurement key holding the data qubit's readout this round.
+    pub data_key: MeasKey,
+    /// Normal path: two CNOTs returning P's held state onto the reset D.
+    pub swap_back: Vec<Op>,
+    /// ERASER+M path when the readout is |L⟩: the swap-back is squashed and P
+    /// is reset instead (its content is meaningless after a failed SWAP).
+    pub leak_path: Vec<Op>,
+}
+
+/// One fully-synthesized syndrome-extraction round, split into segments so the
+/// runtime can probe leakage population between them and branch on readout.
+///
+/// Execution order: `pre` → `measure` → `mr_reset` → each `lrc_post` →
+/// `post`.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct SyndromeRound {
+    /// Round-start noise, Hadamards, dance CNOTs, LRC swap-ins.
+    pub pre: Vec<Op>,
+    /// Measurement flips and measurements (parity qubits, or data qubits for
+    /// LRC'd stabilizers).
+    pub measure: Vec<Op>,
+    /// Resets (and init errors) of every qubit measured this round.
+    pub mr_reset: Vec<Op>,
+    /// Per-LRC swap-back segments.
+    pub lrc_post: Vec<LrcPost>,
+    /// Trailing segment (DQLR leakage-removal operations).
+    pub post: Vec<Op>,
+    /// The LRC assignments this round was built with (for metrics).
+    pub lrcs: Vec<LrcAssignment>,
+}
+
+impl SyndromeRound {
+    /// Total CNOT count across all segments (counting both branches of an LRC
+    /// tail once, via the normal path).
+    pub fn cnot_count(&self) -> usize {
+        let count = |ops: &[Op]| {
+            ops.iter()
+                .filter(|o| matches!(o, Op::Cnot { .. } | Op::CnotNoTransport { .. }))
+                .count()
+        };
+        count(&self.pre)
+            + count(&self.measure)
+            + count(&self.mr_reset)
+            + count(&self.post)
+            + self
+                .lrc_post
+                .iter()
+                .map(|l| count(&l.swap_back))
+                .sum::<usize>()
+    }
+}
+
+/// Builds syndrome-extraction rounds for a given code and noise model.
+///
+/// # Example
+///
+/// ```
+/// use qec_core::NoiseParams;
+/// use surface_code::{KeyLayout, LrcAssignment, RotatedCode, RoundBuilder};
+///
+/// let code = RotatedCode::new(3);
+/// let keys = KeyLayout::new(2, code.num_stabs(), code.num_data());
+/// let builder = RoundBuilder::new(&code, NoiseParams::standard(1e-3));
+///
+/// let plain = builder.round(0, &[], &keys);
+/// let stab = code.adjacent_stabs(4)[0];
+/// let with_lrc = builder.round(1, &[LrcAssignment { data: 4, stab }], &keys);
+/// assert_eq!(with_lrc.cnot_count(), plain.cnot_count() + 5);
+/// ```
+#[derive(Debug, Clone)]
+pub struct RoundBuilder<'a> {
+    code: &'a RotatedCode,
+    noise: NoiseParams,
+}
+
+impl<'a> RoundBuilder<'a> {
+    /// Creates a builder for `code` under `noise`.
+    pub fn new(code: &'a RotatedCode, noise: NoiseParams) -> RoundBuilder<'a> {
+        RoundBuilder { code, noise }
+    }
+
+    /// The code this builder targets.
+    pub fn code(&self) -> &RotatedCode {
+        self.code
+    }
+
+    fn push_cnot(&self, ops: &mut Vec<Op>, control: QubitId, target: QubitId) {
+        self.push_cnot_op(ops, Op::Cnot { control, target });
+    }
+
+    /// Swap-back CNOTs: the data qubit was just reset to |0⟩, so the
+    /// |11⟩↔|02⟩ transport pathway is closed (Eq. (2): "the other two CNOTs
+    /// … are unlikely to cause leakage transport").
+    fn push_cnot_no_transport(&self, ops: &mut Vec<Op>, control: QubitId, target: QubitId) {
+        self.push_cnot_op(ops, Op::CnotNoTransport { control, target });
+    }
+
+    fn push_cnot_op(&self, ops: &mut Vec<Op>, gate: Op) {
+        let (control, target) = match gate {
+            Op::Cnot { control, target } | Op::CnotNoTransport { control, target } => {
+                (control, target)
+            }
+            _ => unreachable!("push_cnot_op only takes CNOT variants"),
+        };
+        ops.push(gate);
+        ops.push(Op::Depolarize2 {
+            a: control,
+            b: target,
+            p: self.noise.p,
+        });
+        let leak = self.noise.leak_p();
+        if leak > 0.0 {
+            ops.push(Op::LeakInject { qubit: control, p: leak });
+            ops.push(Op::LeakInject { qubit: target, p: leak });
+        }
+    }
+
+    fn push_h(&self, ops: &mut Vec<Op>, q: QubitId) {
+        ops.push(Op::H(q));
+        ops.push(Op::Depolarize1 { qubit: q, p: self.noise.p });
+    }
+
+    fn validate_lrcs(&self, lrcs: &[LrcAssignment]) {
+        let mut stab_used = vec![false; self.code.num_stabs()];
+        let mut data_used = vec![false; self.code.num_data()];
+        for lrc in lrcs {
+            assert!(
+                self.code.adjacent_stabs(lrc.data).contains(&lrc.stab),
+                "LRC pairs data {} with non-adjacent stabilizer {}",
+                lrc.data,
+                lrc.stab
+            );
+            assert!(!stab_used[lrc.stab], "stabilizer {} used by two LRCs", lrc.stab);
+            assert!(!data_used[lrc.data], "data {} used by two LRCs", lrc.data);
+            stab_used[lrc.stab] = true;
+            data_used[lrc.data] = true;
+        }
+    }
+
+    /// Synthesizes round `round` with the given SWAP-LRC assignments.
+    ///
+    /// # Panics
+    ///
+    /// Panics if an assignment pairs a data qubit with a non-adjacent
+    /// stabilizer, or if two assignments share a data or parity qubit.
+    pub fn round(&self, round: usize, lrcs: &[LrcAssignment], keys: &KeyLayout) -> SyndromeRound {
+        self.validate_lrcs(lrcs);
+        let code = self.code;
+        let noise = &self.noise;
+        let mut lrc_on_stab: Vec<Option<QubitId>> = vec![None; code.num_stabs()];
+        for lrc in lrcs {
+            lrc_on_stab[lrc.stab] = Some(lrc.data);
+        }
+
+        let mut pre = Vec::new();
+        // Round-start channels: seepage everywhere, depolarizing + leakage
+        // injection on data qubits (§5.2.1–5.2.2).
+        let seep = noise.seep_p();
+        if seep > 0.0 {
+            for q in 0..code.num_qubits() {
+                pre.push(Op::Seep { qubit: q, p: seep });
+            }
+        }
+        for q in 0..code.num_data() {
+            pre.push(Op::Depolarize1 { qubit: q, p: noise.p });
+            let leak = noise.leak_p();
+            if leak > 0.0 {
+                pre.push(Op::LeakInject { qubit: q, p: leak });
+            }
+        }
+        // Opening Hadamards on X ancillas.
+        for s in code.stab_ids(StabKind::X) {
+            self.push_h(&mut pre, code.parity_qubit(s));
+        }
+        // Four dance layers.
+        for layer in 0..4 {
+            for stab in code.stabilizers() {
+                if let Some(dq) = stab.data[layer] {
+                    match stab.kind {
+                        StabKind::Z => self.push_cnot(&mut pre, dq, stab.parity),
+                        StabKind::X => self.push_cnot(&mut pre, stab.parity, dq),
+                    }
+                }
+            }
+            pre.push(Op::Tick);
+        }
+        // Closing Hadamards.
+        for s in code.stab_ids(StabKind::X) {
+            self.push_h(&mut pre, code.parity_qubit(s));
+        }
+        // LRC swap-in: SWAP(D, P) as three CNOTs.
+        for lrc in lrcs {
+            let p = code.parity_qubit(lrc.stab);
+            let d = lrc.data;
+            self.push_cnot(&mut pre, d, p);
+            self.push_cnot(&mut pre, p, d);
+            self.push_cnot(&mut pre, d, p);
+        }
+
+        // Measurement layer: the LRC'd stabilizers read out from the data
+        // qubit (which now holds the ancilla state), everything else from the
+        // parity qubit. Keys are identical either way.
+        let mut measure = Vec::new();
+        let mut mr_reset = Vec::new();
+        for (s, _) in code.stabilizers().iter().enumerate() {
+            let key = keys.stab_key(round, s);
+            let target = match lrc_on_stab[s] {
+                Some(d) => d,
+                None => code.parity_qubit(s),
+            };
+            measure.push(Op::XError { qubit: target, p: noise.p });
+            measure.push(Op::Measure { qubit: target, key });
+            mr_reset.push(Op::Reset(target));
+            mr_reset.push(Op::XError { qubit: target, p: noise.p });
+        }
+
+        // LRC swap-back tails.
+        let mut lrc_post = Vec::new();
+        for lrc in lrcs {
+            let p = code.parity_qubit(lrc.stab);
+            let d = lrc.data;
+            let mut swap_back = Vec::new();
+            self.push_cnot_no_transport(&mut swap_back, p, d);
+            self.push_cnot_no_transport(&mut swap_back, d, p);
+            let leak_path = vec![Op::Reset(p), Op::XError { qubit: p, p: noise.p }];
+            lrc_post.push(LrcPost {
+                data: d,
+                parity: p,
+                data_key: keys.stab_key(round, lrc.stab),
+                swap_back,
+                leak_path,
+            });
+        }
+
+        SyndromeRound {
+            pre,
+            measure,
+            mr_reset,
+            lrc_post,
+            post: Vec::new(),
+            lrcs: lrcs.to_vec(),
+        }
+    }
+
+    /// Synthesizes a round that removes leakage with the DQLR protocol
+    /// (Appendix A.2) on the given pairs: normal extraction and parity MR,
+    /// then `LeakageISWAP(D, P)` with CX-grade noise, then a second reset of
+    /// P.
+    ///
+    /// # Panics
+    ///
+    /// Same conditions as [`RoundBuilder::round`].
+    pub fn dqlr_round(
+        &self,
+        round: usize,
+        pairs: &[LrcAssignment],
+        keys: &KeyLayout,
+    ) -> SyndromeRound {
+        self.validate_lrcs(pairs);
+        // The extraction body is a plain round.
+        let mut r = self.round(round, &[], keys);
+        let noise = &self.noise;
+        for pair in pairs {
+            let p = self.code.parity_qubit(pair.stab);
+            let d = pair.data;
+            r.post.push(Op::LeakIswap { data: d, parity: p });
+            r.post.push(Op::Depolarize2 { a: d, b: p, p: noise.p });
+            let leak = noise.leak_p();
+            if leak > 0.0 {
+                r.post.push(Op::LeakInject { qubit: d, p: leak });
+                r.post.push(Op::LeakInject { qubit: p, p: leak });
+            }
+            r.post.push(Op::Reset(p));
+            r.post.push(Op::XError { qubit: p, p: noise.p });
+        }
+        r.lrcs = pairs.to_vec();
+        SyndromeRound { ..r }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn setup(d: usize) -> (RotatedCode, KeyLayout) {
+        let code = RotatedCode::new(d);
+        let keys = KeyLayout::new(4, code.num_stabs(), code.num_data());
+        (code, keys)
+    }
+
+    #[test]
+    fn plain_round_cnot_count() {
+        for d in [3usize, 5, 7] {
+            let (code, keys) = setup(d);
+            let builder = RoundBuilder::new(&code, NoiseParams::standard(1e-3));
+            let round = builder.round(0, &[], &keys);
+            let expected = 4 * (d - 1) * (d - 1) + 4 * (d - 1);
+            assert_eq!(round.cnot_count(), expected, "d={d}");
+        }
+    }
+
+    #[test]
+    fn lrc_adds_five_cnots() {
+        let (code, keys) = setup(3);
+        let builder = RoundBuilder::new(&code, NoiseParams::standard(1e-3));
+        let plain = builder.round(0, &[], &keys);
+        let lrc = LrcAssignment { data: 4, stab: code.adjacent_stabs(4)[0] };
+        let with = builder.round(0, &[lrc], &keys);
+        assert_eq!(with.cnot_count(), plain.cnot_count() + 5);
+    }
+
+    #[test]
+    fn lrc_parity_touches_nine_cnots() {
+        // The Eq. (2) premise: an LRC'd parity qubit of an interior (weight-4)
+        // stabilizer participates in 9 CNOTs.
+        let (code, keys) = setup(5);
+        let interior = (0..code.num_stabs())
+            .find(|&s| code.stabilizers()[s].weight() == 4)
+            .unwrap();
+        let data = code.stabilizers()[interior].support().next().unwrap();
+        let builder = RoundBuilder::new(&code, NoiseParams::standard(1e-3));
+        let round = builder.round(0, &[LrcAssignment { data, stab: interior }], &keys);
+        let parity = code.parity_qubit(interior);
+        let touches = |ops: &[Op]| {
+            ops.iter()
+                .filter(|o| matches!(o, Op::Cnot { control, target } | Op::CnotNoTransport { control, target } if *control == parity || *target == parity))
+                .count()
+        };
+        let total = touches(&round.pre) + touches(&round.lrc_post[0].swap_back);
+        assert_eq!(total, 9);
+    }
+
+    #[test]
+    fn lrc_measures_data_qubit_under_stab_key() {
+        let (code, keys) = setup(3);
+        let builder = RoundBuilder::new(&code, NoiseParams::standard(1e-3));
+        let stab = code.adjacent_stabs(0)[0];
+        let round = builder.round(2, &[LrcAssignment { data: 0, stab }], &keys);
+        let expect_key = keys.stab_key(2, stab);
+        let found = round.measure.iter().any(|op| {
+            matches!(op, Op::Measure { qubit, key } if *qubit == 0 && *key == expect_key)
+        });
+        assert!(found, "data qubit must be measured under the stabilizer key");
+        // The parity qubit is NOT measured nor reset this round.
+        let parity = code.parity_qubit(stab);
+        assert!(!round
+            .measure
+            .iter()
+            .any(|op| matches!(op, Op::Measure { qubit, .. } if *qubit == parity)));
+        assert!(!round
+            .mr_reset
+            .iter()
+            .any(|op| matches!(op, Op::Reset(q) if *q == parity)));
+    }
+
+    #[test]
+    fn every_stab_measured_exactly_once() {
+        let (code, keys) = setup(5);
+        let builder = RoundBuilder::new(&code, NoiseParams::standard(1e-3));
+        let lrcs = [
+            LrcAssignment { data: 6, stab: code.adjacent_stabs(6)[0] },
+            LrcAssignment { data: 12, stab: code.adjacent_stabs(12)[1] },
+        ];
+        let round = builder.round(1, &lrcs, &keys);
+        let mut seen = std::collections::HashSet::new();
+        for op in &round.measure {
+            if let Op::Measure { key, .. } = op {
+                assert!(seen.insert(*key), "duplicate key {key}");
+            }
+        }
+        assert_eq!(seen.len(), code.num_stabs());
+    }
+
+    #[test]
+    #[should_panic(expected = "non-adjacent")]
+    fn non_adjacent_lrc_rejected() {
+        let (code, keys) = setup(3);
+        let builder = RoundBuilder::new(&code, NoiseParams::standard(1e-3));
+        // Data 0 is at the corner; find a stabilizer not adjacent to it.
+        let bad = (0..code.num_stabs())
+            .find(|s| !code.adjacent_stabs(0).contains(s))
+            .unwrap();
+        builder.round(0, &[LrcAssignment { data: 0, stab: bad }], &keys);
+    }
+
+    #[test]
+    #[should_panic(expected = "used by two")]
+    fn conflicting_lrcs_rejected() {
+        let (code, keys) = setup(3);
+        let builder = RoundBuilder::new(&code, NoiseParams::standard(1e-3));
+        // Two data qubits claiming the same stabilizer.
+        let stab = code
+            .stabilizers()
+            .iter()
+            .position(|s| s.weight() == 4)
+            .unwrap();
+        let mut sup = code.stabilizers()[stab].support();
+        let (d1, d2) = (sup.next().unwrap(), sup.next().unwrap());
+        builder.round(
+            0,
+            &[
+                LrcAssignment { data: d1, stab },
+                LrcAssignment { data: d2, stab },
+            ],
+            &keys,
+        );
+    }
+
+    #[test]
+    fn no_leakage_model_emits_no_leak_ops() {
+        let (code, keys) = setup(3);
+        let builder = RoundBuilder::new(&code, NoiseParams::without_leakage(1e-3));
+        let round = builder.round(0, &[], &keys);
+        assert!(!round
+            .pre
+            .iter()
+            .any(|op| matches!(op, Op::LeakInject { .. } | Op::Seep { .. })));
+    }
+
+    #[test]
+    fn dqlr_round_contains_leakage_iswap_and_double_reset() {
+        let (code, keys) = setup(3);
+        let builder = RoundBuilder::new(&code, NoiseParams::standard(1e-3));
+        let stab = code.adjacent_stabs(4)[0];
+        let round = builder.dqlr_round(0, &[LrcAssignment { data: 4, stab }], &keys);
+        let parity = code.parity_qubit(stab);
+        assert!(round
+            .post
+            .iter()
+            .any(|op| matches!(op, Op::LeakIswap { data: 4, parity: p } if *p == parity)));
+        // The parity qubit is reset twice: once in mr_reset, once after the
+        // LeakageISWAP.
+        let resets = round
+            .mr_reset
+            .iter()
+            .chain(&round.post)
+            .filter(|op| matches!(op, Op::Reset(q) if *q == parity))
+            .count();
+        assert_eq!(resets, 2);
+        assert!(round.lrc_post.is_empty());
+    }
+
+    #[test]
+    fn eraser_m_leak_path_resets_parity_only() {
+        let (code, keys) = setup(3);
+        let builder = RoundBuilder::new(&code, NoiseParams::standard(1e-3));
+        let stab = code.adjacent_stabs(4)[0];
+        let round = builder.round(0, &[LrcAssignment { data: 4, stab }], &keys);
+        let tail = &round.lrc_post[0];
+        assert_eq!(tail.data, 4);
+        assert_eq!(tail.parity, code.parity_qubit(stab));
+        assert!(matches!(tail.leak_path[0], Op::Reset(q) if q == tail.parity));
+        assert_eq!(
+            tail.swap_back
+                .iter()
+                .filter(|o| matches!(o, Op::CnotNoTransport { .. }))
+                .count(),
+            2,
+            "swap-back uses transport-suppressed CNOTs"
+        );
+    }
+}

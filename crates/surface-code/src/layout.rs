@@ -1,0 +1,387 @@
+//! Rotated surface code lattice geometry.
+//!
+//! A distance-`d` rotated surface code (Fig 2(a) of the paper) places `d²`
+//! data qubits on a `d × d` grid and `d² − 1` parity (ancilla) qubits on the
+//! plaquette corners of that grid. Plaquettes alternate between X- and Z-type
+//! in a checkerboard; boundary plaquettes have weight 2, with X-type
+//! plaquettes on the top/bottom boundary and Z-type on the left/right.
+//!
+//! Qubit numbering: data qubits are `0..d²` (row-major), parity qubits are
+//! `d² + s` where `s` is the stabilizer index.
+
+use qec_core::QubitId;
+
+/// Stabilizer basis.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum StabKind {
+    /// X-type stabilizer (detects Z errors).
+    X,
+    /// Z-type stabilizer (detects X errors).
+    Z,
+}
+
+/// One stabilizer of the code: its basis, lattice position, parity qubit, and
+/// data-qubit neighbours in CNOT-dance order.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Stabilizer {
+    /// X or Z.
+    pub kind: StabKind,
+    /// Plaquette corner `(i, j)` with `0 ≤ i, j ≤ d`.
+    pub corner: (usize, usize),
+    /// Its ancilla qubit.
+    pub parity: QubitId,
+    /// Data-qubit neighbours indexed by dance layer (0..4); `None` means the
+    /// stabilizer idles in that layer (weight-2 boundary stabilizers).
+    pub data: [Option<QubitId>; 4],
+}
+
+impl Stabilizer {
+    /// The data qubits in this stabilizer's support (2 or 4 of them).
+    pub fn support(&self) -> impl Iterator<Item = QubitId> + '_ {
+        self.data.iter().filter_map(|d| *d)
+    }
+
+    /// Number of data qubits in the support.
+    pub fn weight(&self) -> usize {
+        self.data.iter().filter(|d| d.is_some()).count()
+    }
+}
+
+/// A distance-`d` rotated surface code.
+///
+/// # Example
+///
+/// ```
+/// use surface_code::{RotatedCode, StabKind};
+///
+/// let code = RotatedCode::new(5);
+/// assert_eq!(code.num_data(), 25);
+/// assert_eq!(code.num_stabs(), 24);
+/// assert_eq!(code.num_qubits(), 49); // 2d² − 1
+/// let z_count = code
+///     .stabilizers()
+///     .iter()
+///     .filter(|s| s.kind == StabKind::Z)
+///     .count();
+/// assert_eq!(z_count, 12);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RotatedCode {
+    d: usize,
+    stabs: Vec<Stabilizer>,
+    /// data qubit -> indices of adjacent stabilizers.
+    data_adj: Vec<Vec<usize>>,
+}
+
+impl RotatedCode {
+    /// Builds the distance-`d` rotated surface code.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `d` is even or smaller than 3 (rotated codes need odd
+    /// distance).
+    pub fn new(d: usize) -> RotatedCode {
+        assert!(d >= 3 && d % 2 == 1, "distance must be odd and >= 3, got {d}");
+        let num_data = d * d;
+        let mut stabs = Vec::new();
+        for i in 0..=d {
+            for j in 0..=d {
+                let is_z = (i + j) % 2 == 0;
+                let top_bottom = i == 0 || i == d;
+                let left_right = j == 0 || j == d;
+                // Boundary rule: top/bottom rows host only X-type weight-2
+                // plaquettes, left/right columns only Z-type. Corners never
+                // qualify.
+                if top_bottom && left_right {
+                    continue;
+                }
+                if top_bottom && is_z {
+                    continue;
+                }
+                if left_right && !is_z {
+                    continue;
+                }
+                let data_at = |r: isize, c: isize| -> Option<QubitId> {
+                    if r >= 0 && c >= 0 && (r as usize) < d && (c as usize) < d {
+                        Some(r as usize * d + c as usize)
+                    } else {
+                        None
+                    }
+                };
+                let (ii, jj) = (i as isize, j as isize);
+                let nw = data_at(ii - 1, jj - 1);
+                let ne = data_at(ii - 1, jj);
+                let sw = data_at(ii, jj - 1);
+                let se = data_at(ii, jj);
+                if [nw, ne, sw, se].iter().flatten().count() < 2 {
+                    continue;
+                }
+                // Dance orders chosen so no data qubit is used twice in one
+                // layer (verified by `schedule_is_conflict_free`): X uses a
+                // "Z"-shaped sweep, Z uses the transposed "N"-shaped sweep.
+                let (kind, data) = if is_z {
+                    (StabKind::Z, [nw, sw, ne, se])
+                } else {
+                    (StabKind::X, [nw, ne, sw, se])
+                };
+                let parity = num_data + stabs.len();
+                stabs.push(Stabilizer {
+                    kind,
+                    corner: (i, j),
+                    parity,
+                    data,
+                });
+            }
+        }
+        assert_eq!(stabs.len(), num_data - 1, "rotated code must have d²−1 stabilizers");
+
+        let mut data_adj = vec![Vec::new(); num_data];
+        for (s, stab) in stabs.iter().enumerate() {
+            for q in stab.support() {
+                data_adj[q].push(s);
+            }
+        }
+        RotatedCode { d, stabs, data_adj }
+    }
+
+    /// Code distance.
+    pub fn distance(&self) -> usize {
+        self.d
+    }
+
+    /// Number of data qubits (`d²`).
+    pub fn num_data(&self) -> usize {
+        self.d * self.d
+    }
+
+    /// Number of stabilizers / parity qubits (`d² − 1`).
+    pub fn num_stabs(&self) -> usize {
+        self.stabs.len()
+    }
+
+    /// Total physical qubits (`2d² − 1`).
+    pub fn num_qubits(&self) -> usize {
+        self.num_data() + self.num_stabs()
+    }
+
+    /// The data qubit at grid position `(row, col)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the position is outside the `d × d` grid.
+    pub fn data_qubit(&self, row: usize, col: usize) -> QubitId {
+        assert!(row < self.d && col < self.d, "({row},{col}) outside d={}", self.d);
+        row * self.d + col
+    }
+
+    /// Grid position of a data qubit.
+    pub fn data_coords(&self, q: QubitId) -> (usize, usize) {
+        assert!(q < self.num_data(), "{q} is not a data qubit");
+        (q / self.d, q % self.d)
+    }
+
+    /// Whether `q` is a data qubit (as opposed to a parity qubit).
+    pub fn is_data(&self, q: QubitId) -> bool {
+        q < self.num_data()
+    }
+
+    /// All stabilizers, indexed by stabilizer id.
+    pub fn stabilizers(&self) -> &[Stabilizer] {
+        &self.stabs
+    }
+
+    /// The parity qubit of stabilizer `s`.
+    pub fn parity_qubit(&self, s: usize) -> QubitId {
+        self.stabs[s].parity
+    }
+
+    /// The stabilizer owning parity qubit `q`, if `q` is a parity qubit.
+    pub fn stab_of_parity(&self, q: QubitId) -> Option<usize> {
+        (q >= self.num_data() && q < self.num_qubits()).then(|| q - self.num_data())
+    }
+
+    /// Indices of the stabilizers adjacent to data qubit `q` (2 to 4 of them).
+    pub fn adjacent_stabs(&self, q: QubitId) -> &[usize] {
+        &self.data_adj[q]
+    }
+
+    /// Stabilizer indices of a given kind.
+    pub fn stab_ids(&self, kind: StabKind) -> Vec<usize> {
+        (0..self.stabs.len())
+            .filter(|&s| self.stabs[s].kind == kind)
+            .collect()
+    }
+
+    /// Support of the logical Z operator: the top row of data qubits.
+    ///
+    /// Logical Z commutes with every stabilizer and anticommutes with
+    /// [`RotatedCode::logical_x_support`] (checked in the test suite).
+    pub fn logical_z_support(&self) -> Vec<QubitId> {
+        (0..self.d).map(|c| self.data_qubit(0, c)).collect()
+    }
+
+    /// Support of the logical X operator: the left column of data qubits.
+    pub fn logical_x_support(&self) -> Vec<QubitId> {
+        (0..self.d).map(|r| self.data_qubit(r, 0)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const DISTANCES: [usize; 5] = [3, 5, 7, 9, 11];
+
+    #[test]
+    fn counts_match_rotated_layout() {
+        for d in DISTANCES {
+            let code = RotatedCode::new(d);
+            assert_eq!(code.num_data(), d * d);
+            assert_eq!(code.num_stabs(), d * d - 1);
+            assert_eq!(code.num_qubits(), 2 * d * d - 1);
+            let x = code.stab_ids(StabKind::X).len();
+            let z = code.stab_ids(StabKind::Z).len();
+            assert_eq!(x, (d * d - 1) / 2, "d={d}");
+            assert_eq!(z, (d * d - 1) / 2, "d={d}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "odd")]
+    fn even_distance_rejected() {
+        RotatedCode::new(4);
+    }
+
+    #[test]
+    fn stabilizer_weights() {
+        for d in DISTANCES {
+            let code = RotatedCode::new(d);
+            let weight2 = code.stabilizers().iter().filter(|s| s.weight() == 2).count();
+            let weight4 = code.stabilizers().iter().filter(|s| s.weight() == 4).count();
+            assert_eq!(weight2, 2 * (d - 1), "d={d}");
+            assert_eq!(weight4, (d - 1) * (d - 1), "d={d}");
+            assert_eq!(weight2 + weight4, code.num_stabs());
+        }
+    }
+
+    #[test]
+    fn data_adjacency_is_consistent() {
+        for d in DISTANCES {
+            let code = RotatedCode::new(d);
+            for q in 0..code.num_data() {
+                let adj = code.adjacent_stabs(q);
+                assert!(
+                    (2..=4).contains(&adj.len()),
+                    "data {q} has {} neighbours at d={d}",
+                    adj.len()
+                );
+                for &s in adj {
+                    assert!(code.stabilizers()[s].support().any(|dq| dq == q));
+                }
+            }
+            // Every data qubit touches at least one stabilizer of each kind.
+            for q in 0..code.num_data() {
+                let kinds: std::collections::HashSet<_> = code
+                    .adjacent_stabs(q)
+                    .iter()
+                    .map(|&s| code.stabilizers()[s].kind)
+                    .collect();
+                assert_eq!(kinds.len(), 2, "data {q} at d={d} misses a basis");
+            }
+        }
+    }
+
+    #[test]
+    fn schedule_is_conflict_free() {
+        for d in DISTANCES {
+            let code = RotatedCode::new(d);
+            for layer in 0..4 {
+                let mut used = vec![false; code.num_data()];
+                for stab in code.stabilizers() {
+                    if let Some(q) = stab.data[layer] {
+                        assert!(!used[q], "data {q} doubly used in layer {layer} at d={d}");
+                        used[q] = true;
+                    }
+                }
+            }
+        }
+    }
+
+    fn overlap(a: &[QubitId], b: impl Iterator<Item = QubitId>) -> usize {
+        let set: std::collections::HashSet<_> = a.iter().copied().collect();
+        b.filter(|q| set.contains(q)).count()
+    }
+
+    #[test]
+    fn logical_operators_commute_with_stabilizers() {
+        for d in DISTANCES {
+            let code = RotatedCode::new(d);
+            let zl = code.logical_z_support();
+            let xl = code.logical_x_support();
+            assert_eq!(zl.len(), d);
+            assert_eq!(xl.len(), d);
+            for stab in code.stabilizers() {
+                match stab.kind {
+                    // Z_L anticommutes only with X operators overlapping oddly.
+                    StabKind::X => {
+                        assert_eq!(
+                            overlap(&zl, stab.support()) % 2,
+                            0,
+                            "Z_L anticommutes with X stab at {:?}, d={d}",
+                            stab.corner
+                        );
+                    }
+                    StabKind::Z => {
+                        assert_eq!(
+                            overlap(&xl, stab.support()) % 2,
+                            0,
+                            "X_L anticommutes with Z stab at {:?}, d={d}",
+                            stab.corner
+                        );
+                    }
+                }
+            }
+            // The logical pair anticommutes (single overlap at the corner).
+            assert_eq!(overlap(&zl, xl.iter().copied()) % 2, 1);
+        }
+    }
+
+    #[test]
+    fn parity_qubit_mapping_round_trips() {
+        let code = RotatedCode::new(5);
+        for s in 0..code.num_stabs() {
+            let p = code.parity_qubit(s);
+            assert_eq!(code.stab_of_parity(p), Some(s));
+            assert!(!code.is_data(p));
+        }
+        assert_eq!(code.stab_of_parity(0), None);
+        assert_eq!(code.stab_of_parity(code.num_qubits()), None);
+    }
+
+    #[test]
+    fn data_coords_round_trip() {
+        let code = RotatedCode::new(7);
+        for q in 0..code.num_data() {
+            let (r, c) = code.data_coords(q);
+            assert_eq!(code.data_qubit(r, c), q);
+        }
+    }
+
+    #[test]
+    fn boundary_types_follow_paper_orientation() {
+        // Top/bottom boundary plaquettes are X-type; left/right are Z-type,
+        // matching a horizontal logical-Z string (top data row).
+        for d in DISTANCES {
+            let code = RotatedCode::new(d);
+            for stab in code.stabilizers() {
+                let (i, j) = stab.corner;
+                if i == 0 || i == d {
+                    assert_eq!(stab.kind, StabKind::X, "corner {:?} d={d}", stab.corner);
+                }
+                if j == 0 || j == d {
+                    assert_eq!(stab.kind, StabKind::Z, "corner {:?} d={d}", stab.corner);
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,38 @@
+//! Rotated surface code: lattice geometry, syndrome-extraction schedules, and
+//! leakage-reduction-circuit (LRC) synthesis.
+//!
+//! This crate builds everything the ERASER paper's experiments execute:
+//!
+//! * [`RotatedCode`] — the distance-`d` rotated surface code (`d²` data qubits,
+//!   `d² − 1` parity qubits, §2.1 / Fig 2(a)) with the standard four-layer
+//!   CNOT "dance" schedule.
+//! * [`RoundBuilder`] — synthesizes one syndrome-extraction round as explicit
+//!   [`qec_core::Op`]s, with optional SWAP-LRCs (Fig 1(b): five extra CNOTs,
+//!   the parity qubit participates in nine CNOTs, matching Eq. 2) or the DQLR
+//!   protocol of Appendix A.2.
+//! * [`MemoryExperiment`] — a memory-Z experiment specification: measurement
+//!   key layout, detector definitions, logical observable, and the static
+//!   no-LRC circuit used to build the decoder's error model.
+//!
+//! # Example
+//!
+//! ```
+//! use qec_core::NoiseParams;
+//! use surface_code::{MemoryExperiment, RotatedCode};
+//!
+//! let code = RotatedCode::new(3);
+//! assert_eq!(code.num_data(), 9);
+//! assert_eq!(code.num_stabs(), 8);
+//!
+//! let exp = MemoryExperiment::new(code, NoiseParams::standard(1e-3), 3);
+//! let detectors = exp.detectors();
+//! assert!(!detectors.is_empty());
+//! ```
+
+pub mod circuits;
+pub mod experiment;
+pub mod layout;
+
+pub use circuits::{LrcAssignment, LrcPost, RoundBuilder, SyndromeRound};
+pub use experiment::{KeyLayout, MemoryBasis, MemoryExperiment};
+pub use layout::{RotatedCode, StabKind, Stabilizer};

@@ -1,0 +1,38 @@
+//! Quickstart: run a memory experiment with ERASER and compare it against the
+//! Always-LRC baseline.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use eraser_repro::eraser_core::{AlwaysLrcPolicy, EraserPolicy, MemoryRunner, RunConfig};
+use eraser_repro::qec_core::NoiseParams;
+
+fn main() {
+    // A distance-3 rotated surface code, the paper's default error model at
+    // p = 1e-3 (leakage on), over 5 QEC cycles (15 rounds).
+    let distance = 3;
+    let cycles = 5;
+    let runner = MemoryRunner::new(distance, NoiseParams::standard(1e-3), distance * cycles);
+    let config = RunConfig { shots: 2000, seed: 7, ..RunConfig::default() };
+
+    let always = runner.run(&|code| Box::new(AlwaysLrcPolicy::new(code)), &config);
+    let eraser = runner.run(&|code| Box::new(EraserPolicy::new(code)), &config);
+
+    println!("distance {distance}, {cycles} QEC cycles, p=1e-3, {} shots", config.shots);
+    for result in [&always, &eraser] {
+        println!(
+            "  {:<12} LER {:.2e} (±{:.1e})   LRCs/round {:>5.2}   speculation accuracy {:.1}%",
+            result.policy,
+            result.ler(),
+            result.ler_stderr(),
+            result.lrcs_per_round(),
+            result.speculation.accuracy() * 100.0,
+        );
+    }
+    println!(
+        "ERASER schedules {:.0}x fewer LRCs and improves the LER {:.1}x",
+        always.lrcs_per_round() / eraser.lrcs_per_round(),
+        always.ler() / eraser.ler().max(1e-9),
+    );
+}

@@ -1,0 +1,33 @@
+//! Export the ERASER hardware: generate SystemVerilog for each code distance
+//! and print the Table-3-style resource estimates for the paper's FPGA.
+//!
+//! ```text
+//! cargo run --release --example rtl_export [output-dir]
+//! ```
+
+use eraser_repro::eraser_core::{resource, rtl};
+use eraser_repro::surface_code::RotatedCode;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let out_dir = std::env::args().nth(1).unwrap_or_else(|| "rtl-out".to_string());
+    std::fs::create_dir_all(&out_dir)?;
+
+    println!("target part: {}", resource::XCKU3P.name);
+    println!("{:>3} {:>10} {:>8} {:>10} {:>8} {:>12}", "d", "LUTs", "LUT %", "FFs", "FF %", "latency ns");
+    for d in [3usize, 5, 7, 9, 11] {
+        let code = RotatedCode::new(d);
+        let est = resource::estimate(&code, resource::XCKU3P);
+        println!(
+            "{:>3} {:>10} {:>8.3} {:>10} {:>8.3} {:>12.2}",
+            d, est.luts, est.lut_pct, est.ffs, est.ff_pct, est.latency_ns
+        );
+        let sv = rtl::generate(&code);
+        let path = format!("{out_dir}/eraser_d{d}.sv");
+        std::fs::write(&path, &sv)?;
+        println!("    wrote {path} ({} lines)", sv.lines().count());
+    }
+    println!("\nFeed the .sv files to your synthesis flow (the paper used Vivado 2023.1");
+    println!("with a 2 ns clock constraint); the estimates above reproduce Table 3's");
+    println!("O(d^2) scaling and <1% utilization analytically.");
+    Ok(())
+}

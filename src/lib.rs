@@ -1,0 +1,19 @@
+//! Umbrella crate for the ERASER (MICRO 2023) reproduction.
+//!
+//! Re-exports every workspace crate under one roof so that examples and
+//! integration tests can `use eraser_repro::...`. See the individual crates
+//! for the substantial documentation:
+//!
+//! * [`qec_core`] — Pauli algebra, circuit IR, noise model, PRNG.
+//! * [`surface_code`] — rotated surface code lattice and circuit synthesis.
+//! * [`leak_sim`] — leakage-aware Pauli-frame simulator + tableau verifier.
+//! * [`qec_decoder`] — detector error models, blossom MWPM, union-find.
+//! * [`eraser_core`] — ERASER/ERASER+M policies, runtime, RTL generation.
+//! * [`density_sim`] — ququart density-matrix simulator (Fig 7/8 study).
+
+pub use density_sim;
+pub use eraser_core;
+pub use leak_sim;
+pub use qec_core;
+pub use qec_decoder;
+pub use surface_code;

@@ -1,0 +1,99 @@
+//! Cross-crate decoder checks: code-distance suppression, decoder agreement,
+//! and the MWPM-vs-union-find accuracy relationship on real circuits.
+
+use eraser_repro::eraser_core::{DecoderKind, MemoryRunner, NoLrcPolicy, RunConfig};
+use eraser_repro::qec_core::circuit::DetectorBasis;
+use eraser_repro::qec_core::NoiseParams;
+use eraser_repro::qec_decoder::{build_dem, Decoder, DecodingGraph, MwpmDecoder, UnionFindDecoder};
+use eraser_repro::surface_code::{MemoryExperiment, RotatedCode};
+
+#[test]
+fn increasing_distance_suppresses_pauli_errors() {
+    // Without leakage and below threshold, LER must drop with distance.
+    let cfg = RunConfig { shots: 1500, seed: 5, ..RunConfig::default() };
+    let ler3 = MemoryRunner::new(3, NoiseParams::without_leakage(3e-3), 9)
+        .run(&|_| Box::new(NoLrcPolicy::new()), &cfg)
+        .ler();
+    let ler5 = MemoryRunner::new(5, NoiseParams::without_leakage(3e-3), 15)
+        .run(&|_| Box::new(NoLrcPolicy::new()), &cfg)
+        .ler();
+    assert!(
+        ler5 < ler3,
+        "distance must suppress errors below threshold: d3 {ler3}, d5 {ler5}"
+    );
+}
+
+#[test]
+fn union_find_ler_close_to_mwpm() {
+    let runner = MemoryRunner::new(3, NoiseParams::standard(3e-3), 9);
+    let mwpm = runner
+        .run(
+            &|_| Box::new(NoLrcPolicy::new()),
+            &RunConfig { shots: 1500, seed: 9, decoder: DecoderKind::Mwpm, ..RunConfig::default() },
+        )
+        .ler();
+    let uf = runner
+        .run(
+            &|_| Box::new(NoLrcPolicy::new()),
+            &RunConfig {
+                shots: 1500,
+                seed: 9,
+                decoder: DecoderKind::UnionFind,
+                ..RunConfig::default()
+            },
+        )
+        .ler();
+    assert!(uf >= mwpm * 0.8, "UF cannot beat exact matching by much: {uf} vs {mwpm}");
+    assert!(uf <= mwpm * 2.5, "UF must stay near MWPM accuracy: {uf} vs {mwpm}");
+}
+
+#[test]
+fn decoders_agree_on_most_sampled_syndromes() {
+    let exp = MemoryExperiment::new(RotatedCode::new(3), NoiseParams::standard(1e-3), 3);
+    let detectors = exp.detectors();
+    let dem = build_dem(&exp.base_circuit(), &detectors, &exp.observable_keys());
+    let graph = DecodingGraph::from_dem(&dem, &detectors, DetectorBasis::Z);
+    let mwpm = MwpmDecoder::new(&graph);
+    let uf = UnionFindDecoder::new(&graph);
+
+    let mut rng = eraser_repro::qec_core::Rng::new(2718);
+    let mut agree = 0;
+    let trials = 200;
+    for _ in 0..trials {
+        let mut events = vec![false; graph.num_nodes()];
+        for _ in 0..(1 + rng.below(3)) {
+            let mech = &dem.mechanisms[rng.below(dem.mechanisms.len() as u64) as usize];
+            for &det in &mech.detectors {
+                if let Some(node) = graph.node_of_detector(det) {
+                    events[node] ^= true;
+                }
+            }
+        }
+        let defects: Vec<usize> = (0..graph.num_nodes()).filter(|&n| events[n]).collect();
+        if mwpm.decode(&defects) == uf.decode(&defects) {
+            agree += 1;
+        }
+    }
+    assert!(
+        agree as f64 / trials as f64 > 0.9,
+        "decoder agreement too low: {agree}/{trials}"
+    );
+}
+
+#[test]
+fn auto_decoder_picks_mwpm_for_small_graphs() {
+    let runner = MemoryRunner::new(3, NoiseParams::standard(1e-3), 2);
+    let cfg = RunConfig { shots: 10, seed: 1, ..RunConfig::default() };
+    let result = runner.run(&|_| Box::new(NoLrcPolicy::new()), &cfg);
+    assert_eq!(result.decoder, "mwpm");
+}
+
+#[test]
+fn lpr_only_runs_skip_decoding() {
+    let runner = MemoryRunner::new(3, NoiseParams::standard(1e-3), 4);
+    let cfg = RunConfig { shots: 20, seed: 1, decode: false, ..RunConfig::default() };
+    let result = runner.run(&|_| Box::new(NoLrcPolicy::new()), &cfg);
+    assert_eq!(result.decoder, "none");
+    assert_eq!(result.logical_errors, 0);
+    assert_eq!(result.lpr_total.len(), 4);
+}

@@ -1,0 +1,126 @@
+//! Failure injection: force a cluster of data qubits into |L⟩ mid-run and
+//! assert that the ERASER pipeline detects and removes the leakage within a
+//! few rounds — the end-to-end version of the paper's "real-time leakage
+//! suppression" claim.
+
+use eraser_repro::eraser_core::{EraserPolicy, LrcPolicy, RoundContext};
+use eraser_repro::leak_sim::{Discriminator, FrameSimulator};
+use eraser_repro::qec_core::{NoiseParams, Rng};
+use eraser_repro::surface_code::{LrcAssignment, MemoryExperiment, RotatedCode, StabKind};
+
+/// Runs one storm scenario; returns, per round, the set of leaked storm
+/// qubits and the LRC plan.
+fn run_storm(seed: u64, storm_round: usize) -> (Vec<Vec<usize>>, Vec<Vec<usize>>) {
+    let code = RotatedCode::new(5);
+    let rounds = storm_round + 6;
+    let noise = NoiseParams::standard(1e-4); // quiet background
+    let exp = MemoryExperiment::new(code.clone(), noise, rounds);
+    let keys = *exp.keys();
+    let builder = exp.round_builder();
+    let mut sim = FrameSimulator::new(
+        code.num_qubits(),
+        keys.total(),
+        noise,
+        Discriminator::TwoLevel,
+        Rng::new(seed),
+    );
+    let mut policy = EraserPolicy::new(&code);
+    sim.run(&exp.init_segment());
+
+    let storm = [code.data_qubit(2, 2), code.data_qubit(2, 3), code.data_qubit(3, 2)];
+    let mut prev = vec![false; code.num_stabs()];
+    let mut events = vec![false; code.num_stabs()];
+    let labels = vec![false; code.num_stabs()];
+    let oracle = vec![false; code.num_data()];
+    let mut last: Vec<LrcAssignment> = Vec::new();
+    let mut leaked_history = Vec::new();
+    let mut plan_history = Vec::new();
+
+    for r in 0..rounds {
+        if r == storm_round {
+            for &q in &storm {
+                sim.force_leak(q);
+            }
+        }
+        let plan = policy.plan_round(&RoundContext {
+            round: r,
+            events: &events,
+            leaked_readouts: &labels,
+            oracle_leaked_data: &oracle,
+            last_lrcs: &last,
+        });
+        let round = builder.round(r, &plan, &keys);
+        sim.run(&round.pre);
+        leaked_history.push(storm.iter().copied().filter(|&q| sim.is_leaked(q)).collect());
+        plan_history.push(plan.iter().map(|l| l.data).collect());
+        sim.run(&round.measure);
+        sim.run(&round.mr_reset);
+        for tail in &round.lrc_post {
+            sim.run(&tail.swap_back);
+        }
+        for s in 0..code.num_stabs() {
+            let flip = sim.record().flip(keys.stab_key(r, s));
+            events[s] = if r == 0 {
+                code.stabilizers()[s].kind == StabKind::Z && flip
+            } else {
+                flip ^ prev[s]
+            };
+            prev[s] = flip;
+        }
+        last = plan;
+    }
+    (leaked_history, plan_history)
+}
+
+#[test]
+fn eraser_recovers_from_a_forced_leakage_storm() {
+    let storm_round = 3;
+    let mut recoveries = 0;
+    let trials = 20;
+    for seed in 0..trials {
+        let (leaked, _plans) = run_storm(1000 + seed, storm_round);
+        // The storm is present when injected.
+        assert_eq!(leaked[storm_round].len(), 3, "seed {seed}: storm must land");
+        // Within five rounds the stormed qubits are clean again: visible
+        // leakage randomizes ~half the neighbouring checks per round, so
+        // detection within two rounds is overwhelmingly likely, plus a round
+        // to schedule and execute — with slack because conservative
+        // transport occasionally re-leaks a just-cleaned qubit through a
+        // contaminated parity neighbour.
+        let last_round = leaked.len() - 1;
+        if leaked[last_round.min(storm_round + 5)].is_empty() {
+            recoveries += 1;
+        }
+    }
+    assert!(
+        recoveries >= trials - 4,
+        "storm recovery rate too low: {recoveries}/{trials}"
+    );
+}
+
+#[test]
+fn eraser_targets_the_stormed_region() {
+    // The LRCs scheduled right after the storm must be concentrated on the
+    // stormed qubits and their immediate neighbourhood.
+    let storm_round = 3;
+    let mut targeted = 0;
+    let trials = 20;
+    let code = RotatedCode::new(5);
+    let storm = [code.data_qubit(2, 2), code.data_qubit(2, 3), code.data_qubit(3, 2)];
+    for seed in 0..trials {
+        let (_leaked, plans) = run_storm(2000 + seed, storm_round);
+        let scheduled: std::collections::HashSet<usize> = plans
+            [storm_round + 1..(storm_round + 3).min(plans.len())]
+            .iter()
+            .flatten()
+            .copied()
+            .collect();
+        if storm.iter().filter(|q| scheduled.contains(q)).count() >= 2 {
+            targeted += 1;
+        }
+    }
+    assert!(
+        targeted >= trials - 4,
+        "ERASER must aim at the storm: {targeted}/{trials}"
+    );
+}

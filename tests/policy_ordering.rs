@@ -1,0 +1,95 @@
+//! End-to-end statistical ordering tests: the qualitative claims of the paper
+//! must hold in this reproduction — leakage hurts, LRC scheduling helps, and
+//! adaptive scheduling beats static scheduling on LRC count.
+//!
+//! Error rates are amplified (p = 3e-3) and margins kept loose so the tests
+//! are stable at debug-build shot budgets.
+
+use eraser_repro::eraser_core::{
+    AlwaysLrcPolicy, EraserPolicy, MemoryRunner, NoLrcPolicy, OptimalPolicy, RunConfig,
+};
+use eraser_repro::qec_core::NoiseParams;
+
+const P: f64 = 3e-3;
+
+fn config(shots: u64) -> RunConfig {
+    RunConfig { shots, seed: 1234, ..RunConfig::default() }
+}
+
+#[test]
+fn leakage_degrades_logical_error_rate() {
+    let rounds = 18;
+    let clean = MemoryRunner::new(3, NoiseParams::without_leakage(P), rounds);
+    let leaky = MemoryRunner::new(3, NoiseParams::standard(P), rounds);
+    let cfg = config(1200);
+    let ler_clean = clean.run(&|_| Box::new(NoLrcPolicy::new()), &cfg).ler();
+    let ler_leaky = leaky.run(&|_| Box::new(NoLrcPolicy::new()), &cfg).ler();
+    assert!(
+        ler_leaky > 1.5 * ler_clean,
+        "leakage must visibly degrade the LER: clean {ler_clean}, leaky {ler_leaky}"
+    );
+}
+
+#[test]
+fn optimal_lrc_scheduling_beats_no_lrcs() {
+    let runner = MemoryRunner::new(3, NoiseParams::standard(P), 24);
+    let cfg = config(1200);
+    let none = runner.run(&|_| Box::new(NoLrcPolicy::new()), &cfg);
+    let optimal = runner.run(&|c| Box::new(OptimalPolicy::new(c)), &cfg);
+    assert!(
+        optimal.ler() < none.ler(),
+        "optimal {} must beat no-lrc {}",
+        optimal.ler(),
+        none.ler()
+    );
+    // And it keeps the leakage population much lower.
+    assert!(optimal.mean_lpr() < 0.5 * none.mean_lpr());
+}
+
+#[test]
+fn eraser_tracks_optimal_lpr_with_far_fewer_lrcs_than_always() {
+    let runner = MemoryRunner::new(3, NoiseParams::standard(P), 24);
+    let cfg = config(800);
+    let always = runner.run(&|c| Box::new(AlwaysLrcPolicy::new(c)), &cfg);
+    let eraser = runner.run(&|c| Box::new(EraserPolicy::new(c)), &cfg);
+    let optimal = runner.run(&|c| Box::new(OptimalPolicy::new(c)), &cfg);
+
+    // Table 4's shape: an order of magnitude fewer LRCs than Always.
+    assert!(eraser.lrcs_per_round() < always.lrcs_per_round() / 5.0);
+    // Fig 15's shape: ERASER's LPR sits between Always and Optimal, closer
+    // to Optimal than Always is.
+    assert!(eraser.mean_lpr() < always.mean_lpr());
+    assert!(optimal.mean_lpr() <= eraser.mean_lpr() * 1.5);
+}
+
+#[test]
+fn eraser_speculation_quality_matches_fig16_shape() {
+    let runner = MemoryRunner::new(3, NoiseParams::standard(P), 24);
+    let cfg = config(600);
+    let always = runner.run(&|c| Box::new(AlwaysLrcPolicy::new(c)), &cfg);
+    let eraser = runner.run(&|c| Box::new(EraserPolicy::new(c)), &cfg);
+    let eraser_m = runner.run(&|c| Box::new(EraserPolicy::with_multilevel(c)), &cfg);
+
+    // Always-LRC blankets the lattice: ~50% FPR, accuracy far below ERASER.
+    assert!(always.speculation.false_positive_rate() > 0.3);
+    assert!(eraser.speculation.false_positive_rate() < 0.1);
+    assert!(eraser.speculation.accuracy() > always.speculation.accuracy());
+    // Multi-level readout reduces the FNR (Fig 16 bottom).
+    assert!(
+        eraser_m.speculation.false_negative_rate()
+            <= eraser.speculation.false_negative_rate() + 0.02,
+        "eraser+m FNR {} vs eraser FNR {}",
+        eraser_m.speculation.false_negative_rate(),
+        eraser.speculation.false_negative_rate()
+    );
+}
+
+#[test]
+fn multilevel_discriminator_requires_flag() {
+    let runner = MemoryRunner::new(3, NoiseParams::standard(P), 6);
+    let cfg = config(50);
+    let base = runner.run(&|c| Box::new(EraserPolicy::new(c)), &cfg);
+    let multi = runner.run(&|c| Box::new(EraserPolicy::with_multilevel(c)), &cfg);
+    assert_eq!(base.policy, "eraser");
+    assert_eq!(multi.policy, "eraser+m");
+}
