@@ -2,29 +2,73 @@
 //! the backup column, and the transport model affect pipeline cost. (The
 //! accuracy side lives in `eraser-experiments ablation`.)
 
-use criterion::{criterion_group, criterion_main, Criterion};
-use eraser_core::{
-    EraserOptions, EraserPolicy, LrcPolicy, MemoryRunner, NoLrcPolicy, RoundContext, RunConfig,
-};
+use eraser_bench::Harness;
+use eraser_core::{EraserOptions, EraserPolicy, Experiment, LrcPolicy, PolicyKind, RoundContext};
 use qec_core::{NoiseParams, Rng};
 use std::hint::black_box;
 use surface_code::RotatedCode;
 
-fn threshold_variants(c: &mut Criterion) {
-    let code = RotatedCode::new(11);
-    let mut rng = Rng::new(17);
-    let events: Vec<bool> = (0..code.num_stabs()).map(|_| rng.bernoulli(0.1)).collect();
-    let labels = vec![false; code.num_stabs()];
-    let oracle = vec![false; code.num_data()];
-    let mut group = c.benchmark_group("ablation_threshold_d11");
-    group.sample_size(60);
-    for threshold in [1usize, 2, 3] {
-        let mut policy = EraserPolicy::with_options(
-            &code,
-            EraserOptions { threshold_override: threshold, ..EraserOptions::default() },
-        );
-        group.bench_function(format!("threshold_{threshold}"), |b| {
-            b.iter(|| {
+fn main() {
+    let h = Harness::from_args();
+
+    // LSB threshold variants on a d=11 lattice.
+    {
+        let code = RotatedCode::new(11);
+        let mut rng = Rng::new(17);
+        let events: Vec<bool> = (0..code.num_stabs()).map(|_| rng.bernoulli(0.1)).collect();
+        let labels = vec![false; code.num_stabs()];
+        let oracle = vec![false; code.num_data()];
+        for threshold in [1usize, 2, 3] {
+            let mut policy = EraserPolicy::with_options(
+                &code,
+                EraserOptions {
+                    threshold_override: threshold,
+                    ..EraserOptions::default()
+                },
+            );
+            h.bench(
+                &format!("ablation_threshold_d11/threshold_{threshold}"),
+                || {
+                    policy.reset_shot();
+                    policy.plan_round(black_box(&RoundContext {
+                        round: 1,
+                        events: &events,
+                        leaked_readouts: &labels,
+                        oracle_leaked_data: &oracle,
+                        last_lrcs: &[],
+                    }))
+                },
+            );
+        }
+    }
+
+    // DLI structure variants on a d=11 lattice.
+    {
+        let code = RotatedCode::new(11);
+        let mut rng = Rng::new(18);
+        let events: Vec<bool> = (0..code.num_stabs()).map(|_| rng.bernoulli(0.2)).collect();
+        let labels = vec![false; code.num_stabs()];
+        let oracle = vec![false; code.num_data()];
+        let variants = [
+            ("full", EraserOptions::default()),
+            (
+                "no_putt",
+                EraserOptions {
+                    use_putt: false,
+                    ..EraserOptions::default()
+                },
+            ),
+            (
+                "no_backup",
+                EraserOptions {
+                    use_backup: false,
+                    ..EraserOptions::default()
+                },
+            ),
+        ];
+        for (name, options) in variants {
+            let mut policy = EraserPolicy::with_options(&code, options);
+            h.bench(&format!("ablation_dli_d11/{name}"), || {
                 policy.reset_shot();
                 policy.plan_round(black_box(&RoundContext {
                     round: 1,
@@ -33,62 +77,26 @@ fn threshold_variants(c: &mut Criterion) {
                     oracle_leaked_data: &oracle,
                     last_lrcs: &[],
                 }))
-            })
-        });
+            });
+        }
     }
-    group.finish();
-}
 
-fn dli_structures(c: &mut Criterion) {
-    let code = RotatedCode::new(11);
-    let mut rng = Rng::new(18);
-    let events: Vec<bool> = (0..code.num_stabs()).map(|_| rng.bernoulli(0.2)).collect();
-    let labels = vec![false; code.num_stabs()];
-    let oracle = vec![false; code.num_data()];
-    let variants = [
-        ("full", EraserOptions::default()),
-        ("no_putt", EraserOptions { use_putt: false, ..EraserOptions::default() }),
-        ("no_backup", EraserOptions { use_backup: false, ..EraserOptions::default() }),
-    ];
-    let mut group = c.benchmark_group("ablation_dli_d11");
-    group.sample_size(60);
-    for (name, options) in variants {
-        let mut policy = EraserPolicy::with_options(&code, options);
-        group.bench_function(name, |b| {
-            b.iter(|| {
-                policy.reset_shot();
-                policy.plan_round(black_box(&RoundContext {
-                    round: 1,
-                    events: &events,
-                    leaked_readouts: &labels,
-                    oracle_leaked_data: &oracle,
-                    last_lrcs: &[],
-                }))
-            })
-        });
-    }
-    group.finish();
-}
-
-fn transport_models(c: &mut Criterion) {
-    let mut group = c.benchmark_group("ablation_transport");
-    group.sample_size(10);
+    // Transport-model cost on the full pipeline.
     for (name, noise) in [
         ("conservative", NoiseParams::standard(1e-3)),
         ("exchange", NoiseParams::exchange_transport(1e-3)),
     ] {
-        let runner = MemoryRunner::new(3, noise, 6);
-        group.bench_function(name, |b| {
-            b.iter(|| {
-                let cfg = RunConfig { shots: 12, seed: 2, decode: false, ..RunConfig::default() };
-                runner
-                    .run(&|_| Box::new(NoLrcPolicy::new()) as Box<dyn LrcPolicy>, &cfg)
-                    .mean_lpr()
-            })
+        let exp = Experiment::builder()
+            .distance(3)
+            .noise(noise)
+            .rounds(6)
+            .shots(12)
+            .seed(2)
+            .decode(false)
+            .build()
+            .expect("valid bench experiment");
+        h.bench(&format!("ablation_transport/{name}"), || {
+            exp.run_policy(&PolicyKind::NoLrc).mean_lpr()
         });
     }
-    group.finish();
 }
-
-criterion_group!(benches, threshold_variants, dli_structures, transport_models);
-criterion_main!(benches);

@@ -1,8 +1,7 @@
 //! Decoder stack performance: detector-error-model construction, matching
 //! decoders, and raw blossom throughput.
 
-use criterion::{criterion_group, criterion_main, Criterion};
-use eraser_bench::decode_fixture;
+use eraser_bench::{decode_fixture, Harness};
 use qec_core::circuit::DetectorBasis;
 use qec_core::NoiseParams;
 use qec_decoder::{
@@ -12,88 +11,69 @@ use qec_decoder::{
 use std::hint::black_box;
 use surface_code::{MemoryExperiment, RotatedCode};
 
-fn dem_construction(c: &mut Criterion) {
-    let mut group = c.benchmark_group("dem_build");
-    group.sample_size(10);
+fn main() {
+    let h = Harness::from_args();
+
     for (d, rounds) in [(3usize, 3usize), (5, 5)] {
         let exp = MemoryExperiment::new(RotatedCode::new(d), NoiseParams::standard(1e-3), rounds);
         let detectors = exp.detectors();
         let observable = exp.observable_keys();
         let circuit = exp.base_circuit();
-        group.bench_function(format!("d{d}_r{rounds}"), |b| {
-            b.iter(|| build_dem(black_box(&circuit), &detectors, &observable))
+        h.bench(&format!("dem_build/d{d}_r{rounds}"), || {
+            build_dem(black_box(&circuit), &detectors, &observable)
         });
     }
-    group.finish();
-}
 
-fn graph_projection(c: &mut Criterion) {
-    let fixture = decode_fixture(5, 5, 1);
-    let exp = MemoryExperiment::new(RotatedCode::new(5), NoiseParams::standard(1e-3), 5);
-    let detectors = exp.detectors();
-    c.bench_function("graph_from_dem_d5", |b| {
-        b.iter(|| DecodingGraph::from_dem(black_box(&fixture.dem), &detectors, DetectorBasis::Z))
-    });
-}
+    {
+        let fixture = decode_fixture(5, 5, 1);
+        let exp = MemoryExperiment::new(RotatedCode::new(5), NoiseParams::standard(1e-3), 5);
+        let detectors = exp.detectors();
+        h.bench("graph_from_dem_d5", || {
+            DecodingGraph::from_dem(black_box(&fixture.dem), &detectors, DetectorBasis::Z)
+        });
+    }
 
-fn decoder_latency(c: &mut Criterion) {
-    let fixture = decode_fixture(5, 10, 32);
-    let mwpm = MwpmDecoder::new(&fixture.graph);
-    let uf = UnionFindDecoder::new(&fixture.graph);
-    let greedy = GreedyDecoder::new(&fixture.graph);
-    let mut group = c.benchmark_group("decode_d5_r10");
-    group.sample_size(20);
-    group.bench_function("mwpm", |b| {
-        b.iter(|| {
+    {
+        let fixture = decode_fixture(5, 10, 32);
+        let mwpm = MwpmDecoder::new(&fixture.graph);
+        let uf = UnionFindDecoder::new(&fixture.graph);
+        let greedy = GreedyDecoder::new(&fixture.graph);
+        h.bench("decode_d5_r10/mwpm", || {
             fixture
                 .syndromes
                 .iter()
                 .filter(|s| mwpm.decode(black_box(s)))
                 .count()
-        })
-    });
-    group.bench_function("union_find", |b| {
-        b.iter(|| {
+        });
+        h.bench("decode_d5_r10/union_find", || {
             fixture
                 .syndromes
                 .iter()
                 .filter(|s| uf.decode(black_box(s)))
                 .count()
-        })
-    });
-    group.bench_function("greedy", |b| {
-        b.iter(|| {
+        });
+        h.bench("decode_d5_r10/greedy", || {
             fixture
                 .syndromes
                 .iter()
                 .filter(|s| greedy.decode(black_box(s)))
                 .count()
-        })
-    });
-    group.finish();
-}
+        });
+    }
 
-fn blossom_throughput(c: &mut Criterion) {
     // Complete graph on 24 vertices with pseudorandom weights: the defect
     // graph size of a typical d=7 shot.
-    let mut edges = Vec::new();
-    let mut state = 0x12345u64;
-    for u in 0..24usize {
-        for v in (u + 1)..24 {
-            state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
-            edges.push((u, v, (state >> 33) as i64 % 1000));
+    {
+        let mut edges = Vec::new();
+        let mut state = 0x12345u64;
+        for u in 0..24usize {
+            for v in (u + 1)..24 {
+                state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+                edges.push((u, v, (state >> 33) as i64 % 1000));
+            }
         }
+        h.bench("blossom_k24", || {
+            max_weight_matching(black_box(&edges), true)
+        });
     }
-    c.bench_function("blossom_k24", |b| {
-        b.iter(|| max_weight_matching(black_box(&edges), true))
-    });
 }
-
-criterion_group!(
-    benches,
-    dem_construction,
-    graph_projection,
-    decoder_latency,
-    blossom_throughput
-);
-criterion_main!(benches);

@@ -2,15 +2,15 @@
 //! real-time constraint (the LSB + DLI must decide within ~120 ns, §4.3), RTL
 //! generation, and the resource model.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use eraser_bench::Harness;
 use eraser_core::{resource, rtl, EraserPolicy, LrcPolicy, RoundContext};
 use qec_core::Rng;
 use std::hint::black_box;
 use surface_code::RotatedCode;
 
-fn lsb_dli_speculation(c: &mut Criterion) {
-    let mut group = c.benchmark_group("lsb_plan_round");
-    group.sample_size(60);
+fn main() {
+    let h = Harness::from_args();
+
     for d in [3usize, 7, 11] {
         let code = RotatedCode::new(d);
         let mut policy = EraserPolicy::new(&code);
@@ -18,43 +18,35 @@ fn lsb_dli_speculation(c: &mut Criterion) {
         let events: Vec<bool> = (0..code.num_stabs()).map(|_| rng.bernoulli(0.05)).collect();
         let labels = vec![false; code.num_stabs()];
         let oracle = vec![false; code.num_data()];
-        group.bench_function(format!("d{d}"), |b| {
-            b.iter(|| {
-                policy.reset_shot();
-                policy.plan_round(black_box(&RoundContext {
-                    round: 1,
-                    events: &events,
-                    leaked_readouts: &labels,
-                    oracle_leaked_data: &oracle,
-                    last_lrcs: &[],
-                }))
-            })
+        h.bench(&format!("lsb_plan_round/d{d}"), || {
+            policy.reset_shot();
+            policy.plan_round(black_box(&RoundContext {
+                round: 1,
+                events: &events,
+                leaked_readouts: &labels,
+                oracle_leaked_data: &oracle,
+                last_lrcs: &[],
+            }))
         });
     }
-    group.finish();
-}
 
-fn rtl_generation(c: &mut Criterion) {
-    let mut group = c.benchmark_group("rtl_generate");
-    group.sample_size(20);
     for d in [3usize, 11] {
         let code = RotatedCode::new(d);
-        group.bench_function(format!("d{d}"), |b| b.iter(|| rtl::generate(black_box(&code))));
+        h.bench(&format!("rtl_generate/d{d}"), || {
+            rtl::generate(black_box(&code))
+        });
     }
-    group.finish();
-}
 
-fn resource_model(c: &mut Criterion) {
-    let codes: Vec<RotatedCode> = [3usize, 5, 7, 9, 11].iter().map(|&d| RotatedCode::new(d)).collect();
-    c.bench_function("resource_estimate_all_distances", |b| {
-        b.iter(|| {
+    {
+        let codes: Vec<RotatedCode> = [3usize, 5, 7, 9, 11]
+            .iter()
+            .map(|&d| RotatedCode::new(d))
+            .collect();
+        h.bench("resource_estimate_all_distances", || {
             codes
                 .iter()
                 .map(|code| resource::estimate(black_box(code), resource::XCKU3P).luts)
                 .sum::<u64>()
-        })
-    });
+        });
+    }
 }
-
-criterion_group!(benches, lsb_dli_speculation, rtl_generation, resource_model);
-criterion_main!(benches);

@@ -6,131 +6,89 @@
 //! pipelines, and double as a regression net proving every figure's code path
 //! stays alive.
 
-use criterion::{criterion_group, criterion_main, Criterion, SamplingMode};
 use density_sim::StabilizerLeakageStudy;
-use eraser_bench::smoke_run;
-use eraser_core::{
-    analysis, resource, rtl, AlwaysLrcPolicy, EraserPolicy, NoLrcPolicy, OptimalPolicy,
-};
+use eraser_bench::{smoke_experiment, smoke_run, Harness};
+use eraser_core::{analysis, resource, rtl, PolicyKind};
 use std::hint::black_box;
-use std::time::Duration;
 use surface_code::RotatedCode;
 
 const SHOTS: u64 = 12;
 
-fn motivation_figures(c: &mut Criterion) {
-    let mut group = c.benchmark_group("figure_pipelines");
-    group.sample_size(10);
-    group.sampling_mode(SamplingMode::Flat);
-    group.measurement_time(Duration::from_secs(8));
+fn main() {
+    let h = Harness::from_args();
+
+    // -- Motivation figures -------------------------------------------------
+    let decode_r6 = smoke_experiment(3, 6, SHOTS, true);
+    let lpr_r9 = smoke_experiment(3, 9, SHOTS, false);
+    let lpr_r6 = smoke_experiment(3, 6, SHOTS, false);
+
     // Fig 1(c): No-LRC vs Always vs Optimal LER.
-    group.bench_function("fig1c_smoke", |b| {
-        b.iter(|| {
-            smoke_run(3, 6, SHOTS, true, &|_| Box::new(NoLrcPolicy::new()))
-                + smoke_run(3, 6, SHOTS, true, &|c| Box::new(AlwaysLrcPolicy::new(c)))
-                + smoke_run(3, 6, SHOTS, true, &|c| Box::new(OptimalPolicy::new(c)))
-        })
+    h.bench("figure_pipelines/fig1c_smoke", || {
+        smoke_run(&decode_r6, &PolicyKind::NoLrc)
+            + smoke_run(&decode_r6, &PolicyKind::AlwaysLrc)
+            + smoke_run(&decode_r6, &PolicyKind::Optimal)
     });
     // Fig 2(c): leakage on/off (the off case reuses the same pipeline).
-    group.bench_function("fig2c_smoke", |b| {
-        b.iter(|| smoke_run(3, 6, SHOTS, true, &|_| Box::new(NoLrcPolicy::new())))
+    h.bench("figure_pipelines/fig2c_smoke", || {
+        smoke_run(&decode_r6, &PolicyKind::NoLrc)
     });
     // Fig 5 / Fig 6 top: LPR traces (no decoding).
-    group.bench_function("fig5_smoke", |b| {
-        b.iter(|| smoke_run(3, 9, SHOTS, false, &|c| Box::new(AlwaysLrcPolicy::new(c))))
+    h.bench("figure_pipelines/fig5_smoke", || {
+        smoke_run(&lpr_r9, &PolicyKind::AlwaysLrc)
     });
-    group.bench_function("fig6_smoke", |b| {
-        b.iter(|| {
-            smoke_run(3, 9, SHOTS, false, &|c| Box::new(AlwaysLrcPolicy::new(c)))
-                + smoke_run(3, 9, SHOTS, false, &|c| Box::new(OptimalPolicy::new(c)))
-        })
+    h.bench("figure_pipelines/fig6_smoke", || {
+        smoke_run(&lpr_r9, &PolicyKind::AlwaysLrc) + smoke_run(&lpr_r9, &PolicyKind::Optimal)
     });
-    group.finish();
-}
 
-fn analysis_tables(c: &mut Criterion) {
-    // Table 1 / Eq (1)-(2) and Table 2 are closed-form.
-    c.bench_function("table1_analytic", |b| {
-        b.iter(|| {
-            analysis::p_data_leak_given_parity_leak(
-                black_box(analysis::P_LEAK_DEFAULT),
-                analysis::P_TRANSPORT_DEFAULT,
-            ) + analysis::p_parity_leak_given_data_leak(
-                analysis::P_LEAK_DEFAULT,
-                analysis::P_TRANSPORT_DEFAULT,
-            )
-        })
+    // -- Analysis tables (closed form) --------------------------------------
+    h.bench("table1_analytic", || {
+        analysis::p_data_leak_given_parity_leak(
+            black_box(analysis::P_LEAK_DEFAULT),
+            analysis::P_TRANSPORT_DEFAULT,
+        ) + analysis::p_parity_leak_given_data_leak(
+            analysis::P_LEAK_DEFAULT,
+            analysis::P_TRANSPORT_DEFAULT,
+        )
     });
-    c.bench_function("table2_analytic", |b| {
-        b.iter(|| (0..4).map(|r| analysis::p_invisible(black_box(r))).sum::<f64>())
+    h.bench("table2_analytic", || {
+        (0..4)
+            .map(|r| analysis::p_invisible(black_box(r)))
+            .sum::<f64>()
     });
-}
 
-fn main_result_figures(c: &mut Criterion) {
-    let mut group = c.benchmark_group("figure_pipelines");
-    group.sample_size(10);
-    group.sampling_mode(SamplingMode::Flat);
-    group.measurement_time(Duration::from_secs(8));
+    // -- Main result figures ------------------------------------------------
     // Fig 14 / Fig 17 / Fig 20: the four-policy LER sweep (one d).
-    group.bench_function("fig14_smoke", |b| {
-        b.iter(|| {
-            smoke_run(3, 6, SHOTS, true, &|c| Box::new(AlwaysLrcPolicy::new(c)))
-                + smoke_run(3, 6, SHOTS, true, &|c| Box::new(EraserPolicy::new(c)))
-                + smoke_run(3, 6, SHOTS, true, &|c| Box::new(EraserPolicy::with_multilevel(c)))
-                + smoke_run(3, 6, SHOTS, true, &|c| Box::new(OptimalPolicy::new(c)))
-        })
+    h.bench("figure_pipelines/fig14_smoke", || {
+        smoke_run(&decode_r6, &PolicyKind::AlwaysLrc)
+            + smoke_run(&decode_r6, &PolicyKind::eraser())
+            + smoke_run(&decode_r6, &PolicyKind::eraser_m())
+            + smoke_run(&decode_r6, &PolicyKind::Optimal)
     });
     // Fig 15 / 18 / 21: LPR traces.
-    group.bench_function("fig15_smoke", |b| {
-        b.iter(|| smoke_run(3, 9, SHOTS, false, &|c| Box::new(EraserPolicy::new(c))))
+    h.bench("figure_pipelines/fig15_smoke", || {
+        smoke_run(&lpr_r9, &PolicyKind::eraser())
     });
     // Fig 16: speculation statistics come from the same no-decode pipeline.
-    group.bench_function("fig16_smoke", |b| {
-        b.iter(|| {
-            smoke_run(3, 6, SHOTS, false, &|c| Box::new(EraserPolicy::new(c)))
-                + smoke_run(3, 6, SHOTS, false, &|c| {
-                    Box::new(EraserPolicy::with_multilevel(c))
-                })
-        })
+    h.bench("figure_pipelines/fig16_smoke", || {
+        smoke_run(&lpr_r6, &PolicyKind::eraser()) + smoke_run(&lpr_r6, &PolicyKind::eraser_m())
     });
     // Table 4: LRC counting (no decode).
-    group.bench_function("table4_smoke", |b| {
-        b.iter(|| smoke_run(3, 6, SHOTS, false, &|c| Box::new(AlwaysLrcPolicy::new(c))))
+    h.bench("figure_pipelines/table4_smoke", || {
+        smoke_run(&lpr_r6, &PolicyKind::AlwaysLrc)
     });
-    group.finish();
-}
 
-fn hardware_table(c: &mut Criterion) {
+    // -- Hardware table -----------------------------------------------------
     // Table 3: RTL + resource model.
-    c.bench_function("table3_pipeline", |b| {
-        b.iter(|| {
-            let code = RotatedCode::new(5);
-            let sv = rtl::generate(black_box(&code));
-            let est = resource::estimate(&code, resource::XCKU3P);
-            sv.len() as f64 + est.lut_pct
-        })
+    h.bench("table3_pipeline", || {
+        let code = RotatedCode::new(5);
+        let sv = rtl::generate(black_box(&code));
+        let est = resource::estimate(&code, resource::XCKU3P);
+        sv.len() as f64 + est.lut_pct
+    });
+
+    // -- Density-matrix figure ----------------------------------------------
+    // Fig 8 runs a 5-ququart density-matrix circuit.
+    h.bench("figure_pipelines/fig8_full_study", || {
+        StabilizerLeakageStudy::default().run().len()
     });
 }
-
-fn density_figure(c: &mut Criterion) {
-    // Fig 8 runs a 5-ququart density-matrix circuit (~seconds); bench it with
-    // a reduced single-measurement budget.
-    let mut group = c.benchmark_group("figure_pipelines");
-    group.sample_size(10);
-    group.sampling_mode(SamplingMode::Flat);
-    group.measurement_time(Duration::from_secs(10));
-    group.bench_function("fig8_full_study", |b| {
-        b.iter(|| StabilizerLeakageStudy::default().run().len())
-    });
-    group.finish();
-}
-
-criterion_group!(
-    benches,
-    motivation_figures,
-    analysis_tables,
-    main_result_figures,
-    hardware_table,
-    density_figure
-);
-criterion_main!(benches);

@@ -2,16 +2,15 @@
 //! extraction rounds, tableau verification speed, and density-matrix kernel
 //! cost.
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use density_sim::{gates, DensityMatrix};
-use eraser_bench::round_ops;
+use eraser_bench::{round_ops, Harness};
 use leak_sim::{Discriminator, FrameSimulator, TableauSimulator};
 use qec_core::{NoiseParams, Rng};
 use std::hint::black_box;
 
-fn frame_simulator(c: &mut Criterion) {
-    let mut group = c.benchmark_group("frame_sim_round");
-    group.sample_size(40);
+fn main() {
+    let h = Harness::from_args();
+
     for d in [3usize, 7, 11] {
         let (code, ops, keys) = round_ops(d);
         let mut sim = FrameSimulator::new(
@@ -21,49 +20,35 @@ fn frame_simulator(c: &mut Criterion) {
             Discriminator::TwoLevel,
             Rng::new(1),
         );
-        group.bench_function(format!("d{d}"), |b| {
-            b.iter(|| {
-                sim.reset_shot();
-                sim.run(black_box(&ops));
-            })
+        h.bench(&format!("frame_sim_round/d{d}"), || {
+            sim.reset_shot();
+            sim.run(black_box(&ops));
         });
     }
-    group.finish();
-}
 
-fn tableau_simulator(c: &mut Criterion) {
-    let mut group = c.benchmark_group("tableau_round");
-    group.sample_size(20);
     for d in [3usize, 5] {
         let (code, ops, _) = round_ops(d);
-        group.bench_function(format!("d{d}"), |b| {
-            b.iter(|| {
-                let mut sim = TableauSimulator::new(code.num_qubits(), 7);
-                let mut outcomes = Vec::new();
-                sim.run_circuit_ops(black_box(&ops), &mut outcomes);
-                outcomes
-            })
+        h.bench(&format!("tableau_round/d{d}"), || {
+            let mut sim = TableauSimulator::new(code.num_qubits(), 7);
+            let mut outcomes = Vec::new();
+            sim.run_circuit_ops(black_box(&ops), &mut outcomes);
+            outcomes
         });
     }
-    group.finish();
-}
 
-fn density_kernels(c: &mut Criterion) {
-    let mut group = c.benchmark_group("density_sim");
-    group.sample_size(20);
     // Three-ququart register: the same kernels Fig 8 runs on five ququarts.
-    group.bench_function("cnot_3ququarts", |b| {
+    {
         let mut rho = DensityMatrix::new_pure(3, &[2, 0, 0]);
         let cx = gates::cnot();
-        b.iter(|| rho.apply_two(0, 2, black_box(&cx)))
-    });
-    group.bench_function("transport_kraus_3ququarts", |b| {
+        h.bench("density_sim/cnot_3ququarts", || {
+            rho.apply_two(0, 2, black_box(&cx))
+        });
+    }
+    {
         let mut rho = DensityMatrix::new_pure(3, &[2, 0, 0]);
         let ks = gates::leak_transport_kraus(0.1);
-        b.iter(|| rho.apply_kraus_two(0, 1, black_box(&ks)))
-    });
-    group.finish();
+        h.bench("density_sim/transport_kraus_3ququarts", || {
+            rho.apply_kraus_two(0, 1, black_box(&ks))
+        });
+    }
 }
-
-criterion_group!(benches, frame_simulator, tableau_simulator, density_kernels);
-criterion_main!(benches);

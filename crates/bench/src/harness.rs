@@ -1,0 +1,107 @@
+//! A minimal, dependency-free benchmark harness.
+//!
+//! The workspace builds offline, so the criterion crate is not available;
+//! this module provides the small subset the suite needs: named benchmarks,
+//! substring filtering from the command line (`cargo bench -- <filter>`),
+//! automatic iteration-count calibration, and ns/µs/ms formatting.
+//!
+//! Set `ERASER_BENCH_QUICK=1` to shrink the measurement budget (useful as a
+//! smoke run in CI).
+
+use std::time::{Duration, Instant};
+
+/// Per-process benchmark driver. Construct once in `main` with
+/// [`Harness::from_args`], then call [`Harness::bench`] per benchmark.
+pub struct Harness {
+    filter: Option<String>,
+    target: Duration,
+}
+
+impl Harness {
+    /// Reads the optional substring filter from the command line (cargo
+    /// passes `--bench` and similar flags; everything else is a filter).
+    pub fn from_args() -> Harness {
+        let filter = std::env::args().skip(1).find(|arg| !arg.starts_with("--"));
+        let quick = std::env::var_os("ERASER_BENCH_QUICK").is_some();
+        let target = if quick {
+            Duration::from_millis(30)
+        } else {
+            Duration::from_millis(300)
+        };
+        Harness { filter, target }
+    }
+
+    /// Runs `f` repeatedly for roughly the measurement budget and prints the
+    /// mean time per iteration. Skipped (silently) if `name` does not match
+    /// the filter.
+    pub fn bench<T>(&self, name: &str, mut f: impl FnMut() -> T) {
+        if let Some(filter) = &self.filter {
+            if !name.contains(filter.as_str()) {
+                return;
+            }
+        }
+        // Warm-up and calibration in one: time a single iteration.
+        let start = Instant::now();
+        std::hint::black_box(f());
+        let once = start.elapsed().max(Duration::from_nanos(1));
+        let iters = (self.target.as_nanos() / once.as_nanos()).clamp(1, 1_000_000) as u64;
+        let start = Instant::now();
+        for _ in 0..iters {
+            std::hint::black_box(f());
+        }
+        let per_iter = start.elapsed().as_nanos() as f64 / iters as f64;
+        println!(
+            "{name:<44} {:>14}/iter  ({iters} iters)",
+            format_ns(per_iter)
+        );
+    }
+}
+
+fn format_ns(ns: f64) -> String {
+    if ns < 1_000.0 {
+        format!("{ns:.0} ns")
+    } else if ns < 1_000_000.0 {
+        format!("{:.2} us", ns / 1_000.0)
+    } else if ns < 1_000_000_000.0 {
+        format!("{:.2} ms", ns / 1_000_000.0)
+    } else {
+        format!("{:.3} s", ns / 1_000_000_000.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn formats_time_scales() {
+        assert_eq!(format_ns(250.0), "250 ns");
+        assert_eq!(format_ns(2_500.0), "2.50 us");
+        assert_eq!(format_ns(2_500_000.0), "2.50 ms");
+        assert_eq!(format_ns(2_500_000_000.0), "2.500 s");
+    }
+
+    #[test]
+    fn bench_runs_the_closure() {
+        let h = Harness {
+            filter: None,
+            target: Duration::from_micros(50),
+        };
+        let mut calls = 0u64;
+        h.bench("noop", || calls += 1);
+        assert!(calls >= 2, "warm-up plus at least one measured iteration");
+    }
+
+    #[test]
+    fn filter_skips_non_matching_names() {
+        let h = Harness {
+            filter: Some("decoder".to_string()),
+            target: Duration::from_micros(50),
+        };
+        let mut calls = 0u64;
+        h.bench("simulator_round", || calls += 1);
+        assert_eq!(calls, 0);
+        h.bench("decoder_latency", || calls += 1);
+        assert!(calls > 0);
+    }
+}

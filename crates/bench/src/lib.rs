@@ -1,12 +1,19 @@
-//! Shared fixtures for the Criterion benchmark suite.
+//! Shared fixtures and the harness for the benchmark suite.
 //!
 //! The benches cover (a) component performance — simulator throughput,
 //! detector-error-model construction, decoder latency, LSB speculation
 //! latency, RTL generation — and (b) one smoke benchmark per paper
 //! table/figure pipeline (tiny shot budgets; the full regeneration lives in
 //! the `eraser-experiments` harness).
+//!
+//! Policy workloads go through the [`eraser_core::Experiment`] facade and
+//! select policies by [`eraser_core::PolicyKind`].
 
-use eraser_core::{LrcPolicy, MemoryRunner, RunConfig};
+pub mod harness;
+
+pub use harness::Harness;
+
+use eraser_core::{Experiment, PolicyKind};
 use qec_core::circuit::DetectorBasis;
 use qec_core::{NoiseParams, Op, Rng};
 use qec_decoder::{build_dem, DecodingGraph, DetectorErrorModel};
@@ -40,7 +47,11 @@ pub fn decode_fixture(d: usize, rounds: usize, n_syndromes: usize) -> DecodeFixt
         }
         syndromes.push((0..graph.num_nodes()).filter(|&n| events[n]).collect());
     }
-    DecodeFixture { graph, dem, syndromes }
+    DecodeFixture {
+        graph,
+        dem,
+        syndromes,
+    }
 }
 
 /// The ops of one plain syndrome-extraction round (for simulator throughput).
@@ -55,16 +66,21 @@ pub fn round_ops(d: usize) -> (RotatedCode, Vec<Op>, usize) {
     (exp.code().clone(), ops, total)
 }
 
-/// Runs a tiny policy workload (shared by the per-figure smoke benches).
-pub fn smoke_run(
-    d: usize,
-    rounds: usize,
-    shots: u64,
-    decode: bool,
-    factory: &(dyn Fn(&RotatedCode) -> Box<dyn LrcPolicy> + Sync),
-) -> f64 {
-    let runner = MemoryRunner::new(d, NoiseParams::standard(1e-3), rounds);
-    let config = RunConfig { shots, seed: 5, decode, ..RunConfig::default() };
-    let result = runner.run(factory, &config);
+/// Builds the tiny-budget experiment shared by the per-figure smoke benches.
+pub fn smoke_experiment(d: usize, rounds: usize, shots: u64, decode: bool) -> Experiment {
+    Experiment::builder()
+        .distance(d)
+        .noise(NoiseParams::standard(1e-3))
+        .rounds(rounds)
+        .shots(shots)
+        .seed(5)
+        .decode(decode)
+        .build()
+        .expect("smoke experiment parameters are valid")
+}
+
+/// Runs a tiny policy workload on `exp` (shared by the smoke benches).
+pub fn smoke_run(exp: &Experiment, policy: &PolicyKind) -> f64 {
+    let result = exp.run_policy(policy);
     result.ler() + result.mean_lpr()
 }

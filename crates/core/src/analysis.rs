@@ -27,9 +27,7 @@ pub const P_TRANSPORT_DEFAULT: f64 = 0.1;
 /// assert!((p - 0.10).abs() < 0.01, "paper estimates ≈10%");
 /// ```
 pub fn p_data_leak_given_parity_leak(p_leak: f64, p_transport: f64) -> f64 {
-    let op_term: f64 = (1..=4)
-        .map(|k| (1.0 - p_leak).powi(k - 1) * p_leak)
-        .sum();
+    let op_term: f64 = (1..=4).map(|k| (1.0 - p_leak).powi(k - 1) * p_leak).sum();
     p_transport + op_term
 }
 
@@ -49,9 +47,7 @@ pub fn p_data_leak_given_parity_leak(p_leak: f64, p_transport: f64) -> f64 {
 /// assert!((p - 0.34).abs() < 0.01, "paper estimates ≈34%");
 /// ```
 pub fn p_parity_leak_given_data_leak(p_leak: f64, p_transport: f64) -> f64 {
-    let op_term: f64 = (1..=9)
-        .map(|k| (1.0 - p_leak).powi(k - 1) * p_leak)
-        .sum();
+    let op_term: f64 = (1..=9).map(|k| (1.0 - p_leak).powi(k - 1) * p_leak).sum();
     let transport_term: f64 = (1..=4)
         .map(|k| (1.0 - p_transport).powi(k - 1) * p_transport)
         .sum();
@@ -161,7 +157,12 @@ mod tests {
 
         let noise = NoiseParams::standard(1e-3);
         let runner = MemoryRunner::new(5, noise, 40);
-        let cfg = RunConfig { shots: 300, seed: 8, decode: false, ..RunConfig::default() };
+        let cfg = RunConfig {
+            shots: 300,
+            seed: 8,
+            decode: false,
+            ..RunConfig::default()
+        };
         let result = runner.run(&|c| Box::new(AlwaysLrcPolicy::new(c)), &cfg);
         // Late-round (equilibrated) data LPR.
         let tail: f64 = result.lpr_data[30..].iter().sum::<f64>() / 10.0;

@@ -1,0 +1,1110 @@
+//! The unified experiment facade: one front door for every consumer of the
+//! ERASER runtime.
+//!
+//! Three pieces replace the old ad-hoc `MemoryRunner::new` + `RunConfig` +
+//! closure-factory call pattern:
+//!
+//! * [`Experiment`] / [`ExperimentBuilder`] — a validating builder that owns
+//!   the runner, the run configuration, and the policy selection:
+//!
+//!   ```
+//!   use eraser_core::{DecoderKind, Experiment, PolicyKind};
+//!   use qec_core::NoiseParams;
+//!
+//!   let exp = Experiment::builder()
+//!       .distance(3)
+//!       .noise(NoiseParams::standard(1e-3))
+//!       .rounds(3)
+//!       .policy(PolicyKind::eraser())
+//!       .decoder(DecoderKind::Mwpm)
+//!       .shots(20)
+//!       .build()
+//!       .expect("valid experiment");
+//!   assert_eq!(exp.run().shots, 20);
+//!   ```
+//!
+//! * [`PolicyKind`] — a by-value policy registry with [`std::str::FromStr`] /
+//!   [`std::fmt::Display`], so CLIs, benches, and figures select policies
+//!   without passing `dyn Fn(&RotatedCode) -> Box<dyn LrcPolicy>` closures
+//!   around. The closure form remains available through
+//!   [`PolicyKind::custom`].
+//!
+//! * [`Sweep`] — a grid engine (distances × physical error rates × policies)
+//!   that caches runner construction per (distance, noise, rounds) key,
+//!   resolves the thread-pool partitioning once for the whole grid, and
+//!   streams [`SweepPoint`]s to a sink as they complete.
+
+use std::collections::HashMap;
+use std::fmt;
+use std::str::FromStr;
+use std::sync::Arc;
+
+use crate::policy::{
+    AlwaysLrcPolicy, EraserOptions, EraserPolicy, LrcPolicy, NoLrcPolicy, OptimalPolicy,
+};
+use crate::runtime::{DecoderKind, LrcProtocol, MemoryRunResult, MemoryRunner, RunConfig};
+use qec_core::{NoiseParams, TransportModel};
+use surface_code::{MemoryBasis, RotatedCode};
+
+/// The escape hatch: a thread-safe factory producing one policy instance per
+/// worker thread (the shape `MemoryRunner::run` consumes).
+pub type PolicyFactory = Arc<dyn Fn(&RotatedCode) -> Box<dyn LrcPolicy> + Send + Sync>;
+
+// ---------------------------------------------------------------------------
+// Errors
+// ---------------------------------------------------------------------------
+
+/// Validation and parse errors of the experiment facade. The builder returns
+/// these instead of panicking.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ExperimentError {
+    /// `distance` was never set on the builder.
+    MissingDistance,
+    /// The rotated surface code needs an odd distance ≥ 3.
+    InvalidDistance(usize),
+    /// Neither `rounds` nor `cycles` was set on the builder.
+    MissingRounds,
+    /// `rounds(0)` / `cycles(0)`: a run needs at least one round.
+    ZeroRounds,
+    /// `shots(0)`: a run needs at least one shot.
+    ZeroShots,
+    /// A sweep error rate was outside [0, 1] or non-finite.
+    InvalidErrorRate(f64),
+    /// A sweep axis (distances, error rates, or policies) was empty.
+    EmptyGridAxis(&'static str),
+    /// `PolicyKind::from_str` did not recognize the name.
+    UnknownPolicy(String),
+    /// `DecoderKind::from_str` did not recognize the name.
+    UnknownDecoder(String),
+}
+
+impl fmt::Display for ExperimentError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ExperimentError::MissingDistance => write!(f, "experiment needs a code distance"),
+            ExperimentError::InvalidDistance(d) => {
+                write!(f, "code distance must be odd and >= 3, got {d}")
+            }
+            ExperimentError::MissingRounds => {
+                write!(f, "experiment needs a round count (`rounds` or `cycles`)")
+            }
+            ExperimentError::ZeroRounds => write!(f, "a run needs at least one round"),
+            ExperimentError::ZeroShots => write!(f, "a run needs at least one shot"),
+            ExperimentError::InvalidErrorRate(p) => {
+                write!(
+                    f,
+                    "physical error rate must be finite and within [0, 1], got {p}"
+                )
+            }
+            ExperimentError::EmptyGridAxis(axis) => {
+                write!(f, "sweep axis `{axis}` must not be empty")
+            }
+            ExperimentError::UnknownPolicy(s) => write!(f, "unknown policy `{s}`"),
+            ExperimentError::UnknownDecoder(s) => write!(f, "unknown decoder `{s}`"),
+        }
+    }
+}
+
+impl std::error::Error for ExperimentError {}
+
+/// The rotated surface code needs an odd distance ≥ 3. Shared by the
+/// experiment and sweep builders so the two front doors accept the same
+/// geometries.
+fn validate_distance(d: usize) -> Result<(), ExperimentError> {
+    if d < 3 || d.is_multiple_of(2) {
+        Err(ExperimentError::InvalidDistance(d))
+    } else {
+        Ok(())
+    }
+}
+
+/// A run needs at least one shot (shared by both builders).
+fn validate_shots(shots: u64) -> Result<(), ExperimentError> {
+    if shots == 0 {
+        Err(ExperimentError::ZeroShots)
+    } else {
+        Ok(())
+    }
+}
+
+// ---------------------------------------------------------------------------
+// PolicyKind registry
+// ---------------------------------------------------------------------------
+
+/// By-value selection of an LRC scheduling policy.
+///
+/// Every standard policy of the paper is a variant; [`PolicyKind::Custom`]
+/// wraps an arbitrary factory for policies defined outside this crate.
+#[derive(Clone)]
+pub enum PolicyKind {
+    /// Never schedule an LRC (the "No LRC" baseline).
+    NoLrc,
+    /// Alternate-round blanket scheduling (the paper's state-of-the-art
+    /// baseline).
+    AlwaysLrc,
+    /// Blanket scheduling every round (the DQLR baseline of Appendix A.2).
+    AlwaysEveryRound,
+    /// ERASER with the given design knobs (§4.2–§4.4).
+    Eraser(EraserOptions),
+    /// ERASER+M: multi-level readout integration (§4.6).
+    EraserM(EraserOptions),
+    /// The idealized oracle scheduler (§3.2).
+    Optimal,
+    /// A user-supplied policy factory (the closure escape hatch).
+    Custom {
+        /// Display label for tables and CSV columns.
+        name: String,
+        /// Per-thread policy constructor.
+        factory: PolicyFactory,
+    },
+}
+
+impl PolicyKind {
+    /// ERASER at the paper's design point.
+    pub fn eraser() -> PolicyKind {
+        PolicyKind::Eraser(EraserOptions::default())
+    }
+
+    /// ERASER+M at the paper's design point.
+    pub fn eraser_m() -> PolicyKind {
+        PolicyKind::EraserM(EraserOptions::default())
+    }
+
+    /// Wraps an arbitrary policy factory.
+    pub fn custom(
+        name: impl Into<String>,
+        factory: impl Fn(&RotatedCode) -> Box<dyn LrcPolicy> + Send + Sync + 'static,
+    ) -> PolicyKind {
+        PolicyKind::Custom {
+            name: name.into(),
+            factory: Arc::new(factory),
+        }
+    }
+
+    /// All six standard policies at their default design points, in the
+    /// canonical evaluation order.
+    pub fn all_standard() -> [PolicyKind; 6] {
+        [
+            PolicyKind::NoLrc,
+            PolicyKind::AlwaysLrc,
+            PolicyKind::AlwaysEveryRound,
+            PolicyKind::eraser(),
+            PolicyKind::eraser_m(),
+            PolicyKind::Optimal,
+        ]
+    }
+
+    /// Display label (stable CLI / CSV name). Note that for
+    /// [`PolicyKind::AlwaysEveryRound`] this is the figure-harness label
+    /// `dqlr-every-round`, while the constructed policy reports its runtime
+    /// name `always-every-round` in [`MemoryRunResult::policy`].
+    pub fn label(&self) -> &str {
+        match self {
+            PolicyKind::NoLrc => "no-lrc",
+            PolicyKind::AlwaysLrc => "always-lrc",
+            PolicyKind::AlwaysEveryRound => "dqlr-every-round",
+            PolicyKind::Eraser(_) => "eraser",
+            PolicyKind::EraserM(_) => "eraser+m",
+            PolicyKind::Optimal => "optimal",
+            PolicyKind::Custom { name, .. } => name,
+        }
+    }
+
+    /// Instantiates the policy for a code (one instance per worker thread).
+    pub fn build(&self, code: &RotatedCode) -> Box<dyn LrcPolicy> {
+        match self {
+            PolicyKind::NoLrc => Box::new(NoLrcPolicy::new()),
+            PolicyKind::AlwaysLrc => Box::new(AlwaysLrcPolicy::new(code)),
+            PolicyKind::AlwaysEveryRound => Box::new(AlwaysLrcPolicy::every_round(code)),
+            PolicyKind::Eraser(options) => Box::new(EraserPolicy::with_options(code, *options)),
+            PolicyKind::EraserM(options) => {
+                Box::new(EraserPolicy::with_multilevel_options(code, *options))
+            }
+            PolicyKind::Optimal => Box::new(OptimalPolicy::new(code)),
+            PolicyKind::Custom { factory, .. } => factory(code),
+        }
+    }
+}
+
+impl fmt::Display for PolicyKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+impl fmt::Debug for PolicyKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PolicyKind::Eraser(options) => f.debug_tuple("Eraser").field(options).finish(),
+            PolicyKind::EraserM(options) => f.debug_tuple("EraserM").field(options).finish(),
+            PolicyKind::Custom { name, .. } => f
+                .debug_struct("Custom")
+                .field("name", name)
+                .finish_non_exhaustive(),
+            other => f.write_str(other.label()),
+        }
+    }
+}
+
+impl PartialEq for PolicyKind {
+    fn eq(&self, other: &PolicyKind) -> bool {
+        match (self, other) {
+            (PolicyKind::NoLrc, PolicyKind::NoLrc)
+            | (PolicyKind::AlwaysLrc, PolicyKind::AlwaysLrc)
+            | (PolicyKind::AlwaysEveryRound, PolicyKind::AlwaysEveryRound)
+            | (PolicyKind::Optimal, PolicyKind::Optimal) => true,
+            (PolicyKind::Eraser(a), PolicyKind::Eraser(b))
+            | (PolicyKind::EraserM(a), PolicyKind::EraserM(b)) => a == b,
+            (
+                PolicyKind::Custom {
+                    name: a,
+                    factory: fa,
+                },
+                PolicyKind::Custom {
+                    name: b,
+                    factory: fb,
+                },
+            ) => a == b && Arc::ptr_eq(fa, fb),
+            _ => false,
+        }
+    }
+}
+
+impl FromStr for PolicyKind {
+    type Err = ExperimentError;
+
+    fn from_str(s: &str) -> Result<PolicyKind, ExperimentError> {
+        match s.to_ascii_lowercase().as_str() {
+            "no-lrc" | "nolrc" | "none" => Ok(PolicyKind::NoLrc),
+            "always-lrc" | "always" => Ok(PolicyKind::AlwaysLrc),
+            "dqlr-every-round" | "always-every-round" | "every-round" | "dqlr" => {
+                Ok(PolicyKind::AlwaysEveryRound)
+            }
+            "eraser" => Ok(PolicyKind::eraser()),
+            "eraser+m" | "eraser-m" | "eraserm" => Ok(PolicyKind::eraser_m()),
+            "optimal" | "oracle" => Ok(PolicyKind::Optimal),
+            _ => Err(ExperimentError::UnknownPolicy(s.to_string())),
+        }
+    }
+}
+
+impl fmt::Display for DecoderKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            DecoderKind::Auto => "auto",
+            DecoderKind::Mwpm => "mwpm",
+            DecoderKind::UnionFind => "union-find",
+            DecoderKind::Greedy => "greedy",
+        })
+    }
+}
+
+impl FromStr for DecoderKind {
+    type Err = ExperimentError;
+
+    fn from_str(s: &str) -> Result<DecoderKind, ExperimentError> {
+        match s.to_ascii_lowercase().as_str() {
+            "auto" => Ok(DecoderKind::Auto),
+            "mwpm" => Ok(DecoderKind::Mwpm),
+            "union-find" | "unionfind" | "uf" => Ok(DecoderKind::UnionFind),
+            "greedy" => Ok(DecoderKind::Greedy),
+            _ => Err(ExperimentError::UnknownDecoder(s.to_string())),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Experiment + builder
+// ---------------------------------------------------------------------------
+
+/// Round-count specification: either a fixed round count or QEC cycles
+/// (each cycle is `d` rounds, the paper's convention).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum RoundsSpec {
+    Fixed(usize),
+    Cycles(usize),
+}
+
+impl RoundsSpec {
+    fn resolve(self, d: usize) -> usize {
+        match self {
+            RoundsSpec::Fixed(rounds) => rounds,
+            RoundsSpec::Cycles(cycles) => d * cycles,
+        }
+    }
+
+    fn validate(self) -> Result<(), ExperimentError> {
+        let n = match self {
+            RoundsSpec::Fixed(n) | RoundsSpec::Cycles(n) => n,
+        };
+        if n == 0 {
+            Err(ExperimentError::ZeroRounds)
+        } else {
+            Ok(())
+        }
+    }
+}
+
+/// A fully validated memory experiment: the runner (code, detectors, decoding
+/// graph), the run configuration, and the selected policy.
+///
+/// Build with [`Experiment::builder`]; execute with [`Experiment::run`] or
+/// [`Experiment::run_policy`] (which reuses the expensive runner across
+/// policies).
+#[derive(Debug)]
+pub struct Experiment {
+    runner: MemoryRunner,
+    config: RunConfig,
+    policy: PolicyKind,
+}
+
+impl Experiment {
+    /// Starts a builder with the paper's defaults (noise `standard(1e-3)`,
+    /// memory-Z, 1000 shots, seed `0x2023`, auto decoder, SWAP protocol,
+    /// decoding enabled, `no-lrc` policy). `distance` and `rounds`/`cycles`
+    /// must be set explicitly.
+    pub fn builder() -> ExperimentBuilder {
+        ExperimentBuilder::new()
+    }
+
+    /// The code distance.
+    pub fn distance(&self) -> usize {
+        self.runner.experiment().code().distance()
+    }
+
+    /// Rounds per shot.
+    pub fn rounds(&self) -> usize {
+        self.runner.experiment().rounds()
+    }
+
+    /// The memory basis being preserved.
+    pub fn basis(&self) -> MemoryBasis {
+        self.runner.experiment().basis()
+    }
+
+    /// The noise model.
+    pub fn noise(&self) -> &NoiseParams {
+        self.runner.experiment().noise()
+    }
+
+    /// The run configuration.
+    pub fn config(&self) -> &RunConfig {
+        &self.config
+    }
+
+    /// The selected policy.
+    pub fn policy(&self) -> &PolicyKind {
+        &self.policy
+    }
+
+    /// The underlying runner (low-level escape hatch).
+    pub fn runner(&self) -> &MemoryRunner {
+        &self.runner
+    }
+
+    /// Swaps the decoder without rebuilding the runner (the decoding graph is
+    /// decoder-independent).
+    pub fn set_decoder(&mut self, decoder: DecoderKind) {
+        self.config.decoder = decoder;
+    }
+
+    /// Swaps the LRC protocol without rebuilding the runner.
+    pub fn set_protocol(&mut self, protocol: LrcProtocol) {
+        self.config.protocol = protocol;
+    }
+
+    /// Runs the experiment under the configured policy.
+    pub fn run(&self) -> MemoryRunResult {
+        self.run_policy(&self.policy)
+    }
+
+    /// Runs the experiment under `kind`, reusing this experiment's runner and
+    /// configuration. This is the cheap way to compare policies on one code.
+    pub fn run_policy(&self, kind: &PolicyKind) -> MemoryRunResult {
+        self.runner.run(&|code| kind.build(code), &self.config)
+    }
+}
+
+/// Builder for [`Experiment`]. Invalid combinations surface as
+/// [`ExperimentError`]s from [`ExperimentBuilder::build`] instead of panics.
+#[derive(Debug, Clone)]
+pub struct ExperimentBuilder {
+    distance: Option<usize>,
+    noise: NoiseParams,
+    rounds: Option<RoundsSpec>,
+    basis: MemoryBasis,
+    policy: PolicyKind,
+    shots: u64,
+    seed: u64,
+    threads: usize,
+    decoder: DecoderKind,
+    protocol: LrcProtocol,
+    decode: bool,
+}
+
+impl Default for ExperimentBuilder {
+    fn default() -> ExperimentBuilder {
+        let config = RunConfig::default();
+        ExperimentBuilder {
+            distance: None,
+            noise: NoiseParams::default(),
+            rounds: None,
+            basis: MemoryBasis::Z,
+            policy: PolicyKind::NoLrc,
+            shots: config.shots,
+            seed: config.seed,
+            threads: config.threads,
+            decoder: config.decoder,
+            protocol: config.protocol,
+            decode: config.decode,
+        }
+    }
+}
+
+impl ExperimentBuilder {
+    /// Starts from the defaults documented on [`Experiment::builder`].
+    pub fn new() -> ExperimentBuilder {
+        ExperimentBuilder::default()
+    }
+
+    /// Code distance (odd, ≥ 3). Required.
+    pub fn distance(mut self, d: usize) -> Self {
+        self.distance = Some(d);
+        self
+    }
+
+    /// Noise model (default: the paper's `NoiseParams::standard(1e-3)`).
+    pub fn noise(mut self, noise: NoiseParams) -> Self {
+        self.noise = noise;
+        self
+    }
+
+    /// Fixed number of syndrome-extraction rounds. Required unless
+    /// [`ExperimentBuilder::cycles`] is used; the later call wins.
+    pub fn rounds(mut self, rounds: usize) -> Self {
+        self.rounds = Some(RoundsSpec::Fixed(rounds));
+        self
+    }
+
+    /// QEC cycles; resolves to `d × cycles` rounds at build time.
+    pub fn cycles(mut self, cycles: usize) -> Self {
+        self.rounds = Some(RoundsSpec::Cycles(cycles));
+        self
+    }
+
+    /// Memory basis to preserve (default Z, the paper's workload).
+    pub fn basis(mut self, basis: MemoryBasis) -> Self {
+        self.basis = basis;
+        self
+    }
+
+    /// Policy to run under (default [`PolicyKind::NoLrc`]).
+    pub fn policy(mut self, policy: PolicyKind) -> Self {
+        self.policy = policy;
+        self
+    }
+
+    /// Monte-Carlo shots (default 1000).
+    pub fn shots(mut self, shots: u64) -> Self {
+        self.shots = shots;
+        self
+    }
+
+    /// Root RNG seed (default `0x2023`).
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Worker threads; 0 means all available cores (default).
+    pub fn threads(mut self, threads: usize) -> Self {
+        self.threads = threads;
+        self
+    }
+
+    /// Decoder selection (default [`DecoderKind::Auto`]).
+    pub fn decoder(mut self, decoder: DecoderKind) -> Self {
+        self.decoder = decoder;
+        self
+    }
+
+    /// Leakage-removal protocol (default [`LrcProtocol::Swap`]).
+    pub fn protocol(mut self, protocol: LrcProtocol) -> Self {
+        self.protocol = protocol;
+        self
+    }
+
+    /// Whether to decode at all; LPR-only studies disable this (default on).
+    pub fn decode(mut self, decode: bool) -> Self {
+        self.decode = decode;
+        self
+    }
+
+    fn validated(&self) -> Result<(usize, usize), ExperimentError> {
+        let d = self.distance.ok_or(ExperimentError::MissingDistance)?;
+        validate_distance(d)?;
+        let spec = self.rounds.ok_or(ExperimentError::MissingRounds)?;
+        spec.validate()?;
+        validate_shots(self.shots)?;
+        Ok((d, spec.resolve(d)))
+    }
+
+    /// Validates and constructs the experiment (building the detector list
+    /// and the decoding graph once).
+    pub fn build(self) -> Result<Experiment, ExperimentError> {
+        let (d, rounds) = self.validated()?;
+        let runner = MemoryRunner::new_with_basis(d, self.noise, rounds, self.basis);
+        Ok(Experiment {
+            runner,
+            config: RunConfig {
+                shots: self.shots,
+                seed: self.seed,
+                threads: self.threads,
+                decoder: self.decoder,
+                protocol: self.protocol,
+                decode: self.decode,
+            },
+            policy: self.policy,
+        })
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Sweep engine
+// ---------------------------------------------------------------------------
+
+/// The noise family a sweep derives per-point [`NoiseParams`] from.
+#[derive(Clone, Default)]
+pub enum NoiseModel {
+    /// `NoiseParams::standard(p)` — the paper's main-text model.
+    #[default]
+    Standard,
+    /// `NoiseParams::without_leakage(p)` — Pauli noise only.
+    WithoutLeakage,
+    /// `NoiseParams::exchange_transport(p)` — Appendix A.1.
+    ExchangeTransport,
+    /// Arbitrary mapping from physical error rate to noise parameters.
+    Custom(Arc<dyn Fn(f64) -> NoiseParams + Send + Sync>),
+}
+
+impl NoiseModel {
+    /// The noise parameters at physical error rate `p`.
+    pub fn params(&self, p: f64) -> NoiseParams {
+        match self {
+            NoiseModel::Standard => NoiseParams::standard(p),
+            NoiseModel::WithoutLeakage => NoiseParams::without_leakage(p),
+            NoiseModel::ExchangeTransport => NoiseParams::exchange_transport(p),
+            NoiseModel::Custom(f) => f(p),
+        }
+    }
+}
+
+impl fmt::Debug for NoiseModel {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            NoiseModel::Standard => "Standard",
+            NoiseModel::WithoutLeakage => "WithoutLeakage",
+            NoiseModel::ExchangeTransport => "ExchangeTransport",
+            NoiseModel::Custom(_) => "Custom(..)",
+        })
+    }
+}
+
+/// One completed grid point, streamed to the sweep's sink.
+#[derive(Debug, Clone)]
+pub struct SweepPoint {
+    /// Code distance of this point.
+    pub distance: usize,
+    /// Physical error rate of this point.
+    pub p: f64,
+    /// Rounds per shot at this point.
+    pub rounds: usize,
+    /// Label of the policy that ran ([`PolicyKind::label`]).
+    pub policy: String,
+    /// The full run result.
+    pub result: MemoryRunResult,
+}
+
+/// Runner-cache key: runs sharing (distance, rounds, basis, noise) reuse one
+/// [`MemoryRunner`] — and with it the detector list and decoding graph.
+#[derive(PartialEq, Eq, Hash)]
+struct RunnerKey {
+    d: usize,
+    rounds: usize,
+    basis: MemoryBasis,
+    noise_bits: [u64; 5],
+    transport: TransportModel,
+    leakage_enabled: bool,
+}
+
+impl RunnerKey {
+    fn new(d: usize, rounds: usize, basis: MemoryBasis, noise: &NoiseParams) -> RunnerKey {
+        RunnerKey {
+            d,
+            rounds,
+            basis,
+            noise_bits: [
+                noise.p.to_bits(),
+                noise.leak_fraction.to_bits(),
+                noise.seep_fraction.to_bits(),
+                noise.p_transport.to_bits(),
+                noise.multilevel_error_factor.to_bits(),
+            ],
+            transport: noise.transport,
+            leakage_enabled: noise.leakage_enabled,
+        }
+    }
+}
+
+/// A validated experiment grid: distances × physical error rates × policies,
+/// under one noise family, rounds specification, and run configuration.
+///
+/// Points are executed in deterministic order (distance-major, then error
+/// rate, then policy) and are bit-identical to running each point through
+/// [`Experiment`] separately with the same seed.
+#[derive(Debug, Clone)]
+pub struct Sweep {
+    distances: Vec<usize>,
+    error_rates: Vec<f64>,
+    policies: Vec<PolicyKind>,
+    noise: NoiseModel,
+    rounds: RoundsSpec,
+    basis: MemoryBasis,
+    shots: u64,
+    seed: u64,
+    threads: usize,
+    decoder: DecoderKind,
+    protocol: LrcProtocol,
+    decode: bool,
+}
+
+impl Sweep {
+    /// Starts a sweep builder with the same defaults as
+    /// [`Experiment::builder`].
+    pub fn builder() -> SweepBuilder {
+        SweepBuilder::new()
+    }
+
+    /// Number of grid points.
+    pub fn len(&self) -> usize {
+        self.distances.len() * self.error_rates.len() * self.policies.len()
+    }
+
+    /// Whether the grid is empty (never true for a built sweep).
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The policy axis, in execution order.
+    pub fn policies(&self) -> &[PolicyKind] {
+        &self.policies
+    }
+
+    /// Executes the whole grid, streaming each completed point to `sink`.
+    ///
+    /// Runner construction is cached per (distance, rounds, basis, noise)
+    /// key, and the worker-thread partitioning is resolved once up front so
+    /// every point uses the same split (keeping results reproducible across
+    /// grids of any shape).
+    pub fn for_each(&self, mut sink: impl FnMut(SweepPoint)) {
+        let mut config = RunConfig {
+            shots: self.shots,
+            seed: self.seed,
+            threads: self.threads,
+            decoder: self.decoder,
+            protocol: self.protocol,
+            decode: self.decode,
+        };
+        config.threads = config.resolved_threads();
+        let mut runners: HashMap<RunnerKey, MemoryRunner> = HashMap::new();
+        for &d in &self.distances {
+            let rounds = self.rounds.resolve(d);
+            for &p in &self.error_rates {
+                let noise = self.noise.params(p);
+                let runner = runners
+                    .entry(RunnerKey::new(d, rounds, self.basis, &noise))
+                    .or_insert_with(|| MemoryRunner::new_with_basis(d, noise, rounds, self.basis));
+                for kind in &self.policies {
+                    let result = runner.run(&|code| kind.build(code), &config);
+                    sink(SweepPoint {
+                        distance: d,
+                        p,
+                        rounds,
+                        policy: kind.label().to_string(),
+                        result,
+                    });
+                }
+            }
+        }
+    }
+
+    /// Executes the whole grid and collects the points in execution order.
+    pub fn run(&self) -> Vec<SweepPoint> {
+        let mut points = Vec::with_capacity(self.len());
+        self.for_each(|point| points.push(point));
+        points
+    }
+}
+
+/// Builder for [`Sweep`].
+#[derive(Debug, Clone)]
+pub struct SweepBuilder {
+    distances: Vec<usize>,
+    error_rates: Vec<f64>,
+    policies: Vec<PolicyKind>,
+    noise: NoiseModel,
+    rounds: Option<RoundsSpec>,
+    basis: MemoryBasis,
+    shots: u64,
+    seed: u64,
+    threads: usize,
+    decoder: DecoderKind,
+    protocol: LrcProtocol,
+    decode: bool,
+}
+
+impl Default for SweepBuilder {
+    fn default() -> SweepBuilder {
+        let config = RunConfig::default();
+        SweepBuilder {
+            distances: Vec::new(),
+            error_rates: Vec::new(),
+            policies: Vec::new(),
+            noise: NoiseModel::Standard,
+            rounds: None,
+            basis: MemoryBasis::Z,
+            shots: config.shots,
+            seed: config.seed,
+            threads: config.threads,
+            decoder: config.decoder,
+            protocol: config.protocol,
+            decode: config.decode,
+        }
+    }
+}
+
+impl SweepBuilder {
+    /// Starts an empty grid with default run parameters.
+    pub fn new() -> SweepBuilder {
+        SweepBuilder::default()
+    }
+
+    /// Sets the distance axis.
+    pub fn distances(mut self, distances: impl IntoIterator<Item = usize>) -> Self {
+        self.distances = distances.into_iter().collect();
+        self
+    }
+
+    /// Sets the physical-error-rate axis.
+    pub fn error_rates(mut self, rates: impl IntoIterator<Item = f64>) -> Self {
+        self.error_rates = rates.into_iter().collect();
+        self
+    }
+
+    /// Sets the policy axis.
+    pub fn policies(mut self, policies: impl IntoIterator<Item = PolicyKind>) -> Self {
+        self.policies = policies.into_iter().collect();
+        self
+    }
+
+    /// Appends one policy to the policy axis.
+    pub fn policy(mut self, policy: PolicyKind) -> Self {
+        self.policies.push(policy);
+        self
+    }
+
+    /// Noise family the per-point parameters derive from (default
+    /// [`NoiseModel::Standard`]).
+    pub fn noise_model(mut self, noise: NoiseModel) -> Self {
+        self.noise = noise;
+        self
+    }
+
+    /// Fixed rounds per shot for every distance.
+    pub fn rounds(mut self, rounds: usize) -> Self {
+        self.rounds = Some(RoundsSpec::Fixed(rounds));
+        self
+    }
+
+    /// QEC cycles; each distance runs `d × cycles` rounds.
+    pub fn cycles(mut self, cycles: usize) -> Self {
+        self.rounds = Some(RoundsSpec::Cycles(cycles));
+        self
+    }
+
+    /// Memory basis (default Z).
+    pub fn basis(mut self, basis: MemoryBasis) -> Self {
+        self.basis = basis;
+        self
+    }
+
+    /// Monte-Carlo shots per grid point (default 1000).
+    pub fn shots(mut self, shots: u64) -> Self {
+        self.shots = shots;
+        self
+    }
+
+    /// Root RNG seed, shared by every point (default `0x2023`).
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Worker threads; 0 resolves to all cores once per sweep (default).
+    pub fn threads(mut self, threads: usize) -> Self {
+        self.threads = threads;
+        self
+    }
+
+    /// Decoder selection (default auto).
+    pub fn decoder(mut self, decoder: DecoderKind) -> Self {
+        self.decoder = decoder;
+        self
+    }
+
+    /// LRC protocol (default SWAP).
+    pub fn protocol(mut self, protocol: LrcProtocol) -> Self {
+        self.protocol = protocol;
+        self
+    }
+
+    /// Whether points decode (default on).
+    pub fn decode(mut self, decode: bool) -> Self {
+        self.decode = decode;
+        self
+    }
+
+    /// Validates the grid and run parameters.
+    pub fn build(self) -> Result<Sweep, ExperimentError> {
+        if self.distances.is_empty() {
+            return Err(ExperimentError::EmptyGridAxis("distances"));
+        }
+        if self.error_rates.is_empty() {
+            return Err(ExperimentError::EmptyGridAxis("error_rates"));
+        }
+        if self.policies.is_empty() {
+            return Err(ExperimentError::EmptyGridAxis("policies"));
+        }
+        for &d in &self.distances {
+            validate_distance(d)?;
+        }
+        for &p in &self.error_rates {
+            if !p.is_finite() || !(0.0..=1.0).contains(&p) {
+                return Err(ExperimentError::InvalidErrorRate(p));
+            }
+        }
+        let rounds = self.rounds.ok_or(ExperimentError::MissingRounds)?;
+        rounds.validate()?;
+        validate_shots(self.shots)?;
+        Ok(Sweep {
+            distances: self.distances,
+            error_rates: self.error_rates,
+            policies: self.policies,
+            noise: self.noise,
+            rounds,
+            basis: self.basis,
+            shots: self.shots,
+            seed: self.seed,
+            threads: self.threads,
+            decoder: self.decoder,
+            protocol: self.protocol,
+            decode: self.decode,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn base() -> ExperimentBuilder {
+        Experiment::builder()
+            .distance(3)
+            .rounds(2)
+            .shots(10)
+            .seed(1)
+    }
+
+    #[test]
+    fn builder_requires_distance_and_rounds() {
+        let err = Experiment::builder().rounds(2).build().unwrap_err();
+        assert_eq!(err, ExperimentError::MissingDistance);
+        let err = Experiment::builder().distance(3).build().unwrap_err();
+        assert_eq!(err, ExperimentError::MissingRounds);
+    }
+
+    #[test]
+    fn builder_rejects_invalid_parameters() {
+        assert_eq!(
+            base().distance(4).build().unwrap_err(),
+            ExperimentError::InvalidDistance(4)
+        );
+        assert_eq!(
+            base().distance(1).build().unwrap_err(),
+            ExperimentError::InvalidDistance(1)
+        );
+        assert_eq!(
+            base().rounds(0).build().unwrap_err(),
+            ExperimentError::ZeroRounds
+        );
+        assert_eq!(
+            base().cycles(0).build().unwrap_err(),
+            ExperimentError::ZeroRounds
+        );
+        assert_eq!(
+            base().shots(0).build().unwrap_err(),
+            ExperimentError::ZeroShots
+        );
+    }
+
+    #[test]
+    fn cycles_resolve_to_d_times_cycles() {
+        let exp = base().cycles(4).build().unwrap();
+        assert_eq!(exp.rounds(), 12);
+    }
+
+    #[test]
+    fn experiment_matches_direct_runner_call() {
+        let exp = base()
+            .shots(40)
+            .policy(PolicyKind::eraser())
+            .build()
+            .unwrap();
+        let direct = {
+            let runner = MemoryRunner::new(3, NoiseParams::default(), 2);
+            let config = RunConfig {
+                shots: 40,
+                seed: 1,
+                ..RunConfig::default()
+            };
+            runner.run(&|c| Box::new(EraserPolicy::new(c)), &config)
+        };
+        let via_facade = exp.run();
+        assert_eq!(via_facade.logical_errors, direct.logical_errors);
+        assert_eq!(via_facade.total_lrcs, direct.total_lrcs);
+        assert_eq!(via_facade.speculation, direct.speculation);
+        assert_eq!(via_facade.policy, direct.policy);
+    }
+
+    #[test]
+    fn policy_kind_round_trips_through_strings() {
+        for kind in PolicyKind::all_standard() {
+            let parsed: PolicyKind = kind.label().parse().unwrap();
+            assert_eq!(parsed, kind, "round-trip of {kind}");
+        }
+        assert!("martian".parse::<PolicyKind>().is_err());
+    }
+
+    #[test]
+    fn policy_kind_builds_the_advertised_policy() {
+        let code = RotatedCode::new(3);
+        let expected = [
+            (PolicyKind::NoLrc, "no-lrc"),
+            (PolicyKind::AlwaysLrc, "always-lrc"),
+            (PolicyKind::AlwaysEveryRound, "always-every-round"),
+            (PolicyKind::eraser(), "eraser"),
+            (PolicyKind::eraser_m(), "eraser+m"),
+            (PolicyKind::Optimal, "optimal"),
+        ];
+        for (kind, name) in expected {
+            assert_eq!(kind.build(&code).name(), name);
+        }
+        assert!(PolicyKind::eraser_m().build(&code).uses_multilevel());
+    }
+
+    #[test]
+    fn custom_policy_kind_is_usable_and_comparable() {
+        let kind = PolicyKind::custom("mine", |_| Box::new(NoLrcPolicy::new()));
+        assert_eq!(kind.label(), "mine");
+        assert_eq!(kind, kind.clone());
+        assert_ne!(
+            kind,
+            PolicyKind::custom("mine", |_| Box::new(NoLrcPolicy::new()))
+        );
+        let code = RotatedCode::new(3);
+        assert_eq!(kind.build(&code).name(), "no-lrc");
+    }
+
+    #[test]
+    fn decoder_kind_round_trips_through_strings() {
+        for kind in [
+            DecoderKind::Auto,
+            DecoderKind::Mwpm,
+            DecoderKind::UnionFind,
+            DecoderKind::Greedy,
+        ] {
+            assert_eq!(kind.to_string().parse::<DecoderKind>().unwrap(), kind);
+        }
+        assert_eq!("uf".parse::<DecoderKind>().unwrap(), DecoderKind::UnionFind);
+        assert!("tensor-network".parse::<DecoderKind>().is_err());
+    }
+
+    #[test]
+    fn sweep_build_validates_axes() {
+        let b = || {
+            Sweep::builder()
+                .distances([3])
+                .error_rates([1e-3])
+                .policy(PolicyKind::NoLrc)
+                .rounds(2)
+                .shots(5)
+        };
+        assert!(b().build().is_ok());
+        assert_eq!(
+            b().distances([]).build().unwrap_err(),
+            ExperimentError::EmptyGridAxis("distances")
+        );
+        assert_eq!(
+            b().error_rates([]).build().unwrap_err(),
+            ExperimentError::EmptyGridAxis("error_rates")
+        );
+        assert_eq!(
+            b().policies([]).build().unwrap_err(),
+            ExperimentError::EmptyGridAxis("policies")
+        );
+        assert_eq!(
+            b().distances([4]).build().unwrap_err(),
+            ExperimentError::InvalidDistance(4)
+        );
+        assert!(matches!(
+            b().error_rates([f64::NAN]).build(),
+            Err(ExperimentError::InvalidErrorRate(_))
+        ));
+        assert_eq!(
+            b().error_rates([1.5]).build().unwrap_err(),
+            ExperimentError::InvalidErrorRate(1.5)
+        );
+        assert_eq!(
+            b().shots(0).build().unwrap_err(),
+            ExperimentError::ZeroShots
+        );
+    }
+
+    #[test]
+    fn sweep_streams_points_in_grid_order() {
+        let sweep = Sweep::builder()
+            .distances([3])
+            .error_rates([1e-3, 2e-3])
+            .policies([PolicyKind::NoLrc, PolicyKind::eraser()])
+            .rounds(2)
+            .shots(8)
+            .seed(9)
+            .build()
+            .unwrap();
+        assert_eq!(sweep.len(), 4);
+        let points = sweep.run();
+        let order: Vec<(f64, &str)> = points.iter().map(|pt| (pt.p, pt.policy.as_str())).collect();
+        assert_eq!(
+            order,
+            vec![
+                (1e-3, "no-lrc"),
+                (1e-3, "eraser"),
+                (2e-3, "no-lrc"),
+                (2e-3, "eraser")
+            ]
+        );
+        assert!(points
+            .iter()
+            .all(|pt| pt.result.shots == 8 && pt.rounds == 2));
+    }
+}

@@ -3,18 +3,22 @@
 //! This crate implements the paper's contribution (§4) and its evaluation
 //! machinery (§5–6):
 //!
-//! * [`SwapLookupTable`] — precomputed primary/backup SWAP partners per data
-//!   qubit (the DLI's lookup table, §4.4), built from a maximum bipartite
-//!   matching on the code lattice.
-//! * [`LrcPolicy`] and the five scheduling policies: [`NoLrcPolicy`],
-//!   [`AlwaysLrcPolicy`] (state of the art before ERASER), [`EraserPolicy`]
-//!   (the Leakage Speculation Block with its Leakage Tracking Table, Parity
-//!   Usage Tracking Table, and ≥2-flip rule), ERASER+M (multi-level readout,
-//!   §4.6), and [`OptimalPolicy`] (the idealized oracle).
-//! * [`MemoryRunner`] — the Monte-Carlo memory-experiment runtime: executes
-//!   policy-adapted rounds on the leakage-aware frame simulator, decodes with
-//!   MWPM / union-find / greedy, and reports logical error rate, leakage
-//!   population ratio, LRC counts, and speculation accuracy (TP/FP/FN/TN).
+//! * [`Experiment`] — the one front door to the runtime: a validating builder
+//!   over code distance, noise, rounds, policy, and decoder, plus the
+//!   [`Sweep`] grid engine for batched (distance × error rate × policy)
+//!   studies with runner caching and streamed results.
+//! * [`PolicyKind`] — the by-value policy registry (with [`std::str::FromStr`]
+//!   and [`std::fmt::Display`]) covering the five scheduling policies:
+//!   [`NoLrcPolicy`], [`AlwaysLrcPolicy`] (state of the art before ERASER),
+//!   [`EraserPolicy`] (the Leakage Speculation Block with its Leakage
+//!   Tracking Table, Parity Usage Tracking Table, and ≥2-flip rule), ERASER+M
+//!   (multi-level readout, §4.6), and [`OptimalPolicy`] (the idealized
+//!   oracle) — plus a closure escape hatch, [`PolicyKind::Custom`].
+//! * [`runtime`] — the Monte-Carlo memory-experiment engine behind the
+//!   facade: executes policy-adapted rounds on the leakage-aware frame
+//!   simulator, decodes with MWPM / union-find / greedy, and reports logical
+//!   error rate, leakage population ratio, LRC counts, and speculation
+//!   accuracy (TP/FP/FN/TN).
 //! * [`analysis`] — the paper's analytical models: Eq. (1), Eq. (2), the
 //!   invisible-leakage distribution of Eq. (3)/Table 2.
 //! * [`rtl`] / [`resource`] — a SystemVerilog generator for the
@@ -25,30 +29,66 @@
 //! # Example
 //!
 //! ```
-//! use eraser_core::{EraserPolicy, MemoryRunner, RunConfig};
+//! use eraser_core::{Experiment, PolicyKind};
 //! use qec_core::NoiseParams;
 //!
-//! let runner = MemoryRunner::new(3, NoiseParams::standard(1e-3), 3);
-//! let config = RunConfig { shots: 20, seed: 1, ..RunConfig::default() };
-//! let result = runner.run(&|code| Box::new(EraserPolicy::new(code)), &config);
+//! let exp = Experiment::builder()
+//!     .distance(3)
+//!     .noise(NoiseParams::standard(1e-3))
+//!     .rounds(3)
+//!     .policy(PolicyKind::eraser())
+//!     .shots(20)
+//!     .seed(1)
+//!     .build()
+//!     .expect("a valid experiment");
+//! let result = exp.run();
 //! assert_eq!(result.shots, 20);
 //! assert!(result.ler() <= 1.0);
+//!
+//! // Grids run through the Sweep engine, which reuses runners and streams
+//! // results point by point:
+//! use eraser_core::Sweep;
+//! let sweep = Sweep::builder()
+//!     .distances([3])
+//!     .error_rates([1e-3])
+//!     .policies([PolicyKind::NoLrc, PolicyKind::eraser()])
+//!     .rounds(3)
+//!     .shots(10)
+//!     .build()
+//!     .expect("a valid sweep");
+//! assert_eq!(sweep.run().len(), 2);
 //! ```
 
 pub mod analysis;
+pub mod experiment;
 pub mod policy;
 pub mod resource;
 pub mod rtl;
 pub mod runtime;
 pub mod swap_table;
 
+pub use experiment::{
+    Experiment, ExperimentBuilder, ExperimentError, NoiseModel, PolicyFactory, PolicyKind, Sweep,
+    SweepBuilder, SweepPoint,
+};
 pub use policy::{
     AlwaysLrcPolicy, EraserOptions, EraserPolicy, LrcPolicy, NoLrcPolicy, OptimalPolicy,
     RoundContext,
 };
 pub use resource::{FpgaPart, ResourceEstimate};
-pub use runtime::{
-    DecoderKind, LrcProtocol, MemoryRunResult, MemoryRunner, PostSelection, RunConfig,
-    SpeculationStats,
-};
+pub use runtime::{DecoderKind, LrcProtocol, MemoryRunResult, PostSelection, SpeculationStats};
 pub use swap_table::SwapLookupTable;
+
+#[deprecated(
+    since = "0.2.0",
+    note = "construct experiments through `Experiment::builder()`; the low-level runner \
+            remains available as `eraser_core::runtime::MemoryRunner`"
+)]
+pub use runtime::MemoryRunner;
+
+#[deprecated(
+    since = "0.2.0",
+    note = "set shots/seed/threads/decoder/protocol/decode on `Experiment::builder()`; the \
+            low-level config remains available as `eraser_core::runtime::RunConfig`"
+)]
+pub use runtime::RunConfig;

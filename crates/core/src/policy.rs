@@ -91,12 +91,18 @@ pub struct AlwaysLrcPolicy {
 impl AlwaysLrcPolicy {
     /// Alternate-round SWAP-LRC schedule (the paper's Always-LRCs baseline).
     pub fn new(code: &RotatedCode) -> AlwaysLrcPolicy {
-        AlwaysLrcPolicy { plans: Self::build_plans(code), every_round: false }
+        AlwaysLrcPolicy {
+            plans: Self::build_plans(code),
+            every_round: false,
+        }
     }
 
     /// Every-round schedule (used as the baseline DQLR policy).
     pub fn every_round(code: &RotatedCode) -> AlwaysLrcPolicy {
-        AlwaysLrcPolicy { plans: Self::build_plans(code), every_round: true }
+        AlwaysLrcPolicy {
+            plans: Self::build_plans(code),
+            every_round: true,
+        }
     }
 
     fn build_plans(code: &RotatedCode) -> [Vec<LrcAssignment>; 2] {
@@ -112,7 +118,10 @@ impl AlwaysLrcPolicy {
         // owner sits out this time (rotating coverage).
         let leftover = table.unmatched_data().expect("one unmatched data qubit");
         let backup = table.backup(leftover).expect("backup for unmatched qubit");
-        let mut plan_b = vec![LrcAssignment { data: leftover, stab: backup }];
+        let mut plan_b = vec![LrcAssignment {
+            data: leftover,
+            stab: backup,
+        }];
         for q in 0..code.num_data() {
             if q == leftover {
                 continue;
@@ -162,7 +171,9 @@ pub struct OptimalPolicy {
 impl OptimalPolicy {
     /// Creates the oracle policy for a code.
     pub fn new(code: &RotatedCode) -> OptimalPolicy {
-        OptimalPolicy { table: SwapLookupTable::new(code) }
+        OptimalPolicy {
+            table: SwapLookupTable::new(code),
+        }
     }
 }
 
@@ -260,12 +271,27 @@ impl EraserPolicy {
 
     /// ERASER+M: ERASER plus multi-level readout integration.
     pub fn with_multilevel(code: &RotatedCode) -> EraserPolicy {
-        EraserPolicy { multilevel: true, ..EraserPolicy::new(code) }
+        EraserPolicy {
+            multilevel: true,
+            ..EraserPolicy::new(code)
+        }
     }
 
     /// ERASER with explicit design knobs (ablation studies).
     pub fn with_options(code: &RotatedCode, options: EraserOptions) -> EraserPolicy {
-        EraserPolicy { options, ..EraserPolicy::new(code) }
+        EraserPolicy {
+            options,
+            ..EraserPolicy::new(code)
+        }
+    }
+
+    /// ERASER+M with explicit design knobs.
+    pub fn with_multilevel_options(code: &RotatedCode, options: EraserOptions) -> EraserPolicy {
+        EraserPolicy {
+            multilevel: true,
+            options,
+            ..EraserPolicy::new(code)
+        }
     }
 
     /// The paper's speculation threshold for a data qubit with `neighbours`
@@ -496,7 +522,11 @@ mod tests {
         // "half of two" = 1.)
         assert!(!plan.iter().any(|l| l.data == q));
         for l in &plan {
-            assert_eq!(code.adjacent_stabs(l.data).len(), 2, "only corners may fire");
+            assert_eq!(
+                code.adjacent_stabs(l.data).len(),
+                2,
+                "only corners may fire"
+            );
         }
     }
 
@@ -508,7 +538,10 @@ mod tests {
         let adj = code.adjacent_stabs(q);
         ev[adj[0]] = true;
         ev[adj[1]] = true;
-        let last = [LrcAssignment { data: q, stab: adj[2] }];
+        let last = [LrcAssignment {
+            data: q,
+            stab: adj[2],
+        }];
         let mut p = EraserPolicy::new(&code);
         let plan = p.plan_round(&ctx(2, &ev, &lab, &orc, &last));
         assert!(
@@ -533,7 +566,10 @@ mod tests {
             .support()
             .find(|&d| d != q)
             .unwrap();
-        let last = [LrcAssignment { data: other, stab: primary }];
+        let last = [LrcAssignment {
+            data: other,
+            stab: primary,
+        }];
         let plan = p.plan_round(&ctx(2, &ev, &lab, &orc, &last));
         let mine = plan.iter().find(|l| l.data == q).expect("still scheduled");
         assert_ne!(mine.stab, primary, "PUTT must divert to the backup");
@@ -580,8 +616,7 @@ mod tests {
         let mut p = EraserPolicy::with_multilevel(&code);
         assert!(p.uses_multilevel());
         let plan = p.plan_round(&ctx(1, &ev, &lab, &orc, &[]));
-        let planned: std::collections::HashSet<usize> =
-            plan.iter().map(|l| l.data).collect();
+        let planned: std::collections::HashSet<usize> = plan.iter().map(|l| l.data).collect();
         for q in code.stabilizers()[s].support() {
             assert!(planned.contains(&q), "neighbour {q} of leaked parity");
         }
@@ -629,10 +664,16 @@ mod tests {
             .any(|l| l.data == q));
         let mut eager = EraserPolicy::with_options(
             &code,
-            EraserOptions { threshold_override: 1, ..EraserOptions::default() },
+            EraserOptions {
+                threshold_override: 1,
+                ..EraserOptions::default()
+            },
         );
         let plan = eager.plan_round(&ctx(1, &ev, &lab, &orc, &[]));
-        assert!(plan.iter().any(|l| l.data == q), "threshold 1 fires on one flip");
+        assert!(
+            plan.iter().any(|l| l.data == q),
+            "threshold 1 fires on one flip"
+        );
         // And a global threshold of 3 silences even double flips on corners.
         let (mut ev2, ..) = quiet(&code);
         let corner = code.data_qubit(0, 0);
@@ -641,9 +682,14 @@ mod tests {
         }
         let mut sluggish = EraserPolicy::with_options(
             &code,
-            EraserOptions { threshold_override: 3, ..EraserOptions::default() },
+            EraserOptions {
+                threshold_override: 3,
+                ..EraserOptions::default()
+            },
         );
-        assert!(sluggish.plan_round(&ctx(1, &ev2, &lab, &orc, &[])).is_empty());
+        assert!(sluggish
+            .plan_round(&ctx(1, &ev2, &lab, &orc, &[]))
+            .is_empty());
     }
 
     #[test]
@@ -660,10 +706,16 @@ mod tests {
             .support()
             .find(|&d| d != q)
             .unwrap();
-        let last = [LrcAssignment { data: other, stab: primary }];
+        let last = [LrcAssignment {
+            data: other,
+            stab: primary,
+        }];
         let mut no_putt = EraserPolicy::with_options(
             &code,
-            EraserOptions { use_putt: false, ..EraserOptions::default() },
+            EraserOptions {
+                use_putt: false,
+                ..EraserOptions::default()
+            },
         );
         let plan = no_putt.plan_round(&ctx(2, &ev, &lab, &orc, &last));
         let mine = plan.iter().find(|l| l.data == q).unwrap();
@@ -683,7 +735,10 @@ mod tests {
         }
         let mut no_backup = EraserPolicy::with_options(
             &code,
-            EraserOptions { use_backup: false, ..EraserOptions::default() },
+            EraserOptions {
+                use_backup: false,
+                ..EraserOptions::default()
+            },
         );
         let plan = no_backup.plan_round(&ctx(1, &ev, &lab, &orc, &[]));
         assert!(!plan.iter().any(|l| l.data == q));

@@ -39,8 +39,14 @@ pub fn generate(code: &RotatedCode) -> String {
     let table = SwapLookupTable::new(code);
     let mut out = String::new();
 
-    let _ = writeln!(out, "// ERASER leakage-speculation + dynamic-LRC-insertion block");
-    let _ = writeln!(out, "// Auto-generated for a distance-{d} rotated surface code.");
+    let _ = writeln!(
+        out,
+        "// ERASER leakage-speculation + dynamic-LRC-insertion block"
+    );
+    let _ = writeln!(
+        out,
+        "// Auto-generated for a distance-{d} rotated surface code."
+    );
     let _ = writeln!(out, "// {s} stabilizers (parity qubits), {n} data qubits.");
     let _ = writeln!(out, "module eraser_d{d} (");
     let _ = writeln!(out, "    input  logic          clk,");
@@ -53,13 +59,22 @@ pub fn generate(code: &RotatedCode) -> String {
     let _ = writeln!(out, "    output logic [{}:0]  lrc_use_backup", n - 1);
     let _ = writeln!(out, ");");
     let _ = writeln!(out);
-    let _ = writeln!(out, "  // ------------------------------------------------------------------");
-    let _ = writeln!(out, "  // Leakage Speculation Block: detection events and >=2-flip rule.");
+    let _ = writeln!(
+        out,
+        "  // ------------------------------------------------------------------"
+    );
+    let _ = writeln!(
+        out,
+        "  // Leakage Speculation Block: detection events and >=2-flip rule."
+    );
     let _ = writeln!(out, "  logic [{}:0] prev_syndrome;", s - 1);
     let _ = writeln!(out, "  logic [{}:0] events;", s - 1);
     let _ = writeln!(out, "  assign events = syndrome ^ prev_syndrome;");
     let _ = writeln!(out);
-    let _ = writeln!(out, "  // Per-data-qubit speculation: at least two neighbouring flips.");
+    let _ = writeln!(
+        out,
+        "  // Per-data-qubit speculation: at least two neighbouring flips."
+    );
     let _ = writeln!(out, "  logic [{}:0] speculate;", n - 1);
     for q in 0..n {
         let adj = code.adjacent_stabs(q);
@@ -74,17 +89,32 @@ pub fn generate(code: &RotatedCode) -> String {
         let _ = writeln!(out, "  assign speculate[{q}] = {};", pairs.join(" | "));
     }
     let _ = writeln!(out);
-    let _ = writeln!(out, "  // Leakage Tracking Table: set by speculation, cleared by a grant");
+    let _ = writeln!(
+        out,
+        "  // Leakage Tracking Table: set by speculation, cleared by a grant"
+    );
     let _ = writeln!(out, "  // or by having had an LRC in the previous round.");
     let _ = writeln!(out, "  logic [{}:0] ltt;", n - 1);
     let _ = writeln!(out, "  logic [{}:0] had_lrc_last;", n - 1);
     let _ = writeln!(out);
-    let _ = writeln!(out, "  // Parity Usage Tracking Table: parity qubits that served an LRC");
-    let _ = writeln!(out, "  // last round missed their measure+reset and are unavailable.");
+    let _ = writeln!(
+        out,
+        "  // Parity Usage Tracking Table: parity qubits that served an LRC"
+    );
+    let _ = writeln!(
+        out,
+        "  // last round missed their measure+reset and are unavailable."
+    );
     let _ = writeln!(out, "  logic [{}:0] putt;", s - 1);
     let _ = writeln!(out);
-    let _ = writeln!(out, "  // ------------------------------------------------------------------");
-    let _ = writeln!(out, "  // Dynamic LRC Insertion: primary/backup allocation chain.");
+    let _ = writeln!(
+        out,
+        "  // ------------------------------------------------------------------"
+    );
+    let _ = writeln!(
+        out,
+        "  // Dynamic LRC Insertion: primary/backup allocation chain."
+    );
     let _ = writeln!(out, "  logic [{}:0] want;", n - 1);
     let _ = writeln!(out, "  assign want = (ltt | speculate) & ~had_lrc_last;");
     for q in 0..=n {
@@ -120,7 +150,10 @@ pub fn generate(code: &RotatedCode) -> String {
             }
             (None, Some(b)) => {
                 let _ = writeln!(out, "  logic grant_p_{idx}, grant_b_{idx};");
-                let _ = writeln!(out, "  assign grant_p_{idx} = 1'b0; // no primary (d^2-1 parities)");
+                let _ = writeln!(
+                    out,
+                    "  assign grant_p_{idx} = 1'b0; // no primary (d^2-1 parities)"
+                );
                 let _ = writeln!(
                     out,
                     "  assign grant_b_{idx} = want[{idx}] & ~used_{}[{b}];",
@@ -143,7 +176,10 @@ pub fn generate(code: &RotatedCode) -> String {
         let _ = writeln!(out, "  assign lrc_use_backup[{idx}] = grant_b_{idx};");
     }
     let _ = writeln!(out);
-    let _ = writeln!(out, "  // ------------------------------------------------------------------");
+    let _ = writeln!(
+        out,
+        "  // ------------------------------------------------------------------"
+    );
     let _ = writeln!(out, "  // State update.");
     let _ = writeln!(out, "  always_ff @(posedge clk) begin");
     let _ = writeln!(out, "    if (rst) begin");

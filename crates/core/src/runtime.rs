@@ -23,10 +23,10 @@ use crate::policy::{LrcPolicy, RoundContext};
 use leak_sim::{Discriminator, FrameSimulator};
 use qec_core::circuit::DetectorBasis;
 use qec_core::{DetectorInfo, MeasKey, NoiseParams, Op, Rng};
-use qec_decoder::{build_dem, Decoder, DecodingGraph, GreedyDecoder, MwpmDecoder, UnionFindDecoder};
-use surface_code::{
-    LrcAssignment, MemoryBasis, MemoryExperiment, RotatedCode, SyndromeRound,
+use qec_decoder::{
+    build_dem, Decoder, DecodingGraph, GreedyDecoder, MwpmDecoder, UnionFindDecoder,
 };
+use surface_code::{LrcAssignment, MemoryBasis, MemoryExperiment, RotatedCode, SyndromeRound};
 
 /// Which leakage-removal protocol the scheduled pairs execute.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -91,6 +91,22 @@ impl Default for RunConfig {
     }
 }
 
+impl RunConfig {
+    /// The worker-thread count this configuration resolves to: `threads`
+    /// itself, or every available core when it is 0. Shot-partitioning (and
+    /// hence per-thread RNG streams) depends on this value, so every code
+    /// path that partitions work must resolve through here.
+    pub fn resolved_threads(&self) -> usize {
+        if self.threads == 0 {
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1)
+        } else {
+            self.threads
+        }
+    }
+}
+
 /// Confusion-matrix counts for per-round, per-data-qubit "leaked?" decisions.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct SpeculationStats {
@@ -107,7 +123,8 @@ pub struct SpeculationStats {
 impl SpeculationStats {
     /// Fraction of correct decisions (Fig 16 top).
     pub fn accuracy(&self) -> f64 {
-        let total = self.true_positive + self.false_positive + self.false_negative + self.true_negative;
+        let total =
+            self.true_positive + self.false_positive + self.false_negative + self.true_negative;
         if total == 0 {
             return 1.0;
         }
@@ -342,12 +359,10 @@ impl MemoryRunner {
         };
         let decoder = decoder.as_deref();
 
-        let threads = if config.threads == 0 {
-            std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
-        } else {
-            config.threads
-        };
-        let threads = threads.min(config.shots.max(1) as usize).max(1);
+        let threads = config
+            .resolved_threads()
+            .min(config.shots.max(1) as usize)
+            .max(1);
         let mut root_rng = Rng::new(config.seed);
         let mut jobs: Vec<(u64, Rng)> = Vec::with_capacity(threads);
         let base = config.shots / threads as u64;
@@ -364,7 +379,10 @@ impl MemoryRunner {
                     scope.spawn(move || self.run_shots(shots, rng, policy_factory, decoder, config))
                 })
                 .collect();
-            handles.into_iter().map(|h| h.join().expect("worker panicked")).collect()
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("worker panicked"))
+                .collect()
         });
 
         let rounds = self.exp.rounds();
@@ -507,13 +525,11 @@ impl MemoryRunner {
                 // LPR probe: after the entangling layers, before readout
                 // (captures leakage accumulated during the round).
                 stats.lpr_data_sum[r] += sim.leaked_count_in(0..num_data) as f64;
-                stats.lpr_parity_sum[r] +=
-                    sim.leaked_count_in(num_data..code.num_qubits()) as f64;
+                stats.lpr_parity_sum[r] += sim.leaked_count_in(num_data..code.num_qubits()) as f64;
                 sim.run(&round_circ.measure);
                 sim.run(&round_circ.mr_reset);
                 for tail in &round_circ.lrc_post {
-                    if policy.uses_multilevel() && sim.record().label(tail.data_key).is_leaked()
-                    {
+                    if policy.uses_multilevel() && sim.record().label(tail.data_key).is_leaked() {
                         // §4.6.2: the SWAP failed; reset P, squash swap-back.
                         sim.run(&tail.leak_path);
                     } else {
@@ -577,7 +593,12 @@ mod tests {
     use crate::policy::{AlwaysLrcPolicy, EraserPolicy, NoLrcPolicy, OptimalPolicy};
 
     fn cfg(shots: u64) -> RunConfig {
-        RunConfig { shots, seed: 11, threads: 2, ..RunConfig::default() }
+        RunConfig {
+            shots,
+            seed: 11,
+            threads: 2,
+            ..RunConfig::default()
+        }
     }
 
     #[test]
@@ -592,7 +613,11 @@ mod tests {
     fn pauli_only_noise_gives_small_ler() {
         let runner = MemoryRunner::new(3, NoiseParams::without_leakage(1e-3), 3);
         let result = runner.run(&|_| Box::new(NoLrcPolicy::new()), &cfg(400));
-        assert!(result.ler() < 0.1, "LER {} too high for p=1e-3 d=3", result.ler());
+        assert!(
+            result.ler() < 0.1,
+            "LER {} too high for p=1e-3 d=3",
+            result.ler()
+        );
     }
 
     #[test]
@@ -649,7 +674,10 @@ mod tests {
     #[test]
     fn dqlr_protocol_runs_and_keeps_lpr_bounded() {
         let runner = MemoryRunner::new(3, NoiseParams::exchange_transport(1e-3), 8);
-        let config = RunConfig { protocol: LrcProtocol::Dqlr, ..cfg(100) };
+        let config = RunConfig {
+            protocol: LrcProtocol::Dqlr,
+            ..cfg(100)
+        };
         let result = runner.run(&|c| Box::new(AlwaysLrcPolicy::every_round(c)), &config);
         assert!(result.mean_lpr() < 0.05);
     }
@@ -716,7 +744,10 @@ mod tests {
     #[test]
     fn single_threaded_matches_shape() {
         let runner = MemoryRunner::new(3, NoiseParams::standard(1e-3), 2);
-        let config = RunConfig { threads: 1, ..cfg(30) };
+        let config = RunConfig {
+            threads: 1,
+            ..cfg(30)
+        };
         let result = runner.run(&|c| Box::new(EraserPolicy::new(c)), &config);
         assert_eq!(result.shots, 30);
         assert_eq!(result.lpr_total.len(), 2);

@@ -221,7 +221,10 @@ pub fn build_dem(
             .cmp(&b.detectors)
             .then(a.flips_observable.cmp(&b.flips_observable))
     });
-    DetectorErrorModel { num_detectors: detectors.len(), mechanisms }
+    DetectorErrorModel {
+        num_detectors: detectors.len(),
+        mechanisms,
+    }
 }
 
 #[cfg(test)]
@@ -237,23 +240,50 @@ mod tests {
         // round 0
         c.push(Op::Depolarize1 { qubit: 0, p: 0.01 });
         c.push(Op::Depolarize1 { qubit: 1, p: 0.01 });
-        c.push(Op::Cnot { control: 0, target: 2 });
-        c.push(Op::Cnot { control: 1, target: 2 });
+        c.push(Op::Cnot {
+            control: 0,
+            target: 2,
+        });
+        c.push(Op::Cnot {
+            control: 1,
+            target: 2,
+        });
         c.push(Op::XError { qubit: 2, p: 0.02 });
         c.push(Op::Measure { qubit: 2, key: 0 });
         c.push(Op::Reset(2));
         // round 1
-        c.push(Op::Cnot { control: 0, target: 2 });
-        c.push(Op::Cnot { control: 1, target: 2 });
+        c.push(Op::Cnot {
+            control: 0,
+            target: 2,
+        });
+        c.push(Op::Cnot {
+            control: 1,
+            target: 2,
+        });
         c.push(Op::Measure { qubit: 2, key: 1 });
         c.push(Op::Reset(2));
         // final data readout
         c.push(Op::Measure { qubit: 0, key: 2 });
         c.push(Op::Measure { qubit: 1, key: 3 });
         let detectors = vec![
-            DetectorInfo { keys: vec![0], basis: DetectorBasis::Z, stabilizer: 0, round: 0 },
-            DetectorInfo { keys: vec![0, 1], basis: DetectorBasis::Z, stabilizer: 0, round: 1 },
-            DetectorInfo { keys: vec![1, 2, 3], basis: DetectorBasis::Z, stabilizer: 0, round: 2 },
+            DetectorInfo {
+                keys: vec![0],
+                basis: DetectorBasis::Z,
+                stabilizer: 0,
+                round: 0,
+            },
+            DetectorInfo {
+                keys: vec![0, 1],
+                basis: DetectorBasis::Z,
+                stabilizer: 0,
+                round: 1,
+            },
+            DetectorInfo {
+                keys: vec![1, 2, 3],
+                basis: DetectorBasis::Z,
+                stabilizer: 0,
+                round: 2,
+            },
         ];
         let observable = vec![2];
         (c, detectors, observable)
@@ -334,8 +364,14 @@ mod tests {
 
     #[test]
     fn signature_xor_is_symmetric_difference() {
-        let a = Signature { dets: vec![1, 3, 5], obs: true };
-        let b = Signature { dets: vec![3, 4], obs: true };
+        let a = Signature {
+            dets: vec![1, 3, 5],
+            obs: true,
+        };
+        let b = Signature {
+            dets: vec![3, 4],
+            obs: true,
+        };
         let c = Signature::xor_of(&a, &b);
         assert_eq!(c.dets, vec![1, 4, 5]);
         assert!(!c.obs);

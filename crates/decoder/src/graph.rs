@@ -342,10 +342,12 @@ mod tests {
     fn x_graph_is_disjoint_from_z_graph() {
         let (gz, n_det) = graph_for(3, 3, DetectorBasis::Z);
         let (gx, _) = graph_for(3, 3, DetectorBasis::X);
-        let z_dets: std::collections::HashSet<_> =
-            (0..gz.num_nodes()).map(|n| gz.detector_of_node(n)).collect();
-        let x_dets: std::collections::HashSet<_> =
-            (0..gx.num_nodes()).map(|n| gx.detector_of_node(n)).collect();
+        let z_dets: std::collections::HashSet<_> = (0..gz.num_nodes())
+            .map(|n| gz.detector_of_node(n))
+            .collect();
+        let x_dets: std::collections::HashSet<_> = (0..gx.num_nodes())
+            .map(|n| gx.detector_of_node(n))
+            .collect();
         assert!(z_dets.is_disjoint(&x_dets));
         assert_eq!(z_dets.len() + x_dets.len(), n_det);
     }
@@ -370,7 +372,10 @@ mod tests {
             .iter()
             .any(|e| e.b == boundary && e.flips_observable));
         // And there must be bulk edges that do not flip it.
-        assert!(g.edges().iter().any(|e| e.b != boundary && !e.flips_observable));
+        assert!(g
+            .edges()
+            .iter()
+            .any(|e| e.b != boundary && !e.flips_observable));
     }
 
     #[test]

@@ -35,7 +35,10 @@ pub struct GreedyDecoder<'g> {
 impl<'g> GreedyDecoder<'g> {
     /// Builds the decoder (precomputes all-pairs shortest paths).
     pub fn new(graph: &'g DecodingGraph) -> GreedyDecoder<'g> {
-        GreedyDecoder { graph, paths: ShortestPaths::compute(graph) }
+        GreedyDecoder {
+            graph,
+            paths: ShortestPaths::compute(graph),
+        }
     }
 }
 
@@ -121,6 +124,9 @@ mod tests {
             }
         }
         let rate = correct as f64 / total as f64;
-        assert!(rate > 0.9, "greedy single-fault accuracy {rate} ({correct}/{total})");
+        assert!(
+            rate > 0.9,
+            "greedy single-fault accuracy {rate} ({correct}/{total})"
+        );
     }
 }

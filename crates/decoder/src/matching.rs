@@ -37,7 +37,10 @@ const NO: usize = usize::MAX;
 /// assert_eq!(mate[1], Some(2));
 /// assert_eq!(mate[0], None);
 /// ```
-pub fn max_weight_matching(edges: &[(usize, usize, i64)], max_cardinality: bool) -> Vec<Option<usize>> {
+pub fn max_weight_matching(
+    edges: &[(usize, usize, i64)],
+    max_cardinality: bool,
+) -> Vec<Option<usize>> {
     if edges.is_empty() {
         return Vec::new();
     }
@@ -81,7 +84,13 @@ impl<'e> Matcher<'e> {
         let maxweight = edges.iter().map(|e| e.2).max().unwrap_or(0).max(0);
         let nedge = edges.len();
         let endpoint: Vec<usize> = (0..2 * nedge)
-            .map(|p| if p % 2 == 0 { edges[p / 2].0 } else { edges[p / 2].1 })
+            .map(|p| {
+                if p % 2 == 0 {
+                    edges[p / 2].0
+                } else {
+                    edges[p / 2].1
+                }
+            })
             .collect();
         let mut neighbend = vec![Vec::new(); nvertex];
         for (k, &(i, j, _)) in edges.iter().enumerate() {
@@ -100,7 +109,9 @@ impl<'e> Matcher<'e> {
             inblossom: (0..nvertex).collect(),
             blossomparent: vec![NO; 2 * nvertex],
             blossomchilds: vec![Vec::new(); 2 * nvertex],
-            blossombase: (0..nvertex).chain(std::iter::repeat_n(NO, nvertex)).collect(),
+            blossombase: (0..nvertex)
+                .chain(std::iter::repeat_n(NO, nvertex))
+                .collect(),
             blossomendps: vec![Vec::new(); 2 * nvertex],
             bestedge: vec![NO; 2 * nvertex],
             blossombestedges: vec![Vec::new(); 2 * nvertex],
@@ -480,14 +491,11 @@ impl<'e> Matcher<'e> {
                                 self.allowedge[k] = true;
                             } else if self.label[self.inblossom[w]] == 1 {
                                 let b = self.inblossom[v];
-                                if self.bestedge[b] == NO
-                                    || kslack < self.slack(self.bestedge[b])
-                                {
+                                if self.bestedge[b] == NO || kslack < self.slack(self.bestedge[b]) {
                                     self.bestedge[b] = k;
                                 }
                             } else if self.label[w] == 0
-                                && (self.bestedge[w] == NO
-                                    || kslack < self.slack(self.bestedge[w]))
+                                && (self.bestedge[w] == NO || kslack < self.slack(self.bestedge[w]))
                             {
                                 self.bestedge[w] = k;
                             }
@@ -522,7 +530,12 @@ impl<'e> Matcher<'e> {
                 let mut deltablossom = NO;
                 if !self.max_cardinality {
                     deltatype = 1;
-                    delta = self.dualvar[..nvertex].iter().copied().min().unwrap().max(0);
+                    delta = self.dualvar[..nvertex]
+                        .iter()
+                        .copied()
+                        .min()
+                        .unwrap()
+                        .max(0);
                 }
                 for v in 0..nvertex {
                     if self.label[self.inblossom[v]] == 0 && self.bestedge[v] != NO {
@@ -535,10 +548,7 @@ impl<'e> Matcher<'e> {
                     }
                 }
                 for b in 0..2 * nvertex {
-                    if self.blossomparent[b] == NO
-                        && self.label[b] == 1
-                        && self.bestedge[b] != NO
-                    {
+                    if self.blossomparent[b] == NO && self.label[b] == 1 && self.bestedge[b] != NO {
                         let kslack = self.slack(self.bestedge[b]);
                         debug_assert_eq!(kslack % 2, 0, "integral weights keep slack even");
                         let d = kslack / 2;
@@ -563,7 +573,12 @@ impl<'e> Matcher<'e> {
                 if deltatype == -1 {
                     debug_assert!(self.max_cardinality);
                     deltatype = 1;
-                    delta = self.dualvar[..nvertex].iter().copied().min().unwrap().max(0);
+                    delta = self.dualvar[..nvertex]
+                        .iter()
+                        .copied()
+                        .min()
+                        .unwrap()
+                        .max(0);
                 }
                 // Update dual variables.
                 for v in 0..nvertex {
@@ -624,11 +639,7 @@ mod tests {
 
     /// Exhaustive matcher for validation: maximizes (cardinality, weight) if
     /// `max_cardinality`, else plain weight.
-    fn brute_force(
-        n: usize,
-        edges: &[(usize, usize, i64)],
-        max_cardinality: bool,
-    ) -> (usize, i64) {
+    fn brute_force(n: usize, edges: &[(usize, usize, i64)], max_cardinality: bool) -> (usize, i64) {
         fn rec(
             edges: &[(usize, usize, i64)],
             used: &mut Vec<bool>,
@@ -654,7 +665,15 @@ mod tests {
             if !used[u] && !used[v] {
                 used[u] = true;
                 used[v] = true;
-                rec(edges, used, idx + 1, card + 1, weight + w, best, max_cardinality);
+                rec(
+                    edges,
+                    used,
+                    idx + 1,
+                    card + 1,
+                    weight + w,
+                    best,
+                    max_cardinality,
+                );
                 used[u] = false;
                 used[v] = false;
             }

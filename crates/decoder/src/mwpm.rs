@@ -74,7 +74,10 @@ impl PartialOrd for HeapItem {
 impl Ord for HeapItem {
     fn cmp(&self, other: &Self) -> std::cmp::Ordering {
         // Weights are finite positive floats; total order is safe.
-        self.0.partial_cmp(&other.0).unwrap().then(self.1.cmp(&other.1))
+        self.0
+            .partial_cmp(&other.0)
+            .unwrap()
+            .then(self.1.cmp(&other.1))
     }
 }
 
@@ -131,7 +134,10 @@ pub struct MwpmDecoder<'g> {
 impl<'g> MwpmDecoder<'g> {
     /// Builds the decoder (precomputes all-pairs shortest paths).
     pub fn new(graph: &'g DecodingGraph) -> MwpmDecoder<'g> {
-        MwpmDecoder { graph, paths: ShortestPaths::compute(graph) }
+        MwpmDecoder {
+            graph,
+            paths: ShortestPaths::compute(graph),
+        }
     }
 
     /// The underlying graph.
@@ -292,7 +298,8 @@ mod tests {
                 }
                 let predicted = decoder.decode(&defects);
                 assert_eq!(
-                    predicted, mech.flips_observable,
+                    predicted,
+                    mech.flips_observable,
                     "single fault mis-corrected at d={d}: {mech:?} (dets {:?})",
                     mech.detectors
                         .iter()
@@ -318,8 +325,7 @@ mod tests {
                 }
             }
         }
-        let defects: Vec<usize> =
-            (0..graph.num_nodes()).filter(|&n| events[n]).collect();
+        let defects: Vec<usize> = (0..graph.num_nodes()).filter(|&n| events[n]).collect();
         let (pairs, to_boundary) = decoder.match_defects(&defects);
         let mut seen = vec![false; defects.len()];
         for (i, j) in &pairs {

@@ -351,8 +351,7 @@ mod tests {
                 }
                 expected ^= mech.flips_observable;
             }
-            let defects: Vec<usize> =
-                (0..graph.num_nodes()).filter(|&v| events[v]).collect();
+            let defects: Vec<usize> = (0..graph.num_nodes()).filter(|&v| events[v]).collect();
             let a = uf.decode(&defects);
             let b = mwpm.decode(&defects);
             if a == b {

@@ -42,7 +42,10 @@ impl Complex {
 
     /// Complex conjugate.
     pub fn conj(self) -> Complex {
-        Complex { re: self.re, im: -self.im }
+        Complex {
+            re: self.re,
+            im: -self.im,
+        }
     }
 
     /// Squared magnitude.
@@ -52,14 +55,20 @@ impl Complex {
 
     /// Scales by a real factor.
     pub fn scale(self, s: f64) -> Complex {
-        Complex { re: self.re * s, im: self.im * s }
+        Complex {
+            re: self.re * s,
+            im: self.im * s,
+        }
     }
 }
 
 impl Add for Complex {
     type Output = Complex;
     fn add(self, rhs: Complex) -> Complex {
-        Complex { re: self.re + rhs.re, im: self.im + rhs.im }
+        Complex {
+            re: self.re + rhs.re,
+            im: self.im + rhs.im,
+        }
     }
 }
 
@@ -73,7 +82,10 @@ impl AddAssign for Complex {
 impl Sub for Complex {
     type Output = Complex;
     fn sub(self, rhs: Complex) -> Complex {
-        Complex { re: self.re - rhs.re, im: self.im - rhs.im }
+        Complex {
+            re: self.re - rhs.re,
+            im: self.im - rhs.im,
+        }
     }
 }
 
@@ -90,7 +102,10 @@ impl Mul for Complex {
 impl Neg for Complex {
     type Output = Complex;
     fn neg(self) -> Complex {
-        Complex { re: -self.re, im: -self.im }
+        Complex {
+            re: -self.re,
+            im: -self.im,
+        }
     }
 }
 

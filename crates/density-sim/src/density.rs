@@ -15,7 +15,10 @@ pub struct Mat {
 impl Mat {
     /// Zero matrix of dimension `dim`.
     pub fn zeros(dim: usize) -> Mat {
-        Mat { dim, a: vec![Complex::ZERO; dim * dim] }
+        Mat {
+            dim,
+            a: vec![Complex::ZERO; dim * dim],
+        }
     }
 
     /// Identity matrix.
@@ -68,7 +71,10 @@ impl Mat {
 
     /// Scales every entry by a real factor.
     pub fn scaled(&self, s: f64) -> Mat {
-        Mat { dim: self.dim, a: self.a.iter().map(|x| x.scale(s)).collect() }
+        Mat {
+            dim: self.dim,
+            a: self.a.iter().map(|x| x.scale(s)).collect(),
+        }
     }
 
     /// Whether `self · self† = I` within tolerance (unitarity check for
@@ -361,7 +367,10 @@ mod tests {
             (0, 1) | (1, 0) | (2, 2) | (3, 3) => Complex::ONE,
             _ => Complex::ZERO,
         });
-        let ks = [Mat::identity(Q).scaled(0.5f64.sqrt()), x.scaled(0.5f64.sqrt())];
+        let ks = [
+            Mat::identity(Q).scaled(0.5f64.sqrt()),
+            x.scaled(0.5f64.sqrt()),
+        ];
         let mut rho = DensityMatrix::new_ground(1);
         rho.apply_kraus_one(0, &ks);
         assert!((rho.trace().re - 1.0).abs() < 1e-12);

@@ -153,7 +153,10 @@ mod tests {
         for (c, t, expect) in [(0, 0, 0), (0, 1, 1), (1, 0, 1), (1, 1, 0)] {
             let mut rho = DensityMatrix::new_pure(2, &[c, t]);
             rho.apply_two(0, 1, &cnot());
-            assert!((rho.population(1, expect) - 1.0).abs() < 1e-12, "CX|{c}{t}⟩");
+            assert!(
+                (rho.population(1, expect) - 1.0).abs() < 1e-12,
+                "CX|{c}{t}⟩"
+            );
         }
     }
 
@@ -199,8 +202,14 @@ mod tests {
         // Nominal DQLR step: leaked data, reset parity.
         let mut rho = DensityMatrix::new_pure(2, &[2, 0]);
         rho.apply_two(0, 1, &u);
-        assert!((rho.leak_probability(0)).abs() < 1e-12, "data leakage removed");
-        assert!((rho.population(0, 1) - 1.0).abs() < 1e-12, "data lands in |1⟩");
+        assert!(
+            (rho.leak_probability(0)).abs() < 1e-12,
+            "data leakage removed"
+        );
+        assert!(
+            (rho.population(0, 1) - 1.0).abs() < 1e-12,
+            "data lands in |1⟩"
+        );
         assert!((rho.population(1, 1) - 1.0).abs() < 1e-12, "parity excited");
         // The follow-up parity reset completes the protocol.
         rho.reset(1);

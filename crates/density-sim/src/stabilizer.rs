@@ -115,7 +115,11 @@ impl StabilizerLeakageStudy {
     fn noisy_cnot(&self, rho: &mut DensityMatrix, control: usize, target: usize) {
         rho.apply_two(control, target, &gates::cnot());
         // Fig 7(b) channel sequence: transport, conditional kicks, injection.
-        rho.apply_kraus_two(control, target, &gates::leak_transport_kraus(self.p_transport));
+        rho.apply_kraus_two(
+            control,
+            target,
+            &gates::leak_transport_kraus(self.p_transport),
+        );
         let kick = gates::rx_if_partner_leaked(self.kick_theta);
         rho.apply_two(control, target, &kick);
         rho.apply_two(target, control, &kick);
@@ -134,7 +138,11 @@ impl StabilizerLeakageStudy {
         // Correct outcome is 0: computational |0⟩ population reads 0, leaked
         // population reads a uniformly random label.
         let p_correct = rho.population(PARITY, 0) + 0.5 * rho.leak_probability(PARITY);
-        out.push(StepRecord { label: label.to_string(), leak, p_correct });
+        out.push(StepRecord {
+            label: label.to_string(),
+            leak,
+            p_correct,
+        });
     }
 }
 
@@ -153,9 +161,18 @@ mod tests {
     #[test]
     fn q0_leakage_removed_by_lrc_readout() {
         let records = study();
-        let before = records.iter().position(|r| r.label.starts_with("A:")).unwrap();
-        let after = records.iter().position(|r| r.label.starts_with("MR(q0)")).unwrap();
-        assert!(records[before].leak[0] > 0.5, "q0 still mostly leaked pre-MR");
+        let before = records
+            .iter()
+            .position(|r| r.label.starts_with("A:"))
+            .unwrap();
+        let after = records
+            .iter()
+            .position(|r| r.label.starts_with("MR(q0)"))
+            .unwrap();
+        assert!(
+            records[before].leak[0] > 0.5,
+            "q0 still mostly leaked pre-MR"
+        );
         assert!(records[after].leak[0] < 1e-9, "reset clears q0");
     }
 
@@ -175,8 +192,16 @@ mod tests {
         // towards ½ (random) while P carries leakage.
         let records = study();
         let c = records.iter().find(|r| r.label.starts_with("C:")).unwrap();
-        assert!(c.p_correct < 0.95, "readout must be degraded: {}", c.p_correct);
-        assert!(c.p_correct > 0.5, "but better than a coin flip: {}", c.p_correct);
+        assert!(
+            c.p_correct < 0.95,
+            "readout must be degraded: {}",
+            c.p_correct
+        );
+        assert!(
+            c.p_correct > 0.5,
+            "but better than a coin flip: {}",
+            c.p_correct
+        );
     }
 
     #[test]

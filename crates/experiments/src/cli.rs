@@ -62,25 +62,29 @@ pub fn parse(args: &[String]) -> Result<(String, Opts), String> {
                     .ok_or_else(|| format!("--{key} needs a value"))
             };
             match key {
-                "shots" => opts.shots = value(&mut i)?.parse().map_err(|e| format!("--shots: {e}"))?,
+                "shots" => {
+                    opts.shots = value(&mut i)?
+                        .parse()
+                        .map_err(|e| format!("--shots: {e}"))?
+                }
                 "seed" => opts.seed = value(&mut i)?.parse().map_err(|e| format!("--seed: {e}"))?,
                 "threads" => {
-                    opts.threads = value(&mut i)?.parse().map_err(|e| format!("--threads: {e}"))?
+                    opts.threads = value(&mut i)?
+                        .parse()
+                        .map_err(|e| format!("--threads: {e}"))?
                 }
                 "p" => opts.p = value(&mut i)?.parse().map_err(|e| format!("--p: {e}"))?,
                 "d" => opts.d = value(&mut i)?.parse().map_err(|e| format!("--d: {e}"))?,
                 "dmax" => opts.dmax = value(&mut i)?.parse().map_err(|e| format!("--dmax: {e}"))?,
                 "cycles" => {
-                    opts.cycles = value(&mut i)?.parse().map_err(|e| format!("--cycles: {e}"))?
+                    opts.cycles = value(&mut i)?
+                        .parse()
+                        .map_err(|e| format!("--cycles: {e}"))?
                 }
                 "decoder" => {
-                    opts.decoder = match value(&mut i)?.as_str() {
-                        "mwpm" => DecoderKind::Mwpm,
-                        "uf" | "union-find" => DecoderKind::UnionFind,
-                        "greedy" => DecoderKind::Greedy,
-                        "auto" => DecoderKind::Auto,
-                        other => return Err(format!("unknown decoder `{other}`")),
-                    }
+                    opts.decoder = value(&mut i)?
+                        .parse()
+                        .map_err(|e| format!("--decoder: {e}"))?
                 }
                 "out" => opts.out = PathBuf::from(value(&mut i)?),
                 "quick" => opts.quick = true,

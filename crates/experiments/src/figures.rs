@@ -1,69 +1,67 @@
 //! One function per paper table/figure. Each prints a result table (with the
 //! paper's reference numbers where they exist) and writes a CSV.
+//!
+//! Every figure goes through the [`Experiment`] facade; the distance sweeps
+//! (Fig 14/16/17/20, Table 4) run on the [`Sweep`] engine, which caches
+//! runner construction and streams points in grid order.
 
 use crate::cli::Opts;
 use crate::output::{fixed, ratio, sci, Table};
 use crate::paper;
 use eraser_core::{
-    analysis, resource, rtl, AlwaysLrcPolicy, DecoderKind, EraserOptions, EraserPolicy,
-    LrcPolicy, LrcProtocol, MemoryRunResult, MemoryRunner, NoLrcPolicy, OptimalPolicy,
-    RunConfig,
+    analysis, resource, rtl, DecoderKind, EraserOptions, Experiment, LrcProtocol, MemoryRunResult,
+    NoiseModel, PolicyKind, Sweep, SweepPoint,
 };
 use qec_core::NoiseParams;
 use surface_code::RotatedCode;
 
-/// Policy selector used across the sweeps.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub enum PolicyKind {
-    NoLrc,
-    Always,
-    /// Every-round variant (the DQLR baseline).
-    AlwaysEvery,
-    Eraser,
-    EraserM,
-    Optimal,
-}
-
-impl PolicyKind {
-    pub fn label(self) -> &'static str {
-        match self {
-            PolicyKind::NoLrc => "no-lrc",
-            PolicyKind::Always => "always-lrc",
-            PolicyKind::AlwaysEvery => "dqlr-every-round",
-            PolicyKind::Eraser => "eraser",
-            PolicyKind::EraserM => "eraser+m",
-            PolicyKind::Optimal => "optimal",
-        }
-    }
-
-    fn build(self, code: &RotatedCode) -> Box<dyn LrcPolicy> {
-        match self {
-            PolicyKind::NoLrc => Box::new(NoLrcPolicy::new()),
-            PolicyKind::Always => Box::new(AlwaysLrcPolicy::new(code)),
-            PolicyKind::AlwaysEvery => Box::new(AlwaysLrcPolicy::every_round(code)),
-            PolicyKind::Eraser => Box::new(EraserPolicy::new(code)),
-            PolicyKind::EraserM => Box::new(EraserPolicy::with_multilevel(code)),
-            PolicyKind::Optimal => Box::new(OptimalPolicy::new(code)),
-        }
-    }
-}
-
-fn run_policy(
-    runner: &MemoryRunner,
-    kind: PolicyKind,
+/// Builds the figure's experiment from the harness options.
+fn experiment(
     opts: &Opts,
+    d: usize,
+    noise: NoiseParams,
+    rounds: usize,
     protocol: LrcProtocol,
     decode: bool,
-) -> MemoryRunResult {
-    let config = RunConfig {
-        shots: opts.effective_shots(),
-        seed: opts.seed,
-        threads: opts.threads,
-        decoder: opts.decoder,
-        protocol,
-        decode,
-    };
-    runner.run(&move |code| kind.build(code), &config)
+) -> Result<Experiment, String> {
+    Experiment::builder()
+        .distance(d)
+        .noise(noise)
+        .rounds(rounds)
+        .shots(opts.effective_shots())
+        .seed(opts.seed)
+        .threads(opts.threads)
+        .decoder(opts.decoder)
+        .protocol(protocol)
+        .decode(decode)
+        .build()
+        .map_err(|e| e.to_string())
+}
+
+/// Builds a distance sweep (one error rate, the figure's policy set) from the
+/// harness options.
+fn sweep(
+    opts: &Opts,
+    distances: Vec<usize>,
+    noise: NoiseModel,
+    protocol: LrcProtocol,
+    policies: &[PolicyKind],
+    decode: bool,
+) -> Result<Sweep, String> {
+    Sweep::builder()
+        .distances(distances)
+        .error_rates([opts.p])
+        .policies(policies.iter().cloned())
+        .noise_model(noise)
+        .cycles(opts.cycles)
+        .shots(opts.effective_shots())
+        .seed(opts.seed)
+        .threads(opts.threads)
+        .decoder(opts.decoder)
+        .protocol(protocol)
+        .decode(decode)
+        .build()
+        .map_err(|e| e.to_string())
 }
 
 fn distances(opts: &Opts) -> Vec<usize> {
@@ -148,12 +146,21 @@ pub fn fig1c(opts: &Opts) -> Result<(), String> {
         &["cycle", "no-lrc", "always-lrc", "optimal"],
     );
     for cycle in 1..=opts.cycles {
-        let runner = MemoryRunner::new(d, noise, d * cycle);
-        let cells: Vec<String> = [PolicyKind::NoLrc, PolicyKind::Always, PolicyKind::Optimal]
-            .iter()
-            .map(|&k| sci(run_policy(&runner, k, opts, LrcProtocol::Swap, true).ler()))
-            .collect();
-        t.row(vec![cycle.to_string(), cells[0].clone(), cells[1].clone(), cells[2].clone()]);
+        let exp = experiment(opts, d, noise, d * cycle, LrcProtocol::Swap, true)?;
+        let cells: Vec<String> = [
+            PolicyKind::NoLrc,
+            PolicyKind::AlwaysLrc,
+            PolicyKind::Optimal,
+        ]
+        .iter()
+        .map(|k| sci(exp.run_policy(k).ler()))
+        .collect();
+        t.row(vec![
+            cycle.to_string(),
+            cells[0].clone(),
+            cells[1].clone(),
+            cells[2].clone(),
+        ]);
     }
     t.print();
     t.write_csv(&opts.out, "fig1c")
@@ -171,12 +178,24 @@ pub fn fig2c(opts: &Opts) -> Result<(), String> {
     );
     for cycle in 1..=opts.cycles {
         let rounds = d * cycle;
-        let clean = MemoryRunner::new(d, NoiseParams::without_leakage(opts.p), rounds);
-        let leaky = MemoryRunner::new(d, NoiseParams::standard(opts.p), rounds);
-        let ler_clean =
-            run_policy(&clean, PolicyKind::NoLrc, opts, LrcProtocol::Swap, true).ler();
-        let ler_leaky =
-            run_policy(&leaky, PolicyKind::NoLrc, opts, LrcProtocol::Swap, true).ler();
+        let clean = experiment(
+            opts,
+            d,
+            NoiseParams::without_leakage(opts.p),
+            rounds,
+            LrcProtocol::Swap,
+            true,
+        )?;
+        let leaky = experiment(
+            opts,
+            d,
+            NoiseParams::standard(opts.p),
+            rounds,
+            LrcProtocol::Swap,
+            true,
+        )?;
+        let ler_clean = clean.run_policy(&PolicyKind::NoLrc).ler();
+        let ler_leaky = leaky.run_policy(&PolicyKind::NoLrc).ler();
         t.row(vec![
             cycle.to_string(),
             sci(ler_clean),
@@ -197,8 +216,15 @@ pub fn fig2c(opts: &Opts) -> Result<(), String> {
 pub fn fig5(opts: &Opts) -> Result<(), String> {
     let d = figure_d(opts, 7);
     let rounds = d * opts.cycles;
-    let runner = MemoryRunner::new(d, NoiseParams::standard(opts.p), rounds);
-    let result = run_policy(&runner, PolicyKind::Always, opts, LrcProtocol::Swap, false);
+    let exp = experiment(
+        opts,
+        d,
+        NoiseParams::standard(opts.p),
+        rounds,
+        LrcProtocol::Swap,
+        false,
+    )?;
+    let result = exp.run_policy(&PolicyKind::AlwaysLrc);
     let mut t = Table::new(
         &format!("Fig 5: LPR (x1e-4) per round, Always-LRC, d={d} (paper: rises over time, spikes on LRC rounds)"),
         &["round", "total", "data", "parity"],
@@ -219,9 +245,16 @@ pub fn fig5(opts: &Opts) -> Result<(), String> {
 pub fn fig6(opts: &Opts) -> Result<(), String> {
     let d = figure_d(opts, 7);
     let rounds = d * opts.cycles;
-    let runner = MemoryRunner::new(d, NoiseParams::standard(opts.p), rounds);
-    let always = run_policy(&runner, PolicyKind::Always, opts, LrcProtocol::Swap, false);
-    let optimal = run_policy(&runner, PolicyKind::Optimal, opts, LrcProtocol::Swap, false);
+    let exp = experiment(
+        opts,
+        d,
+        NoiseParams::standard(opts.p),
+        rounds,
+        LrcProtocol::Swap,
+        false,
+    )?;
+    let always = exp.run_policy(&PolicyKind::AlwaysLrc);
+    let optimal = exp.run_policy(&PolicyKind::Optimal);
     let mut lpr = Table::new(
         &format!("Fig 6 (top): LPR (x1e-4) per round, d={d} (paper: Always keeps rising, Optimal stays low)"),
         &["round", "always-lrc", "optimal"],
@@ -241,9 +274,16 @@ pub fn fig6(opts: &Opts) -> Result<(), String> {
         &["cycle", "always-lrc", "optimal", "gap"],
     );
     for cycle in 1..=opts.cycles {
-        let r = MemoryRunner::new(d, NoiseParams::standard(opts.p), d * cycle);
-        let a = run_policy(&r, PolicyKind::Always, opts, LrcProtocol::Swap, true).ler();
-        let o = run_policy(&r, PolicyKind::Optimal, opts, LrcProtocol::Swap, true).ler();
+        let exp = experiment(
+            opts,
+            d,
+            NoiseParams::standard(opts.p),
+            d * cycle,
+            LrcProtocol::Swap,
+            true,
+        )?;
+        let a = exp.run_policy(&PolicyKind::AlwaysLrc).ler();
+        let o = exp.run_policy(&PolicyKind::Optimal).ler();
         ler.row(vec![cycle.to_string(), sci(a), sci(o), ratio(a, o)]);
     }
     ler.print();
@@ -277,9 +317,47 @@ pub fn fig8(opts: &Opts) -> Result<(), String> {
 // Main results
 // ---------------------------------------------------------------------------
 
+/// Groups streamed sweep points into one group per (distance, error rate),
+/// in execution order. Grouping is by the coordinates each [`SweepPoint`]
+/// carries, not by positional arithmetic, so it stays correct for any grid
+/// shape.
+fn group_by_code(points: Vec<SweepPoint>) -> Vec<Vec<SweepPoint>> {
+    let mut groups: Vec<Vec<SweepPoint>> = Vec::new();
+    for pt in points {
+        match groups.last_mut() {
+            Some(group) if group[0].distance == pt.distance && group[0].p == pt.p => group.push(pt),
+            _ => groups.push(vec![pt]),
+        }
+    }
+    groups
+}
+
+/// The point for `kind` within one (distance, error rate) group.
+fn point_for<'a>(group: &'a [SweepPoint], kind: &PolicyKind) -> Option<&'a SweepPoint> {
+    group.iter().find(|pt| pt.policy == kind.label())
+}
+
+/// Runs a distance sweep and groups the points per distance. An empty
+/// distance list (e.g. `--dmax 2`) yields an empty result instead of an
+/// error, so those figures print an empty table as they always have.
+fn grouped_sweep(
+    opts: &Opts,
+    distances: Vec<usize>,
+    noise: NoiseModel,
+    protocol: LrcProtocol,
+    policies: &[PolicyKind],
+    decode: bool,
+) -> Result<Vec<Vec<SweepPoint>>, String> {
+    if distances.is_empty() {
+        return Ok(Vec::new());
+    }
+    let grid = sweep(opts, distances, noise, protocol, policies, decode)?;
+    Ok(group_by_code(grid.run()))
+}
+
 fn ler_sweep(
     opts: &Opts,
-    noise_for: &dyn Fn(f64) -> NoiseParams,
+    noise: NoiseModel,
     protocol: LrcProtocol,
     policies: &[PolicyKind],
     title: &str,
@@ -290,28 +368,20 @@ fn ler_sweep(
     columns.push("eraser gain");
     columns.push("eraser+m gain");
     let mut t = Table::new(title, &columns);
-    for d in distances(opts) {
-        let runner = MemoryRunner::new(d, noise_for(opts.p), d * opts.cycles);
-        let results: Vec<MemoryRunResult> = policies
-            .iter()
-            .map(|&k| run_policy(&runner, k, opts, protocol, true))
-            .collect();
-        let baseline = results[0].ler();
-        let find = |kind: PolicyKind| -> Option<f64> {
-            policies
-                .iter()
-                .position(|&k| k == kind)
-                .map(|i| results[i].ler())
+    for group in grouped_sweep(opts, distances(opts), noise, protocol, policies, true)? {
+        let baseline = group[0].result.ler();
+        let find = |kind: &PolicyKind| -> Option<f64> {
+            point_for(&group, kind).map(|pt| pt.result.ler())
         };
-        let mut row = vec![d.to_string()];
-        row.extend(results.iter().map(|r| sci(r.ler())));
+        let mut row = vec![group[0].distance.to_string()];
+        row.extend(group.iter().map(|pt| sci(pt.result.ler())));
         row.push(
-            find(PolicyKind::Eraser)
+            find(&PolicyKind::eraser())
                 .map(|l| ratio(baseline, l))
                 .unwrap_or_default(),
         );
         row.push(
-            find(PolicyKind::EraserM)
+            find(&PolicyKind::eraser_m())
                 .map(|l| ratio(baseline, l))
                 .unwrap_or_default(),
         );
@@ -334,12 +404,12 @@ pub fn fig14(opts: &Opts) -> Result<(), String> {
     );
     ler_sweep(
         opts,
-        &NoiseParams::standard,
+        NoiseModel::Standard,
         LrcProtocol::Swap,
         &[
-            PolicyKind::Always,
-            PolicyKind::Eraser,
-            PolicyKind::EraserM,
+            PolicyKind::AlwaysLrc,
+            PolicyKind::eraser(),
+            PolicyKind::eraser_m(),
             PolicyKind::Optimal,
         ],
         &title,
@@ -357,17 +427,14 @@ fn lpr_four_policies(
 ) -> Result<(), String> {
     let d = figure_d(opts, 11);
     let rounds = d * opts.cycles;
-    let runner = MemoryRunner::new(d, noise, rounds);
+    let exp = experiment(opts, d, noise, rounds, protocol, false)?;
     let policies = [
         baseline,
-        PolicyKind::Eraser,
-        PolicyKind::EraserM,
+        PolicyKind::eraser(),
+        PolicyKind::eraser_m(),
         PolicyKind::Optimal,
     ];
-    let results: Vec<MemoryRunResult> = policies
-        .iter()
-        .map(|&k| run_policy(&runner, k, opts, protocol, false))
-        .collect();
+    let results: Vec<MemoryRunResult> = policies.iter().map(|k| exp.run_policy(k)).collect();
     let mut columns = vec!["round".to_string()];
     columns.extend(policies.iter().map(|p| p.label().to_string()));
     let col_refs: Vec<&str> = columns.iter().map(|s| s.as_str()).collect();
@@ -387,7 +454,7 @@ pub fn fig15(opts: &Opts) -> Result<(), String> {
         opts,
         NoiseParams::standard(opts.p),
         LrcProtocol::Swap,
-        PolicyKind::Always,
+        PolicyKind::AlwaysLrc,
         "Fig 15: LPR per round (paper: ERASER ~1.5x lower than Always, ERASER+M ~2.2x lower than ERASER)",
         "fig15",
     )
@@ -405,32 +472,33 @@ pub fn fig16(opts: &Opts) -> Result<(), String> {
         &["d", "always-lrc", "eraser", "eraser+m", "optimal"],
     );
     let policies = [
-        PolicyKind::Always,
-        PolicyKind::Eraser,
-        PolicyKind::EraserM,
+        PolicyKind::AlwaysLrc,
+        PolicyKind::eraser(),
+        PolicyKind::eraser_m(),
         PolicyKind::Optimal,
     ];
-    let mut last_results: Vec<MemoryRunResult> = Vec::new();
-    let mut last_d = 0;
-    for d in distances(opts) {
-        let runner = MemoryRunner::new(d, NoiseParams::standard(opts.p), d * opts.cycles);
-        let results: Vec<MemoryRunResult> = policies
-            .iter()
-            .map(|&k| run_policy(&runner, k, opts, LrcProtocol::Swap, false))
-            .collect();
-        let mut row = vec![d.to_string()];
+    let groups = grouped_sweep(
+        opts,
+        distances(opts),
+        NoiseModel::Standard,
+        LrcProtocol::Swap,
+        &policies,
+        false,
+    )?;
+    for group in &groups {
+        let mut row = vec![group[0].distance.to_string()];
         row.extend(
-            results
+            group
                 .iter()
-                .map(|r| fixed(r.speculation.accuracy() * 100.0, 1)),
+                .map(|pt| fixed(pt.result.speculation.accuracy() * 100.0, 1)),
         );
         acc.row(row);
-        last_results = results;
-        last_d = d;
     }
     acc.print();
     acc.write_csv(&opts.out, "fig16_accuracy")?;
 
+    let last_group: &[SweepPoint] = groups.last().map(Vec::as_slice).unwrap_or(&[]);
+    let last_d = last_group.first().map(|pt| pt.distance).unwrap_or(0);
     let mut rates = Table::new(
         &format!(
             "Fig 16 (bottom): FPR/FNR % at d={last_d} (paper d=11: FPR {}% vs 50%; FNR ~{}% ERASER, ~{}% ERASER+M)",
@@ -440,11 +508,14 @@ pub fn fig16(opts: &Opts) -> Result<(), String> {
         ),
         &["policy", "FPR %", "FNR %"],
     );
-    for (kind, res) in policies.iter().zip(&last_results) {
+    for kind in &policies {
+        let Some(pt) = point_for(last_group, kind) else {
+            continue;
+        };
         rates.row(vec![
             kind.label().to_string(),
-            fixed(res.speculation.false_positive_rate() * 100.0, 2),
-            fixed(res.speculation.false_negative_rate() * 100.0, 2),
+            fixed(pt.result.speculation.false_positive_rate() * 100.0, 2),
+            fixed(pt.result.speculation.false_negative_rate() * 100.0, 2),
         ]);
     }
     rates.print();
@@ -497,23 +568,42 @@ pub fn table4(opts: &Opts) -> Result<(), String> {
             "optimal(paper)",
         ],
     );
-    for (d, p_always, p_eraser, p_eraser_m, p_optimal) in paper::TABLE4 {
-        if d > opts.dmax {
+    let rows: Vec<(usize, f64, f64, f64, f64)> = paper::TABLE4
+        .into_iter()
+        .filter(|&(d, ..)| d <= opts.dmax)
+        .collect();
+    let policies = [
+        PolicyKind::AlwaysLrc,
+        PolicyKind::eraser(),
+        PolicyKind::eraser_m(),
+        PolicyKind::Optimal,
+    ];
+    for group in grouped_sweep(
+        opts,
+        rows.iter().map(|&(d, ..)| d).collect(),
+        NoiseModel::Standard,
+        LrcProtocol::Swap,
+        &policies,
+        false,
+    )? {
+        let d = group[0].distance;
+        let Some(&(_, p_always, p_eraser, p_eraser_m, p_optimal)) =
+            rows.iter().find(|&&(row_d, ..)| row_d == d)
+        else {
             continue;
-        }
-        let runner = MemoryRunner::new(d, NoiseParams::standard(opts.p), d * opts.cycles);
-        let get = |k: PolicyKind| {
-            run_policy(&runner, k, opts, LrcProtocol::Swap, false).lrcs_per_round()
+        };
+        let lrcs = |kind: &PolicyKind| {
+            point_for(&group, kind).map_or(f64::NAN, |pt| pt.result.lrcs_per_round())
         };
         t.row(vec![
             d.to_string(),
-            fixed(get(PolicyKind::Always), 2),
+            fixed(lrcs(&PolicyKind::AlwaysLrc), 2),
             fixed(p_always, 2),
-            fixed(get(PolicyKind::Eraser), 2),
+            fixed(lrcs(&PolicyKind::eraser()), 2),
             fixed(p_eraser, 2),
-            fixed(get(PolicyKind::EraserM), 2),
+            fixed(lrcs(&PolicyKind::eraser_m()), 2),
             fixed(p_eraser_m, 2),
-            fixed(get(PolicyKind::Optimal), 3),
+            fixed(lrcs(&PolicyKind::Optimal), 3),
             fixed(p_optimal, 3),
         ]);
     }
@@ -533,12 +623,12 @@ pub fn fig17(opts: &Opts) -> Result<(), String> {
     );
     ler_sweep(
         opts,
-        &NoiseParams::exchange_transport,
+        NoiseModel::ExchangeTransport,
         LrcProtocol::Swap,
         &[
-            PolicyKind::Always,
-            PolicyKind::Eraser,
-            PolicyKind::EraserM,
+            PolicyKind::AlwaysLrc,
+            PolicyKind::eraser(),
+            PolicyKind::eraser_m(),
             PolicyKind::Optimal,
         ],
         &title,
@@ -552,7 +642,7 @@ pub fn fig18(opts: &Opts) -> Result<(), String> {
         opts,
         NoiseParams::exchange_transport(opts.p),
         LrcProtocol::Swap,
-        PolicyKind::Always,
+        PolicyKind::AlwaysLrc,
         "Fig 18 (App A.1): LPR per round, exchange transport (paper: all policies stabilize except Always)",
         "fig18",
     )
@@ -566,12 +656,12 @@ pub fn fig20(opts: &Opts) -> Result<(), String> {
     );
     ler_sweep(
         opts,
-        &NoiseParams::exchange_transport,
+        NoiseModel::ExchangeTransport,
         LrcProtocol::Dqlr,
         &[
-            PolicyKind::AlwaysEvery,
-            PolicyKind::Eraser,
-            PolicyKind::EraserM,
+            PolicyKind::AlwaysEveryRound,
+            PolicyKind::eraser(),
+            PolicyKind::eraser_m(),
             PolicyKind::Optimal,
         ],
         &title,
@@ -585,7 +675,7 @@ pub fn fig21(opts: &Opts) -> Result<(), String> {
         opts,
         NoiseParams::exchange_transport(opts.p),
         LrcProtocol::Dqlr,
-        PolicyKind::AlwaysEvery,
+        PolicyKind::AlwaysEveryRound,
         "Fig 21 (App A.2): LPR per round with DQLR (paper: DQLR stabilizes LPR quickly; ERASER ~1.4x lower)",
         "fig21",
     )
@@ -603,9 +693,19 @@ pub fn memx(opts: &Opts) -> Result<(), String> {
         &["basis", "policy", "ler", "lrcs/round", "accuracy %"],
     );
     for (label, basis) in [("Z", MemoryBasis::Z), ("X", MemoryBasis::X)] {
-        let runner = MemoryRunner::new_with_basis(d, NoiseParams::standard(opts.p), rounds, basis);
-        for kind in [PolicyKind::Always, PolicyKind::Eraser] {
-            let res = run_policy(&runner, kind, opts, LrcProtocol::Swap, true);
+        let exp = Experiment::builder()
+            .distance(d)
+            .noise(NoiseParams::standard(opts.p))
+            .rounds(rounds)
+            .basis(basis)
+            .shots(opts.effective_shots())
+            .seed(opts.seed)
+            .threads(opts.threads)
+            .decoder(opts.decoder)
+            .build()
+            .map_err(|e| e.to_string())?;
+        for kind in [PolicyKind::AlwaysLrc, PolicyKind::eraser()] {
+            let res = exp.run_policy(&kind);
             t.row(vec![
                 label.to_string(),
                 kind.label().to_string(),
@@ -633,9 +733,16 @@ pub fn postselect(opts: &Opts) -> Result<(), String> {
         &["cycles", "raw LER", "postsel LER", "keep %", "eraser LER"],
     );
     for cycle in 1..=opts.cycles {
-        let runner = MemoryRunner::new(d, NoiseParams::standard(opts.p), d * cycle);
-        let raw = run_policy(&runner, PolicyKind::NoLrc, opts, LrcProtocol::Swap, true);
-        let eraser = run_policy(&runner, PolicyKind::Eraser, opts, LrcProtocol::Swap, true);
+        let exp = experiment(
+            opts,
+            d,
+            NoiseParams::standard(opts.p),
+            d * cycle,
+            LrcProtocol::Swap,
+            true,
+        )?;
+        let raw = exp.run_policy(&PolicyKind::NoLrc);
+        let eraser = exp.run_policy(&PolicyKind::eraser());
         let ps = raw.postselection;
         t.row(vec![
             cycle.to_string(),
@@ -658,21 +765,14 @@ pub fn postselect(opts: &Opts) -> Result<(), String> {
 pub fn ablation(opts: &Opts) -> Result<(), String> {
     let d = figure_d(opts, 5);
     let rounds = d * opts.cycles;
-    let runner = MemoryRunner::new(d, NoiseParams::standard(opts.p), rounds);
-    let run_opts = |options: EraserOptions| -> MemoryRunResult {
-        let config = RunConfig {
-            shots: opts.effective_shots(),
-            seed: opts.seed,
-            threads: opts.threads,
-            decoder: opts.decoder,
-            protocol: LrcProtocol::Swap,
-            decode: true,
-        };
-        runner.run(
-            &move |code| Box::new(EraserPolicy::with_options(code, options)) as Box<dyn LrcPolicy>,
-            &config,
-        )
-    };
+    let mut exp = experiment(
+        opts,
+        d,
+        NoiseParams::standard(opts.p),
+        rounds,
+        LrcProtocol::Swap,
+        true,
+    )?;
 
     // (1) LSB threshold sweep — the paper's Insight #2 "sweet spot".
     let mut thr = Table::new(
@@ -680,10 +780,10 @@ pub fn ablation(opts: &Opts) -> Result<(), String> {
         &["threshold", "ler", "lrcs/round", "accuracy %", "fnr %"],
     );
     for threshold in [1usize, 2, 3, 4] {
-        let res = run_opts(EraserOptions {
+        let res = exp.run_policy(&PolicyKind::Eraser(EraserOptions {
             threshold_override: threshold,
             ..EraserOptions::default()
-        });
+        }));
         thr.row(vec![
             threshold.to_string(),
             sci(res.ler()),
@@ -704,19 +804,29 @@ pub fn ablation(opts: &Opts) -> Result<(), String> {
         ("full design", EraserOptions::default()),
         (
             "no PUTT",
-            EraserOptions { use_putt: false, ..EraserOptions::default() },
+            EraserOptions {
+                use_putt: false,
+                ..EraserOptions::default()
+            },
         ),
         (
             "no backup",
-            EraserOptions { use_backup: false, ..EraserOptions::default() },
+            EraserOptions {
+                use_backup: false,
+                ..EraserOptions::default()
+            },
         ),
         (
             "no PUTT, no backup",
-            EraserOptions { use_putt: false, use_backup: false, ..EraserOptions::default() },
+            EraserOptions {
+                use_putt: false,
+                use_backup: false,
+                ..EraserOptions::default()
+            },
         ),
     ];
     for (label, options) in variants {
-        let res = run_opts(options);
+        let res = exp.run_policy(&PolicyKind::Eraser(options));
         knobs.row(vec![
             label.to_string(),
             sci(res.ler()),
@@ -732,16 +842,13 @@ pub fn ablation(opts: &Opts) -> Result<(), String> {
         &format!("Ablation: decoder choice, d={d} (MWPM is the paper's gold standard)"),
         &["decoder", "ler"],
     );
-    for kind in [DecoderKind::Mwpm, DecoderKind::UnionFind, DecoderKind::Greedy] {
-        let config = RunConfig {
-            shots: opts.effective_shots(),
-            seed: opts.seed,
-            threads: opts.threads,
-            decoder: kind,
-            protocol: LrcProtocol::Swap,
-            decode: true,
-        };
-        let res = runner.run(&|code| Box::new(EraserPolicy::new(code)), &config);
+    for kind in [
+        DecoderKind::Mwpm,
+        DecoderKind::UnionFind,
+        DecoderKind::Greedy,
+    ] {
+        exp.set_decoder(kind);
+        let res = exp.run_policy(&PolicyKind::eraser());
         dec.row(vec![res.decoder.clone(), sci(res.ler())]);
     }
     dec.print();

@@ -84,9 +84,8 @@ fn dispatch(command: &str, opts: &Opts) -> Result<(), String> {
         "memx" => figures::memx(opts),
         "all" => {
             for cmd in [
-                "analytic", "table2", "fig8", "table3", "fig1c", "fig2c", "fig5", "fig6",
-                "fig14", "fig15", "fig16", "table4", "fig17", "fig18", "fig20", "fig21",
-                "ablation",
+                "analytic", "table2", "fig8", "table3", "fig1c", "fig2c", "fig5", "fig6", "fig14",
+                "fig15", "fig16", "table4", "fig17", "fig18", "fig20", "fig21", "ablation",
             ] {
                 dispatch(cmd, opts)?;
             }

@@ -318,8 +318,14 @@ mod tests {
     fn push_and_count() {
         let mut c = Circuit::new(4);
         c.push(Op::H(0));
-        c.push(Op::Cnot { control: 0, target: 1 });
-        c.push(Op::Cnot { control: 2, target: 3 });
+        c.push(Op::Cnot {
+            control: 0,
+            target: 1,
+        });
+        c.push(Op::Cnot {
+            control: 2,
+            target: 3,
+        });
         let k = c.alloc_key();
         c.push(Op::Measure { qubit: 3, key: k });
         assert_eq!(c.count(|o| matches!(o, Op::Cnot { .. })), 2);
@@ -355,7 +361,14 @@ mod tests {
 
     #[test]
     fn op_qubits_and_classes() {
-        assert_eq!(Op::Cnot { control: 3, target: 5 }.qubits(), vec![3, 5]);
+        assert_eq!(
+            Op::Cnot {
+                control: 3,
+                target: 5
+            }
+            .qubits(),
+            vec![3, 5]
+        );
         assert_eq!(Op::Tick.qubits(), Vec::<usize>::new());
         assert!(Op::Depolarize1 { qubit: 0, p: 0.1 }.is_noise());
         assert!(!Op::Reset(0).is_noise());
@@ -366,7 +379,10 @@ mod tests {
     fn display_is_parsable_by_eye() {
         let mut c = Circuit::new(2);
         c.push(Op::H(0));
-        c.push(Op::Cnot { control: 0, target: 1 });
+        c.push(Op::Cnot {
+            control: 0,
+            target: 1,
+        });
         let text = c.to_string();
         assert!(text.contains("H 0"));
         assert!(text.contains("CX 0 1"));

@@ -376,7 +376,10 @@ mod tests {
     fn x_error_propagates_through_cnot() {
         let mut s = sim(NoiseParams::without_leakage(0.0), 2);
         s.apply(&Op::XError { qubit: 0, p: 1.0 });
-        s.apply(&Op::Cnot { control: 0, target: 1 });
+        s.apply(&Op::Cnot {
+            control: 0,
+            target: 1,
+        });
         s.apply(&Op::Measure { qubit: 0, key: 0 });
         s.apply(&Op::Measure { qubit: 1, key: 1 });
         assert!(s.record().flip(0));
@@ -387,7 +390,10 @@ mod tests {
     fn z_error_propagates_backwards_through_cnot() {
         let mut s = sim(NoiseParams::without_leakage(0.0), 1);
         s.apply_pauli(1, Pauli::Z);
-        s.apply(&Op::Cnot { control: 0, target: 1 });
+        s.apply(&Op::Cnot {
+            control: 0,
+            target: 1,
+        });
         // Z on target propagates to control; H converts it to X there.
         s.apply(&Op::H(0));
         s.apply(&Op::Measure { qubit: 0, key: 0 });
@@ -429,7 +435,10 @@ mod tests {
             }
         }
         let frac = flips as f64 / n as f64;
-        assert!((frac - 0.5).abs() < 0.05, "leaked readout must be random, got {frac}");
+        assert!(
+            (frac - 0.5).abs() < 0.05,
+            "leaked readout must be random, got {frac}"
+        );
     }
 
     #[test]
@@ -471,7 +480,10 @@ mod tests {
         for _ in 0..n {
             s.reset_shot();
             s.force_leak(0);
-            s.apply(&Op::Cnot { control: 0, target: 1 });
+            s.apply(&Op::Cnot {
+                control: 0,
+                target: 1,
+            });
             // Z-basis measurement sees X or Y kicks: probability 1/2.
             if !s.is_leaked(1) {
                 s.apply(&Op::Measure { qubit: 1, key: 0 });
@@ -492,7 +504,10 @@ mod tests {
         noise.p_transport = 1.0;
         let mut s = FrameSimulator::new(2, 0, noise, Discriminator::TwoLevel, Rng::new(1));
         s.force_leak(0);
-        s.apply(&Op::Cnot { control: 0, target: 1 });
+        s.apply(&Op::Cnot {
+            control: 0,
+            target: 1,
+        });
         assert!(s.is_leaked(0), "source stays leaked (conservative)");
         assert!(s.is_leaked(1), "target becomes leaked");
     }
@@ -503,7 +518,10 @@ mod tests {
         noise.p_transport = 1.0;
         let mut s = FrameSimulator::new(2, 0, noise, Discriminator::TwoLevel, Rng::new(1));
         s.force_leak(0);
-        s.apply(&Op::Cnot { control: 0, target: 1 });
+        s.apply(&Op::Cnot {
+            control: 0,
+            target: 1,
+        });
         assert!(!s.is_leaked(0), "source returns to computational basis");
         assert!(s.is_leaked(1), "target becomes leaked");
     }
@@ -515,7 +533,10 @@ mod tests {
         let mut s = FrameSimulator::new(2, 0, noise, Discriminator::TwoLevel, Rng::new(1));
         s.force_leak(0);
         s.force_leak(1);
-        s.apply(&Op::Cnot { control: 0, target: 1 });
+        s.apply(&Op::Cnot {
+            control: 0,
+            target: 1,
+        });
         assert!(s.is_leaked(0) && s.is_leaked(1));
     }
 
@@ -536,7 +557,10 @@ mod tests {
             }
         }
         let frac = returned_flipped as f64 / n as f64;
-        assert!((frac - 0.5).abs() < 0.05, "seeped state must be random, got {frac}");
+        assert!(
+            (frac - 0.5).abs() < 0.05,
+            "seeped state must be random, got {frac}"
+        );
     }
 
     #[test]
@@ -577,7 +601,10 @@ mod tests {
             s.apply(&Op::Depolarize2 { a: 0, b: 1, p: 1.0 });
         }
         s.apply(&Op::Measure { qubit: 1, key: 0 });
-        assert!(!s.record().flip(0), "partner of leaked qubit untouched by gate channel");
+        assert!(
+            !s.record().flip(0),
+            "partner of leaked qubit untouched by gate channel"
+        );
     }
 
     #[test]

@@ -160,7 +160,7 @@ impl TableauSimulator {
             outcome
         } else {
             // Determinate: accumulate into a scratch row.
-            
+
             self.scratch_measure(q)
         }
     }

@@ -12,7 +12,11 @@ use qec_core::{NoiseParams, Op, Pauli, Rng};
 use surface_code::{LrcAssignment, MemoryExperiment, RotatedCode};
 
 fn noiseless_experiment(d: usize, rounds: usize) -> MemoryExperiment {
-    MemoryExperiment::new(RotatedCode::new(d), NoiseParams::without_leakage(0.0), rounds)
+    MemoryExperiment::new(
+        RotatedCode::new(d),
+        NoiseParams::without_leakage(0.0),
+        rounds,
+    )
 }
 
 /// Collects the ops of a full experiment with the given per-round LRC
@@ -44,7 +48,10 @@ fn tableau_outcomes(exp: &MemoryExperiment, ops: &[Op], seed: u64) -> Vec<bool> 
     let mut outcomes: Vec<Option<bool>> = Vec::new();
     sim.run_circuit_ops(ops, &mut outcomes);
     assert_eq!(outcomes.len(), exp.keys().total());
-    outcomes.into_iter().map(|o| o.expect("key measured")).collect()
+    outcomes
+        .into_iter()
+        .map(|o| o.expect("key measured"))
+        .collect()
 }
 
 fn parity(bits: &[bool], keys: &[usize]) -> bool {
@@ -211,7 +218,10 @@ fn frame_matches_tableau_for_errors_in_lrc_rounds() {
     // Same equivalence, but on a circuit containing LRC swap segments.
     let exp = noiseless_experiment(3, 4);
     let code = exp.code();
-    let lrcs = vec![LrcAssignment { data: 4, stab: code.adjacent_stabs(4)[0] }];
+    let lrcs = vec![LrcAssignment {
+        data: 4,
+        stab: code.adjacent_stabs(4)[0],
+    }];
     let schedule = vec![Vec::new(), lrcs];
     let ops = experiment_ops(&exp, &schedule);
     let detectors = exp.detectors();

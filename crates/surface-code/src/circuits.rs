@@ -157,14 +157,23 @@ impl<'a> RoundBuilder<'a> {
         });
         let leak = self.noise.leak_p();
         if leak > 0.0 {
-            ops.push(Op::LeakInject { qubit: control, p: leak });
-            ops.push(Op::LeakInject { qubit: target, p: leak });
+            ops.push(Op::LeakInject {
+                qubit: control,
+                p: leak,
+            });
+            ops.push(Op::LeakInject {
+                qubit: target,
+                p: leak,
+            });
         }
     }
 
     fn push_h(&self, ops: &mut Vec<Op>, q: QubitId) {
         ops.push(Op::H(q));
-        ops.push(Op::Depolarize1 { qubit: q, p: self.noise.p });
+        ops.push(Op::Depolarize1 {
+            qubit: q,
+            p: self.noise.p,
+        });
     }
 
     fn validate_lrcs(&self, lrcs: &[LrcAssignment]) {
@@ -177,7 +186,11 @@ impl<'a> RoundBuilder<'a> {
                 lrc.data,
                 lrc.stab
             );
-            assert!(!stab_used[lrc.stab], "stabilizer {} used by two LRCs", lrc.stab);
+            assert!(
+                !stab_used[lrc.stab],
+                "stabilizer {} used by two LRCs",
+                lrc.stab
+            );
             assert!(!data_used[lrc.data], "data {} used by two LRCs", lrc.data);
             stab_used[lrc.stab] = true;
             data_used[lrc.data] = true;
@@ -209,7 +222,10 @@ impl<'a> RoundBuilder<'a> {
             }
         }
         for q in 0..code.num_data() {
-            pre.push(Op::Depolarize1 { qubit: q, p: noise.p });
+            pre.push(Op::Depolarize1 {
+                qubit: q,
+                p: noise.p,
+            });
             let leak = noise.leak_p();
             if leak > 0.0 {
                 pre.push(Op::LeakInject { qubit: q, p: leak });
@@ -255,10 +271,16 @@ impl<'a> RoundBuilder<'a> {
                 Some(d) => d,
                 None => code.parity_qubit(s),
             };
-            measure.push(Op::XError { qubit: target, p: noise.p });
+            measure.push(Op::XError {
+                qubit: target,
+                p: noise.p,
+            });
             measure.push(Op::Measure { qubit: target, key });
             mr_reset.push(Op::Reset(target));
-            mr_reset.push(Op::XError { qubit: target, p: noise.p });
+            mr_reset.push(Op::XError {
+                qubit: target,
+                p: noise.p,
+            });
         }
 
         // LRC swap-back tails.
@@ -269,7 +291,13 @@ impl<'a> RoundBuilder<'a> {
             let mut swap_back = Vec::new();
             self.push_cnot_no_transport(&mut swap_back, p, d);
             self.push_cnot_no_transport(&mut swap_back, d, p);
-            let leak_path = vec![Op::Reset(p), Op::XError { qubit: p, p: noise.p }];
+            let leak_path = vec![
+                Op::Reset(p),
+                Op::XError {
+                    qubit: p,
+                    p: noise.p,
+                },
+            ];
             lrc_post.push(LrcPost {
                 data: d,
                 parity: p,
@@ -311,14 +339,21 @@ impl<'a> RoundBuilder<'a> {
             let p = self.code.parity_qubit(pair.stab);
             let d = pair.data;
             r.post.push(Op::LeakIswap { data: d, parity: p });
-            r.post.push(Op::Depolarize2 { a: d, b: p, p: noise.p });
+            r.post.push(Op::Depolarize2 {
+                a: d,
+                b: p,
+                p: noise.p,
+            });
             let leak = noise.leak_p();
             if leak > 0.0 {
                 r.post.push(Op::LeakInject { qubit: d, p: leak });
                 r.post.push(Op::LeakInject { qubit: p, p: leak });
             }
             r.post.push(Op::Reset(p));
-            r.post.push(Op::XError { qubit: p, p: noise.p });
+            r.post.push(Op::XError {
+                qubit: p,
+                p: noise.p,
+            });
         }
         r.lrcs = pairs.to_vec();
         SyndromeRound { ..r }
@@ -351,7 +386,10 @@ mod tests {
         let (code, keys) = setup(3);
         let builder = RoundBuilder::new(&code, NoiseParams::standard(1e-3));
         let plain = builder.round(0, &[], &keys);
-        let lrc = LrcAssignment { data: 4, stab: code.adjacent_stabs(4)[0] };
+        let lrc = LrcAssignment {
+            data: 4,
+            stab: code.adjacent_stabs(4)[0],
+        };
         let with = builder.round(0, &[lrc], &keys);
         assert_eq!(with.cnot_count(), plain.cnot_count() + 5);
     }
@@ -366,7 +404,14 @@ mod tests {
             .unwrap();
         let data = code.stabilizers()[interior].support().next().unwrap();
         let builder = RoundBuilder::new(&code, NoiseParams::standard(1e-3));
-        let round = builder.round(0, &[LrcAssignment { data, stab: interior }], &keys);
+        let round = builder.round(
+            0,
+            &[LrcAssignment {
+                data,
+                stab: interior,
+            }],
+            &keys,
+        );
         let parity = code.parity_qubit(interior);
         let touches = |ops: &[Op]| {
             ops.iter()
@@ -384,10 +429,13 @@ mod tests {
         let stab = code.adjacent_stabs(0)[0];
         let round = builder.round(2, &[LrcAssignment { data: 0, stab }], &keys);
         let expect_key = keys.stab_key(2, stab);
-        let found = round.measure.iter().any(|op| {
-            matches!(op, Op::Measure { qubit, key } if *qubit == 0 && *key == expect_key)
-        });
-        assert!(found, "data qubit must be measured under the stabilizer key");
+        let found = round.measure.iter().any(
+            |op| matches!(op, Op::Measure { qubit, key } if *qubit == 0 && *key == expect_key),
+        );
+        assert!(
+            found,
+            "data qubit must be measured under the stabilizer key"
+        );
         // The parity qubit is NOT measured nor reset this round.
         let parity = code.parity_qubit(stab);
         assert!(!round
@@ -405,8 +453,14 @@ mod tests {
         let (code, keys) = setup(5);
         let builder = RoundBuilder::new(&code, NoiseParams::standard(1e-3));
         let lrcs = [
-            LrcAssignment { data: 6, stab: code.adjacent_stabs(6)[0] },
-            LrcAssignment { data: 12, stab: code.adjacent_stabs(12)[1] },
+            LrcAssignment {
+                data: 6,
+                stab: code.adjacent_stabs(6)[0],
+            },
+            LrcAssignment {
+                data: 12,
+                stab: code.adjacent_stabs(12)[1],
+            },
         ];
         let round = builder.round(1, &lrcs, &keys);
         let mut seen = std::collections::HashSet::new();

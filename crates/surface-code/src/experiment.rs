@@ -46,7 +46,11 @@ impl KeyLayout {
     /// Creates a layout for `rounds` rounds over `num_stabs` stabilizers and
     /// `num_data` data qubits.
     pub fn new(rounds: usize, num_stabs: usize, num_data: usize) -> KeyLayout {
-        KeyLayout { rounds, num_stabs, num_data }
+        KeyLayout {
+            rounds,
+            num_stabs,
+            num_data,
+        }
     }
 
     /// Number of syndrome-extraction rounds.
@@ -81,8 +85,7 @@ impl KeyLayout {
 
     /// Inverts a key into `(round, stab)` if it is a stabilizer key.
     pub fn key_to_round_stab(&self, key: MeasKey) -> Option<(usize, usize)> {
-        (key < self.rounds * self.num_stabs)
-            .then(|| (key / self.num_stabs, key % self.num_stabs))
+        (key < self.rounds * self.num_stabs).then(|| (key / self.num_stabs, key % self.num_stabs))
     }
 }
 
@@ -158,7 +161,13 @@ impl MemoryExperiment {
     ) -> MemoryExperiment {
         assert!(rounds >= 1, "memory experiment needs at least one round");
         let keys = KeyLayout::new(rounds, code.num_stabs(), code.num_data());
-        MemoryExperiment { code, noise, rounds, keys, basis }
+        MemoryExperiment {
+            code,
+            noise,
+            rounds,
+            keys,
+            basis,
+        }
     }
 
     /// The preserved logical basis.
@@ -198,12 +207,18 @@ impl MemoryExperiment {
         let mut ops = Vec::with_capacity(2 * self.code.num_qubits());
         for q in 0..self.code.num_qubits() {
             ops.push(Op::Reset(q));
-            ops.push(Op::XError { qubit: q, p: self.noise.p });
+            ops.push(Op::XError {
+                qubit: q,
+                p: self.noise.p,
+            });
         }
         if self.basis == MemoryBasis::X {
             for q in 0..self.code.num_data() {
                 ops.push(Op::H(q));
-                ops.push(Op::Depolarize1 { qubit: q, p: self.noise.p });
+                ops.push(Op::Depolarize1 {
+                    qubit: q,
+                    p: self.noise.p,
+                });
             }
         }
         ops
@@ -216,12 +231,21 @@ impl MemoryExperiment {
         if self.basis == MemoryBasis::X {
             for q in 0..self.code.num_data() {
                 ops.push(Op::H(q));
-                ops.push(Op::Depolarize1 { qubit: q, p: self.noise.p });
+                ops.push(Op::Depolarize1 {
+                    qubit: q,
+                    p: self.noise.p,
+                });
             }
         }
         for q in 0..self.code.num_data() {
-            ops.push(Op::XError { qubit: q, p: self.noise.p });
-            ops.push(Op::Measure { qubit: q, key: self.keys.final_key(q) });
+            ops.push(Op::XError {
+                qubit: q,
+                p: self.noise.p,
+            });
+            ops.push(Op::Measure {
+                qubit: q,
+                key: self.keys.final_key(q),
+            });
         }
         ops
     }
@@ -407,7 +431,10 @@ mod tests {
                 seen[*key] += 1;
             }
         }
-        assert!(seen.iter().all(|&c| c == 1), "each key measured exactly once");
+        assert!(
+            seen.iter().all(|&c| c == 1),
+            "each key measured exactly once"
+        );
     }
 
     #[test]
@@ -448,9 +475,8 @@ mod tests {
         assert_eq!(x.basis(), MemoryBasis::X);
         // Same key layout and detector count, mirrored bases.
         assert_eq!(z.detectors().len(), x.detectors().len());
-        let count_basis = |exp: &MemoryExperiment, b| {
-            exp.detectors().iter().filter(|d| d.basis == b).count()
-        };
+        let count_basis =
+            |exp: &MemoryExperiment, b| exp.detectors().iter().filter(|d| d.basis == b).count();
         use qec_core::circuit::DetectorBasis;
         assert_eq!(
             count_basis(&z, DetectorBasis::Z),

@@ -81,7 +81,10 @@ impl RotatedCode {
     /// Panics if `d` is even or smaller than 3 (rotated codes need odd
     /// distance).
     pub fn new(d: usize) -> RotatedCode {
-        assert!(d >= 3 && d % 2 == 1, "distance must be odd and >= 3, got {d}");
+        assert!(
+            d >= 3 && d % 2 == 1,
+            "distance must be odd and >= 3, got {d}"
+        );
         let num_data = d * d;
         let mut stabs = Vec::new();
         for i in 0..=d {
@@ -133,7 +136,11 @@ impl RotatedCode {
                 });
             }
         }
-        assert_eq!(stabs.len(), num_data - 1, "rotated code must have d²−1 stabilizers");
+        assert_eq!(
+            stabs.len(),
+            num_data - 1,
+            "rotated code must have d²−1 stabilizers"
+        );
 
         let mut data_adj = vec![Vec::new(); num_data];
         for (s, stab) in stabs.iter().enumerate() {
@@ -170,7 +177,11 @@ impl RotatedCode {
     ///
     /// Panics if the position is outside the `d × d` grid.
     pub fn data_qubit(&self, row: usize, col: usize) -> QubitId {
-        assert!(row < self.d && col < self.d, "({row},{col}) outside d={}", self.d);
+        assert!(
+            row < self.d && col < self.d,
+            "({row},{col}) outside d={}",
+            self.d
+        );
         row * self.d + col
     }
 
@@ -256,8 +267,16 @@ mod tests {
     fn stabilizer_weights() {
         for d in DISTANCES {
             let code = RotatedCode::new(d);
-            let weight2 = code.stabilizers().iter().filter(|s| s.weight() == 2).count();
-            let weight4 = code.stabilizers().iter().filter(|s| s.weight() == 4).count();
+            let weight2 = code
+                .stabilizers()
+                .iter()
+                .filter(|s| s.weight() == 2)
+                .count();
+            let weight4 = code
+                .stabilizers()
+                .iter()
+                .filter(|s| s.weight() == 4)
+                .count();
             assert_eq!(weight2, 2 * (d - 1), "d={d}");
             assert_eq!(weight4, (d - 1) * (d - 1), "d={d}");
             assert_eq!(weight2 + weight4, code.num_stabs());

@@ -4,7 +4,7 @@
 //! This example exercises the lower-level public API: building rounds with
 //! [`RoundBuilder`], executing them on the frame simulator, computing
 //! detection events, and feeding an [`EraserPolicy`] directly — the same loop
-//! the `MemoryRunner` automates.
+//! the `Experiment` facade automates.
 //!
 //! ```text
 //! cargo run --release --example leakage_storm

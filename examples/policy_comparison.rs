@@ -1,58 +1,72 @@
-//! Full policy comparison — the paper's Fig 14 workload in miniature.
+//! Full policy comparison — the paper's Fig 14 workload in miniature, run as
+//! a single `Sweep` grid: all five scheduling policies at d ∈ {3, 5}.
 //!
-//! Runs all five LRC scheduling policies on one code and prints the metrics
-//! the paper evaluates: logical error rate, leakage population ratio, LRCs
-//! per round, and speculation quality.
+//! Prints the metrics the paper evaluates: logical error rate, leakage
+//! population ratio, LRCs per round, and speculation quality — streamed row
+//! by row as each grid point completes.
 //!
 //! ```text
-//! cargo run --release --example policy_comparison [distance] [shots]
+//! cargo run --release --example policy_comparison [shots]
 //! ```
 
-use eraser_repro::eraser_core::{
-    AlwaysLrcPolicy, EraserPolicy, LrcPolicy, MemoryRunner, NoLrcPolicy, OptimalPolicy,
-    RunConfig,
-};
-use eraser_repro::qec_core::NoiseParams;
-use eraser_repro::surface_code::RotatedCode;
+use eraser_repro::eraser_core::{PolicyKind, Sweep};
 
 fn main() {
-    let mut args = std::env::args().skip(1);
-    let distance: usize = args.next().and_then(|a| a.parse().ok()).unwrap_or(3);
-    let shots: u64 = args.next().and_then(|a| a.parse().ok()).unwrap_or(2000);
+    let shots: u64 = std::env::args()
+        .nth(1)
+        .and_then(|a| a.parse().ok())
+        .unwrap_or(2000);
     let cycles = 10;
 
-    let runner = MemoryRunner::new(distance, NoiseParams::standard(1e-3), distance * cycles);
-    let config = RunConfig { shots, seed: 42, ..RunConfig::default() };
-
-    type Factory = fn(&RotatedCode) -> Box<dyn LrcPolicy>;
-    let policies: [Factory; 5] = [
-        |_| Box::new(NoLrcPolicy::new()),
-        |c| Box::new(AlwaysLrcPolicy::new(c)),
-        |c| Box::new(EraserPolicy::new(c)),
-        |c| Box::new(EraserPolicy::with_multilevel(c)),
-        |c| Box::new(OptimalPolicy::new(c)),
-    ];
+    let sweep = Sweep::builder()
+        .distances([3, 5])
+        .error_rates([1e-3])
+        .policies([
+            PolicyKind::NoLrc,
+            PolicyKind::AlwaysLrc,
+            PolicyKind::eraser(),
+            PolicyKind::eraser_m(),
+            PolicyKind::Optimal,
+        ])
+        .cycles(cycles)
+        .shots(shots)
+        .seed(42)
+        .build()
+        .expect("valid sweep grid");
 
     println!(
-        "d={distance}, {cycles} cycles, p=1e-3, {shots} shots (decoder: auto)\n\
-         {:<12} {:>10} {:>12} {:>12} {:>8} {:>8}",
-        "policy", "LER", "mean LPR", "LRCs/round", "FPR %", "FNR %"
+        "{} grid points: d in {{3, 5}}, {cycles} cycles, p=1e-3, {shots} shots (decoder: auto)\n\
+         {:>2} {:<12} {:>10} {:>12} {:>12} {:>8} {:>8}",
+        sweep.len(),
+        "d",
+        "policy",
+        "LER",
+        "mean LPR",
+        "LRCs/round",
+        "FPR %",
+        "FNR %"
     );
-    for factory in policies {
-        let result = runner.run(&factory, &config);
+    let mut last_d = 0;
+    sweep.for_each(|point| {
+        if point.distance != last_d && last_d != 0 {
+            println!();
+        }
+        last_d = point.distance;
+        let r = &point.result;
         println!(
-            "{:<12} {:>10.2e} {:>12.2e} {:>12.2} {:>8.2} {:>8.1}",
-            result.policy,
-            result.ler(),
-            result.mean_lpr(),
-            result.lrcs_per_round(),
-            result.speculation.false_positive_rate() * 100.0,
-            result.speculation.false_negative_rate() * 100.0,
+            "{:>2} {:<12} {:>10.2e} {:>12.2e} {:>12.2} {:>8.2} {:>8.1}",
+            point.distance,
+            r.policy,
+            r.ler(),
+            r.mean_lpr(),
+            r.lrcs_per_round(),
+            r.speculation.false_positive_rate() * 100.0,
+            r.speculation.false_negative_rate() * 100.0,
         );
-    }
+    });
     println!("\nExpected ordering (paper): ERASER beats Always-LRC, ERASER+M approaches");
     println!("optimal. At small d the Always-LRC baseline can even lose to no-lrc — its");
     println!("five extra CNOTs per swap are new error sources, which is precisely the");
     println!("paper's motivation for scheduling LRCs adaptively. Ratios sharpen with");
-    println!("more shots and larger d (try: policy_comparison 7 20000).");
+    println!("more shots (try: policy_comparison 20000).");
 }

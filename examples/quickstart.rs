@@ -1,25 +1,34 @@
 //! Quickstart: run a memory experiment with ERASER and compare it against the
-//! Always-LRC baseline.
+//! Always-LRC baseline through the `Experiment` facade.
 //!
 //! ```text
 //! cargo run --release --example quickstart
 //! ```
 
-use eraser_repro::eraser_core::{AlwaysLrcPolicy, EraserPolicy, MemoryRunner, RunConfig};
+use eraser_repro::eraser_core::{Experiment, PolicyKind};
 use eraser_repro::qec_core::NoiseParams;
 
 fn main() {
     // A distance-3 rotated surface code, the paper's default error model at
     // p = 1e-3 (leakage on), over 5 QEC cycles (15 rounds).
-    let distance = 3;
-    let cycles = 5;
-    let runner = MemoryRunner::new(distance, NoiseParams::standard(1e-3), distance * cycles);
-    let config = RunConfig { shots: 2000, seed: 7, ..RunConfig::default() };
+    let exp = Experiment::builder()
+        .distance(3)
+        .noise(NoiseParams::standard(1e-3))
+        .cycles(5)
+        .shots(2000)
+        .seed(7)
+        .build()
+        .expect("valid experiment");
 
-    let always = runner.run(&|code| Box::new(AlwaysLrcPolicy::new(code)), &config);
-    let eraser = runner.run(&|code| Box::new(EraserPolicy::new(code)), &config);
+    let always = exp.run_policy(&PolicyKind::AlwaysLrc);
+    let eraser = exp.run_policy(&PolicyKind::eraser());
 
-    println!("distance {distance}, {cycles} QEC cycles, p=1e-3, {} shots", config.shots);
+    println!(
+        "distance {}, {} rounds, p=1e-3, {} shots",
+        exp.distance(),
+        exp.rounds(),
+        exp.config().shots
+    );
     for result in [&always, &eraser] {
         println!(
             "  {:<12} LER {:.2e} (±{:.1e})   LRCs/round {:>5.2}   speculation accuracy {:.1}%",

@@ -9,11 +9,16 @@ use eraser_repro::eraser_core::{resource, rtl};
 use eraser_repro::surface_code::RotatedCode;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    let out_dir = std::env::args().nth(1).unwrap_or_else(|| "rtl-out".to_string());
+    let out_dir = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "rtl-out".to_string());
     std::fs::create_dir_all(&out_dir)?;
 
     println!("target part: {}", resource::XCKU3P.name);
-    println!("{:>3} {:>10} {:>8} {:>10} {:>8} {:>12}", "d", "LUTs", "LUT %", "FFs", "FF %", "latency ns");
+    println!(
+        "{:>3} {:>10} {:>8} {:>10} {:>8} {:>12}",
+        "d", "LUTs", "LUT %", "FFs", "FF %", "latency ns"
+    );
     for d in [3usize, 5, 7, 9, 11] {
         let code = RotatedCode::new(d);
         let est = resource::estimate(&code, resource::XCKU3P);

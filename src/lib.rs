@@ -8,8 +8,32 @@
 //! * [`surface_code`] — rotated surface code lattice and circuit synthesis.
 //! * [`leak_sim`] — leakage-aware Pauli-frame simulator + tableau verifier.
 //! * [`qec_decoder`] — detector error models, blossom MWPM, union-find.
-//! * [`eraser_core`] — ERASER/ERASER+M policies, runtime, RTL generation.
+//! * [`eraser_core`] — ERASER/ERASER+M policies, the `Experiment` facade and
+//!   `Sweep` engine, RTL generation.
 //! * [`density_sim`] — ququart density-matrix simulator (Fig 7/8 study).
+//!
+//! # Entry point
+//!
+//! The one front door to the runtime is [`eraser_core::Experiment`]: a
+//! validating builder over distance, noise, rounds, policy, and decoder.
+//! Policies are selected by value through [`eraser_core::PolicyKind`], and
+//! grids (distances × error rates × policies) run on
+//! [`eraser_core::Sweep`].
+//!
+//! ```
+//! use eraser_repro::eraser_core::{Experiment, PolicyKind};
+//!
+//! let result = Experiment::builder()
+//!     .distance(3)
+//!     .rounds(3)
+//!     .policy(PolicyKind::eraser())
+//!     .shots(10)
+//!     .seed(1)
+//!     .build()
+//!     .expect("valid experiment")
+//!     .run();
+//! assert_eq!(result.shots, 10);
+//! ```
 
 pub use density_sim;
 pub use eraser_core;

@@ -1,22 +1,28 @@
 //! Cross-crate decoder checks: code-distance suppression, decoder agreement,
 //! and the MWPM-vs-union-find accuracy relationship on real circuits.
 
-use eraser_repro::eraser_core::{DecoderKind, MemoryRunner, NoLrcPolicy, RunConfig};
+use eraser_repro::eraser_core::{DecoderKind, Experiment, PolicyKind};
 use eraser_repro::qec_core::circuit::DetectorBasis;
 use eraser_repro::qec_core::NoiseParams;
 use eraser_repro::qec_decoder::{build_dem, Decoder, DecodingGraph, MwpmDecoder, UnionFindDecoder};
 use eraser_repro::surface_code::{MemoryExperiment, RotatedCode};
 
+fn pauli_only(d: usize, rounds: usize) -> Experiment {
+    Experiment::builder()
+        .distance(d)
+        .noise(NoiseParams::without_leakage(3e-3))
+        .rounds(rounds)
+        .shots(1500)
+        .seed(5)
+        .build()
+        .expect("valid experiment")
+}
+
 #[test]
 fn increasing_distance_suppresses_pauli_errors() {
     // Without leakage and below threshold, LER must drop with distance.
-    let cfg = RunConfig { shots: 1500, seed: 5, ..RunConfig::default() };
-    let ler3 = MemoryRunner::new(3, NoiseParams::without_leakage(3e-3), 9)
-        .run(&|_| Box::new(NoLrcPolicy::new()), &cfg)
-        .ler();
-    let ler5 = MemoryRunner::new(5, NoiseParams::without_leakage(3e-3), 15)
-        .run(&|_| Box::new(NoLrcPolicy::new()), &cfg)
-        .ler();
+    let ler3 = pauli_only(3, 9).run().ler();
+    let ler5 = pauli_only(5, 15).run().ler();
     assert!(
         ler5 < ler3,
         "distance must suppress errors below threshold: d3 {ler3}, d5 {ler5}"
@@ -25,26 +31,26 @@ fn increasing_distance_suppresses_pauli_errors() {
 
 #[test]
 fn union_find_ler_close_to_mwpm() {
-    let runner = MemoryRunner::new(3, NoiseParams::standard(3e-3), 9);
-    let mwpm = runner
-        .run(
-            &|_| Box::new(NoLrcPolicy::new()),
-            &RunConfig { shots: 1500, seed: 9, decoder: DecoderKind::Mwpm, ..RunConfig::default() },
-        )
-        .ler();
-    let uf = runner
-        .run(
-            &|_| Box::new(NoLrcPolicy::new()),
-            &RunConfig {
-                shots: 1500,
-                seed: 9,
-                decoder: DecoderKind::UnionFind,
-                ..RunConfig::default()
-            },
-        )
-        .ler();
-    assert!(uf >= mwpm * 0.8, "UF cannot beat exact matching by much: {uf} vs {mwpm}");
-    assert!(uf <= mwpm * 2.5, "UF must stay near MWPM accuracy: {uf} vs {mwpm}");
+    let mut exp = Experiment::builder()
+        .distance(3)
+        .noise(NoiseParams::standard(3e-3))
+        .rounds(9)
+        .shots(1500)
+        .seed(9)
+        .decoder(DecoderKind::Mwpm)
+        .build()
+        .expect("valid experiment");
+    let mwpm = exp.run().ler();
+    exp.set_decoder(DecoderKind::UnionFind);
+    let uf = exp.run().ler();
+    assert!(
+        uf >= mwpm * 0.8,
+        "UF cannot beat exact matching by much: {uf} vs {mwpm}"
+    );
+    assert!(
+        uf <= mwpm * 2.5,
+        "UF must stay near MWPM accuracy: {uf} vs {mwpm}"
+    );
 }
 
 #[test]
@@ -82,17 +88,29 @@ fn decoders_agree_on_most_sampled_syndromes() {
 
 #[test]
 fn auto_decoder_picks_mwpm_for_small_graphs() {
-    let runner = MemoryRunner::new(3, NoiseParams::standard(1e-3), 2);
-    let cfg = RunConfig { shots: 10, seed: 1, ..RunConfig::default() };
-    let result = runner.run(&|_| Box::new(NoLrcPolicy::new()), &cfg);
+    let result = Experiment::builder()
+        .distance(3)
+        .rounds(2)
+        .shots(10)
+        .seed(1)
+        .build()
+        .expect("valid experiment")
+        .run();
     assert_eq!(result.decoder, "mwpm");
 }
 
 #[test]
 fn lpr_only_runs_skip_decoding() {
-    let runner = MemoryRunner::new(3, NoiseParams::standard(1e-3), 4);
-    let cfg = RunConfig { shots: 20, seed: 1, decode: false, ..RunConfig::default() };
-    let result = runner.run(&|_| Box::new(NoLrcPolicy::new()), &cfg);
+    let result = Experiment::builder()
+        .distance(3)
+        .rounds(4)
+        .shots(20)
+        .seed(1)
+        .decode(false)
+        .policy(PolicyKind::NoLrc)
+        .build()
+        .expect("valid experiment")
+        .run();
     assert_eq!(result.decoder, "none");
     assert_eq!(result.logical_errors, 0);
     assert_eq!(result.lpr_total.len(), 4);

@@ -1,0 +1,196 @@
+//! Integration coverage of the `Experiment` facade: builder validation,
+//! string round-trips of the policy/decoder registries, and the guarantee
+//! that the `Sweep` engine is bit-identical to sequential per-point runs.
+
+use eraser_repro::eraser_core::{
+    DecoderKind, Experiment, ExperimentError, NoiseModel, PolicyKind, Sweep,
+};
+use eraser_repro::qec_core::NoiseParams;
+use eraser_repro::surface_code::MemoryBasis;
+
+#[test]
+fn builder_validation_returns_errors_not_panics() {
+    // Zero shots.
+    assert_eq!(
+        Experiment::builder()
+            .distance(3)
+            .rounds(2)
+            .shots(0)
+            .build()
+            .unwrap_err(),
+        ExperimentError::ZeroShots
+    );
+    // Even distance.
+    assert_eq!(
+        Experiment::builder()
+            .distance(4)
+            .rounds(2)
+            .build()
+            .unwrap_err(),
+        ExperimentError::InvalidDistance(4)
+    );
+    // Zero rounds.
+    assert_eq!(
+        Experiment::builder()
+            .distance(3)
+            .rounds(0)
+            .build()
+            .unwrap_err(),
+        ExperimentError::ZeroRounds
+    );
+    // Missing required fields.
+    assert_eq!(
+        Experiment::builder().rounds(2).build().unwrap_err(),
+        ExperimentError::MissingDistance
+    );
+    assert_eq!(
+        Experiment::builder().distance(3).build().unwrap_err(),
+        ExperimentError::MissingRounds
+    );
+    // Errors render as readable messages.
+    assert_eq!(
+        ExperimentError::ZeroShots.to_string(),
+        "a run needs at least one shot"
+    );
+}
+
+#[test]
+fn policy_kind_round_trips_through_strings() {
+    for kind in PolicyKind::all_standard() {
+        let rendered = kind.to_string();
+        let parsed: PolicyKind = rendered.parse().expect("standard labels parse");
+        assert_eq!(parsed, kind, "round-trip of `{rendered}`");
+    }
+    // Aliases accepted by the CLI surface.
+    assert_eq!(
+        "always".parse::<PolicyKind>().unwrap(),
+        PolicyKind::AlwaysLrc
+    );
+    assert_eq!(
+        "eraser-m".parse::<PolicyKind>().unwrap(),
+        PolicyKind::eraser_m()
+    );
+    assert!(matches!(
+        "warp-drive".parse::<PolicyKind>(),
+        Err(ExperimentError::UnknownPolicy(_))
+    ));
+}
+
+#[test]
+fn decoder_kind_round_trips_through_strings() {
+    for kind in [
+        DecoderKind::Auto,
+        DecoderKind::Mwpm,
+        DecoderKind::UnionFind,
+        DecoderKind::Greedy,
+    ] {
+        assert_eq!(kind.to_string().parse::<DecoderKind>().unwrap(), kind);
+    }
+    assert_eq!("uf".parse::<DecoderKind>().unwrap(), DecoderKind::UnionFind);
+    assert!(matches!(
+        "belief-propagation".parse::<DecoderKind>(),
+        Err(ExperimentError::UnknownDecoder(_))
+    ));
+}
+
+#[test]
+fn custom_policy_escape_hatch_runs() {
+    use eraser_repro::eraser_core::NoLrcPolicy;
+    let kind = PolicyKind::custom("do-nothing", |_| Box::new(NoLrcPolicy::new()));
+    let result = Experiment::builder()
+        .distance(3)
+        .rounds(2)
+        .shots(15)
+        .seed(8)
+        .policy(kind)
+        .build()
+        .expect("valid experiment")
+        .run();
+    assert_eq!(result.policy, "no-lrc");
+    assert_eq!(result.total_lrcs, 0);
+}
+
+#[test]
+fn sweep_is_identical_to_sequential_runs_for_a_fixed_seed() {
+    let distances = [3usize];
+    let rates = [1e-3, 3e-3];
+    let policies = [
+        PolicyKind::NoLrc,
+        PolicyKind::AlwaysLrc,
+        PolicyKind::eraser(),
+    ];
+    let rounds = 4;
+    let shots = 120;
+    let seed = 4242;
+
+    let sweep = Sweep::builder()
+        .distances(distances)
+        .error_rates(rates)
+        .policies(policies.iter().cloned())
+        .noise_model(NoiseModel::Standard)
+        .rounds(rounds)
+        .shots(shots)
+        .seed(seed)
+        .build()
+        .expect("valid sweep");
+    let points = sweep.run();
+    assert_eq!(points.len(), distances.len() * rates.len() * policies.len());
+
+    let mut i = 0;
+    for &d in &distances {
+        for &p in &rates {
+            let exp = Experiment::builder()
+                .distance(d)
+                .noise(NoiseParams::standard(p))
+                .rounds(rounds)
+                .shots(shots)
+                .seed(seed)
+                .build()
+                .expect("valid experiment");
+            for kind in &policies {
+                let expected = exp.run_policy(kind);
+                let got = &points[i].result;
+                assert_eq!(points[i].distance, d);
+                assert_eq!(points[i].p, p);
+                assert_eq!(points[i].policy, kind.label());
+                assert_eq!(got.logical_errors, expected.logical_errors, "point {i}");
+                assert_eq!(got.total_lrcs, expected.total_lrcs, "point {i}");
+                assert_eq!(got.speculation, expected.speculation, "point {i}");
+                assert_eq!(got.lpr_total, expected.lpr_total, "point {i}");
+                assert_eq!(got.policy, expected.policy, "point {i}");
+                i += 1;
+            }
+        }
+    }
+}
+
+#[test]
+fn sweep_supports_memory_x_grids() {
+    let sweep = Sweep::builder()
+        .distances([3])
+        .error_rates([1e-3])
+        .policy(PolicyKind::eraser())
+        .rounds(3)
+        .shots(40)
+        .seed(6)
+        .basis(MemoryBasis::X)
+        .build()
+        .expect("valid sweep");
+    let points = sweep.run();
+    assert_eq!(points.len(), 1);
+    assert!(points[0].result.ler() <= 1.0);
+}
+
+#[test]
+fn experiment_reports_resolved_geometry() {
+    let exp = Experiment::builder()
+        .distance(5)
+        .cycles(3)
+        .shots(1)
+        .build()
+        .expect("valid experiment");
+    assert_eq!(exp.distance(), 5);
+    assert_eq!(exp.rounds(), 15);
+    assert_eq!(exp.basis(), MemoryBasis::Z);
+    assert_eq!(exp.policy(), &PolicyKind::NoLrc);
+}

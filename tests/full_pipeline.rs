@@ -1,23 +1,21 @@
 //! Smoke coverage of every (policy × protocol × transport-model) combination
 //! the paper evaluates, plus determinism and API-surface checks.
 
-use eraser_repro::eraser_core::{
-    AlwaysLrcPolicy, EraserPolicy, LrcPolicy, LrcProtocol, MemoryRunner, NoLrcPolicy,
-    OptimalPolicy, RunConfig,
-};
+use eraser_repro::eraser_core::{Experiment, LrcProtocol, PolicyKind};
 use eraser_repro::qec_core::NoiseParams;
-use eraser_repro::surface_code::RotatedCode;
 
-type Factory = fn(&RotatedCode) -> Box<dyn LrcPolicy>;
-
-const POLICIES: [(&str, Factory); 6] = [
-    ("no-lrc", |_| Box::new(NoLrcPolicy::new())),
-    ("always-lrc", |c| Box::new(AlwaysLrcPolicy::new(c))),
-    ("always-every-round", |c| Box::new(AlwaysLrcPolicy::every_round(c))),
-    ("eraser", |c| Box::new(EraserPolicy::new(c))),
-    ("eraser+m", |c| Box::new(EraserPolicy::with_multilevel(c))),
-    ("optimal", |c| Box::new(OptimalPolicy::new(c))),
-];
+/// The six standard policies with their runtime names (as reported in
+/// `MemoryRunResult::policy`).
+fn policies() -> [(&'static str, PolicyKind); 6] {
+    [
+        ("no-lrc", PolicyKind::NoLrc),
+        ("always-lrc", PolicyKind::AlwaysLrc),
+        ("always-every-round", PolicyKind::AlwaysEveryRound),
+        ("eraser", PolicyKind::eraser()),
+        ("eraser+m", PolicyKind::eraser_m()),
+        ("optimal", PolicyKind::Optimal),
+    ]
+}
 
 #[test]
 fn every_policy_runs_under_every_protocol_and_transport_model() {
@@ -26,19 +24,30 @@ fn every_policy_runs_under_every_protocol_and_transport_model() {
         NoiseParams::exchange_transport(1e-3),
         NoiseParams::without_leakage(1e-3),
     ] {
-        let runner = MemoryRunner::new(3, noise, 6);
         for protocol in [LrcProtocol::Swap, LrcProtocol::Dqlr] {
-            for (name, factory) in POLICIES {
-                let cfg = RunConfig { shots: 25, seed: 3, protocol, ..RunConfig::default() };
-                let result = runner.run(&factory, &cfg);
+            let exp = Experiment::builder()
+                .distance(3)
+                .noise(noise)
+                .rounds(6)
+                .shots(25)
+                .seed(3)
+                .protocol(protocol)
+                .build()
+                .expect("valid experiment");
+            for (name, kind) in policies() {
+                let result = exp.run_policy(&kind);
                 assert_eq!(result.shots, 25, "{name} under {protocol:?}");
                 assert_eq!(result.policy, name);
                 assert!(result.ler() <= 1.0);
                 assert!(result.lpr_total.iter().all(|&x| (0.0..=1.0).contains(&x)));
                 let s = &result.speculation;
-                let decisions = s.true_positive + s.false_positive + s.false_negative
-                    + s.true_negative;
-                assert_eq!(decisions, 25 * 6 * 9, "one decision per data qubit per round");
+                let decisions =
+                    s.true_positive + s.false_positive + s.false_negative + s.true_negative;
+                assert_eq!(
+                    decisions,
+                    25 * 6 * 9,
+                    "one decision per data qubit per round"
+                );
             }
         }
     }
@@ -46,10 +55,18 @@ fn every_policy_runs_under_every_protocol_and_transport_model() {
 
 #[test]
 fn runs_are_reproducible_across_invocations() {
-    let runner = MemoryRunner::new(3, NoiseParams::standard(2e-3), 9);
-    let cfg = RunConfig { shots: 150, seed: 77, threads: 2, ..RunConfig::default() };
-    let a = runner.run(&|c| Box::new(EraserPolicy::new(c)), &cfg);
-    let b = runner.run(&|c| Box::new(EraserPolicy::new(c)), &cfg);
+    let exp = Experiment::builder()
+        .distance(3)
+        .noise(NoiseParams::standard(2e-3))
+        .rounds(9)
+        .shots(150)
+        .seed(77)
+        .threads(2)
+        .policy(PolicyKind::eraser())
+        .build()
+        .expect("valid experiment");
+    let a = exp.run();
+    let b = exp.run();
     assert_eq!(a.logical_errors, b.logical_errors);
     assert_eq!(a.total_lrcs, b.total_lrcs);
     assert_eq!(a.speculation, b.speculation);
@@ -58,15 +75,19 @@ fn runs_are_reproducible_across_invocations() {
 
 #[test]
 fn different_seeds_decorrelate() {
-    let runner = MemoryRunner::new(3, NoiseParams::standard(2e-3), 9);
-    let a = runner.run(
-        &|c| Box::new(EraserPolicy::new(c)),
-        &RunConfig { shots: 200, seed: 1, ..RunConfig::default() },
-    );
-    let b = runner.run(
-        &|c| Box::new(EraserPolicy::new(c)),
-        &RunConfig { shots: 200, seed: 2, ..RunConfig::default() },
-    );
+    let build = |seed: u64| {
+        Experiment::builder()
+            .distance(3)
+            .noise(NoiseParams::standard(2e-3))
+            .rounds(9)
+            .shots(200)
+            .seed(seed)
+            .policy(PolicyKind::eraser())
+            .build()
+            .expect("valid experiment")
+    };
+    let a = build(1).run();
+    let b = build(2).run();
     // Total LRCs is a fine-grained statistic; identical values across seeds
     // would indicate a seeding bug.
     assert_ne!(a.total_lrcs, b.total_lrcs);
@@ -75,7 +96,10 @@ fn different_seeds_decorrelate() {
 #[test]
 fn key_public_types_are_send_and_sync() {
     fn assert_send_sync<T: Send + Sync>() {}
-    assert_send_sync::<MemoryRunner>();
+    assert_send_sync::<eraser_repro::eraser_core::Experiment>();
+    assert_send_sync::<eraser_repro::eraser_core::Sweep>();
+    assert_send_sync::<eraser_repro::eraser_core::PolicyKind>();
+    assert_send_sync::<eraser_repro::eraser_core::runtime::MemoryRunner>();
     assert_send_sync::<eraser_repro::qec_core::Circuit>();
     assert_send_sync::<eraser_repro::surface_code::RotatedCode>();
     assert_send_sync::<eraser_repro::leak_sim::FrameSimulator>();
@@ -85,16 +109,18 @@ fn key_public_types_are_send_and_sync() {
 
 #[test]
 fn dqlr_with_eraser_reduces_lpr_versus_no_removal() {
-    let runner = MemoryRunner::new(3, NoiseParams::exchange_transport(3e-3), 12);
-    let cfg = RunConfig {
-        shots: 300,
-        seed: 4,
-        protocol: LrcProtocol::Dqlr,
-        decode: false,
-        ..RunConfig::default()
-    };
-    let none = runner.run(&|_| Box::new(NoLrcPolicy::new()), &cfg);
-    let eraser = runner.run(&|c| Box::new(EraserPolicy::new(c)), &cfg);
+    let exp = Experiment::builder()
+        .distance(3)
+        .noise(NoiseParams::exchange_transport(3e-3))
+        .rounds(12)
+        .shots(300)
+        .seed(4)
+        .protocol(LrcProtocol::Dqlr)
+        .decode(false)
+        .build()
+        .expect("valid experiment");
+    let none = exp.run_policy(&PolicyKind::NoLrc);
+    let eraser = exp.run_policy(&PolicyKind::eraser());
     assert!(
         eraser.mean_lpr() < none.mean_lpr(),
         "DQLR scheduled by ERASER must remove leakage: {} vs {}",

@@ -27,7 +27,11 @@ fn run_storm(seed: u64, storm_round: usize) -> (Vec<Vec<usize>>, Vec<Vec<usize>>
     let mut policy = EraserPolicy::new(&code);
     sim.run(&exp.init_segment());
 
-    let storm = [code.data_qubit(2, 2), code.data_qubit(2, 3), code.data_qubit(3, 2)];
+    let storm = [
+        code.data_qubit(2, 2),
+        code.data_qubit(2, 3),
+        code.data_qubit(3, 2),
+    ];
     let mut prev = vec![false; code.num_stabs()];
     let mut events = vec![false; code.num_stabs()];
     let labels = vec![false; code.num_stabs()];
@@ -51,7 +55,13 @@ fn run_storm(seed: u64, storm_round: usize) -> (Vec<Vec<usize>>, Vec<Vec<usize>>
         });
         let round = builder.round(r, &plan, &keys);
         sim.run(&round.pre);
-        leaked_history.push(storm.iter().copied().filter(|&q| sim.is_leaked(q)).collect());
+        leaked_history.push(
+            storm
+                .iter()
+                .copied()
+                .filter(|&q| sim.is_leaked(q))
+                .collect(),
+        );
         plan_history.push(plan.iter().map(|l| l.data).collect());
         sim.run(&round.measure);
         sim.run(&round.mr_reset);
@@ -106,7 +116,11 @@ fn eraser_targets_the_stormed_region() {
     let mut targeted = 0;
     let trials = 20;
     let code = RotatedCode::new(5);
-    let storm = [code.data_qubit(2, 2), code.data_qubit(2, 3), code.data_qubit(3, 2)];
+    let storm = [
+        code.data_qubit(2, 2),
+        code.data_qubit(2, 3),
+        code.data_qubit(3, 2),
+    ];
     for seed in 0..trials {
         let (_leaked, plans) = run_storm(2000 + seed, storm_round);
         let scheduled: std::collections::HashSet<usize> = plans

@@ -3,27 +3,33 @@
 //! adaptive scheduling beats static scheduling on LRC count.
 //!
 //! Error rates are amplified (p = 3e-3) and margins kept loose so the tests
-//! are stable at debug-build shot budgets.
+//! are stable at modest shot budgets.
 
-use eraser_repro::eraser_core::{
-    AlwaysLrcPolicy, EraserPolicy, MemoryRunner, NoLrcPolicy, OptimalPolicy, RunConfig,
-};
+use eraser_repro::eraser_core::{Experiment, PolicyKind};
 use eraser_repro::qec_core::NoiseParams;
 
 const P: f64 = 3e-3;
 
-fn config(shots: u64) -> RunConfig {
-    RunConfig { shots, seed: 1234, ..RunConfig::default() }
+fn experiment(noise: NoiseParams, rounds: usize, shots: u64) -> Experiment {
+    Experiment::builder()
+        .distance(3)
+        .noise(noise)
+        .rounds(rounds)
+        .shots(shots)
+        .seed(1234)
+        .build()
+        .expect("valid experiment")
 }
 
 #[test]
 fn leakage_degrades_logical_error_rate() {
     let rounds = 18;
-    let clean = MemoryRunner::new(3, NoiseParams::without_leakage(P), rounds);
-    let leaky = MemoryRunner::new(3, NoiseParams::standard(P), rounds);
-    let cfg = config(1200);
-    let ler_clean = clean.run(&|_| Box::new(NoLrcPolicy::new()), &cfg).ler();
-    let ler_leaky = leaky.run(&|_| Box::new(NoLrcPolicy::new()), &cfg).ler();
+    let ler_clean = experiment(NoiseParams::without_leakage(P), rounds, 1200)
+        .run_policy(&PolicyKind::NoLrc)
+        .ler();
+    let ler_leaky = experiment(NoiseParams::standard(P), rounds, 1200)
+        .run_policy(&PolicyKind::NoLrc)
+        .ler();
     assert!(
         ler_leaky > 1.5 * ler_clean,
         "leakage must visibly degrade the LER: clean {ler_clean}, leaky {ler_leaky}"
@@ -32,10 +38,9 @@ fn leakage_degrades_logical_error_rate() {
 
 #[test]
 fn optimal_lrc_scheduling_beats_no_lrcs() {
-    let runner = MemoryRunner::new(3, NoiseParams::standard(P), 24);
-    let cfg = config(1200);
-    let none = runner.run(&|_| Box::new(NoLrcPolicy::new()), &cfg);
-    let optimal = runner.run(&|c| Box::new(OptimalPolicy::new(c)), &cfg);
+    let exp = experiment(NoiseParams::standard(P), 24, 1200);
+    let none = exp.run_policy(&PolicyKind::NoLrc);
+    let optimal = exp.run_policy(&PolicyKind::Optimal);
     assert!(
         optimal.ler() < none.ler(),
         "optimal {} must beat no-lrc {}",
@@ -48,11 +53,10 @@ fn optimal_lrc_scheduling_beats_no_lrcs() {
 
 #[test]
 fn eraser_tracks_optimal_lpr_with_far_fewer_lrcs_than_always() {
-    let runner = MemoryRunner::new(3, NoiseParams::standard(P), 24);
-    let cfg = config(800);
-    let always = runner.run(&|c| Box::new(AlwaysLrcPolicy::new(c)), &cfg);
-    let eraser = runner.run(&|c| Box::new(EraserPolicy::new(c)), &cfg);
-    let optimal = runner.run(&|c| Box::new(OptimalPolicy::new(c)), &cfg);
+    let exp = experiment(NoiseParams::standard(P), 24, 800);
+    let always = exp.run_policy(&PolicyKind::AlwaysLrc);
+    let eraser = exp.run_policy(&PolicyKind::eraser());
+    let optimal = exp.run_policy(&PolicyKind::Optimal);
 
     // Table 4's shape: an order of magnitude fewer LRCs than Always.
     assert!(eraser.lrcs_per_round() < always.lrcs_per_round() / 5.0);
@@ -64,11 +68,10 @@ fn eraser_tracks_optimal_lpr_with_far_fewer_lrcs_than_always() {
 
 #[test]
 fn eraser_speculation_quality_matches_fig16_shape() {
-    let runner = MemoryRunner::new(3, NoiseParams::standard(P), 24);
-    let cfg = config(600);
-    let always = runner.run(&|c| Box::new(AlwaysLrcPolicy::new(c)), &cfg);
-    let eraser = runner.run(&|c| Box::new(EraserPolicy::new(c)), &cfg);
-    let eraser_m = runner.run(&|c| Box::new(EraserPolicy::with_multilevel(c)), &cfg);
+    let exp = experiment(NoiseParams::standard(P), 24, 600);
+    let always = exp.run_policy(&PolicyKind::AlwaysLrc);
+    let eraser = exp.run_policy(&PolicyKind::eraser());
+    let eraser_m = exp.run_policy(&PolicyKind::eraser_m());
 
     // Always-LRC blankets the lattice: ~50% FPR, accuracy far below ERASER.
     assert!(always.speculation.false_positive_rate() > 0.3);
@@ -86,10 +89,9 @@ fn eraser_speculation_quality_matches_fig16_shape() {
 
 #[test]
 fn multilevel_discriminator_requires_flag() {
-    let runner = MemoryRunner::new(3, NoiseParams::standard(P), 6);
-    let cfg = config(50);
-    let base = runner.run(&|c| Box::new(EraserPolicy::new(c)), &cfg);
-    let multi = runner.run(&|c| Box::new(EraserPolicy::with_multilevel(c)), &cfg);
+    let exp = experiment(NoiseParams::standard(P), 6, 50);
+    let base = exp.run_policy(&PolicyKind::eraser());
+    let multi = exp.run_policy(&PolicyKind::eraser_m());
     assert_eq!(base.policy, "eraser");
     assert_eq!(multi.policy, "eraser+m");
 }
