@@ -1,12 +1,17 @@
-//! Decoder stack performance: detector-error-model construction, matching
-//! decoders, and raw blossom throughput.
+//! Decoder stack performance: detector-error-model construction, the
+//! stateful batched decoders versus the legacy per-shot path, shared
+//! precomputation amortization, and raw blossom throughput.
+//!
+//! Baseline numbers are recorded to `results/BENCH_decoders.json` via
+//! `ERASER_BENCH_JSON=results/BENCH_decoders.json cargo bench -p eraser-bench --bench decoders`.
 
 use eraser_bench::{decode_fixture, Harness};
+use eraser_core::DecoderKind;
 use qec_core::circuit::DetectorBasis;
 use qec_core::NoiseParams;
 use qec_decoder::{
-    build_dem, max_weight_matching, Decoder, DecodingGraph, GreedyDecoder, MwpmDecoder,
-    UnionFindDecoder,
+    build_dem, max_weight_matching, DecoderFactory, DecodingGraph, MwpmFactory, ShortestPaths,
+    Syndrome,
 };
 use std::hint::black_box;
 use surface_code::{MemoryExperiment, RotatedCode};
@@ -33,32 +38,68 @@ fn main() {
         });
     }
 
+    // Shared-precomputation amortization: the O(n²) shortest-path table is
+    // the cost of ONE factory; every further per-thread instance is a cheap
+    // Arc clone plus empty scratch. The gap between these two numbers is
+    // what `Arc`-sharing saves per extra worker thread.
+    {
+        let fixture = decode_fixture(5, 10, 1);
+        h.bench("shortest_paths_compute/d5_r10", || {
+            ShortestPaths::compute(black_box(&fixture.graph))
+        });
+        let factory = MwpmFactory::new(&fixture.graph);
+        h.bench("mwpm_thread_instance_build/d5_r10", || factory.build());
+    }
+
+    // Stateful batch decoding (32 shots per iteration) for all three
+    // decoders, against the legacy per-shot `Decoder::decode` path (which
+    // rebuilds scratch per call — the seed behaviour).
     {
         let fixture = decode_fixture(5, 10, 32);
-        let mwpm = MwpmDecoder::new(&fixture.graph);
-        let uf = UnionFindDecoder::new(&fixture.graph);
-        let greedy = GreedyDecoder::new(&fixture.graph);
-        h.bench("decode_d5_r10/mwpm", || {
-            fixture
-                .syndromes
-                .iter()
-                .filter(|s| mwpm.decode(black_box(s)))
-                .count()
-        });
-        h.bench("decode_d5_r10/union_find", || {
-            fixture
-                .syndromes
-                .iter()
-                .filter(|s| uf.decode(black_box(s)))
-                .count()
-        });
-        h.bench("decode_d5_r10/greedy", || {
-            fixture
-                .syndromes
-                .iter()
-                .filter(|s| greedy.decode(black_box(s)))
-                .count()
-        });
+        let syndromes: Vec<Syndrome> = fixture
+            .syndromes
+            .iter()
+            .map(|s| Syndrome::new(s.clone()))
+            .collect();
+
+        for kind in [
+            DecoderKind::Mwpm,
+            DecoderKind::UnionFind,
+            DecoderKind::Greedy,
+        ] {
+            let factory = kind.build_factory(&fixture.graph);
+            let mut decoder = factory.build();
+            let mut outcomes = Vec::new();
+            h.bench(
+                &format!("decode_batch_32/d5_r10/{}", factory.name()),
+                || {
+                    decoder.decode_batch(black_box(&syndromes), &mut outcomes);
+                    outcomes.iter().filter(|o| o.flip).count()
+                },
+            );
+        }
+
+        #[allow(deprecated)]
+        {
+            use qec_decoder::{Decoder, GreedyDecoder, MwpmDecoder, UnionFindDecoder};
+            let legacy: [Box<dyn Decoder>; 3] = [
+                Box::new(MwpmDecoder::new(&fixture.graph)),
+                Box::new(UnionFindDecoder::new(&fixture.graph)),
+                Box::new(GreedyDecoder::new(&fixture.graph)),
+            ];
+            for decoder in &legacy {
+                h.bench(
+                    &format!("decode_legacy_32/d5_r10/{}", decoder.name()),
+                    || {
+                        fixture
+                            .syndromes
+                            .iter()
+                            .filter(|s| decoder.decode(black_box(s)))
+                            .count()
+                    },
+                );
+            }
+        }
     }
 
     // Complete graph on 24 vertices with pseudorandom weights: the defect
@@ -74,6 +115,13 @@ fn main() {
         }
         h.bench("blossom_k24", || {
             max_weight_matching(black_box(&edges), true)
+        });
+
+        // Same problem through a reused context: the per-shot allocation
+        // savings of the scratch-reusing matcher core.
+        let mut ctx = qec_decoder::MatchingContext::new();
+        h.bench("blossom_k24_reused_context", || {
+            ctx.solve(black_box(&edges), true).len()
         });
     }
 }

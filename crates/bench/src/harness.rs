@@ -6,8 +6,12 @@
 //! automatic iteration-count calibration, and ns/µs/ms formatting.
 //!
 //! Set `ERASER_BENCH_QUICK=1` to shrink the measurement budget (useful as a
-//! smoke run in CI).
+//! smoke run in CI). Set `ERASER_BENCH_JSON=<path>` to additionally write
+//! the measurements as JSON when the harness is dropped (the baseline files
+//! under `results/` are produced this way).
 
+use std::cell::RefCell;
+use std::path::PathBuf;
 use std::time::{Duration, Instant};
 
 /// Per-process benchmark driver. Construct once in `main` with
@@ -15,6 +19,9 @@ use std::time::{Duration, Instant};
 pub struct Harness {
     filter: Option<String>,
     target: Duration,
+    quick: bool,
+    json: Option<PathBuf>,
+    results: RefCell<Vec<(String, f64)>>,
 }
 
 impl Harness {
@@ -28,7 +35,14 @@ impl Harness {
         } else {
             Duration::from_millis(300)
         };
-        Harness { filter, target }
+        let json = std::env::var_os("ERASER_BENCH_JSON").map(PathBuf::from);
+        Harness {
+            filter,
+            target,
+            quick,
+            json,
+            results: RefCell::new(Vec::new()),
+        }
     }
 
     /// Runs `f` repeatedly for roughly the measurement budget and prints the
@@ -54,6 +68,56 @@ impl Harness {
             "{name:<44} {:>14}/iter  ({iters} iters)",
             format_ns(per_iter)
         );
+        self.results.borrow_mut().push((name.to_string(), per_iter));
+    }
+
+    /// Renders the recorded measurements as a JSON document.
+    fn to_json(&self) -> String {
+        let mut out = String::from("{\n  \"benches\": [\n");
+        let results = self.results.borrow();
+        for (i, (name, ns)) in results.iter().enumerate() {
+            let comma = if i + 1 < results.len() { "," } else { "" };
+            // Bench names are plain ASCII identifiers; escape the two JSON
+            // metacharacters anyway for safety.
+            let escaped = name.replace('\\', "\\\\").replace('"', "\\\"");
+            out.push_str(&format!(
+                "    {{\"name\": \"{escaped}\", \"ns_per_iter\": {ns:.1}}}{comma}\n"
+            ));
+        }
+        out.push_str("  ]\n}\n");
+        out
+    }
+}
+
+impl Drop for Harness {
+    fn drop(&mut self) {
+        if let Some(path) = &self.json {
+            if let Some(filter) = &self.filter {
+                // A filtered run measured only a subset; writing it would
+                // silently clobber a full baseline file.
+                eprintln!(
+                    "not writing bench JSON to {}: filter `{filter}` is active \
+                     (re-run without a filter to record a baseline)",
+                    path.display()
+                );
+                return;
+            }
+            if self.quick {
+                // Quick mode shrinks the measurement budget; the numbers are
+                // too noisy to serve as a baseline.
+                eprintln!(
+                    "not writing bench JSON to {}: ERASER_BENCH_QUICK is set \
+                     (re-run without it to record a baseline)",
+                    path.display()
+                );
+                return;
+            }
+            if let Err(err) = std::fs::write(path, self.to_json()) {
+                eprintln!("failed to write bench JSON to {}: {err}", path.display());
+            } else {
+                println!("wrote bench JSON to {}", path.display());
+            }
+        }
     }
 }
 
@@ -73,6 +137,16 @@ fn format_ns(ns: f64) -> String {
 mod tests {
     use super::*;
 
+    fn test_harness(filter: Option<&str>) -> Harness {
+        Harness {
+            filter: filter.map(str::to_string),
+            target: Duration::from_micros(50),
+            quick: false,
+            json: None,
+            results: RefCell::new(Vec::new()),
+        }
+    }
+
     #[test]
     fn formats_time_scales() {
         assert_eq!(format_ns(250.0), "250 ns");
@@ -83,10 +157,7 @@ mod tests {
 
     #[test]
     fn bench_runs_the_closure() {
-        let h = Harness {
-            filter: None,
-            target: Duration::from_micros(50),
-        };
+        let h = test_harness(None);
         let mut calls = 0u64;
         h.bench("noop", || calls += 1);
         assert!(calls >= 2, "warm-up plus at least one measured iteration");
@@ -94,14 +165,24 @@ mod tests {
 
     #[test]
     fn filter_skips_non_matching_names() {
-        let h = Harness {
-            filter: Some("decoder".to_string()),
-            target: Duration::from_micros(50),
-        };
+        let h = test_harness(Some("decoder"));
         let mut calls = 0u64;
         h.bench("simulator_round", || calls += 1);
         assert_eq!(calls, 0);
         h.bench("decoder_latency", || calls += 1);
         assert!(calls > 0);
+    }
+
+    #[test]
+    fn json_records_measured_benches() {
+        let h = test_harness(None);
+        h.bench("alpha", || 1 + 1);
+        h.bench("beta", || 2 + 2);
+        let json = h.to_json();
+        assert!(json.contains("\"name\": \"alpha\""));
+        assert!(json.contains("\"name\": \"beta\""));
+        assert!(json.contains("ns_per_iter"));
+        // Exactly one trailing entry without a comma.
+        assert_eq!(json.matches("},").count(), 1);
     }
 }

@@ -408,6 +408,16 @@ impl Experiment {
         self.config.decoder = decoder;
     }
 
+    /// The decoder the configured [`DecoderKind`] resolves to for this
+    /// experiment's decoding graph. Goes through [`DecoderKind::resolve`] —
+    /// the same single-source rule `MemoryRunner::run` applies — so on
+    /// decode-enabled runs `Auto` reports exactly what will decode (runs
+    /// built with `.decode(false)` decode nothing and report `"none"`).
+    /// Never returns [`DecoderKind::Auto`].
+    pub fn resolved_decoder(&self) -> DecoderKind {
+        self.config.decoder.resolve(self.runner.graph())
+    }
+
     /// Swaps the LRC protocol without rebuilding the runner.
     pub fn set_protocol(&mut self, protocol: LrcProtocol) {
         self.config.protocol = protocol;
@@ -984,6 +994,16 @@ mod tests {
         assert_eq!(via_facade.total_lrcs, direct.total_lrcs);
         assert_eq!(via_facade.speculation, direct.speculation);
         assert_eq!(via_facade.policy, direct.policy);
+    }
+
+    #[test]
+    fn facade_resolves_auto_exactly_like_the_runtime() {
+        let exp = base().build().unwrap();
+        // d=3, 2 rounds is far below the Auto threshold → MWPM, and the run
+        // must report the same resolution the facade predicts.
+        assert_eq!(exp.resolved_decoder(), DecoderKind::Mwpm);
+        let result = exp.run();
+        assert_eq!(result.decoder, exp.resolved_decoder().to_string());
     }
 
     #[test]

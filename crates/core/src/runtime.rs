@@ -24,7 +24,8 @@ use leak_sim::{Discriminator, FrameSimulator};
 use qec_core::circuit::DetectorBasis;
 use qec_core::{DetectorInfo, MeasKey, NoiseParams, Op, Rng};
 use qec_decoder::{
-    build_dem, Decoder, DecodingGraph, GreedyDecoder, MwpmDecoder, UnionFindDecoder,
+    build_dem, DecoderFactory, DecodingGraph, GreedyFactory, MwpmFactory, Syndrome,
+    UnionFindFactory,
 };
 use surface_code::{LrcAssignment, MemoryBasis, MemoryExperiment, RotatedCode, SyndromeRound};
 
@@ -55,8 +56,39 @@ pub enum DecoderKind {
 }
 
 impl DecoderKind {
-    /// Node count above which `Auto` switches from MWPM to union-find.
+    /// Node count above which `Auto` switches from MWPM to union-find. This
+    /// constant — together with [`DecoderKind::resolve`] — is the *single*
+    /// source of the Auto-selection rule; both [`MemoryRunner::run`] and the
+    /// `Experiment` facade go through it.
     pub const AUTO_MWPM_NODE_LIMIT: usize = 3000;
+
+    /// Resolves `Auto` against a concrete decoding graph; the other variants
+    /// map to themselves. Never returns [`DecoderKind::Auto`].
+    pub fn resolve(self, graph: &DecodingGraph) -> DecoderKind {
+        match self {
+            DecoderKind::Auto => {
+                if graph.num_nodes() <= DecoderKind::AUTO_MWPM_NODE_LIMIT {
+                    DecoderKind::Mwpm
+                } else {
+                    DecoderKind::UnionFind
+                }
+            }
+            other => other,
+        }
+    }
+
+    /// Builds the decoder factory for `graph`: the one place decoder
+    /// construction (including Auto selection) happens. The factory owns the
+    /// expensive per-graph precomputation (shared via `Arc`); every worker
+    /// thread then builds its own stateful instance from it.
+    pub fn build_factory(self, graph: &DecodingGraph) -> Box<dyn DecoderFactory + '_> {
+        match self.resolve(graph) {
+            DecoderKind::Mwpm => Box::new(MwpmFactory::new(graph)),
+            DecoderKind::UnionFind => Box::new(UnionFindFactory::new(graph)),
+            DecoderKind::Greedy => Box::new(GreedyFactory::new(graph)),
+            DecoderKind::Auto => unreachable!("resolve never returns Auto"),
+        }
+    }
 }
 
 /// Monte-Carlo run configuration.
@@ -341,23 +373,15 @@ impl MemoryRunner {
         config: &RunConfig,
     ) -> MemoryRunResult {
         assert!(config.shots >= 1, "a run needs at least one shot");
-        let decoder: Option<Box<dyn Decoder + Sync + '_>> = if !config.decode {
-            None
+        // The factory pays the expensive precomputation (APSP table, edge
+        // capacities) once per run; worker threads build their own stateful
+        // instances from it.
+        let factory: Option<Box<dyn DecoderFactory + '_>> = if config.decode {
+            Some(config.decoder.build_factory(&self.graph))
         } else {
-            Some(match config.decoder {
-                DecoderKind::Mwpm => Box::new(MwpmDecoder::new(&self.graph)),
-                DecoderKind::UnionFind => Box::new(UnionFindDecoder::new(&self.graph)),
-                DecoderKind::Greedy => Box::new(GreedyDecoder::new(&self.graph)),
-                DecoderKind::Auto => {
-                    if self.graph.num_nodes() <= DecoderKind::AUTO_MWPM_NODE_LIMIT {
-                        Box::new(MwpmDecoder::new(&self.graph))
-                    } else {
-                        Box::new(UnionFindDecoder::new(&self.graph))
-                    }
-                }
-            })
+            None
         };
-        let decoder = decoder.as_deref();
+        let factory = factory.as_deref();
 
         let threads = config
             .resolved_threads()
@@ -376,7 +400,7 @@ impl MemoryRunner {
             let handles: Vec<_> = jobs
                 .into_iter()
                 .map(|(shots, rng)| {
-                    scope.spawn(move || self.run_shots(shots, rng, policy_factory, decoder, config))
+                    scope.spawn(move || self.run_shots(shots, rng, policy_factory, factory, config))
                 })
                 .collect();
             handles
@@ -435,7 +459,7 @@ impl MemoryRunner {
             speculation: merged.speculation,
             postselection: merged.postselection,
             policy: policy_name,
-            decoder: decoder.map(|d| d.name()).unwrap_or("none").to_string(),
+            decoder: factory.map(|f| f.name()).unwrap_or("none").to_string(),
         }
     }
 
@@ -444,7 +468,7 @@ impl MemoryRunner {
         shots: u64,
         rng: Rng,
         policy_factory: &(dyn Fn(&RotatedCode) -> Box<dyn LrcPolicy> + Sync),
-        decoder: Option<&(dyn Decoder + Sync)>,
+        factory: Option<&dyn DecoderFactory>,
         config: &RunConfig,
     ) -> PartialStats {
         let code = self.exp.code();
@@ -454,6 +478,9 @@ impl MemoryRunner {
         let num_data = code.num_data();
         let num_stabs = code.num_stabs();
 
+        // Per-thread decoder instance: mutable, with scratch buffers reused
+        // across every shot this worker decodes.
+        let mut decoder = factory.map(|f| f.build());
         let mut policy = policy_factory(code);
         let discriminator = if policy.uses_multilevel() {
             Discriminator::MultiLevel
@@ -478,6 +505,7 @@ impl MemoryRunner {
         let mut leaked_readouts = vec![false; num_stabs];
         let mut oracle = vec![false; num_data];
         let mut det_events = vec![false; self.detectors.len()];
+        let mut syndrome = Syndrome::with_rounds(Vec::new(), rounds);
 
         for _ in 0..shots {
             sim.reset_shot();
@@ -568,12 +596,13 @@ impl MemoryRunner {
             if suspect {
                 stats.postselection.flagged_shots += 1;
             }
-            if let Some(decoder) = decoder {
+            if let Some(decoder) = decoder.as_deref_mut() {
                 for (i, det) in self.detectors.iter().enumerate() {
                     det_events[i] = sim.record().parity(&det.keys);
                 }
-                let defects = self.graph.defects_from_events(&det_events);
-                let predicted = decoder.decode(&defects);
+                self.graph
+                    .defects_from_events_into(&det_events, &mut syndrome.defects);
+                let predicted = decoder.decode_syndrome(&syndrome).flip;
                 let actual = sim.record().parity(&self.observable);
                 if predicted != actual {
                     stats.logical_errors += 1;
@@ -599,6 +628,20 @@ mod tests {
             threads: 2,
             ..RunConfig::default()
         }
+    }
+
+    #[test]
+    fn decoder_kind_resolution_is_centralized() {
+        let runner = MemoryRunner::new(3, NoiseParams::standard(1e-3), 2);
+        let graph = runner.graph();
+        assert!(graph.num_nodes() <= DecoderKind::AUTO_MWPM_NODE_LIMIT);
+        assert_eq!(DecoderKind::Auto.resolve(graph), DecoderKind::Mwpm);
+        assert_eq!(DecoderKind::Greedy.resolve(graph), DecoderKind::Greedy);
+        assert_eq!(DecoderKind::Auto.build_factory(graph).name(), "mwpm");
+        assert_eq!(
+            DecoderKind::UnionFind.build_factory(graph).name(),
+            "union-find"
+        );
     }
 
     #[test]

@@ -1,0 +1,191 @@
+//! The stateful, batched decoder API.
+//!
+//! Decoding is the hot path of every figure sweep: millions of shots flow
+//! through one decoder per worker thread. The API here is shaped for that
+//! workload, following the design of production matching libraries
+//! (fusion-blossom's reusable `Solver`, PyMatching's `Matching` object):
+//!
+//! * [`Syndrome`] — the input of one shot: a sparse list of fired detector
+//!   nodes plus round metadata.
+//! * [`DecodeOutcome`] — the output of one shot: the predicted
+//!   logical-observable flip plus matched-weight, defect-count, and timing
+//!   statistics.
+//! * [`SyndromeDecoder`] — a *stateful* decoder instance. `&mut self` lets
+//!   implementations keep scratch buffers (matching arenas, cluster arrays,
+//!   candidate heaps) alive across shots, so the steady-state
+//!   [`SyndromeDecoder::decode_batch`] loop performs no per-shot heap
+//!   allocation.
+//! * [`DecoderFactory`] — a thread-safe constructor. Expensive
+//!   precomputation (the all-pairs-shortest-path table, quantized edge
+//!   capacities) lives in the factory behind an [`std::sync::Arc`] and is
+//!   paid once per decoding graph; every worker thread then builds its own
+//!   cheap instance with private scratch.
+//!
+//! ```
+//! use qec_core::NoiseParams;
+//! use qec_core::circuit::DetectorBasis;
+//! use qec_decoder::{build_dem, DecoderFactory, DecodingGraph, MwpmFactory, Syndrome};
+//! use surface_code::{MemoryExperiment, RotatedCode};
+//!
+//! let exp = MemoryExperiment::new(RotatedCode::new(3), NoiseParams::standard(1e-3), 2);
+//! let detectors = exp.detectors();
+//! let dem = build_dem(&exp.base_circuit(), &detectors, &exp.observable_keys());
+//! let graph = DecodingGraph::from_dem(&dem, &detectors, DetectorBasis::Z);
+//!
+//! let factory = MwpmFactory::new(&graph); // all-pairs shortest paths, once
+//! let mut decoder = factory.build();      // per-thread instance, cheap
+//! let outcome = decoder.decode_syndrome(&Syndrome::default());
+//! assert!(!outcome.flip); // no defects, no correction
+//! assert_eq!(outcome.defects, 0);
+//! ```
+
+/// The sparse syndrome of one shot: fired detector nodes of one decoding
+/// graph plus round metadata.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Syndrome {
+    /// Fired detector nodes, as decoding-graph node ids (see
+    /// [`crate::DecodingGraph::defects_from_events_into`]).
+    pub defects: Vec<usize>,
+    /// Syndrome-extraction rounds the shot spans (0 when unknown; carried as
+    /// metadata for streaming/windowed backends, not consumed by the
+    /// matching decoders).
+    pub rounds: usize,
+}
+
+impl Syndrome {
+    /// A syndrome from a defect node list (rounds unknown).
+    pub fn new(defects: Vec<usize>) -> Syndrome {
+        Syndrome { defects, rounds: 0 }
+    }
+
+    /// A syndrome with round metadata.
+    pub fn with_rounds(defects: Vec<usize>, rounds: usize) -> Syndrome {
+        Syndrome { defects, rounds }
+    }
+
+    /// Number of defects.
+    pub fn len(&self) -> usize {
+        self.defects.len()
+    }
+
+    /// Whether no detector fired.
+    pub fn is_empty(&self) -> bool {
+        self.defects.is_empty()
+    }
+
+    /// Clears the defect list, keeping its allocation (hot-loop reuse).
+    pub fn clear(&mut self) {
+        self.defects.clear();
+    }
+}
+
+/// The decoded result of one shot.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct DecodeOutcome {
+    /// Predicted logical-observable flip.
+    pub flip: bool,
+    /// Total matched weight of the correction: the sum of shortest-path
+    /// distances of all matched pairs (matching decoders) or of the peeled
+    /// correction edges (union-find). 0 for an empty syndrome.
+    pub weight: f64,
+    /// Number of defects that were decoded.
+    pub defects: usize,
+    /// Wall-clock decode time of this shot in nanoseconds.
+    pub nanos: u64,
+}
+
+/// A stateful decoder instance: owns reusable scratch, decodes one
+/// [`Syndrome`] at a time or a whole batch.
+///
+/// Instances are *not* shared across threads — build one per worker via a
+/// [`DecoderFactory`]. `&mut self` is what allows scratch reuse: the
+/// steady-state batch loop performs no per-shot heap allocation.
+pub trait SyndromeDecoder {
+    /// Decodes one syndrome.
+    fn decode_syndrome(&mut self, syndrome: &Syndrome) -> DecodeOutcome;
+
+    /// Decodes a batch of syndromes into `out` (cleared first, allocation
+    /// reused). The default implementation loops over
+    /// [`SyndromeDecoder::decode_syndrome`]; backends with real batch
+    /// parallelism (fusion, streaming) can override.
+    fn decode_batch(&mut self, syndromes: &[Syndrome], out: &mut Vec<DecodeOutcome>) {
+        out.clear();
+        out.reserve(syndromes.len());
+        for syndrome in syndromes {
+            out.push(self.decode_syndrome(syndrome));
+        }
+    }
+
+    /// Human-readable decoder name (for experiment output).
+    fn name(&self) -> &'static str;
+}
+
+/// Thread-safe decoder constructor: owns the expensive per-graph
+/// precomputation (shared via [`std::sync::Arc`]) and stamps out cheap
+/// per-thread [`SyndromeDecoder`] instances.
+pub trait DecoderFactory: Send + Sync {
+    /// Builds a fresh decoder instance with private scratch buffers. The
+    /// instance borrows the factory's shared precomputation.
+    fn build(&self) -> Box<dyn SyndromeDecoder + '_>;
+
+    /// Name of the decoders this factory builds.
+    fn name(&self) -> &'static str;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct CountingDecoder {
+        calls: usize,
+    }
+
+    impl SyndromeDecoder for CountingDecoder {
+        fn decode_syndrome(&mut self, syndrome: &Syndrome) -> DecodeOutcome {
+            self.calls += 1;
+            DecodeOutcome {
+                flip: syndrome.len() % 2 == 1,
+                weight: syndrome.len() as f64,
+                defects: syndrome.len(),
+                nanos: 0,
+            }
+        }
+
+        fn name(&self) -> &'static str {
+            "counting"
+        }
+    }
+
+    #[test]
+    fn syndrome_basics() {
+        let mut s = Syndrome::with_rounds(vec![3, 7], 11);
+        assert_eq!(s.len(), 2);
+        assert_eq!(s.rounds, 11);
+        assert!(!s.is_empty());
+        let cap = s.defects.capacity();
+        s.clear();
+        assert!(s.is_empty());
+        assert_eq!(s.defects.capacity(), cap, "clear keeps the allocation");
+        assert!(Syndrome::default().is_empty());
+        assert_eq!(Syndrome::new(vec![1]).rounds, 0);
+    }
+
+    #[test]
+    fn default_batch_loops_sequentially_and_reuses_out() {
+        let mut decoder = CountingDecoder { calls: 0 };
+        let batch = [
+            Syndrome::new(vec![0]),
+            Syndrome::new(vec![1, 2]),
+            Syndrome::new(vec![]),
+        ];
+        let mut out = vec![DecodeOutcome::default(); 64];
+        decoder.decode_batch(&batch, &mut out);
+        assert_eq!(decoder.calls, 3);
+        assert_eq!(out.len(), 3);
+        assert_eq!(
+            out.iter().map(|o| o.flip).collect::<Vec<_>>(),
+            vec![true, false, false]
+        );
+        assert_eq!(out[1].defects, 2);
+    }
+}

@@ -199,12 +199,22 @@ impl DecodingGraph {
 
     /// Extracts the defect node list from a global detector-event bitmap.
     pub fn defects_from_events(&self, events: &[bool]) -> Vec<usize> {
-        self.node_to_detector
-            .iter()
-            .enumerate()
-            .filter(|&(_, &det)| events[det])
-            .map(|(node, _)| node)
-            .collect()
+        let mut out = Vec::new();
+        self.defects_from_events_into(events, &mut out);
+        out
+    }
+
+    /// Extracts the defect node list into `out`, clearing it first and
+    /// reusing its allocation (the per-shot hot path of the runtime).
+    pub fn defects_from_events_into(&self, events: &[bool], out: &mut Vec<usize>) {
+        out.clear();
+        out.extend(
+            self.node_to_detector
+                .iter()
+                .enumerate()
+                .filter(|&(_, &det)| events[det])
+                .map(|(node, _)| node),
+        );
     }
 }
 

@@ -4,32 +4,182 @@
 //! defect's distance to the boundary competes with defect–defect distances).
 //! Fast and simple, but makes locally optimal choices that MWPM avoids; the
 //! benchmark suite uses it to quantify what exact matching buys.
+//!
+//! The stateful entry point is [`GreedyFactory`] → [`GreedyBatchDecoder`];
+//! the factory shares the same [`ShortestPaths`] table shape as MWPM (and
+//! can reuse an MWPM factory's table via [`GreedyFactory::with_paths`]).
 
+use crate::api::{DecodeOutcome, DecoderFactory, Syndrome, SyndromeDecoder};
 use crate::graph::DecodingGraph;
 use crate::mwpm::ShortestPaths;
-use crate::Decoder;
+use std::sync::Arc;
+use std::time::Instant;
 
-/// Greedy decoder over a decoding graph.
-///
-/// # Example
-///
-/// ```
-/// use qec_core::NoiseParams;
-/// use qec_core::circuit::DetectorBasis;
-/// use qec_decoder::{build_dem, Decoder, DecodingGraph, GreedyDecoder};
-/// use surface_code::{MemoryExperiment, RotatedCode};
-///
-/// let exp = MemoryExperiment::new(RotatedCode::new(3), NoiseParams::standard(1e-3), 2);
-/// let detectors = exp.detectors();
-/// let dem = build_dem(&exp.base_circuit(), &detectors, &exp.observable_keys());
-/// let graph = DecodingGraph::from_dem(&dem, &detectors, DetectorBasis::Z);
-/// let decoder = GreedyDecoder::new(&graph);
-/// assert!(!decoder.decode(&[]));
-/// ```
+/// Stateful greedy decoder instance: one per worker thread, built through
+/// [`GreedyFactory`]. Candidate and bookkeeping buffers are reused across
+/// shots.
+#[derive(Debug)]
+pub struct GreedyBatchDecoder<'g> {
+    graph: &'g DecodingGraph,
+    paths: Arc<ShortestPaths>,
+    bdist: Vec<f64>,
+    candidates: Vec<(f64, usize, usize)>,
+    matched: Vec<bool>,
+}
+
+impl<'g> GreedyBatchDecoder<'g> {
+    /// Builds a standalone instance, computing the shortest-path table
+    /// itself. For multi-threaded decoding use [`GreedyFactory`].
+    pub fn new(graph: &'g DecodingGraph) -> GreedyBatchDecoder<'g> {
+        GreedyBatchDecoder::with_paths(graph, Arc::new(ShortestPaths::compute(graph)))
+    }
+
+    /// Builds an instance over a precomputed (shared) shortest-path table.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `paths` was computed for a different-sized graph.
+    pub fn with_paths(
+        graph: &'g DecodingGraph,
+        paths: Arc<ShortestPaths>,
+    ) -> GreedyBatchDecoder<'g> {
+        assert_eq!(
+            paths.num_nodes_with_boundary(),
+            graph.num_nodes() + 1,
+            "shortest-path table does not match the decoding graph"
+        );
+        GreedyBatchDecoder {
+            graph,
+            paths,
+            bdist: Vec::new(),
+            candidates: Vec::new(),
+            matched: Vec::new(),
+        }
+    }
+
+    /// The shared shortest-path table.
+    pub fn paths(&self) -> &Arc<ShortestPaths> {
+        &self.paths
+    }
+}
+
+impl SyndromeDecoder for GreedyBatchDecoder<'_> {
+    fn decode_syndrome(&mut self, syndrome: &Syndrome) -> DecodeOutcome {
+        let defects = &syndrome.defects;
+        let k = defects.len();
+        if k == 0 {
+            // Trivial shot: skip even the clock reads (the common case at
+            // low physical error rates).
+            return DecodeOutcome::default();
+        }
+        let start = Instant::now();
+        let boundary = self.graph.boundary();
+        // Defect-defect candidates, nearest first. A pair is taken only if
+        // pairing beats sending both ends to the boundary; everything left
+        // over drains to the boundary. (Still greedy: commitments are never
+        // revisited, unlike blossom matching.)
+        self.bdist.clear();
+        self.bdist
+            .extend(defects.iter().map(|&d| self.paths.distance(d, boundary)));
+        self.candidates.clear();
+        for i in 0..k {
+            for j in (i + 1)..k {
+                self.candidates
+                    .push((self.paths.distance(defects[i], defects[j]), i, j));
+            }
+        }
+        // Unstable sort with a total-order tiebreak on (i, j): identical
+        // ordering to a stable distance sort (candidates are generated in
+        // (i, j) order), without the temp-buffer allocation a stable sort
+        // performs on larger candidate sets.
+        self.candidates.sort_unstable_by(|a, b| {
+            a.0.partial_cmp(&b.0)
+                .unwrap()
+                .then(a.1.cmp(&b.1))
+                .then(a.2.cmp(&b.2))
+        });
+        self.matched.clear();
+        self.matched.resize(k, false);
+        let mut flip = false;
+        let mut weight = 0.0;
+        for ci in 0..self.candidates.len() {
+            let (d, i, j) = self.candidates[ci];
+            if self.matched[i] || self.matched[j] || d > self.bdist[i] + self.bdist[j] {
+                continue;
+            }
+            self.matched[i] = true;
+            self.matched[j] = true;
+            flip ^= self.paths.observable_parity(defects[i], defects[j]);
+            weight += d;
+        }
+        for (i, &d) in defects.iter().enumerate() {
+            if !self.matched[i] {
+                flip ^= self.paths.observable_parity(d, boundary);
+                weight += self.bdist[i];
+            }
+        }
+        DecodeOutcome {
+            flip,
+            weight,
+            defects: k,
+            nanos: start.elapsed().as_nanos() as u64,
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        "greedy"
+    }
+}
+
+/// Factory for [`GreedyBatchDecoder`]s: computes (or reuses) the shortest
+/// path table once and shares it with every instance it builds.
+#[derive(Debug)]
+pub struct GreedyFactory<'g> {
+    graph: &'g DecodingGraph,
+    paths: Arc<ShortestPaths>,
+}
+
+impl<'g> GreedyFactory<'g> {
+    /// Computes the shortest-path table for `graph`.
+    pub fn new(graph: &'g DecodingGraph) -> GreedyFactory<'g> {
+        GreedyFactory {
+            graph,
+            paths: Arc::new(ShortestPaths::compute(graph)),
+        }
+    }
+
+    /// Reuses an existing shortest-path table (e.g. one already computed by
+    /// a [`crate::MwpmFactory`] on the same graph).
+    pub fn with_paths(graph: &'g DecodingGraph, paths: Arc<ShortestPaths>) -> GreedyFactory<'g> {
+        GreedyFactory { graph, paths }
+    }
+
+    /// The shared shortest-path table.
+    pub fn paths(&self) -> &Arc<ShortestPaths> {
+        &self.paths
+    }
+}
+
+impl DecoderFactory for GreedyFactory<'_> {
+    fn build(&self) -> Box<dyn SyndromeDecoder + '_> {
+        Box::new(GreedyBatchDecoder::with_paths(
+            self.graph,
+            Arc::clone(&self.paths),
+        ))
+    }
+
+    fn name(&self) -> &'static str {
+        "greedy"
+    }
+}
+
+/// The legacy immutable greedy decoder: a thin shell over
+/// [`GreedyBatchDecoder`] kept so existing [`crate::Decoder`]-based call
+/// sites compile unchanged. Hot paths should migrate to [`GreedyFactory`].
 #[derive(Debug)]
 pub struct GreedyDecoder<'g> {
     graph: &'g DecodingGraph,
-    paths: ShortestPaths,
+    paths: Arc<ShortestPaths>,
 }
 
 impl<'g> GreedyDecoder<'g> {
@@ -37,49 +187,17 @@ impl<'g> GreedyDecoder<'g> {
     pub fn new(graph: &'g DecodingGraph) -> GreedyDecoder<'g> {
         GreedyDecoder {
             graph,
-            paths: ShortestPaths::compute(graph),
+            paths: Arc::new(ShortestPaths::compute(graph)),
         }
     }
 }
 
-impl Decoder for GreedyDecoder<'_> {
+#[allow(deprecated)]
+impl crate::Decoder for GreedyDecoder<'_> {
     fn decode(&self, defects: &[usize]) -> bool {
-        let k = defects.len();
-        if k == 0 {
-            return false;
-        }
-        let boundary = self.graph.boundary();
-        // Defect-defect candidates, nearest first. A pair is taken only if
-        // pairing beats sending both ends to the boundary; everything left
-        // over drains to the boundary. (Still greedy: commitments are never
-        // revisited, unlike blossom matching.)
-        let bdist: Vec<f64> = defects
-            .iter()
-            .map(|&d| self.paths.distance(d, boundary))
-            .collect();
-        let mut candidates: Vec<(f64, usize, usize)> = Vec::with_capacity(k * (k - 1) / 2);
-        for i in 0..k {
-            for j in (i + 1)..k {
-                candidates.push((self.paths.distance(defects[i], defects[j]), i, j));
-            }
-        }
-        candidates.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap());
-        let mut matched = vec![false; k];
-        let mut flip = false;
-        for (d, i, j) in candidates {
-            if matched[i] || matched[j] || d > bdist[i] + bdist[j] {
-                continue;
-            }
-            matched[i] = true;
-            matched[j] = true;
-            flip ^= self.paths.observable_parity(defects[i], defects[j]);
-        }
-        for i in 0..k {
-            if !matched[i] {
-                flip ^= self.paths.observable_parity(defects[i], boundary);
-            }
-        }
-        flip
+        GreedyBatchDecoder::with_paths(self.graph, Arc::clone(&self.paths))
+            .decode_syndrome(&Syndrome::new(defects.to_vec()))
+            .flip
     }
 
     fn name(&self) -> &'static str {
@@ -106,20 +224,23 @@ mod tests {
         let detectors = exp.detectors();
         let dem = build_dem(&exp.base_circuit(), &detectors, &exp.observable_keys());
         let graph = DecodingGraph::from_dem(&dem, &detectors, DetectorBasis::Z);
-        let decoder = GreedyDecoder::new(&graph);
+        let factory = GreedyFactory::new(&graph);
+        let mut decoder = factory.build();
         let mut total = 0;
         let mut correct = 0;
+        let mut syndrome = Syndrome::default();
         for mech in &dem.mechanisms {
-            let defects: Vec<usize> = mech
-                .detectors
-                .iter()
-                .filter_map(|&det| graph.node_of_detector(det))
-                .collect();
-            if defects.is_empty() {
+            syndrome.clear();
+            syndrome.defects.extend(
+                mech.detectors
+                    .iter()
+                    .filter_map(|&det| graph.node_of_detector(det)),
+            );
+            if syndrome.is_empty() {
                 continue;
             }
             total += 1;
-            if decoder.decode(&defects) == mech.flips_observable {
+            if decoder.decode_syndrome(&syndrome).flip == mech.flips_observable {
                 correct += 1;
             }
         }
@@ -128,5 +249,16 @@ mod tests {
             rate > 0.9,
             "greedy single-fault accuracy {rate} ({correct}/{total})"
         );
+    }
+
+    #[test]
+    fn greedy_shares_paths_with_mwpm_factory() {
+        let exp = MemoryExperiment::new(RotatedCode::new(3), NoiseParams::standard(1e-3), 2);
+        let detectors = exp.detectors();
+        let dem = build_dem(&exp.base_circuit(), &detectors, &exp.observable_keys());
+        let graph = DecodingGraph::from_dem(&dem, &detectors, DetectorBasis::Z);
+        let mwpm = crate::MwpmFactory::new(&graph);
+        let greedy = GreedyFactory::with_paths(&graph, Arc::clone(mwpm.paths()));
+        assert!(Arc::ptr_eq(mwpm.paths(), greedy.paths()));
     }
 }

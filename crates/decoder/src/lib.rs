@@ -14,7 +14,11 @@
 //!   hyperedge decomposition onto elementary edges.
 //! * [`matching`] — an exact maximum-weight matching implementation (Galil's
 //!   O(n³) blossom algorithm, ported from the classic NetworkX formulation),
-//!   validated against brute force.
+//!   validated against brute force. [`MatchingContext`] keeps the matcher's
+//!   working vectors alive across solves.
+//! * [`api`] — the stateful, batched decoder interface: [`Syndrome`] in,
+//!   [`DecodeOutcome`] out, through a per-thread [`SyndromeDecoder`] built by
+//!   a shared [`DecoderFactory`].
 //! * [`mwpm`] — the MWPM decoder: all-pairs shortest paths with
 //!   observable-parity tracking, boundary handling via per-defect virtual
 //!   nodes, and blossom matching.
@@ -22,22 +26,42 @@
 //!   for large code distances where O(n³) matching is too slow.
 //! * [`greedy`] — a nearest-first greedy matcher, the ablation baseline.
 //!
-//! # Example
+//! # Decoding millions of shots
+//!
+//! Decoder throughput is the hot path of every Monte-Carlo sweep, so the
+//! primary interface is *stateful and batched*: a [`DecoderFactory`] owns the
+//! expensive per-graph precomputation (the [`ShortestPaths`] table, quantized
+//! union-find capacities) behind an [`std::sync::Arc`]; each worker thread
+//! builds its own [`SyndromeDecoder`] whose scratch buffers are reused across
+//! shots, so the steady-state [`SyndromeDecoder::decode_batch`] loop performs
+//! no per-shot heap allocation.
 //!
 //! ```
 //! use qec_core::NoiseParams;
 //! use qec_core::circuit::DetectorBasis;
-//! use qec_decoder::{build_dem, DecodingGraph, Decoder, MwpmDecoder};
+//! use qec_decoder::{build_dem, DecoderFactory, DecodingGraph, MwpmFactory, Syndrome};
 //! use surface_code::{MemoryExperiment, RotatedCode};
 //!
 //! let exp = MemoryExperiment::new(RotatedCode::new(3), NoiseParams::standard(1e-3), 2);
 //! let detectors = exp.detectors();
 //! let dem = build_dem(&exp.base_circuit(), &detectors, &exp.observable_keys());
 //! let graph = DecodingGraph::from_dem(&dem, &detectors, DetectorBasis::Z);
-//! let decoder = MwpmDecoder::new(&graph);
-//! assert!(!decoder.decode(&[])); // no defects, no correction
+//!
+//! // Expensive precomputation happens once, in the factory…
+//! let factory = MwpmFactory::new(&graph);
+//! // …then every worker thread builds a cheap instance with private scratch.
+//! let mut decoder = factory.build();
+//! let batch = vec![Syndrome::default(), Syndrome::new(vec![0, 1])];
+//! let mut outcomes = Vec::new();
+//! decoder.decode_batch(&batch, &mut outcomes);
+//! assert!(!outcomes[0].flip); // no defects, no correction
+//! assert_eq!(outcomes[1].defects, 2);
 //! ```
+//!
+//! The old immutable [`Decoder`] trait remains as a deprecated adapter over
+//! the same implementations (see the migration table in `CHANGES.md`).
 
+pub mod api;
 pub mod dem;
 pub mod graph;
 pub mod greedy;
@@ -45,15 +69,30 @@ pub mod matching;
 pub mod mwpm;
 pub mod unionfind;
 
+pub use api::{DecodeOutcome, DecoderFactory, Syndrome, SyndromeDecoder};
 pub use dem::{build_dem, DetectorErrorModel, ErrorMechanism};
 pub use graph::{DecodingGraph, GraphEdge};
-pub use greedy::GreedyDecoder;
-pub use matching::max_weight_matching;
-pub use mwpm::MwpmDecoder;
-pub use unionfind::UnionFindDecoder;
+pub use greedy::{GreedyBatchDecoder, GreedyDecoder, GreedyFactory};
+pub use matching::{max_weight_matching, MatchingContext};
+pub use mwpm::{MwpmBatchDecoder, MwpmDecoder, MwpmFactory, ShortestPaths};
+pub use unionfind::{
+    UnionFindBatchDecoder, UnionFindCapacities, UnionFindDecoder, UnionFindFactory,
+};
 
 /// A decoder maps a set of fired detectors (defects, as decoding-graph node
 /// ids) to a predicted logical-observable flip.
+///
+/// Deprecated: this immutable, allocation-per-shot interface cannot reuse
+/// scratch and forces every thread through one shared instance. The stateful
+/// replacement is [`SyndromeDecoder`] (built per thread via a
+/// [`DecoderFactory`]); the legacy decoder structs remain as thin adapters
+/// over it, so `decoder.decode(&defects)` and
+/// `decoder.decode_syndrome(&Syndrome::new(defects))` agree bit-for-bit.
+#[deprecated(
+    since = "0.3.0",
+    note = "use the stateful `SyndromeDecoder` trait (`decode_syndrome` / `decode_batch`) \
+            built through a `DecoderFactory`; see the migration table in CHANGES.md"
+)]
 pub trait Decoder {
     /// Predicts whether the logical observable was flipped, given the fired
     /// detector nodes.

@@ -41,15 +41,89 @@ pub fn max_weight_matching(
     edges: &[(usize, usize, i64)],
     max_cardinality: bool,
 ) -> Vec<Option<usize>> {
-    if edges.is_empty() {
-        return Vec::new();
+    MatchingContext::new()
+        .solve(edges, max_cardinality)
+        .to_vec()
+}
+
+/// Reusable scratch arena for the blossom matcher.
+///
+/// One matching per decoded shot means the matcher's ~20 working vectors are
+/// the dominant allocation cost of the MWPM hot loop. A `MatchingContext`
+/// keeps them alive across calls: [`MatchingContext::solve`] reuses whatever
+/// capacity earlier calls grew, so repeated matchings of similar size stop
+/// allocating entirely.
+///
+/// ```
+/// use qec_decoder::MatchingContext;
+///
+/// let mut ctx = MatchingContext::new();
+/// let mate = ctx.solve(&[(0, 1, 2), (1, 2, 5)], false);
+/// assert_eq!(mate[1], Some(2));
+/// // The next solve reuses the same buffers.
+/// let mate = ctx.solve(&[(0, 1, 7)], false);
+/// assert_eq!(mate[0], Some(1));
+/// ```
+#[derive(Debug, Default)]
+pub struct MatchingContext {
+    endpoint: Vec<usize>,
+    neighbend: Vec<Vec<usize>>,
+    mate: Vec<usize>,
+    label: Vec<u8>,
+    labelend: Vec<usize>,
+    inblossom: Vec<usize>,
+    blossomparent: Vec<usize>,
+    blossomchilds: Vec<Vec<usize>>,
+    blossombase: Vec<usize>,
+    blossomendps: Vec<Vec<usize>>,
+    bestedge: Vec<usize>,
+    blossombestedges: Vec<Vec<usize>>,
+    unusedblossoms: Vec<usize>,
+    dualvar: Vec<i64>,
+    allowedge: Vec<bool>,
+    queue: Vec<usize>,
+    mate_out: Vec<Option<usize>>,
+}
+
+impl MatchingContext {
+    /// An empty context; buffers grow on first use.
+    pub fn new() -> MatchingContext {
+        MatchingContext::default()
     }
-    let mut m = Matcher::new(edges, max_cardinality);
-    m.solve();
-    m.mate
-        .iter()
-        .map(|&p| if p == NO { None } else { Some(m.endpoint[p]) })
-        .collect()
+
+    /// Computes a maximum-weight matching (semantics of
+    /// [`max_weight_matching`]) reusing this context's buffers. The returned
+    /// slice is valid until the next `solve` call.
+    pub fn solve(
+        &mut self,
+        edges: &[(usize, usize, i64)],
+        max_cardinality: bool,
+    ) -> &[Option<usize>] {
+        self.mate_out.clear();
+        if edges.is_empty() {
+            return &self.mate_out;
+        }
+        let mut m = Matcher::from_context(edges, max_cardinality, self);
+        m.solve();
+        self.mate_out.extend(
+            m.mate
+                .iter()
+                .map(|&p| if p == NO { None } else { Some(m.endpoint[p]) }),
+        );
+        m.release(self);
+        &self.mate_out
+    }
+}
+
+/// Clears the first `n` inner vectors (keeping their capacity) and ensures at
+/// least `n` of them exist.
+fn reset_nested(v: &mut Vec<Vec<usize>>, n: usize) {
+    for inner in v.iter_mut() {
+        inner.clear();
+    }
+    if v.len() < n {
+        v.resize_with(n, Vec::new);
+    }
 }
 
 struct Matcher<'e> {
@@ -75,7 +149,14 @@ struct Matcher<'e> {
 }
 
 impl<'e> Matcher<'e> {
-    fn new(edges: &'e [(usize, usize, i64)], max_cardinality: bool) -> Matcher<'e> {
+    /// Builds a matcher over `edges`, borrowing the context's buffers (moved
+    /// out, returned by [`Matcher::release`]). Reuses whatever capacity
+    /// earlier solves grew; only genuinely larger problems allocate.
+    fn from_context(
+        edges: &'e [(usize, usize, i64)],
+        max_cardinality: bool,
+        ctx: &mut MatchingContext,
+    ) -> Matcher<'e> {
         let mut nvertex = 0;
         for &(i, j, _) in edges {
             assert!(i != j, "self-loop in matching input");
@@ -83,45 +164,106 @@ impl<'e> Matcher<'e> {
         }
         let maxweight = edges.iter().map(|e| e.2).max().unwrap_or(0).max(0);
         let nedge = edges.len();
-        let endpoint: Vec<usize> = (0..2 * nedge)
-            .map(|p| {
-                if p % 2 == 0 {
-                    edges[p / 2].0
-                } else {
-                    edges[p / 2].1
-                }
-            })
-            .collect();
-        let mut neighbend = vec![Vec::new(); nvertex];
+
+        let mut endpoint = std::mem::take(&mut ctx.endpoint);
+        endpoint.clear();
+        endpoint.extend((0..2 * nedge).map(|p| {
+            if p % 2 == 0 {
+                edges[p / 2].0
+            } else {
+                edges[p / 2].1
+            }
+        }));
+
+        let mut neighbend = std::mem::take(&mut ctx.neighbend);
+        reset_nested(&mut neighbend, nvertex);
         for (k, &(i, j, _)) in edges.iter().enumerate() {
             neighbend[i].push(2 * k + 1);
             neighbend[j].push(2 * k);
         }
+
+        let mut mate = std::mem::take(&mut ctx.mate);
+        mate.clear();
+        mate.resize(nvertex, NO);
+        let mut label = std::mem::take(&mut ctx.label);
+        label.clear();
+        label.resize(2 * nvertex, 0);
+        let mut labelend = std::mem::take(&mut ctx.labelend);
+        labelend.clear();
+        labelend.resize(2 * nvertex, NO);
+        let mut inblossom = std::mem::take(&mut ctx.inblossom);
+        inblossom.clear();
+        inblossom.extend(0..nvertex);
+        let mut blossomparent = std::mem::take(&mut ctx.blossomparent);
+        blossomparent.clear();
+        blossomparent.resize(2 * nvertex, NO);
+        let mut blossomchilds = std::mem::take(&mut ctx.blossomchilds);
+        reset_nested(&mut blossomchilds, 2 * nvertex);
+        let mut blossombase = std::mem::take(&mut ctx.blossombase);
+        blossombase.clear();
+        blossombase.extend(0..nvertex);
+        blossombase.resize(2 * nvertex, NO);
+        let mut blossomendps = std::mem::take(&mut ctx.blossomendps);
+        reset_nested(&mut blossomendps, 2 * nvertex);
+        let mut bestedge = std::mem::take(&mut ctx.bestedge);
+        bestedge.clear();
+        bestedge.resize(2 * nvertex, NO);
+        let mut blossombestedges = std::mem::take(&mut ctx.blossombestedges);
+        reset_nested(&mut blossombestedges, 2 * nvertex);
+        let mut unusedblossoms = std::mem::take(&mut ctx.unusedblossoms);
+        unusedblossoms.clear();
+        unusedblossoms.extend(nvertex..2 * nvertex);
+        let mut dualvar = std::mem::take(&mut ctx.dualvar);
+        dualvar.clear();
+        dualvar.resize(nvertex, maxweight);
+        dualvar.resize(2 * nvertex, 0);
+        let mut allowedge = std::mem::take(&mut ctx.allowedge);
+        allowedge.clear();
+        allowedge.resize(nedge, false);
+        let mut queue = std::mem::take(&mut ctx.queue);
+        queue.clear();
+
         Matcher {
             edges,
             max_cardinality,
             nvertex,
             endpoint,
             neighbend,
-            mate: vec![NO; nvertex],
-            label: vec![0; 2 * nvertex],
-            labelend: vec![NO; 2 * nvertex],
-            inblossom: (0..nvertex).collect(),
-            blossomparent: vec![NO; 2 * nvertex],
-            blossomchilds: vec![Vec::new(); 2 * nvertex],
-            blossombase: (0..nvertex)
-                .chain(std::iter::repeat_n(NO, nvertex))
-                .collect(),
-            blossomendps: vec![Vec::new(); 2 * nvertex],
-            bestedge: vec![NO; 2 * nvertex],
-            blossombestedges: vec![Vec::new(); 2 * nvertex],
-            unusedblossoms: (nvertex..2 * nvertex).collect(),
-            dualvar: std::iter::repeat_n(maxweight, nvertex)
-                .chain(std::iter::repeat_n(0, nvertex))
-                .collect(),
-            allowedge: vec![false; nedge],
-            queue: Vec::new(),
+            mate,
+            label,
+            labelend,
+            inblossom,
+            blossomparent,
+            blossomchilds,
+            blossombase,
+            blossomendps,
+            bestedge,
+            blossombestedges,
+            unusedblossoms,
+            dualvar,
+            allowedge,
+            queue,
         }
+    }
+
+    /// Returns the working buffers to the context for the next solve.
+    fn release(self, ctx: &mut MatchingContext) {
+        ctx.endpoint = self.endpoint;
+        ctx.neighbend = self.neighbend;
+        ctx.mate = self.mate;
+        ctx.label = self.label;
+        ctx.labelend = self.labelend;
+        ctx.inblossom = self.inblossom;
+        ctx.blossomparent = self.blossomparent;
+        ctx.blossomchilds = self.blossomchilds;
+        ctx.blossombase = self.blossombase;
+        ctx.blossomendps = self.blossomendps;
+        ctx.bestedge = self.bestedge;
+        ctx.blossombestedges = self.blossombestedges;
+        ctx.unusedblossoms = self.unusedblossoms;
+        ctx.dualvar = self.dualvar;
+        ctx.allowedge = self.allowedge;
+        ctx.queue = self.queue;
     }
 
     fn slack(&self, k: usize) -> i64 {
@@ -158,8 +300,14 @@ impl<'e> Matcher<'e> {
         self.bestedge[w] = NO;
         self.bestedge[b] = NO;
         if t == 1 {
-            let mut l = self.leaves(b);
-            self.queue.append(&mut l);
+            if b < self.nvertex {
+                // Single-vertex "blossom": skip the leaf-collection allocation
+                // (the overwhelmingly common case on decoder workloads).
+                self.queue.push(b);
+            } else {
+                let mut l = self.leaves(b);
+                self.queue.append(&mut l);
+            }
         } else if t == 2 {
             let base = self.blossombase[b];
             debug_assert!(self.mate[base] != NO);
@@ -478,8 +626,10 @@ impl<'e> Matcher<'e> {
             loop {
                 while let Some(v) = if augmented { None } else { self.queue.pop() } {
                     debug_assert_eq!(self.label[self.inblossom[v]], 1);
-                    let neigh = self.neighbend[v].clone();
-                    for p in neigh {
+                    // `neighbend` is immutable during a solve; index to avoid
+                    // cloning the adjacency list on every queue pop.
+                    for ni in 0..self.neighbend[v].len() {
+                        let p = self.neighbend[v][ni];
                         let k = p / 2;
                         let w = self.endpoint[p];
                         if self.inblossom[v] == self.inblossom[w] {
@@ -844,6 +994,42 @@ mod tests {
                 }
             }
         }
+    }
+
+    #[test]
+    fn context_reuse_matches_fresh_solves() {
+        // A reused context must be indistinguishable from a fresh matcher on
+        // every call, across wildly varying problem sizes (stale scratch from
+        // a bigger earlier problem must never leak into a smaller one).
+        let mut ctx = MatchingContext::new();
+        let mut rng = qec_core::Rng::new(31337);
+        for trial in 0..200 {
+            let n = 2 + (rng.below(7) as usize);
+            let mut edges = Vec::new();
+            for u in 0..n {
+                for v in (u + 1)..n {
+                    if rng.bernoulli(0.8) {
+                        edges.push((u, v, rng.below(50) as i64 - 5));
+                    }
+                }
+            }
+            if edges.is_empty() {
+                continue;
+            }
+            for &maxcard in &[false, true] {
+                let reused = ctx.solve(&edges, maxcard).to_vec();
+                let fresh = max_weight_matching(&edges, maxcard);
+                assert_eq!(reused, fresh, "trial {trial} maxcard={maxcard}");
+            }
+        }
+    }
+
+    #[test]
+    fn context_handles_empty_input() {
+        let mut ctx = MatchingContext::new();
+        assert!(ctx.solve(&[], true).is_empty());
+        assert_eq!(ctx.solve(&[(0, 1, 3)], false), &[Some(1), Some(0)]);
+        assert!(ctx.solve(&[], false).is_empty());
     }
 
     #[test]

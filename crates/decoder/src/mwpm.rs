@@ -9,12 +9,19 @@
 //! observable parity along the shortest path), then exact blossom matching on
 //! the defect graph with one virtual boundary copy per defect (the standard
 //! reduction that lets an odd number of defects terminate on the boundary).
+//!
+//! The stateful entry point is [`MwpmFactory`] → [`MwpmBatchDecoder`]: the
+//! O(n²) [`ShortestPaths`] table is computed once per graph and shared across
+//! worker threads via [`Arc`]; each instance keeps its own matching scratch
+//! so the per-shot loop does not allocate.
 
+use crate::api::{DecodeOutcome, DecoderFactory, Syndrome, SyndromeDecoder};
 use crate::graph::DecodingGraph;
-use crate::matching::max_weight_matching;
-use crate::Decoder;
+use crate::matching::MatchingContext;
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
+use std::sync::Arc;
+use std::time::Instant;
 
 /// Resolution used when converting f64 path lengths to the integer weights
 /// the blossom algorithm requires.
@@ -108,14 +115,221 @@ fn dijkstra(graph: &DecodingGraph, src: usize) -> (Vec<f64>, Vec<bool>) {
     (dist, obs)
 }
 
-/// The MWPM decoder (see module docs).
+/// Stateful MWPM decoder instance: one per worker thread, built through
+/// [`MwpmFactory`]. Owns the blossom matching scratch and the defect-graph
+/// staging buffers, all reused across shots.
+#[derive(Debug)]
+pub struct MwpmBatchDecoder<'g> {
+    graph: &'g DecodingGraph,
+    paths: Arc<ShortestPaths>,
+    matching: MatchingContext,
+    edges: Vec<(usize, usize, i64)>,
+    scaled: Vec<i64>,
+    scaled_boundary: Vec<i64>,
+    pairs: Vec<(usize, usize)>,
+    to_boundary: Vec<usize>,
+}
+
+impl<'g> MwpmBatchDecoder<'g> {
+    /// Builds a standalone instance, computing the shortest-path table
+    /// itself. For multi-threaded decoding use [`MwpmFactory`], which pays
+    /// this cost once per graph.
+    pub fn new(graph: &'g DecodingGraph) -> MwpmBatchDecoder<'g> {
+        MwpmBatchDecoder::with_paths(graph, Arc::new(ShortestPaths::compute(graph)))
+    }
+
+    /// Builds an instance over a precomputed (shared) shortest-path table.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `paths` was computed for a different-sized graph.
+    pub fn with_paths(graph: &'g DecodingGraph, paths: Arc<ShortestPaths>) -> MwpmBatchDecoder<'g> {
+        assert_eq!(
+            paths.num_nodes_with_boundary(),
+            graph.num_nodes() + 1,
+            "shortest-path table does not match the decoding graph"
+        );
+        MwpmBatchDecoder {
+            graph,
+            paths,
+            matching: MatchingContext::new(),
+            edges: Vec::new(),
+            scaled: Vec::new(),
+            scaled_boundary: Vec::new(),
+            pairs: Vec::new(),
+            to_boundary: Vec::new(),
+        }
+    }
+
+    /// The underlying graph.
+    pub fn graph(&self) -> &DecodingGraph {
+        self.graph
+    }
+
+    /// The shared shortest-path table.
+    pub fn paths(&self) -> &Arc<ShortestPaths> {
+        &self.paths
+    }
+
+    /// Pairs up defects into `self.pairs` (matched defect pairs) and
+    /// `self.to_boundary` (boundary-matched defects), as indices into
+    /// `defects`. All staging buffers are reused.
+    fn match_defects_into(&mut self, defects: &[usize]) {
+        self.pairs.clear();
+        self.to_boundary.clear();
+        let k = defects.len();
+        if k == 0 {
+            return;
+        }
+        let boundary = self.graph.boundary();
+        // Vertices 0..k are defects, k..2k their private boundary copies.
+        self.scaled.clear();
+        self.scaled.resize(k * k, 0);
+        self.scaled_boundary.clear();
+        self.scaled_boundary.resize(k, 0);
+        let mut max_scaled: i64 = 0;
+        for i in 0..k {
+            for j in (i + 1)..k {
+                let d = self.paths.distance(defects[i], defects[j]);
+                let s = (d * WEIGHT_SCALE).round() as i64;
+                self.scaled[i * k + j] = s;
+                max_scaled = max_scaled.max(s);
+            }
+            let d = self.paths.distance(defects[i], boundary);
+            let s = (d * WEIGHT_SCALE).round() as i64;
+            self.scaled_boundary[i] = s;
+            max_scaled = max_scaled.max(s);
+        }
+        let c = max_scaled + 1;
+        self.edges.clear();
+        for i in 0..k {
+            for j in (i + 1)..k {
+                self.edges.push((i, j, c - self.scaled[i * k + j]));
+                // Boundary copies pair freely among themselves.
+                self.edges.push((k + i, k + j, c));
+            }
+            self.edges.push((i, k + i, c - self.scaled_boundary[i]));
+        }
+        let mate = self.matching.solve(&self.edges, true);
+        for (i, &partner) in mate.iter().enumerate().take(k) {
+            match partner {
+                Some(j) if j < k => {
+                    if i < j {
+                        self.pairs.push((i, j));
+                    }
+                }
+                Some(_) => self.to_boundary.push(i),
+                None => unreachable!("perfect matching guaranteed"),
+            }
+        }
+    }
+}
+
+impl SyndromeDecoder for MwpmBatchDecoder<'_> {
+    fn decode_syndrome(&mut self, syndrome: &Syndrome) -> DecodeOutcome {
+        let defects = &syndrome.defects;
+        if defects.is_empty() {
+            // Trivial shot: skip even the clock reads (the common case at
+            // low physical error rates).
+            return DecodeOutcome::default();
+        }
+        let start = Instant::now();
+        self.match_defects_into(defects);
+        let boundary = self.graph.boundary();
+        let mut flip = false;
+        let mut weight = 0.0;
+        for &(i, j) in &self.pairs {
+            flip ^= self.paths.observable_parity(defects[i], defects[j]);
+            weight += self.paths.distance(defects[i], defects[j]);
+        }
+        for &i in &self.to_boundary {
+            flip ^= self.paths.observable_parity(defects[i], boundary);
+            weight += self.paths.distance(defects[i], boundary);
+        }
+        DecodeOutcome {
+            flip,
+            weight,
+            defects: defects.len(),
+            nanos: start.elapsed().as_nanos() as u64,
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        "mwpm"
+    }
+}
+
+/// Factory for [`MwpmBatchDecoder`]s: computes the all-pairs shortest-path
+/// table once and shares it (via [`Arc`]) with every instance it builds.
 ///
 /// # Example
 ///
 /// ```
 /// use qec_core::NoiseParams;
 /// use qec_core::circuit::DetectorBasis;
-/// use qec_decoder::{build_dem, Decoder, DecodingGraph, MwpmDecoder};
+/// use qec_decoder::{build_dem, DecoderFactory, DecodingGraph, MwpmFactory, Syndrome};
+/// use surface_code::{MemoryExperiment, RotatedCode};
+///
+/// let exp = MemoryExperiment::new(RotatedCode::new(3), NoiseParams::standard(1e-3), 2);
+/// let detectors = exp.detectors();
+/// let dem = build_dem(&exp.base_circuit(), &detectors, &exp.observable_keys());
+/// let graph = DecodingGraph::from_dem(&dem, &detectors, DetectorBasis::Z);
+/// let factory = MwpmFactory::new(&graph);
+/// let mut decoder = factory.build();
+/// assert!(!decoder.decode_syndrome(&Syndrome::default()).flip);
+/// ```
+#[derive(Debug)]
+pub struct MwpmFactory<'g> {
+    graph: &'g DecodingGraph,
+    paths: Arc<ShortestPaths>,
+}
+
+impl<'g> MwpmFactory<'g> {
+    /// Computes the shortest-path table for `graph` (the expensive step, paid
+    /// once).
+    pub fn new(graph: &'g DecodingGraph) -> MwpmFactory<'g> {
+        MwpmFactory {
+            graph,
+            paths: Arc::new(ShortestPaths::compute(graph)),
+        }
+    }
+
+    /// Reuses an existing shortest-path table (e.g. shared with a
+    /// [`crate::GreedyFactory`] on the same graph).
+    pub fn with_paths(graph: &'g DecodingGraph, paths: Arc<ShortestPaths>) -> MwpmFactory<'g> {
+        MwpmFactory { graph, paths }
+    }
+
+    /// The shared shortest-path table.
+    pub fn paths(&self) -> &Arc<ShortestPaths> {
+        &self.paths
+    }
+}
+
+impl DecoderFactory for MwpmFactory<'_> {
+    fn build(&self) -> Box<dyn SyndromeDecoder + '_> {
+        Box::new(MwpmBatchDecoder::with_paths(
+            self.graph,
+            Arc::clone(&self.paths),
+        ))
+    }
+
+    fn name(&self) -> &'static str {
+        "mwpm"
+    }
+}
+
+/// The legacy immutable MWPM decoder: a thin shell over
+/// [`MwpmBatchDecoder`] kept so existing [`crate::Decoder`]-based call sites
+/// compile unchanged. Each [`crate::Decoder::decode`] call builds a fresh
+/// scratch instance; hot paths should migrate to [`MwpmFactory`].
+///
+/// # Example
+///
+/// ```
+/// use qec_core::NoiseParams;
+/// use qec_core::circuit::DetectorBasis;
+/// use qec_decoder::{build_dem, DecodingGraph, MwpmDecoder};
 /// use surface_code::{MemoryExperiment, RotatedCode};
 ///
 /// let exp = MemoryExperiment::new(RotatedCode::new(3), NoiseParams::standard(1e-3), 2);
@@ -123,12 +337,12 @@ fn dijkstra(graph: &DecodingGraph, src: usize) -> (Vec<f64>, Vec<bool>) {
 /// let dem = build_dem(&exp.base_circuit(), &detectors, &exp.observable_keys());
 /// let graph = DecodingGraph::from_dem(&dem, &detectors, DetectorBasis::Z);
 /// let decoder = MwpmDecoder::new(&graph);
-/// assert!(!decoder.decode(&[]));
+/// assert!(decoder.match_defects(&[]).0.is_empty());
 /// ```
 #[derive(Debug)]
 pub struct MwpmDecoder<'g> {
     graph: &'g DecodingGraph,
-    paths: ShortestPaths,
+    paths: Arc<ShortestPaths>,
 }
 
 impl<'g> MwpmDecoder<'g> {
@@ -136,7 +350,7 @@ impl<'g> MwpmDecoder<'g> {
     pub fn new(graph: &'g DecodingGraph) -> MwpmDecoder<'g> {
         MwpmDecoder {
             graph,
-            paths: ShortestPaths::compute(graph),
+            paths: Arc::new(ShortestPaths::compute(graph)),
         }
     }
 
@@ -153,67 +367,18 @@ impl<'g> MwpmDecoder<'g> {
     /// Pairs up defects; returns `(matched defect pairs, boundary-matched
     /// defects)` as indices into `defects`.
     pub fn match_defects(&self, defects: &[usize]) -> (Vec<(usize, usize)>, Vec<usize>) {
-        let k = defects.len();
-        if k == 0 {
-            return (Vec::new(), Vec::new());
-        }
-        let boundary = self.graph.boundary();
-        // Vertices 0..k are defects, k..2k their private boundary copies.
-        let mut edges: Vec<(usize, usize, i64)> = Vec::with_capacity(k * k + k);
-        let mut max_scaled: i64 = 0;
-        let mut scaled = vec![0i64; k * k];
-        let mut scaled_boundary = vec![0i64; k];
-        for i in 0..k {
-            for j in (i + 1)..k {
-                let d = self.paths.distance(defects[i], defects[j]);
-                let s = (d * WEIGHT_SCALE).round() as i64;
-                scaled[i * k + j] = s;
-                max_scaled = max_scaled.max(s);
-            }
-            let d = self.paths.distance(defects[i], boundary);
-            let s = (d * WEIGHT_SCALE).round() as i64;
-            scaled_boundary[i] = s;
-            max_scaled = max_scaled.max(s);
-        }
-        let c = max_scaled + 1;
-        for i in 0..k {
-            for j in (i + 1)..k {
-                edges.push((i, j, c - scaled[i * k + j]));
-                // Boundary copies pair freely among themselves.
-                edges.push((k + i, k + j, c));
-            }
-            edges.push((i, k + i, c - scaled_boundary[i]));
-        }
-        let mate = max_weight_matching(&edges, true);
-        let mut pairs = Vec::new();
-        let mut to_boundary = Vec::new();
-        for (i, &partner) in mate.iter().enumerate().take(k) {
-            match partner {
-                Some(j) if j < k => {
-                    if i < j {
-                        pairs.push((i, j));
-                    }
-                }
-                Some(_) => to_boundary.push(i),
-                None => unreachable!("perfect matching guaranteed"),
-            }
-        }
-        (pairs, to_boundary)
+        let mut scratch = MwpmBatchDecoder::with_paths(self.graph, Arc::clone(&self.paths));
+        scratch.match_defects_into(defects);
+        (scratch.pairs, scratch.to_boundary)
     }
 }
 
-impl Decoder for MwpmDecoder<'_> {
+#[allow(deprecated)]
+impl crate::Decoder for MwpmDecoder<'_> {
     fn decode(&self, defects: &[usize]) -> bool {
-        let (pairs, to_boundary) = self.match_defects(defects);
-        let boundary = self.graph.boundary();
-        let mut flip = false;
-        for (i, j) in pairs {
-            flip ^= self.paths.observable_parity(defects[i], defects[j]);
-        }
-        for i in to_boundary {
-            flip ^= self.paths.observable_parity(defects[i], boundary);
-        }
-        flip
+        MwpmBatchDecoder::with_paths(self.graph, Arc::clone(&self.paths))
+            .decode_syndrome(&Syndrome::new(defects.to_vec()))
+            .flip
     }
 
     fn name(&self) -> &'static str {
@@ -240,8 +405,21 @@ mod tests {
     #[test]
     fn empty_syndrome_decodes_trivially() {
         let (graph, _) = setup(3, 2);
-        let decoder = MwpmDecoder::new(&graph);
-        assert!(!decoder.decode(&[]));
+        let factory = MwpmFactory::new(&graph);
+        let mut decoder = factory.build();
+        let outcome = decoder.decode_syndrome(&Syndrome::default());
+        assert!(!outcome.flip);
+        assert_eq!(outcome.weight, 0.0);
+        assert_eq!(outcome.defects, 0);
+    }
+
+    #[test]
+    fn factory_shares_one_paths_table() {
+        let (graph, _) = setup(3, 2);
+        let factory = MwpmFactory::new(&graph);
+        let a = MwpmBatchDecoder::with_paths(&graph, Arc::clone(factory.paths()));
+        let b = MwpmBatchDecoder::with_paths(&graph, Arc::clone(factory.paths()));
+        assert!(Arc::ptr_eq(a.paths(), b.paths()));
     }
 
     #[test]
@@ -275,28 +453,30 @@ mod tests {
     fn single_faults_are_always_corrected() {
         for (d, rounds) in [(3usize, 3usize), (5, 4)] {
             let (graph, dem) = setup(d, rounds);
-            let decoder = MwpmDecoder::new(&graph);
+            let mut decoder = MwpmBatchDecoder::new(&graph);
             let exp =
                 MemoryExperiment::new(RotatedCode::new(d), NoiseParams::standard(1e-3), rounds);
             let detectors = exp.detectors();
             let mut checked = 0;
+            let mut syndrome = Syndrome::default();
             for mech in &dem.mechanisms {
-                let defects: Vec<usize> = mech
-                    .detectors
-                    .iter()
-                    .filter_map(|&det| graph.node_of_detector(det))
-                    .collect();
+                syndrome.clear();
+                syndrome.defects.extend(
+                    mech.detectors
+                        .iter()
+                        .filter_map(|&det| graph.node_of_detector(det)),
+                );
                 // Only mechanisms whose Z-projection is elementary are direct
                 // graph edges; all single faults in a distance-d code satisfy
                 // this (hyperedges decompose).
-                if defects.is_empty() {
+                if syndrome.is_empty() {
                     assert!(
                         !mech.flips_observable,
                         "undetectable logical flip at d={d}: {mech:?}"
                     );
                     continue;
                 }
-                let predicted = decoder.decode(&defects);
+                let predicted = decoder.decode_syndrome(&syndrome).flip;
                 assert_eq!(
                     predicted,
                     mech.flips_observable,
@@ -338,5 +518,50 @@ mod tests {
             seen[*i] = true;
         }
         assert!(seen.iter().all(|&s| s), "defect left unmatched");
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn legacy_adapter_matches_batch_decoder() {
+        use crate::Decoder;
+        let (graph, dem) = setup(3, 3);
+        let legacy = MwpmDecoder::new(&graph);
+        let mut batch = MwpmBatchDecoder::new(&graph);
+        for mech in dem.mechanisms.iter().take(40) {
+            let defects: Vec<usize> = mech
+                .detectors
+                .iter()
+                .filter_map(|&det| graph.node_of_detector(det))
+                .collect();
+            let syndrome = Syndrome::new(defects.clone());
+            assert_eq!(
+                legacy.decode(&defects),
+                batch.decode_syndrome(&syndrome).flip
+            );
+        }
+    }
+
+    #[test]
+    fn outcome_weight_tracks_matched_paths() {
+        let (graph, dem) = setup(3, 3);
+        let mut decoder = MwpmBatchDecoder::new(&graph);
+        // Any non-empty syndrome must be corrected with positive weight.
+        let mech = dem
+            .mechanisms
+            .iter()
+            .find(|m| {
+                m.detectors
+                    .iter()
+                    .any(|&d| graph.node_of_detector(d).is_some())
+            })
+            .expect("some Z-visible mechanism");
+        let defects: Vec<usize> = mech
+            .detectors
+            .iter()
+            .filter_map(|&det| graph.node_of_detector(det))
+            .collect();
+        let outcome = decoder.decode_syndrome(&Syndrome::new(defects.clone()));
+        assert_eq!(outcome.defects, defects.len());
+        assert!(outcome.weight > 0.0);
     }
 }

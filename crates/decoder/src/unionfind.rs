@@ -6,34 +6,57 @@
 //! odd clusters keep growing until they merge with another odd cluster or
 //! touch the boundary; a peeling pass then extracts the correction and its
 //! effect on the logical observable.
+//!
+//! The stateful entry point is [`UnionFindFactory`] →
+//! [`UnionFindBatchDecoder`]: quantized edge capacities are computed once per
+//! graph and shared across threads via [`Arc`]; each instance keeps its own
+//! cluster/peeling scratch so the per-shot loop does not allocate.
 
+use crate::api::{DecodeOutcome, DecoderFactory, Syndrome, SyndromeDecoder};
 use crate::graph::DecodingGraph;
-use crate::Decoder;
+use std::collections::VecDeque;
+use std::sync::Arc;
+use std::time::Instant;
 
-/// Union-find decoder over a decoding graph.
-///
-/// # Example
-///
-/// ```
-/// use qec_core::NoiseParams;
-/// use qec_core::circuit::DetectorBasis;
-/// use qec_decoder::{build_dem, Decoder, DecodingGraph, UnionFindDecoder};
-/// use surface_code::{MemoryExperiment, RotatedCode};
-///
-/// let exp = MemoryExperiment::new(RotatedCode::new(3), NoiseParams::standard(1e-3), 2);
-/// let detectors = exp.detectors();
-/// let dem = build_dem(&exp.base_circuit(), &detectors, &exp.observable_keys());
-/// let graph = DecodingGraph::from_dem(&dem, &detectors, DetectorBasis::Z);
-/// let decoder = UnionFindDecoder::new(&graph);
-/// assert!(!decoder.decode(&[]));
-/// ```
-#[derive(Debug)]
-pub struct UnionFindDecoder<'g> {
-    graph: &'g DecodingGraph,
-    /// Quantized edge capacities (growth units needed to traverse each edge).
+/// Shared union-find precomputation: per-edge growth capacities, quantized
+/// from the graph's matching weights.
+#[derive(Debug, Clone)]
+pub struct UnionFindCapacities {
     capacity: Vec<u32>,
 }
 
+impl UnionFindCapacities {
+    /// Quantizes every edge weight into growth units.
+    pub fn compute(graph: &DecodingGraph) -> UnionFindCapacities {
+        let min_w = graph
+            .edges()
+            .iter()
+            .map(|e| e.weight)
+            .fold(f64::INFINITY, f64::min);
+        // Quantization granularity matters: a two-defect cluster pairs up
+        // (rather than splitting to the boundary) under exactly the same
+        // weight comparison MWPM makes, but only if rounding error cannot
+        // reorder near-ties. Eight units on the lightest edge keeps the
+        // relative error below ~6% while bounding the growth iterations.
+        let unit = (min_w / 8.0).max(1e-9);
+        let capacity = graph
+            .edges()
+            .iter()
+            .map(|e| ((e.weight / unit).round() as u32).clamp(1, 100_000))
+            .collect();
+        UnionFindCapacities { capacity }
+    }
+
+    /// Per-edge capacities, indexed like [`DecodingGraph::edges`].
+    pub fn as_slice(&self) -> &[u32] {
+        &self.capacity
+    }
+}
+
+/// Union-find over cluster roots, with per-cluster defect parity and
+/// boundary-contact flags. Buffers persist across shots via
+/// [`Dsu::reset`].
+#[derive(Debug, Default)]
 struct Dsu {
     parent: Vec<usize>,
     rank: Vec<u8>,
@@ -44,15 +67,19 @@ struct Dsu {
 }
 
 impl Dsu {
-    fn new(n: usize, defects: &[bool], boundary_node: usize) -> Dsu {
-        let mut d = Dsu {
-            parent: (0..n).collect(),
-            rank: vec![0; n],
-            parity: defects.to_vec(),
-            boundary: vec![false; n],
-        };
-        d.boundary[boundary_node] = true;
-        d
+    fn reset(&mut self, n: usize, defects: &[usize], boundary_node: usize) {
+        self.parent.clear();
+        self.parent.extend(0..n);
+        self.rank.clear();
+        self.rank.resize(n, 0);
+        self.parity.clear();
+        self.parity.resize(n, false);
+        for &d in defects {
+            self.parity[d] = true;
+        }
+        self.boundary.clear();
+        self.boundary.resize(n, false);
+        self.boundary[boundary_node] = true;
     }
 
     fn find(&mut self, mut x: usize) -> usize {
@@ -89,26 +116,60 @@ impl Dsu {
     }
 }
 
-impl<'g> UnionFindDecoder<'g> {
-    /// Builds the decoder, quantizing edge weights into growth units.
-    pub fn new(graph: &'g DecodingGraph) -> UnionFindDecoder<'g> {
-        let min_w = graph
-            .edges()
-            .iter()
-            .map(|e| e.weight)
-            .fold(f64::INFINITY, f64::min);
-        // Quantization granularity matters: a two-defect cluster pairs up
-        // (rather than splitting to the boundary) under exactly the same
-        // weight comparison MWPM makes, but only if rounding error cannot
-        // reorder near-ties. Eight units on the lightest edge keeps the
-        // relative error below ~6% while bounding the growth iterations.
-        let unit = (min_w / 8.0).max(1e-9);
-        let capacity = graph
-            .edges()
-            .iter()
-            .map(|e| ((e.weight / unit).round() as u32).clamp(1, 100_000))
-            .collect();
-        UnionFindDecoder { graph, capacity }
+/// Stateful union-find decoder instance: one per worker thread, built
+/// through [`UnionFindFactory`]. All growth and peeling buffers are reused
+/// across shots.
+#[derive(Debug)]
+pub struct UnionFindBatchDecoder<'g> {
+    graph: &'g DecodingGraph,
+    capacities: Arc<UnionFindCapacities>,
+    dsu: Dsu,
+    grown: Vec<u32>,
+    full: Vec<bool>,
+    reached: Vec<bool>,
+    to_merge: Vec<usize>,
+    parent_edge: Vec<usize>,
+    visited: Vec<bool>,
+    order: Vec<usize>,
+    queue: VecDeque<usize>,
+    mark: Vec<bool>,
+}
+
+impl<'g> UnionFindBatchDecoder<'g> {
+    /// Builds a standalone instance, quantizing edge weights itself. For
+    /// multi-threaded decoding use [`UnionFindFactory`].
+    pub fn new(graph: &'g DecodingGraph) -> UnionFindBatchDecoder<'g> {
+        UnionFindBatchDecoder::with_capacities(graph, Arc::new(UnionFindCapacities::compute(graph)))
+    }
+
+    /// Builds an instance over precomputed (shared) edge capacities.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacities` was computed for a different-sized graph.
+    pub fn with_capacities(
+        graph: &'g DecodingGraph,
+        capacities: Arc<UnionFindCapacities>,
+    ) -> UnionFindBatchDecoder<'g> {
+        assert_eq!(
+            capacities.as_slice().len(),
+            graph.edges().len(),
+            "capacity table does not match the decoding graph"
+        );
+        UnionFindBatchDecoder {
+            graph,
+            capacities,
+            dsu: Dsu::default(),
+            grown: Vec::new(),
+            full: Vec::new(),
+            reached: Vec::new(),
+            to_merge: Vec::new(),
+            parent_edge: Vec::new(),
+            visited: Vec::new(),
+            order: Vec::new(),
+            queue: VecDeque::new(),
+            mark: Vec::new(),
+        }
     }
 
     /// The underlying graph.
@@ -116,32 +177,38 @@ impl<'g> UnionFindDecoder<'g> {
         self.graph
     }
 
-    /// Runs cluster growth; returns (grown-edge bitmap, dsu) for peeling.
-    fn grow(&self, defects: &[usize]) -> (Vec<bool>, Dsu) {
+    /// The shared capacity table.
+    pub fn capacities(&self) -> &Arc<UnionFindCapacities> {
+        &self.capacities
+    }
+
+    /// Runs cluster growth; fills `self.full` (grown-edge bitmap) and
+    /// `self.dsu` for the peeling pass.
+    fn grow(&mut self, defects: &[usize]) {
         let n = self.graph.num_nodes() + 1;
         let boundary = self.graph.boundary();
-        let mut is_defect = vec![false; n];
-        for &d in defects {
-            is_defect[d] = true;
-        }
-        let mut dsu = Dsu::new(n, &is_defect, boundary);
+        self.dsu.reset(n, defects, boundary);
         let edges = self.graph.edges();
-        let mut grown = vec![0u32; edges.len()];
-        let mut full = vec![false; edges.len()];
+        let capacity = self.capacities.as_slice();
+        self.grown.clear();
+        self.grown.resize(edges.len(), 0);
+        self.full.clear();
+        self.full.resize(edges.len(), false);
 
         // Nodes whose cluster growth has reached them (starts at defects and
         // the boundary).
-        let mut reached = vec![false; n];
+        self.reached.clear();
+        self.reached.resize(n, false);
         for &d in defects {
-            reached[d] = true;
+            self.reached[d] = true;
         }
-        reached[boundary] = true;
+        self.reached[boundary] = true;
 
         loop {
             // Identify active clusters.
             let mut any_active = false;
             for &d in defects {
-                if dsu.is_active(d) {
+                if self.dsu.is_active(d) {
                     any_active = true;
                     break;
                 }
@@ -151,27 +218,27 @@ impl<'g> UnionFindDecoder<'g> {
             }
             // Grow every frontier edge of every active cluster by one unit
             // per active endpoint.
-            let mut to_merge: Vec<usize> = Vec::new();
+            self.to_merge.clear();
             let mut grew_any = false;
             for (ei, e) in edges.iter().enumerate() {
-                if full[ei] {
+                if self.full[ei] {
                     continue;
                 }
                 let mut inc = 0;
-                if reached[e.a] && dsu.is_active(e.a) {
+                if self.reached[e.a] && self.dsu.is_active(e.a) {
                     inc += 1;
                 }
-                if reached[e.b] && dsu.is_active(e.b) {
+                if self.reached[e.b] && self.dsu.is_active(e.b) {
                     inc += 1;
                 }
                 if inc == 0 {
                     continue;
                 }
-                grown[ei] += inc;
+                self.grown[ei] += inc;
                 grew_any = true;
-                if grown[ei] >= self.capacity[ei] {
-                    full[ei] = true;
-                    to_merge.push(ei);
+                if self.grown[ei] >= capacity[ei] {
+                    self.full[ei] = true;
+                    self.to_merge.push(ei);
                 }
             }
             if !grew_any {
@@ -180,84 +247,170 @@ impl<'g> UnionFindDecoder<'g> {
                 debug_assert!(false, "union-find growth stalled");
                 break;
             }
-            for ei in to_merge {
-                let e = &edges[ei];
-                reached[e.a] = true;
-                reached[e.b] = true;
-                dsu.union(e.a, e.b);
+            for i in 0..self.to_merge.len() {
+                let e = &edges[self.to_merge[i]];
+                self.reached[e.a] = true;
+                self.reached[e.b] = true;
+                self.dsu.union(e.a, e.b);
             }
         }
-        (full, dsu)
     }
 }
 
-impl Decoder for UnionFindDecoder<'_> {
-    fn decode(&self, defects: &[usize]) -> bool {
+impl SyndromeDecoder for UnionFindBatchDecoder<'_> {
+    fn decode_syndrome(&mut self, syndrome: &Syndrome) -> DecodeOutcome {
+        let defects = &syndrome.defects;
         if defects.is_empty() {
-            return false;
+            // Trivial shot: skip even the clock reads (the common case at
+            // low physical error rates).
+            return DecodeOutcome::default();
         }
+        let start = Instant::now();
         let n = self.graph.num_nodes() + 1;
         let boundary = self.graph.boundary();
-        let (full, _dsu) = self.grow(defects);
+        self.grow(defects);
         let edges = self.graph.edges();
 
         // Peeling: build a spanning forest of the grown subgraph, rooted at
         // the boundary first so boundary-terminated strings are available.
-        let mut parent_edge = vec![usize::MAX; n];
-        let mut visited = vec![false; n];
-        let mut order: Vec<usize> = Vec::new();
-        let mut queue = std::collections::VecDeque::new();
-        let mut roots = vec![boundary];
-        roots.extend(defects.iter().copied());
-        for root in roots {
-            if visited[root] {
+        self.parent_edge.clear();
+        self.parent_edge.resize(n, usize::MAX);
+        self.visited.clear();
+        self.visited.resize(n, false);
+        self.order.clear();
+        self.queue.clear();
+        for ri in 0..=defects.len() {
+            let root = if ri == 0 { boundary } else { defects[ri - 1] };
+            if self.visited[root] {
                 continue;
             }
-            visited[root] = true;
-            queue.push_back(root);
-            while let Some(u) = queue.pop_front() {
-                order.push(u);
+            self.visited[root] = true;
+            self.queue.push_back(root);
+            while let Some(u) = self.queue.pop_front() {
+                self.order.push(u);
                 for &ei in self.graph.incident(u) {
-                    if !full[ei] {
+                    if !self.full[ei] {
                         continue;
                     }
                     let e = &edges[ei];
                     let v = if e.a == u { e.b } else { e.a };
-                    if !visited[v] {
-                        visited[v] = true;
-                        parent_edge[v] = ei;
-                        queue.push_back(v);
+                    if !self.visited[v] {
+                        self.visited[v] = true;
+                        self.parent_edge[v] = ei;
+                        self.queue.push_back(v);
                     }
                 }
             }
         }
 
         // Peel leaves towards the roots.
-        let mut mark = vec![false; n];
+        self.mark.clear();
+        self.mark.resize(n, false);
         for &d in defects {
-            mark[d] = true;
+            self.mark[d] = true;
         }
         let mut flip = false;
-        for &v in order.iter().rev() {
-            let ei = parent_edge[v];
+        let mut weight = 0.0;
+        for &v in self.order.iter().rev() {
+            let ei = self.parent_edge[v];
             if ei == usize::MAX {
                 continue;
             }
-            if mark[v] {
+            if self.mark[v] {
                 let e = &edges[ei];
                 flip ^= e.flips_observable;
+                weight += e.weight;
                 let p = if e.a == v { e.b } else { e.a };
-                mark[v] = false;
+                self.mark[v] = false;
                 if p != boundary {
-                    mark[p] ^= true;
+                    self.mark[p] ^= true;
                 }
             }
         }
         debug_assert!(
-            (0..n).all(|v| !mark[v] || v == boundary),
+            (0..n).all(|v| !self.mark[v] || v == boundary),
             "peeling left an unpaired defect"
         );
-        flip
+        DecodeOutcome {
+            flip,
+            weight,
+            defects: defects.len(),
+            nanos: start.elapsed().as_nanos() as u64,
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        "union-find"
+    }
+}
+
+/// Factory for [`UnionFindBatchDecoder`]s: quantizes edge capacities once
+/// and shares them (via [`Arc`]) with every instance it builds.
+#[derive(Debug)]
+pub struct UnionFindFactory<'g> {
+    graph: &'g DecodingGraph,
+    capacities: Arc<UnionFindCapacities>,
+}
+
+impl<'g> UnionFindFactory<'g> {
+    /// Quantizes the graph's edge weights (the shared precomputation).
+    pub fn new(graph: &'g DecodingGraph) -> UnionFindFactory<'g> {
+        UnionFindFactory {
+            graph,
+            capacities: Arc::new(UnionFindCapacities::compute(graph)),
+        }
+    }
+
+    /// The shared capacity table.
+    pub fn capacities(&self) -> &Arc<UnionFindCapacities> {
+        &self.capacities
+    }
+}
+
+impl DecoderFactory for UnionFindFactory<'_> {
+    fn build(&self) -> Box<dyn SyndromeDecoder + '_> {
+        Box::new(UnionFindBatchDecoder::with_capacities(
+            self.graph,
+            Arc::clone(&self.capacities),
+        ))
+    }
+
+    fn name(&self) -> &'static str {
+        "union-find"
+    }
+}
+
+/// The legacy immutable union-find decoder: a thin shell over
+/// [`UnionFindBatchDecoder`] kept so existing [`crate::Decoder`]-based call
+/// sites compile unchanged. Hot paths should migrate to
+/// [`UnionFindFactory`].
+#[derive(Debug)]
+pub struct UnionFindDecoder<'g> {
+    graph: &'g DecodingGraph,
+    capacities: Arc<UnionFindCapacities>,
+}
+
+impl<'g> UnionFindDecoder<'g> {
+    /// Builds the decoder, quantizing edge weights into growth units.
+    pub fn new(graph: &'g DecodingGraph) -> UnionFindDecoder<'g> {
+        UnionFindDecoder {
+            graph,
+            capacities: Arc::new(UnionFindCapacities::compute(graph)),
+        }
+    }
+
+    /// The underlying graph.
+    pub fn graph(&self) -> &DecodingGraph {
+        self.graph
+    }
+}
+
+#[allow(deprecated)]
+impl crate::Decoder for UnionFindDecoder<'_> {
+    fn decode(&self, defects: &[usize]) -> bool {
+        UnionFindBatchDecoder::with_capacities(self.graph, Arc::clone(&self.capacities))
+            .decode_syndrome(&Syndrome::new(defects.to_vec()))
+            .flip
     }
 
     fn name(&self) -> &'static str {
@@ -269,7 +422,7 @@ impl Decoder for UnionFindDecoder<'_> {
 mod tests {
     use super::*;
     use crate::dem::build_dem;
-    use crate::mwpm::MwpmDecoder;
+    use crate::mwpm::MwpmBatchDecoder;
     use qec_core::circuit::DetectorBasis;
     use qec_core::NoiseParams;
     use surface_code::{MemoryExperiment, RotatedCode};
@@ -285,8 +438,11 @@ mod tests {
     #[test]
     fn empty_defects() {
         let (graph, _) = setup(3, 2);
-        let decoder = UnionFindDecoder::new(&graph);
-        assert!(!decoder.decode(&[]));
+        let factory = UnionFindFactory::new(&graph);
+        let mut decoder = factory.build();
+        let outcome = decoder.decode_syndrome(&Syndrome::default());
+        assert!(!outcome.flip);
+        assert_eq!(outcome.weight, 0.0);
     }
 
     #[test]
@@ -298,25 +454,27 @@ mod tests {
         // gap versus MWPM is expected and quantified separately.
         for (d, rounds) in [(3usize, 2usize), (5, 3)] {
             let (graph, dem) = setup(d, rounds);
-            let decoder = UnionFindDecoder::new(&graph);
+            let mut decoder = UnionFindBatchDecoder::new(&graph);
             let mut hyper_total = 0;
             let mut hyper_ok = 0;
+            let mut syndrome = Syndrome::default();
             for mech in &dem.mechanisms {
-                let defects: Vec<usize> = mech
-                    .detectors
-                    .iter()
-                    .filter_map(|&det| graph.node_of_detector(det))
-                    .collect();
-                match defects.len() {
+                syndrome.clear();
+                syndrome.defects.extend(
+                    mech.detectors
+                        .iter()
+                        .filter_map(|&det| graph.node_of_detector(det)),
+                );
+                match syndrome.len() {
                     0 => {}
                     1 | 2 => assert_eq!(
-                        decoder.decode(&defects),
+                        decoder.decode_syndrome(&syndrome).flip,
                         mech.flips_observable,
                         "UF mis-corrected elementary fault at d={d}: {mech:?}"
                     ),
                     _ => {
                         hyper_total += 1;
-                        if decoder.decode(&defects) == mech.flips_observable {
+                        if decoder.decode_syndrome(&syndrome).flip == mech.flips_observable {
                             hyper_ok += 1;
                         }
                     }
@@ -332,8 +490,8 @@ mod tests {
     #[test]
     fn mostly_agrees_with_mwpm_on_random_syndromes() {
         let (graph, dem) = setup(3, 3);
-        let uf = UnionFindDecoder::new(&graph);
-        let mwpm = MwpmDecoder::new(&graph);
+        let mut uf = UnionFindBatchDecoder::new(&graph);
+        let mut mwpm = MwpmBatchDecoder::new(&graph);
         let mut rng = qec_core::Rng::new(77);
         let mut agree = 0;
         let trials = 300;
@@ -351,9 +509,9 @@ mod tests {
                 }
                 expected ^= mech.flips_observable;
             }
-            let defects: Vec<usize> = (0..graph.num_nodes()).filter(|&v| events[v]).collect();
-            let a = uf.decode(&defects);
-            let b = mwpm.decode(&defects);
+            let syndrome = Syndrome::new((0..graph.num_nodes()).filter(|&v| events[v]).collect());
+            let a = uf.decode_syndrome(&syndrome).flip;
+            let b = mwpm.decode_syndrome(&syndrome).flip;
             if a == b {
                 agree += 1;
             }
@@ -371,7 +529,8 @@ mod tests {
     #[test]
     fn capacities_positive() {
         let (graph, _) = setup(3, 2);
-        let decoder = UnionFindDecoder::new(&graph);
-        assert!(decoder.capacity.iter().all(|&c| c >= 1));
+        let capacities = UnionFindCapacities::compute(&graph);
+        assert_eq!(capacities.as_slice().len(), graph.edges().len());
+        assert!(capacities.as_slice().iter().all(|&c| c >= 1));
     }
 }

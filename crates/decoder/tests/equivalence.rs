@@ -1,0 +1,182 @@
+//! Equivalence + determinism suite for the stateful decoder API.
+//!
+//! For all three decoders (MWPM, union-find, greedy) and fixed seeds, these
+//! tests assert the chain of identities the redesign promises:
+//!
+//! `decode_batch` ≡ sequential `decode_syndrome` ≡ legacy `Decoder::decode`,
+//!
+//! plus determinism across repeated calls on a reused instance (stale
+//! scratch must never leak between shots) and single-construction sharing of
+//! the expensive precomputation.
+
+use qec_core::circuit::DetectorBasis;
+use qec_core::{NoiseParams, Rng};
+use qec_decoder::{
+    build_dem, DecodeOutcome, DecoderFactory, DecodingGraph, DetectorErrorModel, GreedyDecoder,
+    GreedyFactory, MwpmDecoder, MwpmFactory, Syndrome, UnionFindDecoder, UnionFindFactory,
+};
+use std::sync::Arc;
+use surface_code::{MemoryExperiment, RotatedCode};
+
+fn setup(d: usize, rounds: usize) -> (DecodingGraph, DetectorErrorModel) {
+    let exp = MemoryExperiment::new(RotatedCode::new(d), NoiseParams::standard(1e-3), rounds);
+    let detectors = exp.detectors();
+    let dem = build_dem(&exp.base_circuit(), &detectors, &exp.observable_keys());
+    let graph = DecodingGraph::from_dem(&dem, &detectors, DetectorBasis::Z);
+    (graph, dem)
+}
+
+/// Random multi-fault syndromes: XOR of 1–5 mechanism signatures each,
+/// deterministic in `seed`.
+fn random_syndromes(
+    graph: &DecodingGraph,
+    dem: &DetectorErrorModel,
+    n: usize,
+    seed: u64,
+) -> Vec<Syndrome> {
+    let mut rng = Rng::new(seed);
+    let mut syndromes = Vec::with_capacity(n);
+    for _ in 0..n {
+        let mut events = vec![false; graph.num_nodes()];
+        for _ in 0..(1 + rng.below(5)) {
+            let mech = &dem.mechanisms[rng.below(dem.mechanisms.len() as u64) as usize];
+            for &det in &mech.detectors {
+                if let Some(node) = graph.node_of_detector(det) {
+                    events[node] ^= true;
+                }
+            }
+        }
+        syndromes.push(Syndrome::new(
+            (0..graph.num_nodes()).filter(|&v| events[v]).collect(),
+        ));
+    }
+    syndromes
+}
+
+/// Flip/weight/defects must agree; `nanos` is wall-clock and excluded.
+fn same_prediction(a: &DecodeOutcome, b: &DecodeOutcome) -> bool {
+    a.flip == b.flip && a.weight == b.weight && a.defects == b.defects
+}
+
+#[allow(deprecated)]
+fn check_equivalence(
+    factory: &dyn DecoderFactory,
+    legacy: &dyn qec_decoder::Decoder,
+    syndromes: &[Syndrome],
+) {
+    assert_eq!(factory.name(), legacy.name());
+    // Batch pass on one instance.
+    let mut batch_decoder = factory.build();
+    let mut batch = Vec::new();
+    batch_decoder.decode_batch(syndromes, &mut batch);
+    assert_eq!(batch.len(), syndromes.len());
+
+    // Sequential pass on a *fresh* instance: per-shot must equal batch.
+    let mut seq_decoder = factory.build();
+    for (syndrome, batched) in syndromes.iter().zip(&batch) {
+        let sequential = seq_decoder.decode_syndrome(syndrome);
+        assert!(
+            same_prediction(&sequential, batched),
+            "[{}] decode_batch != decode_syndrome on {:?}: {batched:?} vs {sequential:?}",
+            factory.name(),
+            syndrome.defects,
+        );
+        assert_eq!(batched.defects, syndrome.len());
+        assert!(batched.weight >= 0.0);
+        // Legacy adapter must predict the same flip.
+        assert_eq!(
+            legacy.decode(&syndrome.defects),
+            batched.flip,
+            "[{}] legacy Decoder::decode disagrees on {:?}",
+            factory.name(),
+            syndrome.defects,
+        );
+    }
+
+    // Determinism: a second batch pass on the *reused* instance (warm
+    // scratch) must reproduce the first bit-for-bit.
+    let mut again = Vec::new();
+    batch_decoder.decode_batch(syndromes, &mut again);
+    for (first, second) in batch.iter().zip(&again) {
+        assert!(
+            same_prediction(first, second),
+            "[{}] warm-scratch rerun diverged: {first:?} vs {second:?}",
+            factory.name(),
+        );
+    }
+}
+
+#[test]
+fn all_decoders_batch_sequential_and_legacy_agree() {
+    for (d, rounds, seed) in [(3usize, 3usize, 42u64), (5, 3, 1337)] {
+        let (graph, dem) = setup(d, rounds);
+        let syndromes = random_syndromes(&graph, &dem, 120, seed);
+
+        let mwpm = MwpmFactory::new(&graph);
+        check_equivalence(&mwpm, &MwpmDecoder::new(&graph), &syndromes);
+
+        let uf = UnionFindFactory::new(&graph);
+        check_equivalence(&uf, &UnionFindDecoder::new(&graph), &syndromes);
+
+        let greedy = GreedyFactory::with_paths(&graph, Arc::clone(mwpm.paths()));
+        check_equivalence(&greedy, &GreedyDecoder::new(&graph), &syndromes);
+    }
+}
+
+#[test]
+fn factory_precomputation_is_shared_not_recomputed() {
+    let (graph, _) = setup(3, 3);
+    let factory = MwpmFactory::new(&graph);
+    let before = Arc::strong_count(factory.paths());
+    let _a = factory.build();
+    let _b = factory.build();
+    let _c = factory.build();
+    // Every instance clones the Arc instead of recomputing the O(n²) table.
+    assert_eq!(Arc::strong_count(factory.paths()), before + 3);
+
+    let uf = UnionFindFactory::new(&graph);
+    let before = Arc::strong_count(uf.capacities());
+    let _d = uf.build();
+    let _e = uf.build();
+    assert_eq!(Arc::strong_count(uf.capacities()), before + 2);
+}
+
+#[test]
+fn per_thread_instances_decode_identically() {
+    let (graph, dem) = setup(3, 3);
+    let syndromes = random_syndromes(&graph, &dem, 60, 7);
+    let factory = MwpmFactory::new(&graph);
+    let flips: Vec<Vec<bool>> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..4)
+            .map(|_| {
+                let factory = &factory;
+                let syndromes = &syndromes;
+                scope.spawn(move || {
+                    let mut decoder = factory.build();
+                    let mut out = Vec::new();
+                    decoder.decode_batch(syndromes, &mut out);
+                    out.iter().map(|o| o.flip).collect::<Vec<bool>>()
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("worker panicked"))
+            .collect()
+    });
+    for other in &flips[1..] {
+        assert_eq!(&flips[0], other, "thread-local instances diverged");
+    }
+}
+
+#[test]
+fn batch_output_vector_is_reused() {
+    let (graph, dem) = setup(3, 2);
+    let syndromes = random_syndromes(&graph, &dem, 10, 3);
+    let factory = UnionFindFactory::new(&graph);
+    let mut decoder = factory.build();
+    // Pre-populated and over-sized output must be cleared, not appended to.
+    let mut out = vec![DecodeOutcome::default(); 500];
+    decoder.decode_batch(&syndromes, &mut out);
+    assert_eq!(out.len(), syndromes.len());
+}

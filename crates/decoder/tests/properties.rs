@@ -4,7 +4,9 @@
 use proptest::prelude::*;
 use qec_core::circuit::DetectorBasis;
 use qec_core::NoiseParams;
-use qec_decoder::{build_dem, max_weight_matching, Decoder, DecodingGraph, MwpmDecoder};
+use qec_decoder::{
+    build_dem, max_weight_matching, DecodingGraph, MwpmBatchDecoder, Syndrome, SyndromeDecoder,
+};
 use surface_code::{MemoryExperiment, RotatedCode};
 
 /// Exhaustive matcher maximizing (cardinality, weight) or plain weight.
@@ -111,7 +113,7 @@ proptest! {
         let detectors = exp.detectors();
         let dem = build_dem(&exp.base_circuit(), &detectors, &exp.observable_keys());
         let graph = DecodingGraph::from_dem(&dem, &detectors, DetectorBasis::Z);
-        let decoder = MwpmDecoder::new(&graph);
+        let mut decoder = MwpmBatchDecoder::new(&graph);
         let a = i.get(&dem.mechanisms);
         let b = j.get(&dem.mechanisms);
         let mut events = vec![false; graph.num_nodes()];
@@ -122,10 +124,11 @@ proptest! {
                 }
             }
         }
-        let defects: Vec<usize> = (0..graph.num_nodes()).filter(|&n| events[n]).collect();
-        let first = decoder.decode(&defects);
-        let second = decoder.decode(&defects);
+        let syndrome =
+            Syndrome::new((0..graph.num_nodes()).filter(|&n| events[n]).collect());
+        let first = decoder.decode_syndrome(&syndrome).flip;
+        let second = decoder.decode_syndrome(&syndrome).flip;
         prop_assert_eq!(first, second, "decoding must be deterministic");
-        prop_assert!(!decoder.decode(&[]));
+        prop_assert!(!decoder.decode_syndrome(&Syndrome::default()).flip);
     }
 }

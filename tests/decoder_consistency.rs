@@ -4,7 +4,9 @@
 use eraser_repro::eraser_core::{DecoderKind, Experiment, PolicyKind};
 use eraser_repro::qec_core::circuit::DetectorBasis;
 use eraser_repro::qec_core::NoiseParams;
-use eraser_repro::qec_decoder::{build_dem, Decoder, DecodingGraph, MwpmDecoder, UnionFindDecoder};
+use eraser_repro::qec_decoder::{
+    build_dem, DecoderFactory, DecodingGraph, MwpmFactory, Syndrome, UnionFindFactory,
+};
 use eraser_repro::surface_code::{MemoryExperiment, RotatedCode};
 
 fn pauli_only(d: usize, rounds: usize) -> Experiment {
@@ -59,12 +61,15 @@ fn decoders_agree_on_most_sampled_syndromes() {
     let detectors = exp.detectors();
     let dem = build_dem(&exp.base_circuit(), &detectors, &exp.observable_keys());
     let graph = DecodingGraph::from_dem(&dem, &detectors, DetectorBasis::Z);
-    let mwpm = MwpmDecoder::new(&graph);
-    let uf = UnionFindDecoder::new(&graph);
+    let mwpm_factory = MwpmFactory::new(&graph);
+    let uf_factory = UnionFindFactory::new(&graph);
+    let mut mwpm = mwpm_factory.build();
+    let mut uf = uf_factory.build();
 
     let mut rng = eraser_repro::qec_core::Rng::new(2718);
     let mut agree = 0;
     let trials = 200;
+    let mut syndrome = Syndrome::default();
     for _ in 0..trials {
         let mut events = vec![false; graph.num_nodes()];
         for _ in 0..(1 + rng.below(3)) {
@@ -75,8 +80,11 @@ fn decoders_agree_on_most_sampled_syndromes() {
                 }
             }
         }
-        let defects: Vec<usize> = (0..graph.num_nodes()).filter(|&n| events[n]).collect();
-        if mwpm.decode(&defects) == uf.decode(&defects) {
+        syndrome.clear();
+        syndrome
+            .defects
+            .extend((0..graph.num_nodes()).filter(|&n| events[n]));
+        if mwpm.decode_syndrome(&syndrome).flip == uf.decode_syndrome(&syndrome).flip {
             agree += 1;
         }
     }
@@ -88,15 +96,19 @@ fn decoders_agree_on_most_sampled_syndromes() {
 
 #[test]
 fn auto_decoder_picks_mwpm_for_small_graphs() {
-    let result = Experiment::builder()
+    let exp = Experiment::builder()
         .distance(3)
         .rounds(2)
         .shots(10)
         .seed(1)
         .build()
-        .expect("valid experiment")
-        .run();
+        .expect("valid experiment");
+    // The facade resolves Auto through the same single-source rule the
+    // runtime applies, so prediction and run report must agree.
+    assert_eq!(exp.resolved_decoder(), DecoderKind::Mwpm);
+    let result = exp.run();
     assert_eq!(result.decoder, "mwpm");
+    assert_eq!(result.decoder, exp.resolved_decoder().to_string());
 }
 
 #[test]
