@@ -3,7 +3,8 @@
 //! precomputation amortization, and raw blossom throughput.
 //!
 //! Baseline numbers are recorded to `results/BENCH_decoders.json` via
-//! `ERASER_BENCH_JSON=results/BENCH_decoders.json cargo bench -p eraser-bench --bench decoders`.
+//! `ERASER_BENCH_JSON=$PWD/results/BENCH_decoders.json cargo bench -p eraser-bench --bench decoders`
+//! (absolute path: cargo runs benches from the package directory).
 
 use eraser_bench::{decode_fixture, Harness};
 use eraser_core::DecoderKind;
@@ -74,6 +75,48 @@ fn main() {
                 &format!("decode_batch_32/d5_r10/{}", factory.name()),
                 || {
                     decoder.decode_batch(black_box(&syndromes), &mut outcomes);
+                    outcomes.iter().filter(|o| o.flip).count()
+                },
+            );
+        }
+
+        // The same 32-shot batch through the erasure `WeightOverlay`: a
+        // quarter of the shots carry the erasure set a leakage flag
+        // produces (edges around 1–2 detector nodes). The gap versus the
+        // plain `decode_batch_32` case is the overlay's total overhead
+        // (budget: ≤10% on MWPM); the steady-state loop stays
+        // allocation-free (asserted by `crates/decoder/tests/alloc.rs`).
+        let mut rng = qec_core::Rng::new(0xE4A5);
+        let erasure_syndromes: Vec<Syndrome> = syndromes
+            .iter()
+            .enumerate()
+            .map(|(i, s)| {
+                let mut syndrome = s.clone();
+                if i % 4 == 0 {
+                    for _ in 0..1 + i % 2 {
+                        let node = rng.below(fixture.graph.num_nodes() as u64) as usize;
+                        syndrome
+                            .erasures
+                            .extend_from_slice(fixture.graph.incident(node));
+                    }
+                    syndrome.erasures.sort_unstable();
+                    syndrome.erasures.dedup();
+                }
+                syndrome
+            })
+            .collect();
+        for kind in [
+            DecoderKind::Mwpm,
+            DecoderKind::UnionFind,
+            DecoderKind::Greedy,
+        ] {
+            let factory = kind.build_factory(&fixture.graph);
+            let mut decoder = factory.build();
+            let mut outcomes = Vec::new();
+            h.bench(
+                &format!("decode_batch_32_erasure/d5_r10/{}", factory.name()),
+                || {
+                    decoder.decode_batch(black_box(&erasure_syndromes), &mut outcomes);
                     outcomes.iter().filter(|o| o.flip).count()
                 },
             );

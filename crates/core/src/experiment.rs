@@ -42,7 +42,9 @@ use std::sync::Arc;
 use crate::policy::{
     AlwaysLrcPolicy, EraserOptions, EraserPolicy, LrcPolicy, NoLrcPolicy, OptimalPolicy,
 };
-use crate::runtime::{DecoderKind, LrcProtocol, MemoryRunResult, MemoryRunner, RunConfig};
+use crate::runtime::{
+    DecoderKind, ErasureDetection, LrcProtocol, MemoryRunResult, MemoryRunner, RunConfig,
+};
 use qec_core::{NoiseParams, TransportModel};
 use surface_code::{MemoryBasis, RotatedCode};
 
@@ -72,6 +74,9 @@ pub enum ExperimentError {
     InvalidErrorRate(f64),
     /// A sweep axis (distances, error rates, or policies) was empty.
     EmptyGridAxis(&'static str),
+    /// An erasure-detection false-positive/negative rate was outside [0, 1]
+    /// or non-finite.
+    InvalidDetectionRate(f64),
     /// `PolicyKind::from_str` did not recognize the name.
     UnknownPolicy(String),
     /// `DecoderKind::from_str` did not recognize the name.
@@ -99,6 +104,12 @@ impl fmt::Display for ExperimentError {
             ExperimentError::EmptyGridAxis(axis) => {
                 write!(f, "sweep axis `{axis}` must not be empty")
             }
+            ExperimentError::InvalidDetectionRate(p) => {
+                write!(
+                    f,
+                    "erasure-detection rate must be finite and within [0, 1], got {p}"
+                )
+            }
             ExperimentError::UnknownPolicy(s) => write!(f, "unknown policy `{s}`"),
             ExperimentError::UnknownDecoder(s) => write!(f, "unknown decoder `{s}`"),
         }
@@ -125,6 +136,17 @@ fn validate_shots(shots: u64) -> Result<(), ExperimentError> {
     } else {
         Ok(())
     }
+}
+
+/// Erasure-detection FP/FN rates are probabilities (shared by both
+/// builders).
+fn validate_erasure(erasure: &ErasureDetection) -> Result<(), ExperimentError> {
+    for rate in [erasure.false_positive, erasure.false_negative] {
+        if !rate.is_finite() || !(0.0..=1.0).contains(&rate) {
+            return Err(ExperimentError::InvalidDetectionRate(rate));
+        }
+    }
+    Ok(())
 }
 
 // ---------------------------------------------------------------------------
@@ -423,6 +445,13 @@ impl Experiment {
         self.config.protocol = protocol;
     }
 
+    /// Toggles leakage-aware (erasure) decoding without rebuilding the
+    /// runner: the cheap way to compare leakage-blind and erasure-aware
+    /// decoding on identical physical shots.
+    pub fn set_leakage_aware(&mut self, enabled: bool) {
+        self.config.erasure.enabled = enabled;
+    }
+
     /// Runs the experiment under the configured policy.
     pub fn run(&self) -> MemoryRunResult {
         self.run_policy(&self.policy)
@@ -450,6 +479,7 @@ pub struct ExperimentBuilder {
     decoder: DecoderKind,
     protocol: LrcProtocol,
     decode: bool,
+    erasure: ErasureDetection,
 }
 
 impl Default for ExperimentBuilder {
@@ -467,6 +497,7 @@ impl Default for ExperimentBuilder {
             decoder: config.decoder,
             protocol: config.protocol,
             decode: config.decode,
+            erasure: config.erasure,
         }
     }
 }
@@ -550,12 +581,31 @@ impl ExperimentBuilder {
         self
     }
 
+    /// Leakage-aware (erasure) decoding: thread the policy's per-round
+    /// leakage-detection flags into the decoder as dynamically reweighted
+    /// (erased) edges. Default off — the paper's leakage-blind decoder.
+    pub fn leakage_aware_decoding(mut self, enabled: bool) -> Self {
+        self.erasure.enabled = enabled;
+        self
+    }
+
+    /// Imperfect-erasure-check rates (Chang et al. 2024): the probability a
+    /// clean qubit is spuriously flagged per round, and the probability a
+    /// real flag is dropped. Implies nothing about `leakage_aware_decoding`;
+    /// rates are validated at build time.
+    pub fn erasure_detection(mut self, false_positive: f64, false_negative: f64) -> Self {
+        self.erasure.false_positive = false_positive;
+        self.erasure.false_negative = false_negative;
+        self
+    }
+
     fn validated(&self) -> Result<(usize, usize), ExperimentError> {
         let d = self.distance.ok_or(ExperimentError::MissingDistance)?;
         validate_distance(d)?;
         let spec = self.rounds.ok_or(ExperimentError::MissingRounds)?;
         spec.validate()?;
         validate_shots(self.shots)?;
+        validate_erasure(&self.erasure)?;
         Ok((d, spec.resolve(d)))
     }
 
@@ -573,6 +623,7 @@ impl ExperimentBuilder {
                 decoder: self.decoder,
                 protocol: self.protocol,
                 decode: self.decode,
+                erasure: self.erasure,
             },
             policy: self.policy,
         })
@@ -686,6 +737,7 @@ pub struct Sweep {
     decoder: DecoderKind,
     protocol: LrcProtocol,
     decode: bool,
+    erasure: ErasureDetection,
 }
 
 impl Sweep {
@@ -713,9 +765,9 @@ impl Sweep {
     /// Executes the whole grid, streaming each completed point to `sink`.
     ///
     /// Runner construction is cached per (distance, rounds, basis, noise)
-    /// key, and the worker-thread partitioning is resolved once up front so
-    /// every point uses the same split (keeping results reproducible across
-    /// grids of any shape).
+    /// key, and the worker-thread partitioning is resolved once up front.
+    /// (Results are bit-identical for any thread count — shots own their RNG
+    /// streams — so the resolution only pins wall-clock behaviour.)
     pub fn for_each(&self, mut sink: impl FnMut(SweepPoint)) {
         let mut config = RunConfig {
             shots: self.shots,
@@ -724,6 +776,7 @@ impl Sweep {
             decoder: self.decoder,
             protocol: self.protocol,
             decode: self.decode,
+            erasure: self.erasure,
         };
         config.threads = config.resolved_threads();
         let mut runners: HashMap<RunnerKey, MemoryRunner> = HashMap::new();
@@ -771,6 +824,7 @@ pub struct SweepBuilder {
     decoder: DecoderKind,
     protocol: LrcProtocol,
     decode: bool,
+    erasure: ErasureDetection,
 }
 
 impl Default for SweepBuilder {
@@ -789,6 +843,7 @@ impl Default for SweepBuilder {
             decoder: config.decoder,
             protocol: config.protocol,
             decode: config.decode,
+            erasure: config.erasure,
         }
     }
 }
@@ -884,6 +939,20 @@ impl SweepBuilder {
         self
     }
 
+    /// Leakage-aware (erasure) decoding for every grid point (default off).
+    pub fn leakage_aware_decoding(mut self, enabled: bool) -> Self {
+        self.erasure.enabled = enabled;
+        self
+    }
+
+    /// Imperfect-erasure-check FP/FN rates for every grid point (validated
+    /// at build time).
+    pub fn erasure_detection(mut self, false_positive: f64, false_negative: f64) -> Self {
+        self.erasure.false_positive = false_positive;
+        self.erasure.false_negative = false_negative;
+        self
+    }
+
     /// Validates the grid and run parameters.
     pub fn build(self) -> Result<Sweep, ExperimentError> {
         if self.distances.is_empty() {
@@ -906,6 +975,7 @@ impl SweepBuilder {
         let rounds = self.rounds.ok_or(ExperimentError::MissingRounds)?;
         rounds.validate()?;
         validate_shots(self.shots)?;
+        validate_erasure(&self.erasure)?;
         Ok(Sweep {
             distances: self.distances,
             error_rates: self.error_rates,
@@ -919,6 +989,7 @@ impl SweepBuilder {
             decoder: self.decoder,
             protocol: self.protocol,
             decode: self.decode,
+            erasure: self.erasure,
         })
     }
 }
@@ -965,6 +1036,37 @@ mod tests {
             base().shots(0).build().unwrap_err(),
             ExperimentError::ZeroShots
         );
+        assert_eq!(
+            base().erasure_detection(1.5, 0.0).build().unwrap_err(),
+            ExperimentError::InvalidDetectionRate(1.5)
+        );
+        assert!(matches!(
+            base().erasure_detection(0.0, f64::NAN).build(),
+            Err(ExperimentError::InvalidDetectionRate(_))
+        ));
+    }
+
+    #[test]
+    fn leakage_aware_knob_reaches_the_runtime() {
+        let mut exp = base()
+            .shots(60)
+            .noise(NoiseParams::standard(5e-3))
+            .rounds(6)
+            .policy(PolicyKind::eraser_m())
+            .leakage_aware_decoding(true)
+            .erasure_detection(0.0, 0.1)
+            .build()
+            .unwrap();
+        assert!(exp.config().erasure.enabled);
+        assert_eq!(exp.config().erasure.false_negative, 0.1);
+        let aware = exp.run();
+        assert!(aware.total_erasures > 0, "erasure flags must be collected");
+        exp.set_leakage_aware(false);
+        let blind = exp.run();
+        assert_eq!(blind.total_erasures, 0);
+        // The physical shots are shared: only the decoding changed.
+        assert_eq!(blind.total_lrcs, aware.total_lrcs);
+        assert_eq!(blind.speculation, aware.speculation);
     }
 
     #[test]

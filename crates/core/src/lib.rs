@@ -72,11 +72,13 @@ pub use experiment::{
     SweepBuilder, SweepPoint,
 };
 pub use policy::{
-    AlwaysLrcPolicy, EraserOptions, EraserPolicy, LrcPolicy, NoLrcPolicy, OptimalPolicy,
-    RoundContext,
+    AlwaysLrcPolicy, EraserOptions, EraserPolicy, LeakageDetections, LrcPolicy, NoLrcPolicy,
+    OptimalPolicy, RoundContext,
 };
 pub use resource::{FpgaPart, ResourceEstimate};
-pub use runtime::{DecoderKind, LrcProtocol, MemoryRunResult, PostSelection, SpeculationStats};
+pub use runtime::{
+    DecoderKind, ErasureDetection, LrcProtocol, MemoryRunResult, PostSelection, SpeculationStats,
+};
 pub use swap_table::SwapLookupTable;
 
 #[deprecated(

@@ -36,6 +36,32 @@ pub struct RoundContext<'a> {
     pub last_lrcs: &'a [LrcAssignment],
 }
 
+/// Per-round leakage-detection outcomes a policy exposes to the decoder —
+/// the read path of erasure-aware decoding (ERASER's detection flags become
+/// heralded-erasure information, per Gu/Retzker/Kubica 2023 and Chang et
+/// al. 2024).
+///
+/// The flags are the policy's *belief* at planning time, not ground truth:
+/// speculation already has false positives and negatives, and the runtime
+/// can layer additional imperfect-erasure-check noise on top (configurable
+/// FP/FN rates in `ErasureDetection`).
+#[derive(Debug, Clone, Copy)]
+pub struct LeakageDetections<'a> {
+    /// Per data qubit: believed leaked while the upcoming round executes
+    /// (heralds the qubit's checks' time-like edges — a leaked qubit kicks
+    /// random Paulis onto its CNOT partners, randomizing their readouts).
+    pub data: &'a [bool],
+    /// Per data qubit: leakage was just *removed* — the previous round's LRC
+    /// (or seepage, for the oracle) returned the qubit to the computational
+    /// basis in an effectively random state. Heralds the qubit's own
+    /// data-error (space-like) edge around the return round, plus the
+    /// time-like edges of the preceding leaked window.
+    pub data_returned: &'a [bool],
+    /// Per parity qubit (stabilizer index): the previous round's readout was
+    /// classified |L⟩ (only ever true under multi-level readout).
+    pub parity: &'a [bool],
+}
+
 /// An LRC scheduling policy. Implementations are stateful per shot; the
 /// runtime calls [`LrcPolicy::reset_shot`] between shots.
 pub trait LrcPolicy {
@@ -51,6 +77,14 @@ pub trait LrcPolicy {
     /// Whether this policy requires multi-level readout (ERASER+M).
     fn uses_multilevel(&self) -> bool {
         false
+    }
+
+    /// Read path for erasure-aware decoding: the leakage flags this policy
+    /// holds after the latest [`LrcPolicy::plan_round`] call. Policies
+    /// without a detection mechanism (the static baselines) return `None`
+    /// and leave the decoder leakage-blind.
+    fn leakage_detections(&self) -> Option<LeakageDetections<'_>> {
+        None
     }
 }
 
@@ -166,6 +200,17 @@ impl LrcPolicy for AlwaysLrcPolicy {
 #[derive(Debug, Clone)]
 pub struct OptimalPolicy {
     table: SwapLookupTable,
+    /// Oracle leakage flags at the latest planning time (the read path: this
+    /// policy's "detector" is perfect, so erasure-aware decoding under it
+    /// upper-bounds what any real detector enables).
+    detected_data: Vec<bool>,
+    /// Qubits leaked at the previous planning time but clean now — the
+    /// oracle's exact "leakage just removed" herald.
+    detected_return: Vec<bool>,
+    /// Constantly `false`: [`RoundContext`] carries no parity-qubit ground
+    /// truth (the oracle models an idealized *data* scheduler). Sized for
+    /// the runtime's imperfect-check false-positive synthesis.
+    detected_parity: Vec<bool>,
 }
 
 impl OptimalPolicy {
@@ -173,6 +218,9 @@ impl OptimalPolicy {
     pub fn new(code: &RotatedCode) -> OptimalPolicy {
         OptimalPolicy {
             table: SwapLookupTable::new(code),
+            detected_data: vec![false; code.num_data()],
+            detected_return: vec![false; code.num_data()],
+            detected_parity: vec![false; code.num_stabs()],
         }
     }
 }
@@ -182,9 +230,16 @@ impl LrcPolicy for OptimalPolicy {
         "optimal"
     }
 
-    fn reset_shot(&mut self) {}
+    fn reset_shot(&mut self) {
+        self.detected_data.fill(false);
+        self.detected_return.fill(false);
+    }
 
     fn plan_round(&mut self, ctx: &RoundContext<'_>) -> Vec<LrcAssignment> {
+        for (q, &leaked) in ctx.oracle_leaked_data.iter().enumerate() {
+            self.detected_return[q] = self.detected_data[q] && !leaked;
+            self.detected_data[q] = leaked;
+        }
         let mut used = vec![false; ctx.events.len()];
         for lrc in ctx.last_lrcs {
             used[lrc.stab] = true;
@@ -206,6 +261,14 @@ impl LrcPolicy for OptimalPolicy {
         }
         plan
     }
+
+    fn leakage_detections(&self) -> Option<LeakageDetections<'_>> {
+        Some(LeakageDetections {
+            data: &self.detected_data,
+            data_returned: &self.detected_return,
+            parity: &self.detected_parity,
+        })
+    }
 }
 
 /// ERASER (§4.2–§4.4): the Leakage Speculation Block with its Leakage
@@ -226,6 +289,21 @@ pub struct EraserPolicy {
     table: SwapLookupTable,
     /// Leakage Tracking Table: one bit per data qubit.
     ltt: Vec<bool>,
+    /// Data-qubit channel of the read path. Constantly `false` under both
+    /// readout modes — two-level ERASER has no erasure-grade data herald
+    /// (see the read-path comment in `plan_round`), and ERASER+M's data
+    /// information arrives through [`EraserPolicy::detected_return`] — but
+    /// kept at full size so the runtime's imperfect-check model can
+    /// synthesize false positives over it.
+    detected_data: Vec<bool>,
+    /// Data qubits whose LRC *confirmed* leakage: serviced in the previous
+    /// round and showing the post-LRC return transient now. A false flag's
+    /// LRC is transparent (the SWAP preserves an unleaked state), so this
+    /// signal is far more precise than speculation itself.
+    detected_return: Vec<bool>,
+    /// Parity qubits whose previous readout was classified |L⟩ (multilevel
+    /// only) — the erasure read path.
+    detected_parity: Vec<bool>,
     multilevel: bool,
     options: EraserOptions,
 }
@@ -263,6 +341,9 @@ impl EraserPolicy {
         EraserPolicy {
             table: SwapLookupTable::new(code),
             ltt: vec![false; code.num_data()],
+            detected_data: vec![false; code.num_data()],
+            detected_return: vec![false; code.num_data()],
+            detected_parity: vec![false; code.num_stabs()],
             code: code.clone(),
             multilevel: false,
             options: EraserOptions::default(),
@@ -328,6 +409,9 @@ impl LrcPolicy for EraserPolicy {
 
     fn reset_shot(&mut self) {
         self.ltt.fill(false);
+        self.detected_data.fill(false);
+        self.detected_return.fill(false);
+        self.detected_parity.fill(false);
     }
 
     fn plan_round(&mut self, ctx: &RoundContext<'_>) -> Vec<LrcAssignment> {
@@ -349,6 +433,17 @@ impl LrcPolicy for EraserPolicy {
                 self.ltt[q] = true;
             }
         }
+        // --- Erasure read path -------------------------------------------
+        // Two-level readout provides no erasure-grade herald: the LSB's
+        // speculative flags are precise enough to schedule cheap LRCs but
+        // not to reweight the decoder (measured: feeding them in *raises*
+        // the LER — the dominant false-positive trigger is an ordinary data
+        // error, i.e. a real defect pair). Only multi-level |L⟩ labels —
+        // genuine erasure checks in the sense of Chang et al. — flow to the
+        // decoder.
+        self.detected_data.fill(false);
+        self.detected_return.fill(false);
+        self.detected_parity.fill(false);
         if self.multilevel {
             // ERASER+M: a parity qubit read out as |L⟩ has likely transported
             // leakage to its data neighbours; speculate all of them (§4.6.1).
@@ -360,6 +455,14 @@ impl LrcPolicy for EraserPolicy {
                     if !had_lrc[q] {
                         self.ltt[q] = true;
                     }
+                }
+                // Read path: an |L⟩ label on a stabilizer that served an LRC
+                // is the *data* qubit's readout (§4.6.2) — a hardware-
+                // confirmed "this qubit was leaked and has just been
+                // removed". Otherwise the parity qubit itself read out |L⟩.
+                match ctx.last_lrcs.iter().find(|lrc| lrc.stab == s) {
+                    Some(lrc) => self.detected_return[lrc.data] = true,
+                    None => self.detected_parity[s] = true,
                 }
             }
         }
@@ -399,6 +502,14 @@ impl LrcPolicy for EraserPolicy {
 
     fn uses_multilevel(&self) -> bool {
         self.multilevel
+    }
+
+    fn leakage_detections(&self) -> Option<LeakageDetections<'_>> {
+        Some(LeakageDetections {
+            data: &self.detected_data,
+            data_returned: &self.detected_return,
+            parity: &self.detected_parity,
+        })
     }
 }
 
@@ -743,6 +854,66 @@ mod tests {
         let plan = no_backup.plan_round(&ctx(1, &ev, &lab, &orc, &[]));
         assert!(!plan.iter().any(|l| l.data == q));
         assert!(no_backup.ltt()[q], "entry parks in the LTT forever");
+    }
+
+    #[test]
+    fn leakage_detections_read_path() {
+        let code = RotatedCode::new(3);
+        // Two-level ERASER exposes the read path but certifies nothing: its
+        // speculative flags are not erasure-grade (see the module docs).
+        let (mut ev, lab, orc) = quiet(&code);
+        let q = code.data_qubit(1, 1);
+        let adj = code.adjacent_stabs(q);
+        ev[adj[0]] = true;
+        ev[adj[1]] = true;
+        let mut p = EraserPolicy::new(&code);
+        let plan = p.plan_round(&ctx(1, &ev, &lab, &orc, &[]));
+        assert!(plan.iter().any(|l| l.data == q), "LRC scheduled");
+        let det = p
+            .leakage_detections()
+            .expect("eraser exposes the read path");
+        assert!(det.data.iter().all(|&x| !x), "two-level: no data heralds");
+        assert!(det.parity.iter().all(|&x| !x), "two-level: no |L> labels");
+
+        // ERASER+M: an |L> label on a non-serving stabilizer is a parity
+        // flag; on a serving stabilizer it is the LRC's *data* readout — a
+        // confirmed removed data leak.
+        let (ev2, mut lab2, orc2) = quiet(&code);
+        lab2[3] = true;
+        let mut pm = EraserPolicy::with_multilevel(&code);
+        pm.plan_round(&ctx(1, &ev2, &lab2, &orc2, &[]));
+        let det = pm.leakage_detections().unwrap();
+        assert!(det.parity[3]);
+        assert!(det.data_returned.iter().all(|&x| !x));
+        let serviced = code.stabilizers()[3].support().next().unwrap();
+        let last = [LrcAssignment {
+            data: serviced,
+            stab: 3,
+        }];
+        pm.plan_round(&ctx(2, &ev2, &lab2, &orc2, &last));
+        let det = pm.leakage_detections().unwrap();
+        assert!(!det.parity[3], "serving stab's |L> is the data readout");
+        assert!(det.data_returned[serviced], "confirmed removed data leak");
+        pm.reset_shot();
+        assert!(!pm.leakage_detections().unwrap().data_returned[serviced]);
+
+        // The oracle's detector is the oracle itself, including the
+        // leaked-then-returned transition.
+        let (ev3, lab3, mut orc3) = quiet(&code);
+        orc3[4] = true;
+        let mut opt = OptimalPolicy::new(&code);
+        opt.plan_round(&ctx(1, &ev3, &lab3, &orc3, &[]));
+        assert!(opt.leakage_detections().unwrap().data[4]);
+        assert!(!opt.leakage_detections().unwrap().data_returned[4]);
+        orc3[4] = false;
+        opt.plan_round(&ctx(2, &ev3, &lab3, &orc3, &[]));
+        let det = opt.leakage_detections().unwrap();
+        assert!(!det.data[4]);
+        assert!(det.data_returned[4], "leak removal is heralded");
+
+        // Static baselines expose no detector.
+        assert!(NoLrcPolicy::new().leakage_detections().is_none());
+        assert!(AlwaysLrcPolicy::new(&code).leakage_detections().is_none());
     }
 
     #[test]

@@ -40,7 +40,7 @@
 //! ```
 
 /// The sparse syndrome of one shot: fired detector nodes of one decoding
-/// graph plus round metadata.
+/// graph, an optional erasure set, plus round metadata.
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct Syndrome {
     /// Fired detector nodes, as decoding-graph node ids (see
@@ -50,17 +50,41 @@ pub struct Syndrome {
     /// metadata for streaming/windowed backends, not consumed by the
     /// matching decoders).
     pub rounds: usize,
+    /// Erasure set: decoding-graph **edge indices** whose locations a
+    /// leakage-detection policy flagged as leaked during this shot (see
+    /// [`crate::DecodingGraph::erasure_edges_for`]). The decoders treat
+    /// these edges as near-free via a [`crate::WeightOverlay`]; an empty set
+    /// decodes bit-identically to the erasure-unaware path.
+    pub erasures: Vec<usize>,
 }
 
 impl Syndrome {
-    /// A syndrome from a defect node list (rounds unknown).
+    /// A syndrome from a defect node list (rounds unknown, no erasures).
     pub fn new(defects: Vec<usize>) -> Syndrome {
-        Syndrome { defects, rounds: 0 }
+        Syndrome {
+            defects,
+            rounds: 0,
+            erasures: Vec::new(),
+        }
     }
 
-    /// A syndrome with round metadata.
+    /// A syndrome with round metadata (no erasures).
     pub fn with_rounds(defects: Vec<usize>, rounds: usize) -> Syndrome {
-        Syndrome { defects, rounds }
+        Syndrome {
+            defects,
+            rounds,
+            erasures: Vec::new(),
+        }
+    }
+
+    /// A syndrome carrying an erasure set (decoding-graph edge indices
+    /// flagged by leakage detection).
+    pub fn with_erasures(defects: Vec<usize>, erasures: Vec<usize>) -> Syndrome {
+        Syndrome {
+            defects,
+            rounds: 0,
+            erasures,
+        }
     }
 
     /// Number of defects.
@@ -73,9 +97,11 @@ impl Syndrome {
         self.defects.is_empty()
     }
 
-    /// Clears the defect list, keeping its allocation (hot-loop reuse).
+    /// Clears the defect and erasure lists, keeping their allocations
+    /// (hot-loop reuse). `rounds` is retained.
     pub fn clear(&mut self) {
         self.defects.clear();
+        self.erasures.clear();
     }
 }
 
@@ -162,12 +188,20 @@ mod tests {
         assert_eq!(s.len(), 2);
         assert_eq!(s.rounds, 11);
         assert!(!s.is_empty());
+        assert!(s.erasures.is_empty());
+        s.erasures.push(5);
         let cap = s.defects.capacity();
+        let ecap = s.erasures.capacity();
         s.clear();
         assert!(s.is_empty());
+        assert!(s.erasures.is_empty(), "clear drops the erasure set");
         assert_eq!(s.defects.capacity(), cap, "clear keeps the allocation");
+        assert_eq!(s.erasures.capacity(), ecap, "clear keeps the allocation");
         assert!(Syndrome::default().is_empty());
         assert_eq!(Syndrome::new(vec![1]).rounds, 0);
+        let e = Syndrome::with_erasures(vec![1], vec![4, 9]);
+        assert_eq!(e.erasures, vec![4, 9]);
+        assert_eq!(e.rounds, 0);
     }
 
     #[test]

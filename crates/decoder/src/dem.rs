@@ -17,7 +17,13 @@
 //! persist to the final transversal readout.
 //!
 //! Leakage operations carry no Pauli component and are skipped — the error
-//! model (and hence the decoder) is leakage-blind by design.
+//! model (and hence the decoder) is leakage-blind by design. Every merged
+//! mechanism does, however, record its fault **provenance**
+//! ([`ErrorMechanism::sources`]): the op indices of the contributing noise
+//! sites, which is what lets the runtime translate heralded leakage into
+//! exact erased-edge sets. Tracking it costs a constant factor on model
+//! construction — a once-per-graph price, invisible next to the Monte-Carlo
+//! loop it serves.
 
 use qec_core::{Circuit, DetectorInfo, MeasKey, Op};
 use std::collections::HashMap;
@@ -32,6 +38,12 @@ pub struct ErrorMechanism {
     pub flips_observable: bool,
     /// Merged probability (XOR-combined over contributing fault components).
     pub probability: f64,
+    /// Provenance: the circuit op indices of every noise site that
+    /// contributed a component to this mechanism, sorted and deduplicated.
+    /// This is what lets a runtime translate "qubit X was leaked around op
+    /// position P" into the exact set of heralded mechanisms (erasure
+    /// decoding) instead of a hand-derived approximation.
+    pub sources: Vec<u32>,
 }
 
 /// A circuit-level detector error model.
@@ -137,16 +149,19 @@ pub fn build_dem(
     let nq = circuit.num_qubits();
     let mut sig_x: Vec<Signature> = vec![Signature::default(); nq];
     let mut sig_z: Vec<Signature> = vec![Signature::default(); nq];
-    let mut merged: HashMap<(Vec<u32>, bool), f64> = HashMap::new();
-    let mut record = |sig: Signature, p: f64| {
+    let mut merged: HashMap<(Vec<u32>, bool), (f64, Vec<u32>)> = HashMap::new();
+    let mut record = |sig: Signature, p: f64, source: usize| {
         if sig.is_empty() || p <= 0.0 {
             return;
         }
-        let entry = merged.entry((sig.dets, sig.obs)).or_insert(0.0);
-        *entry = combine_probability(*entry, p);
+        let entry = merged
+            .entry((sig.dets, sig.obs))
+            .or_insert((0.0, Vec::new()));
+        entry.0 = combine_probability(entry.0, p);
+        entry.1.push(source as u32);
     };
 
-    for op in circuit.ops().iter().rev() {
+    for (op_idx, op) in circuit.ops().iter().enumerate().rev() {
         match *op {
             Op::Measure { qubit, key } => {
                 // An X error before MZ flips the outcome (and persists, which
@@ -170,13 +185,17 @@ pub fn build_dem(
             Op::Depolarize1 { qubit, p } => {
                 if p > 0.0 {
                     let share = p / 3.0;
-                    record(sig_x[qubit].clone(), share);
-                    record(sig_z[qubit].clone(), share);
-                    record(Signature::xor_of(&sig_x[qubit], &sig_z[qubit]), share);
+                    record(sig_x[qubit].clone(), share, op_idx);
+                    record(sig_z[qubit].clone(), share, op_idx);
+                    record(
+                        Signature::xor_of(&sig_x[qubit], &sig_z[qubit]),
+                        share,
+                        op_idx,
+                    );
                 }
             }
             Op::XError { qubit, p } => {
-                record(sig_x[qubit].clone(), p);
+                record(sig_x[qubit].clone(), p, op_idx);
             }
             Op::Depolarize2 { a, b, p } => {
                 if p > 0.0 {
@@ -198,7 +217,7 @@ pub fn build_dem(
                             if i == 0 && j == 0 {
                                 continue;
                             }
-                            record(Signature::xor_of(sa, sb), share);
+                            record(Signature::xor_of(sa, sb), share, op_idx);
                         }
                     }
                 }
@@ -210,11 +229,18 @@ pub fn build_dem(
 
     let mut mechanisms: Vec<ErrorMechanism> = merged
         .into_iter()
-        .map(|((dets, flips_observable), probability)| ErrorMechanism {
-            detectors: dets.into_iter().map(|d| d as usize).collect(),
-            flips_observable,
-            probability,
-        })
+        .map(
+            |((dets, flips_observable), (probability, mut sources))| ErrorMechanism {
+                detectors: dets.into_iter().map(|d| d as usize).collect(),
+                flips_observable,
+                probability,
+                sources: {
+                    sources.sort_unstable();
+                    sources.dedup();
+                    sources
+                },
+            },
+        )
         .collect();
     mechanisms.sort_by(|a, b| {
         a.detectors
@@ -337,6 +363,31 @@ mod tests {
         for mech in &dem.mechanisms {
             assert!(mech.probability > 0.0 && mech.probability < 1.0);
         }
+    }
+
+    #[test]
+    fn mechanisms_carry_fault_provenance() {
+        let (c, dets, obs) = tiny_circuit();
+        let dem = build_dem(&c, &dets, &obs);
+        for mech in &dem.mechanisms {
+            assert!(!mech.sources.is_empty(), "every mechanism has a source");
+            assert!(mech.sources.windows(2).all(|w| w[0] < w[1]), "sorted");
+            for &src in &mech.sources {
+                // Sources are noise sites, never gates or measurements.
+                assert!(matches!(
+                    c.ops()[src as usize],
+                    Op::Depolarize1 { .. } | Op::Depolarize2 { .. } | Op::XError { .. }
+                ));
+            }
+        }
+        // The round-0 measurement-flip mechanism's source is the XError in
+        // front of the round-0 measurement (op index 4).
+        let mech = dem
+            .mechanisms
+            .iter()
+            .find(|m| m.detectors == vec![0, 1])
+            .expect("measurement-flip mechanism");
+        assert_eq!(mech.sources, vec![4]);
     }
 
     #[test]

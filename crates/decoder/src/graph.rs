@@ -61,6 +61,13 @@ pub struct DecodingGraph {
     /// basis (otherwise a single fault could cause an invisible logical
     /// error — a code-distance violation).
     undetectable_observable_flips: usize,
+    /// Per source mechanism (indexed like `DetectorErrorModel::mechanisms`):
+    /// the edge indices its projection landed on (one for elementary
+    /// mechanisms, several for decomposed hyperedges, none when invisible to
+    /// this basis). Together with `ErrorMechanism::sources` this maps fault
+    /// provenance to graph edges — the basis of exact heralded-erasure
+    /// lookups.
+    mechanism_edges: Vec<Vec<usize>>,
 }
 
 impl DecodingGraph {
@@ -83,11 +90,13 @@ impl DecodingGraph {
         let boundary = num_nodes;
 
         // First pass: project every mechanism; collect elementary (≤2 node)
-        // ones directly, defer larger ones for decomposition.
+        // ones directly, defer larger ones for decomposition. Every
+        // mechanism's landing keys are recorded for the provenance map.
         let mut edge_map: HashMap<(usize, usize), (f64, bool)> = HashMap::new();
-        let mut deferred: Vec<(Vec<usize>, bool, f64)> = Vec::new();
+        let mut deferred: Vec<(usize, Vec<usize>, bool, f64)> = Vec::new();
+        let mut mechanism_keys: Vec<Vec<(usize, usize)>> = vec![Vec::new(); dem.mechanisms.len()];
         let mut undetectable_observable_flips = 0;
-        for mech in &dem.mechanisms {
+        for (mi, mech) in dem.mechanisms.iter().enumerate() {
             let nodes: Vec<usize> = mech
                 .detectors
                 .iter()
@@ -108,22 +117,25 @@ impl DecodingGraph {
                 1 => {
                     let key = (nodes[0], boundary);
                     merge_edge(&mut edge_map, key, mech.probability, mech.flips_observable);
+                    mechanism_keys[mi].push(key);
                 }
                 2 => {
                     let key = ordered(nodes[0], nodes[1]);
                     merge_edge(&mut edge_map, key, mech.probability, mech.flips_observable);
+                    mechanism_keys[mi].push(key);
                 }
-                _ => deferred.push((nodes, mech.flips_observable, mech.probability)),
+                _ => deferred.push((mi, nodes, mech.flips_observable, mech.probability)),
             }
         }
 
         // Second pass: decompose hyperedges into pairs of existing elementary
         // edges whose observable parities XOR to the mechanism's.
-        for (mut nodes, obs, p) in deferred {
+        for (mi, mut nodes, obs, p) in deferred {
             nodes.sort_unstable();
             let parts = decompose(&nodes, obs, boundary, &edge_map);
             for (key, part_obs) in parts {
                 merge_edge(&mut edge_map, key, p, part_obs);
+                mechanism_keys[mi].push(key);
             }
         }
 
@@ -143,10 +155,21 @@ impl DecodingGraph {
         edges.sort_by_key(|x| (x.a, x.b));
 
         let mut adjacency = vec![Vec::new(); num_nodes + 1];
+        let mut key_to_edge: HashMap<(usize, usize), usize> = HashMap::new();
         for (i, e) in edges.iter().enumerate() {
             adjacency[e.a].push(i);
             adjacency[e.b].push(i);
+            key_to_edge.insert((e.a, e.b), i);
         }
+        let mechanism_edges = mechanism_keys
+            .into_iter()
+            .map(|keys| {
+                let mut out: Vec<usize> = keys.into_iter().map(|key| key_to_edge[&key]).collect();
+                out.sort_unstable();
+                out.dedup();
+                out
+            })
+            .collect();
         DecodingGraph {
             num_nodes,
             edges,
@@ -154,6 +177,7 @@ impl DecodingGraph {
             node_to_detector,
             detector_to_node,
             undetectable_observable_flips,
+            mechanism_edges,
         }
     }
 
@@ -195,6 +219,35 @@ impl DecodingGraph {
     /// basis.
     pub fn node_of_detector(&self, detector: usize) -> Option<usize> {
         self.detector_to_node[detector]
+    }
+
+    /// The decoding-graph edge indices a leakage-detection flag on
+    /// `detector` could erase: every edge incident to the detector's node in
+    /// this graph. Empty when the detector belongs to the other basis.
+    ///
+    /// This is the *generic* (maximal) lookup; the runtime translates
+    /// leakage flags into [`crate::Syndrome::erasures`] through the exact
+    /// provenance map instead ([`DecodingGraph::erasure_edges_for_mechanism`]
+    /// over the mechanisms whose fault site touched the flagged qubit) —
+    /// erasing a flagged qubit's whole detector star creates short erased
+    /// cycles whose observable parity is ambiguous, while the provenance
+    /// edges are one-to-one with the heralded error mechanisms.
+    pub fn erasure_edges_for(&self, detector: usize) -> &[usize] {
+        match self.detector_to_node[detector] {
+            Some(node) => self.incident(node),
+            None => &[],
+        }
+    }
+
+    /// The edge indices mechanism `mech` (an index into the source
+    /// [`crate::DetectorErrorModel::mechanisms`]) landed on in this graph:
+    /// one edge for an elementary mechanism, several for a decomposed
+    /// hyperedge, none when the mechanism is invisible to this basis.
+    /// Combined with [`crate::ErrorMechanism::sources`], this translates
+    /// "this circuit location was faulty" (e.g. heralded leakage) into the
+    /// exact erased-edge set.
+    pub fn erasure_edges_for_mechanism(&self, mech: usize) -> &[usize] {
+        &self.mechanism_edges[mech]
     }
 
     /// Extracts the defect node list from a global detector-event bitmap.
@@ -397,6 +450,57 @@ mod tests {
         events[det0] = true;
         events[det3] = true;
         assert_eq!(g.defects_from_events(&events), vec![0, 3]);
+    }
+
+    #[test]
+    fn erasure_edges_for_is_the_detector_star() {
+        let (g, n_det) = graph_for(3, 3, DetectorBasis::Z);
+        for det in 0..n_det {
+            match g.node_of_detector(det) {
+                Some(node) => assert_eq!(g.erasure_edges_for(det), g.incident(node)),
+                None => assert!(g.erasure_edges_for(det).is_empty(), "other basis"),
+            }
+        }
+    }
+
+    #[test]
+    fn mechanism_edges_cover_every_visible_mechanism() {
+        let exp = MemoryExperiment::new(RotatedCode::new(3), NoiseParams::standard(1e-3), 3);
+        let detectors = exp.detectors();
+        let dem = build_dem(&exp.base_circuit(), &detectors, &exp.observable_keys());
+        let g = DecodingGraph::from_dem(&dem, &detectors, DetectorBasis::Z);
+        let mut covered = 0;
+        for (mi, mech) in dem.mechanisms.iter().enumerate() {
+            let edges = g.erasure_edges_for_mechanism(mi);
+            let visible = mech
+                .detectors
+                .iter()
+                .any(|&d| g.node_of_detector(d).is_some());
+            assert_eq!(
+                edges.is_empty(),
+                !visible,
+                "mechanism {mi} visibility/edge mismatch"
+            );
+            for &ei in edges {
+                assert!(ei < g.edges().len());
+            }
+            if visible {
+                covered += 1;
+                // Elementary two-detector mechanisms land on the edge between
+                // their own nodes.
+                let nodes: Vec<usize> = mech
+                    .detectors
+                    .iter()
+                    .filter_map(|&d| g.node_of_detector(d))
+                    .collect();
+                if nodes.len() == 2 && edges.len() == 1 {
+                    let e = &g.edges()[edges[0]];
+                    let key = super::ordered(nodes[0], nodes[1]);
+                    assert_eq!((e.a, e.b), key);
+                }
+            }
+        }
+        assert!(covered > 100, "too few visible mechanisms ({covered})");
     }
 
     #[test]

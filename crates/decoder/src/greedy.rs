@@ -12,6 +12,7 @@
 use crate::api::{DecodeOutcome, DecoderFactory, Syndrome, SyndromeDecoder};
 use crate::graph::DecodingGraph;
 use crate::mwpm::ShortestPaths;
+use crate::overlay::WeightOverlay;
 use std::sync::Arc;
 use std::time::Instant;
 
@@ -25,6 +26,9 @@ pub struct GreedyBatchDecoder<'g> {
     bdist: Vec<f64>,
     candidates: Vec<(f64, usize, usize)>,
     matched: Vec<bool>,
+    overlay: WeightOverlay,
+    eff_dist: Vec<f64>,
+    eff_par: Vec<bool>,
 }
 
 impl<'g> GreedyBatchDecoder<'g> {
@@ -54,6 +58,9 @@ impl<'g> GreedyBatchDecoder<'g> {
             bdist: Vec::new(),
             candidates: Vec::new(),
             matched: Vec::new(),
+            overlay: WeightOverlay::new(),
+            eff_dist: Vec::new(),
+            eff_par: Vec::new(),
         }
     }
 
@@ -74,18 +81,40 @@ impl SyndromeDecoder for GreedyBatchDecoder<'_> {
         }
         let start = Instant::now();
         let boundary = self.graph.boundary();
+        let erased = !syndrome.erasures.is_empty();
+        if erased {
+            // Erasure decoding: pairing costs come from the overlaid metric
+            // (flagged edges ~free) instead of the precomputed table.
+            self.overlay.apply(self.graph, &syndrome.erasures);
+            self.overlay.effective_metrics(
+                &self.paths,
+                defects,
+                boundary,
+                &mut self.eff_dist,
+                &mut self.eff_par,
+            );
+        }
+        let t = k + 1;
         // Defect-defect candidates, nearest first. A pair is taken only if
         // pairing beats sending both ends to the boundary; everything left
         // over drains to the boundary. (Still greedy: commitments are never
         // revisited, unlike blossom matching.)
         self.bdist.clear();
-        self.bdist
-            .extend(defects.iter().map(|&d| self.paths.distance(d, boundary)));
+        if erased {
+            self.bdist.extend((0..k).map(|i| self.eff_dist[i * t + k]));
+        } else {
+            self.bdist
+                .extend(defects.iter().map(|&d| self.paths.distance(d, boundary)));
+        }
         self.candidates.clear();
         for i in 0..k {
             for j in (i + 1)..k {
-                self.candidates
-                    .push((self.paths.distance(defects[i], defects[j]), i, j));
+                let d = if erased {
+                    self.eff_dist[i * t + j]
+                } else {
+                    self.paths.distance(defects[i], defects[j])
+                };
+                self.candidates.push((d, i, j));
             }
         }
         // Unstable sort with a total-order tiebreak on (i, j): identical
@@ -109,14 +138,25 @@ impl SyndromeDecoder for GreedyBatchDecoder<'_> {
             }
             self.matched[i] = true;
             self.matched[j] = true;
-            flip ^= self.paths.observable_parity(defects[i], defects[j]);
+            flip ^= if erased {
+                self.eff_par[i * t + j]
+            } else {
+                self.paths.observable_parity(defects[i], defects[j])
+            };
             weight += d;
         }
         for (i, &d) in defects.iter().enumerate() {
             if !self.matched[i] {
-                flip ^= self.paths.observable_parity(d, boundary);
+                flip ^= if erased {
+                    self.eff_par[i * t + k]
+                } else {
+                    self.paths.observable_parity(d, boundary)
+                };
                 weight += self.bdist[i];
             }
+        }
+        if erased {
+            self.overlay.restore();
         }
         DecodeOutcome {
             flip,

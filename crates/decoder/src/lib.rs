@@ -7,8 +7,10 @@
 //! * [`dem`] — builds a [`DetectorErrorModel`] by propagating every single
 //!   Pauli fault component of a noisy circuit to the measurement record
 //!   (Stim's `detector_error_model` equivalent). Leakage operations are
-//!   deliberately ignored: the decoder is leakage-unaware, which is the
-//!   paper's premise.
+//!   deliberately ignored when building the model: the *baseline* decoder is
+//!   leakage-unaware, which is the paper's premise. Leakage *detection*
+//!   flags can still reach the decoders at runtime through
+//!   [`Syndrome::erasures`] (see [`overlay`]).
 //! * [`graph`] — projects the error model onto one stabilizer basis and
 //!   produces a weighted [`DecodingGraph`] (weights `ln((1−p)/p)`), with
 //!   hyperedge decomposition onto elementary edges.
@@ -25,6 +27,11 @@
 //! * [`unionfind`] — a weighted union-find decoder (Delfosse–Nickerson) used
 //!   for large code distances where O(n³) matching is too slow.
 //! * [`greedy`] — a nearest-first greedy matcher, the ablation baseline.
+//! * [`overlay`] — erasure decoding: a reusable [`WeightOverlay`] that
+//!   dynamically reweights the decoding-graph edges a leakage-detection
+//!   policy flagged ([`Syndrome::erasures`]) to ~0 for MWPM path costs,
+//!   union-find growth, and greedy pairing, then restores them. An empty
+//!   erasure set decodes bit-identically to the erasure-unaware path.
 //!
 //! # Decoding millions of shots
 //!
@@ -67,6 +74,7 @@ pub mod graph;
 pub mod greedy;
 pub mod matching;
 pub mod mwpm;
+pub mod overlay;
 pub mod unionfind;
 
 pub use api::{DecodeOutcome, DecoderFactory, Syndrome, SyndromeDecoder};
@@ -75,6 +83,7 @@ pub use graph::{DecodingGraph, GraphEdge};
 pub use greedy::{GreedyBatchDecoder, GreedyDecoder, GreedyFactory};
 pub use matching::{max_weight_matching, MatchingContext};
 pub use mwpm::{MwpmBatchDecoder, MwpmDecoder, MwpmFactory, ShortestPaths};
+pub use overlay::{WeightOverlay, ERASED_WEIGHT};
 pub use unionfind::{
     UnionFindBatchDecoder, UnionFindCapacities, UnionFindDecoder, UnionFindFactory,
 };

@@ -18,6 +18,7 @@
 use crate::api::{DecodeOutcome, DecoderFactory, Syndrome, SyndromeDecoder};
 use crate::graph::DecodingGraph;
 use crate::matching::MatchingContext;
+use crate::overlay::WeightOverlay;
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
 use std::sync::Arc;
@@ -128,6 +129,9 @@ pub struct MwpmBatchDecoder<'g> {
     scaled_boundary: Vec<i64>,
     pairs: Vec<(usize, usize)>,
     to_boundary: Vec<usize>,
+    overlay: WeightOverlay,
+    eff_dist: Vec<f64>,
+    eff_par: Vec<bool>,
 }
 
 impl<'g> MwpmBatchDecoder<'g> {
@@ -158,6 +162,9 @@ impl<'g> MwpmBatchDecoder<'g> {
             scaled_boundary: Vec::new(),
             pairs: Vec::new(),
             to_boundary: Vec::new(),
+            overlay: WeightOverlay::new(),
+            eff_dist: Vec::new(),
+            eff_par: Vec::new(),
         }
     }
 
@@ -182,23 +189,53 @@ impl<'g> MwpmBatchDecoder<'g> {
             return;
         }
         let boundary = self.graph.boundary();
-        // Vertices 0..k are defects, k..2k their private boundary copies.
         self.scaled.clear();
         self.scaled.resize(k * k, 0);
         self.scaled_boundary.clear();
         self.scaled_boundary.resize(k, 0);
-        let mut max_scaled: i64 = 0;
         for i in 0..k {
             for j in (i + 1)..k {
                 let d = self.paths.distance(defects[i], defects[j]);
-                let s = (d * WEIGHT_SCALE).round() as i64;
-                self.scaled[i * k + j] = s;
-                max_scaled = max_scaled.max(s);
+                self.scaled[i * k + j] = (d * WEIGHT_SCALE).round() as i64;
             }
             let d = self.paths.distance(defects[i], boundary);
-            let s = (d * WEIGHT_SCALE).round() as i64;
-            self.scaled_boundary[i] = s;
-            max_scaled = max_scaled.max(s);
+            self.scaled_boundary[i] = (d * WEIGHT_SCALE).round() as i64;
+        }
+        self.solve_staged(k);
+    }
+
+    /// Like [`MwpmBatchDecoder::match_defects_into`], but over the overlaid
+    /// metric previously staged into `self.eff_dist` (erasure decoding).
+    fn match_defects_from_matrix(&mut self, k: usize) {
+        self.pairs.clear();
+        self.to_boundary.clear();
+        if k == 0 {
+            return;
+        }
+        let t = k + 1;
+        self.scaled.clear();
+        self.scaled.resize(k * k, 0);
+        self.scaled_boundary.clear();
+        self.scaled_boundary.resize(k, 0);
+        for i in 0..k {
+            for j in (i + 1)..k {
+                self.scaled[i * k + j] = (self.eff_dist[i * t + j] * WEIGHT_SCALE).round() as i64;
+            }
+            self.scaled_boundary[i] = (self.eff_dist[i * t + k] * WEIGHT_SCALE).round() as i64;
+        }
+        self.solve_staged(k);
+    }
+
+    /// Runs blossom matching over the staged `scaled`/`scaled_boundary`
+    /// integer weights. Vertices 0..k are defects, k..2k their private
+    /// boundary copies (the standard odd-parity reduction).
+    fn solve_staged(&mut self, k: usize) {
+        let mut max_scaled: i64 = 0;
+        for i in 0..k {
+            for j in (i + 1)..k {
+                max_scaled = max_scaled.max(self.scaled[i * k + j]);
+            }
+            max_scaled = max_scaled.max(self.scaled_boundary[i]);
         }
         let c = max_scaled + 1;
         self.edges.clear();
@@ -234,17 +271,42 @@ impl SyndromeDecoder for MwpmBatchDecoder<'_> {
             return DecodeOutcome::default();
         }
         let start = Instant::now();
-        self.match_defects_into(defects);
         let boundary = self.graph.boundary();
         let mut flip = false;
         let mut weight = 0.0;
-        for &(i, j) in &self.pairs {
-            flip ^= self.paths.observable_parity(defects[i], defects[j]);
-            weight += self.paths.distance(defects[i], defects[j]);
-        }
-        for &i in &self.to_boundary {
-            flip ^= self.paths.observable_parity(defects[i], boundary);
-            weight += self.paths.distance(defects[i], boundary);
+        if syndrome.erasures.is_empty() {
+            self.match_defects_into(defects);
+            for &(i, j) in &self.pairs {
+                flip ^= self.paths.observable_parity(defects[i], defects[j]);
+                weight += self.paths.distance(defects[i], defects[j]);
+            }
+            for &i in &self.to_boundary {
+                flip ^= self.paths.observable_parity(defects[i], boundary);
+                weight += self.paths.distance(defects[i], boundary);
+            }
+        } else {
+            // Erasure decoding: overlay the flagged edges (weight ~0), match
+            // over the reweighted metric, then restore.
+            self.overlay.apply(self.graph, &syndrome.erasures);
+            self.overlay.effective_metrics(
+                &self.paths,
+                defects,
+                boundary,
+                &mut self.eff_dist,
+                &mut self.eff_par,
+            );
+            let k = defects.len();
+            self.match_defects_from_matrix(k);
+            let t = k + 1;
+            for &(i, j) in &self.pairs {
+                flip ^= self.eff_par[i * t + j];
+                weight += self.eff_dist[i * t + j];
+            }
+            for &i in &self.to_boundary {
+                flip ^= self.eff_par[i * t + k];
+                weight += self.eff_dist[i * t + k];
+            }
+            self.overlay.restore();
         }
         DecodeOutcome {
             flip,

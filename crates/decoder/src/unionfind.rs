@@ -14,6 +14,7 @@
 
 use crate::api::{DecodeOutcome, DecoderFactory, Syndrome, SyndromeDecoder};
 use crate::graph::DecodingGraph;
+use crate::overlay::{WeightOverlay, ERASED_WEIGHT};
 use std::collections::VecDeque;
 use std::sync::Arc;
 use std::time::Instant;
@@ -133,6 +134,7 @@ pub struct UnionFindBatchDecoder<'g> {
     order: Vec<usize>,
     queue: VecDeque<usize>,
     mark: Vec<bool>,
+    overlay: WeightOverlay,
 }
 
 impl<'g> UnionFindBatchDecoder<'g> {
@@ -169,6 +171,7 @@ impl<'g> UnionFindBatchDecoder<'g> {
             order: Vec::new(),
             queue: VecDeque::new(),
             mark: Vec::new(),
+            overlay: WeightOverlay::new(),
         }
     }
 
@@ -183,8 +186,9 @@ impl<'g> UnionFindBatchDecoder<'g> {
     }
 
     /// Runs cluster growth; fills `self.full` (grown-edge bitmap) and
-    /// `self.dsu` for the peeling pass.
-    fn grow(&mut self, defects: &[usize]) {
+    /// `self.dsu` for the peeling pass. With `erased`, edges flagged in the
+    /// overlay grow in a single unit (their weight is ~0).
+    fn grow(&mut self, defects: &[usize], erased: bool) {
         let n = self.graph.num_nodes() + 1;
         let boundary = self.graph.boundary();
         self.dsu.reset(n, defects, boundary);
@@ -236,7 +240,12 @@ impl<'g> UnionFindBatchDecoder<'g> {
                 }
                 self.grown[ei] += inc;
                 grew_any = true;
-                if self.grown[ei] >= capacity[ei] {
+                let cap = if erased && self.overlay.is_erased(ei) {
+                    1
+                } else {
+                    capacity[ei]
+                };
+                if self.grown[ei] >= cap {
                     self.full[ei] = true;
                     self.to_merge.push(ei);
                 }
@@ -268,7 +277,11 @@ impl SyndromeDecoder for UnionFindBatchDecoder<'_> {
         let start = Instant::now();
         let n = self.graph.num_nodes() + 1;
         let boundary = self.graph.boundary();
-        self.grow(defects);
+        let erased = !syndrome.erasures.is_empty();
+        if erased {
+            self.overlay.apply(self.graph, &syndrome.erasures);
+        }
+        self.grow(defects, erased);
         let edges = self.graph.edges();
 
         // Peeling: build a spanning forest of the grown subgraph, rooted at
@@ -319,7 +332,11 @@ impl SyndromeDecoder for UnionFindBatchDecoder<'_> {
             if self.mark[v] {
                 let e = &edges[ei];
                 flip ^= e.flips_observable;
-                weight += e.weight;
+                weight += if erased && self.overlay.is_erased(ei) {
+                    ERASED_WEIGHT
+                } else {
+                    e.weight
+                };
                 let p = if e.a == v { e.b } else { e.a };
                 self.mark[v] = false;
                 if p != boundary {
@@ -331,6 +348,9 @@ impl SyndromeDecoder for UnionFindBatchDecoder<'_> {
             (0..n).all(|v| !self.mark[v] || v == boundary),
             "peeling left an unpaired defect"
         );
+        if erased {
+            self.overlay.restore();
+        }
         DecodeOutcome {
             flip,
             weight,

@@ -169,6 +169,139 @@ fn per_thread_instances_decode_identically() {
     }
 }
 
+/// Random erasure sets: all edges incident to 1–3 random nodes (the shape
+/// the runtime produces from leakage flags), deterministic in `seed`.
+fn attach_random_erasures(graph: &DecodingGraph, syndromes: &mut [Syndrome], seed: u64) {
+    let mut rng = Rng::new(seed);
+    for syndrome in syndromes.iter_mut() {
+        let hubs = 1 + rng.below(3);
+        for _ in 0..hubs {
+            let node = rng.below(graph.num_nodes() as u64) as usize;
+            syndrome.erasures.extend_from_slice(graph.incident(node));
+        }
+        syndrome.erasures.sort_unstable();
+        syndrome.erasures.dedup();
+    }
+}
+
+/// An empty erasure set must decode **bit-identically** to the pre-overlay
+/// path, for all three decoders — even on an instance whose overlay scratch
+/// is warm from erasure-carrying shots.
+#[test]
+fn empty_erasure_set_is_bit_identical_to_plain_path() {
+    let (graph, dem) = setup(3, 3);
+    let plain = random_syndromes(&graph, &dem, 60, 21);
+    let with_empty: Vec<Syndrome> = plain
+        .iter()
+        .map(|s| Syndrome::with_erasures(s.defects.clone(), Vec::new()))
+        .collect();
+    let mut erasure_warmup = plain.clone();
+    attach_random_erasures(&graph, &mut erasure_warmup, 77);
+
+    let mwpm = MwpmFactory::new(&graph);
+    let uf = UnionFindFactory::new(&graph);
+    let greedy = GreedyFactory::with_paths(&graph, Arc::clone(mwpm.paths()));
+    let factories: [&dyn DecoderFactory; 3] = [&mwpm, &uf, &greedy];
+    for factory in factories {
+        let mut reference = factory.build();
+        let mut out_ref = Vec::new();
+        reference.decode_batch(&plain, &mut out_ref);
+
+        // Fresh instance, same defects but through `with_erasures(.., [])`.
+        let mut fresh = factory.build();
+        let mut out = Vec::new();
+        fresh.decode_batch(&with_empty, &mut out);
+        for (a, b) in out_ref.iter().zip(&out) {
+            assert!(
+                same_prediction(a, b),
+                "[{}] empty erasure set diverged: {a:?} vs {b:?}",
+                factory.name()
+            );
+        }
+
+        // Warm the overlay scratch with erasure-carrying shots, then decode
+        // the empty-erasure batch again: still bit-identical.
+        let mut warm = factory.build();
+        let mut scratch = Vec::new();
+        warm.decode_batch(&erasure_warmup, &mut scratch);
+        warm.decode_batch(&with_empty, &mut out);
+        for (a, b) in out_ref.iter().zip(&out) {
+            assert!(
+                same_prediction(a, b),
+                "[{}] warm-overlay empty-erasure decode diverged: {a:?} vs {b:?}",
+                factory.name()
+            );
+        }
+    }
+}
+
+/// Warm `WeightOverlay` scratch must be deterministic: repeated batches of
+/// erasure-carrying syndromes on one reused instance reproduce themselves
+/// bit-for-bit and match a fresh instance.
+#[test]
+fn warm_overlay_scratch_is_deterministic_across_batches() {
+    let (graph, dem) = setup(3, 3);
+    let mut syndromes = random_syndromes(&graph, &dem, 80, 5);
+    attach_random_erasures(&graph, &mut syndromes, 99);
+    assert!(syndromes.iter().any(|s| !s.erasures.is_empty()));
+
+    let mwpm = MwpmFactory::new(&graph);
+    let uf = UnionFindFactory::new(&graph);
+    let greedy = GreedyFactory::with_paths(&graph, Arc::clone(mwpm.paths()));
+    let factories: [&dyn DecoderFactory; 3] = [&mwpm, &uf, &greedy];
+    for factory in factories {
+        let mut decoder = factory.build();
+        let mut first = Vec::new();
+        decoder.decode_batch(&syndromes, &mut first);
+        let mut second = Vec::new();
+        decoder.decode_batch(&syndromes, &mut second);
+        for (a, b) in first.iter().zip(&second) {
+            assert!(
+                same_prediction(a, b),
+                "[{}] warm overlay rerun diverged: {a:?} vs {b:?}",
+                factory.name()
+            );
+        }
+        let mut fresh = factory.build();
+        let mut fresh_out = Vec::new();
+        fresh.decode_batch(&syndromes, &mut fresh_out);
+        for (a, b) in first.iter().zip(&fresh_out) {
+            assert!(
+                same_prediction(a, b),
+                "[{}] warm vs fresh instance diverged: {a:?} vs {b:?}",
+                factory.name()
+            );
+        }
+    }
+}
+
+/// Erasing every edge along a defect pair's shortest path drives the pair's
+/// matched weight to ~0 — the overlay is actually consuming the erasures.
+#[test]
+fn erasures_reduce_matched_weight() {
+    let (graph, _) = setup(3, 3);
+    let factory = MwpmFactory::new(&graph);
+    // Pick a bulk edge and erase it: its two endpoint defects become free.
+    let ei = graph
+        .edges()
+        .iter()
+        .position(|e| e.b != graph.boundary())
+        .expect("bulk edge");
+    let e = &graph.edges()[ei];
+    let mut decoder = factory.build();
+    let plain = decoder.decode_syndrome(&Syndrome::new(vec![e.a, e.b]));
+    let erased = decoder.decode_syndrome(&Syndrome::with_erasures(vec![e.a, e.b], vec![ei]));
+    assert!(plain.weight > 0.1, "paths have real weight: {plain:?}");
+    assert!(
+        erased.weight < plain.weight,
+        "erasure must cheapen the correction: {erased:?} vs {plain:?}"
+    );
+    assert_eq!(
+        erased.flip, e.flips_observable,
+        "parity rides the erased edge"
+    );
+}
+
 #[test]
 fn batch_output_vector_is_reused() {
     let (graph, dem) = setup(3, 2);

@@ -757,6 +757,69 @@ pub fn postselect(opts: &Opts) -> Result<(), String> {
     t.write_csv(&opts.out, "postselect")
 }
 
+/// Erasure decoding (extension): ERASER+M's multi-level |L⟩ labels are
+/// genuine erasure checks; threading them into the decoder as dynamically
+/// reweighted (erased) edges lowers the LER at identical physical shots.
+pub fn erasure(opts: &Opts) -> Result<(), String> {
+    let mut t = Table::new(
+        &format!(
+            "Erasure decoding: ERASER+M ± leakage-aware MWPM across (d, p), seed {} \
+             (paired shots: blind and aware decode identical error realizations)",
+            opts.seed
+        ),
+        &[
+            "d",
+            "p",
+            "shots",
+            "blind LER",
+            "aware LER",
+            "gain",
+            "erasures/shot",
+        ],
+    );
+    // Smaller distances get proportionally more shots so every cell resolves
+    // a comparable error count.
+    let budget = |d: usize| opts.effective_shots() * [4, 2, 1][(d - 3) / 2];
+    for d in [3usize, 5, 7] {
+        if d > opts.dmax {
+            continue;
+        }
+        for p in [opts.p * 3.0, opts.p * 5.0] {
+            let shots = budget(d);
+            let mut exp = Experiment::builder()
+                .distance(d)
+                .noise(NoiseParams::standard(p))
+                .rounds((d * 3).max(15))
+                .shots(shots)
+                .seed(opts.seed)
+                .threads(opts.threads)
+                .decoder(DecoderKind::Mwpm)
+                .build()
+                .map_err(|e| e.to_string())?;
+            let blind = exp.run_policy(&PolicyKind::eraser_m());
+            exp.set_leakage_aware(true);
+            let aware = exp.run_policy(&PolicyKind::eraser_m());
+            t.row(vec![
+                d.to_string(),
+                format!("{p:.0e}"),
+                shots.to_string(),
+                sci(blind.ler()),
+                sci(aware.ler()),
+                ratio(blind.ler(), aware.ler()),
+                fixed(aware.total_erasures as f64 / shots as f64, 2),
+            ]);
+        }
+    }
+    t.print();
+    println!(
+        "(two-level ERASER exposes no erasure-grade herald — its speculative flags are\n \
+         precise enough to schedule LRCs but reweighting the decoder with them raises\n \
+         the LER — so its aware run is bit-identical to blind; ERASER+M's |L> labels\n \
+         are hardware erasure checks in the sense of Chang et al. 2024)"
+    );
+    t.write_csv(&opts.out, "erasure")
+}
+
 // ---------------------------------------------------------------------------
 // Ablations (DESIGN.md §8)
 // ---------------------------------------------------------------------------

@@ -23,6 +23,7 @@
 //!   ablation   LSB threshold / PUTT / backup / decoder ablations
 //!   postselect offline post-selection vs real-time suppression (§7.1)
 //!   memx       memory-X vs memory-Z symmetry check (extension)
+//!   erasure    ERASER+M ± erasure-aware decoding across (d, p) (extension)
 //!   all        run everything
 //!
 //! options:
@@ -82,10 +83,12 @@ fn dispatch(command: &str, opts: &Opts) -> Result<(), String> {
         "ablation" => figures::ablation(opts),
         "postselect" => figures::postselect(opts),
         "memx" => figures::memx(opts),
+        "erasure" => figures::erasure(opts),
         "all" => {
             for cmd in [
                 "analytic", "table2", "fig8", "table3", "fig1c", "fig2c", "fig5", "fig6", "fig14",
                 "fig15", "fig16", "table4", "fig17", "fig18", "fig20", "fig21", "ablation",
+                "erasure",
             ] {
                 dispatch(cmd, opts)?;
             }

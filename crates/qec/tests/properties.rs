@@ -1,76 +1,115 @@
-//! Property-based tests for the core algebra and PRNG.
+//! Property-based tests for the core algebra and PRNG, driven by the
+//! in-repo [`qec_core::Rng`] generator (keeping the workspace's
+//! zero-external-dependency invariant — no proptest).
 
-use proptest::prelude::*;
 use qec_core::{Pauli, Rng};
 
-fn any_pauli() -> impl Strategy<Value = Pauli> {
-    prop_oneof![
-        Just(Pauli::I),
-        Just(Pauli::X),
-        Just(Pauli::Y),
-        Just(Pauli::Z),
-    ]
+/// Number of random cases per property.
+const CASES: usize = 256;
+
+fn any_pauli(rng: &mut Rng) -> Pauli {
+    rng.uniform_pauli()
 }
 
-proptest! {
-    #[test]
-    fn pauli_product_closed_and_associative(a in any_pauli(), b in any_pauli(), c in any_pauli()) {
+#[test]
+fn pauli_product_closed_and_associative() {
+    let mut rng = Rng::new(0xA55_0C1A);
+    for _ in 0..CASES {
+        let (a, b, c) = (
+            any_pauli(&mut rng),
+            any_pauli(&mut rng),
+            any_pauli(&mut rng),
+        );
         // Closure is by construction; associativity of the phaseless product.
-        prop_assert_eq!((a * b) * c, a * (b * c));
+        assert_eq!((a * b) * c, a * (b * c), "{a:?} {b:?} {c:?}");
     }
+}
 
-    #[test]
-    fn pauli_is_self_inverse(a in any_pauli()) {
-        prop_assert_eq!(a * a, Pauli::I);
+#[test]
+fn pauli_is_self_inverse() {
+    let mut rng = Rng::new(0x5E1F);
+    for _ in 0..CASES {
+        let a = any_pauli(&mut rng);
+        assert_eq!(a * a, Pauli::I);
     }
+}
 
-    #[test]
-    fn pauli_commutation_is_symmetric(a in any_pauli(), b in any_pauli()) {
-        prop_assert_eq!(a.commutes_with(b), b.commutes_with(a));
+#[test]
+fn pauli_commutation_is_symmetric() {
+    let mut rng = Rng::new(0xC0_44);
+    for _ in 0..CASES {
+        let (a, b) = (any_pauli(&mut rng), any_pauli(&mut rng));
+        assert_eq!(a.commutes_with(b), b.commutes_with(a));
     }
+}
 
-    #[test]
-    fn pauli_commutes_iff_symplectic_product_vanishes(a in any_pauli(), b in any_pauli()) {
+#[test]
+fn pauli_commutes_iff_symplectic_product_vanishes() {
+    let mut rng = Rng::new(0x57_4B);
+    for _ in 0..CASES {
+        let (a, b) = (any_pauli(&mut rng), any_pauli(&mut rng));
         let sym = (a.has_x() && b.has_z()) ^ (a.has_z() && b.has_x());
-        prop_assert_eq!(a.commutes_with(b), !sym);
+        assert_eq!(a.commutes_with(b), !sym, "{a:?} vs {b:?}");
     }
+}
 
-    #[test]
-    fn pauli_bits_round_trip(a in any_pauli()) {
-        prop_assert_eq!(Pauli::from_bits(a.has_x(), a.has_z()), a);
+#[test]
+fn pauli_bits_round_trip() {
+    let mut rng = Rng::new(0xB175);
+    for _ in 0..CASES {
+        let a = any_pauli(&mut rng);
+        assert_eq!(Pauli::from_bits(a.has_x(), a.has_z()), a);
     }
+}
 
-    #[test]
-    fn rng_below_respects_bound(seed in any::<u64>(), n in 1u64..1_000_000) {
+#[test]
+fn rng_below_respects_bound() {
+    let mut gen = Rng::new(0xB0_0D);
+    for _ in 0..CASES {
+        let seed = gen.next_u64();
+        let n = 1 + gen.below(1_000_000);
         let mut rng = Rng::new(seed);
         for _ in 0..32 {
-            prop_assert!(rng.below(n) < n);
+            assert!(rng.below(n) < n, "seed {seed} bound {n}");
         }
     }
+}
 
-    #[test]
-    fn rng_is_pure_function_of_seed(seed in any::<u64>()) {
+#[test]
+fn rng_is_pure_function_of_seed() {
+    let mut gen = Rng::new(0xF0F0);
+    for _ in 0..CASES {
+        let seed = gen.next_u64();
         let mut a = Rng::new(seed);
         let mut b = Rng::new(seed);
         for _ in 0..16 {
-            prop_assert_eq!(a.next_u64(), b.next_u64());
+            assert_eq!(a.next_u64(), b.next_u64(), "seed {seed}");
         }
     }
+}
 
-    #[test]
-    fn rng_fork_changes_stream(seed in any::<u64>()) {
+#[test]
+fn rng_fork_changes_stream() {
+    let mut gen = Rng::new(0xF0_4C);
+    for _ in 0..CASES {
+        let seed = gen.next_u64();
         let mut parent = Rng::new(seed);
         let mut child = parent.fork();
         // Equality of all 8 next values would be astronomically unlikely.
         let same = (0..8).all(|_| parent.next_u64() == child.next_u64());
-        prop_assert!(!same);
+        assert!(!same, "fork of seed {seed} tracked its parent");
     }
+}
 
-    #[test]
-    fn bernoulli_extremes(seed in any::<u64>(), p in 0.0f64..1.0) {
+#[test]
+fn bernoulli_extremes() {
+    let mut gen = Rng::new(0xBE_44);
+    for _ in 0..CASES {
+        let seed = gen.next_u64();
+        let p = gen.f64();
         let mut rng = Rng::new(seed);
-        prop_assert!(!rng.bernoulli(0.0));
-        prop_assert!(rng.bernoulli(1.0));
+        assert!(!rng.bernoulli(0.0));
+        assert!(rng.bernoulli(1.0));
         let _ = rng.bernoulli(p); // must not panic anywhere in [0, 1]
     }
 }

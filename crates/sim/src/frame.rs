@@ -129,6 +129,13 @@ impl FrameSimulator {
         self.record.clear();
     }
 
+    /// Replaces the RNG stream. The thread-invariant runtime gives every
+    /// shot its own stream (a pure function of root seed and shot index), so
+    /// results do not depend on how shots are partitioned across workers.
+    pub fn reseed(&mut self, rng: Rng) {
+        self.rng = rng;
+    }
+
     /// Number of qubits.
     pub fn num_qubits(&self) -> usize {
         self.num_qubits

@@ -1,55 +1,56 @@
-//! Property-based tests of the lattice and round synthesis invariants.
+//! Property-based tests of the lattice and round synthesis invariants,
+//! driven by the in-repo [`qec_core::Rng`] generator (no external proptest
+//! dependency).
 
-use proptest::prelude::*;
-use qec_core::{NoiseParams, Op};
+use qec_core::{NoiseParams, Op, Rng};
 use surface_code::{KeyLayout, LrcAssignment, RotatedCode, RoundBuilder};
 
-fn any_distance() -> impl Strategy<Value = usize> {
-    prop_oneof![Just(3usize), Just(5), Just(7), Just(9), Just(11)]
-}
+const DISTANCES: [usize; 5] = [3, 5, 7, 9, 11];
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(24))]
-
-    #[test]
-    fn stabilizer_supports_partition_consistently(d in any_distance()) {
+#[test]
+fn stabilizer_supports_partition_consistently() {
+    for d in DISTANCES {
         let code = RotatedCode::new(d);
         // Sum of stabilizer weights = sum of data adjacency degrees.
         let weight_sum: usize = code.stabilizers().iter().map(|s| s.weight()).sum();
         let degree_sum: usize = (0..code.num_data())
             .map(|q| code.adjacent_stabs(q).len())
             .sum();
-        prop_assert_eq!(weight_sum, degree_sum);
+        assert_eq!(weight_sum, degree_sum, "d={d}");
     }
+}
 
-    #[test]
-    fn every_data_qubit_sees_both_bases(d in any_distance(), q_sel in 0usize..121) {
+#[test]
+fn every_data_qubit_sees_both_bases() {
+    for d in DISTANCES {
         let code = RotatedCode::new(d);
-        let q = q_sel % code.num_data();
-        let kinds: std::collections::HashSet<_> = code
-            .adjacent_stabs(q)
-            .iter()
-            .map(|&s| code.stabilizers()[s].kind)
-            .collect();
-        prop_assert_eq!(kinds.len(), 2);
+        for q in 0..code.num_data() {
+            let kinds: std::collections::HashSet<_> = code
+                .adjacent_stabs(q)
+                .iter()
+                .map(|&s| code.stabilizers()[s].kind)
+                .collect();
+            assert_eq!(kinds.len(), 2, "d={d} q={q}");
+        }
     }
+}
 
-    #[test]
-    fn random_valid_lrc_sets_build_consistent_rounds(
-        d in prop_oneof![Just(3usize), Just(5)],
-        picks in proptest::collection::vec(0usize..25, 0..6),
-        seed in any::<u64>(),
-    ) {
+#[test]
+fn random_valid_lrc_sets_build_consistent_rounds() {
+    let mut gen = Rng::new(0x1_4C5);
+    for case in 0..24 {
+        let d = [3usize, 5][gen.below(2) as usize];
         let code = RotatedCode::new(d);
         let keys = KeyLayout::new(2, code.num_stabs(), code.num_data());
         let builder = RoundBuilder::new(&code, NoiseParams::standard(1e-3));
-        // Build a conflict-free LRC set from the random picks.
-        let mut rng = qec_core::Rng::new(seed);
+        // Build a conflict-free LRC set from random picks.
+        let mut rng = Rng::new(gen.next_u64());
+        let n_picks = gen.below(6) as usize;
         let mut stab_used = vec![false; code.num_stabs()];
         let mut data_used = vec![false; code.num_data()];
         let mut lrcs = Vec::new();
-        for pick in picks {
-            let data = pick % code.num_data();
+        for _ in 0..n_picks {
+            let data = gen.below(25) as usize % code.num_data();
             if data_used[data] {
                 continue;
             }
@@ -71,36 +72,45 @@ proptest! {
         let base = builder.round(0, &[], &keys);
         let round = builder.round(0, &lrcs, &keys);
         // Invariant: 5 extra CNOTs per LRC.
-        prop_assert_eq!(round.cnot_count(), base.cnot_count() + 5 * lrcs.len());
+        assert_eq!(
+            round.cnot_count(),
+            base.cnot_count() + 5 * lrcs.len(),
+            "case {case} d={d}"
+        );
         // Invariant: every stabilizer key measured exactly once.
         let mut seen = std::collections::HashSet::new();
         for op in &round.measure {
             if let Op::Measure { key, .. } = op {
-                prop_assert!(seen.insert(*key));
+                assert!(seen.insert(*key), "case {case}: duplicate key");
             }
         }
-        prop_assert_eq!(seen.len(), code.num_stabs());
+        assert_eq!(seen.len(), code.num_stabs());
         // Invariant: one swap-back tail per LRC, targeting the right pair.
-        prop_assert_eq!(round.lrc_post.len(), lrcs.len());
+        assert_eq!(round.lrc_post.len(), lrcs.len());
         for (tail, lrc) in round.lrc_post.iter().zip(&lrcs) {
-            prop_assert_eq!(tail.data, lrc.data);
-            prop_assert_eq!(tail.parity, code.parity_qubit(lrc.stab));
+            assert_eq!(tail.data, lrc.data);
+            assert_eq!(tail.parity, code.parity_qubit(lrc.stab));
         }
     }
+}
 
-    #[test]
-    fn key_layout_is_a_bijection(rounds in 1usize..12, d in prop_oneof![Just(3usize), Just(5)]) {
+#[test]
+fn key_layout_is_a_bijection() {
+    let mut gen = Rng::new(0xB1_1EC);
+    for _ in 0..24 {
+        let rounds = 1 + gen.below(11) as usize;
+        let d = [3usize, 5][gen.below(2) as usize];
         let code = RotatedCode::new(d);
         let keys = KeyLayout::new(rounds, code.num_stabs(), code.num_data());
         let mut seen = std::collections::HashSet::new();
         for r in 0..rounds {
             for s in 0..code.num_stabs() {
-                prop_assert!(seen.insert(keys.stab_key(r, s)));
+                assert!(seen.insert(keys.stab_key(r, s)));
             }
         }
         for q in 0..code.num_data() {
-            prop_assert!(seen.insert(keys.final_key(q)));
+            assert!(seen.insert(keys.final_key(q)));
         }
-        prop_assert_eq!(seen.len(), keys.total());
+        assert_eq!(seen.len(), keys.total());
     }
 }

@@ -87,6 +87,84 @@ fn eraser_speculation_quality_matches_fig16_shape() {
     );
 }
 
+/// Erasure-aware decoding acceptance: at a fixed seed and d = 5, threading
+/// the policy's leakage-detection flags into MWPM must not hurt — the
+/// erasure-aware LER stays within a binomial-CI margin below the
+/// leakage-blind LER (and is strictly better in expectation; the two runs
+/// decode identical physical shots, so the comparison is paired). The
+/// qualitative policy ordering `eraser ≤ always_lrc ≤ no_lrc` must also
+/// survive with erasure-aware decoding enabled.
+#[test]
+fn erasure_aware_decoding_never_hurts_and_ordering_holds() {
+    use eraser_repro::eraser_core::DecoderKind;
+    let mut exp = Experiment::builder()
+        .distance(5)
+        .noise(NoiseParams::standard(P))
+        .rounds(15)
+        .shots(1500)
+        .seed(1234)
+        .decoder(DecoderKind::Mwpm)
+        .build()
+        .expect("valid experiment");
+    let blind = exp.run_policy(&PolicyKind::eraser_m());
+    exp.set_leakage_aware(true);
+    let aware = exp.run_policy(&PolicyKind::eraser_m());
+    assert!(
+        aware.total_erasures > 0,
+        "erasure flags must reach decoding"
+    );
+    // Identical physics, different decoding.
+    assert_eq!(blind.total_lrcs, aware.total_lrcs);
+    let margin = 2.0 * blind.ler_stderr().max(aware.ler_stderr());
+    assert!(
+        aware.ler() <= blind.ler() + margin,
+        "erasure-aware MWPM must not hurt: aware {} vs blind {} (margin {margin})",
+        aware.ler(),
+        blind.ler()
+    );
+    // Two-level ERASER exposes no erasure-grade herald: bit-identical to
+    // leakage-blind decoding (the "≤" direction is exact).
+    let eraser_aware = exp.run_policy(&PolicyKind::eraser());
+    exp.set_leakage_aware(false);
+    let eraser_blind = exp.run_policy(&PolicyKind::eraser());
+    assert_eq!(eraser_aware.logical_errors, eraser_blind.logical_errors);
+    assert_eq!(eraser_aware.total_erasures, 0);
+
+    // Policy ordering with erasure-aware decoding on: eraser ≤ always ≤
+    // no-lrc (binomial-CI margins), at the paper's design point p = 1e-3 —
+    // blanket Always-LRC noise only pays for itself once leakage dominates,
+    // which at amplified p it never does.
+    let mut exp = Experiment::builder()
+        .distance(5)
+        .noise(NoiseParams::standard(1e-3))
+        .rounds(35)
+        .shots(2000)
+        .seed(1234)
+        .decoder(DecoderKind::Mwpm)
+        .build()
+        .expect("valid experiment");
+    exp.set_leakage_aware(true);
+    let eraser = exp.run_policy(&PolicyKind::eraser());
+    let always = exp.run_policy(&PolicyKind::AlwaysLrc);
+    let none = exp.run_policy(&PolicyKind::NoLrc);
+    let m = |a: &eraser_repro::eraser_core::MemoryRunResult,
+             b: &eraser_repro::eraser_core::MemoryRunResult| {
+        2.0 * a.ler_stderr().max(b.ler_stderr())
+    };
+    assert!(
+        eraser.ler() <= always.ler() + m(&eraser, &always),
+        "eraser {} must not exceed always-lrc {}",
+        eraser.ler(),
+        always.ler()
+    );
+    assert!(
+        always.ler() <= none.ler() + m(&always, &none),
+        "always-lrc {} must not exceed no-lrc {}",
+        always.ler(),
+        none.ler()
+    );
+}
+
 #[test]
 fn multilevel_discriminator_requires_flag() {
     let exp = experiment(NoiseParams::standard(P), 6, 50);
