@@ -1,6 +1,6 @@
 //! Decoder stack performance: detector-error-model construction, the
-//! stateful batched decoders versus the legacy per-shot path, shared
-//! precomputation amortization, and raw blossom throughput.
+//! stateful batched decoders, shared precomputation amortization, and raw
+//! blossom throughput.
 //!
 //! Baseline numbers are recorded to `results/BENCH_decoders.json` via
 //! `ERASER_BENCH_JSON=$PWD/results/BENCH_decoders.json cargo bench -p eraser-bench --bench decoders`
@@ -53,8 +53,7 @@ fn main() {
     }
 
     // Stateful batch decoding (32 shots per iteration) for all three
-    // decoders, against the legacy per-shot `Decoder::decode` path (which
-    // rebuilds scratch per call — the seed behaviour).
+    // decoders.
     {
         let fixture = decode_fixture(5, 10, 32);
         let syndromes: Vec<Syndrome> = fixture
@@ -120,28 +119,6 @@ fn main() {
                     outcomes.iter().filter(|o| o.flip).count()
                 },
             );
-        }
-
-        #[allow(deprecated)]
-        {
-            use qec_decoder::{Decoder, GreedyDecoder, MwpmDecoder, UnionFindDecoder};
-            let legacy: [Box<dyn Decoder>; 3] = [
-                Box::new(MwpmDecoder::new(&fixture.graph)),
-                Box::new(UnionFindDecoder::new(&fixture.graph)),
-                Box::new(GreedyDecoder::new(&fixture.graph)),
-            ];
-            for decoder in &legacy {
-                h.bench(
-                    &format!("decode_legacy_32/d5_r10/{}", decoder.name()),
-                    || {
-                        fixture
-                            .syndromes
-                            .iter()
-                            .filter(|s| decoder.decode(black_box(s)))
-                            .count()
-                    },
-                );
-            }
         }
     }
 

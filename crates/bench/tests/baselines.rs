@@ -1,0 +1,67 @@
+//! Committed benchmark baselines must stay well-formed: CI's bench smoke
+//! step runs the harnesses for one quick iteration and then relies on
+//! these checks to guarantee `results/BENCH_*.json` parse (the harness
+//! emits the JSON by hand, so a formatting regression would otherwise
+//! surface only when someone's tooling chokes on a baseline).
+
+use std::path::PathBuf;
+
+/// Minimal validator for the harness's JSON shape:
+/// `{"benches": [{"name": "...", "ns_per_iter": 123.4}, ...]}`.
+/// Returns the parsed (name, ns) pairs.
+fn parse_baseline(file: &str) -> Vec<(String, f64)> {
+    let path = PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("../../results")
+        .join(file);
+    let text = std::fs::read_to_string(&path)
+        .unwrap_or_else(|e| panic!("baseline {} must be committed: {e}", path.display()));
+    assert!(text.contains("\"benches\""), "{file}: missing benches key");
+    let mut entries = Vec::new();
+    for line in text.lines() {
+        let Some(name_start) = line.find("\"name\": \"") else {
+            continue;
+        };
+        let rest = &line[name_start + 9..];
+        let name = rest[..rest.find('"').expect("unterminated name")].to_string();
+        let ns_key = "\"ns_per_iter\": ";
+        let ns_start = line.find(ns_key).expect("entry without ns_per_iter") + ns_key.len();
+        let ns_text: String = line[ns_start..]
+            .chars()
+            .take_while(|c| c.is_ascii_digit() || *c == '.')
+            .collect();
+        let ns: f64 = ns_text.parse().unwrap_or_else(|e| {
+            panic!("{file}: ns_per_iter of `{name}` must parse: {e}");
+        });
+        assert!(ns.is_finite() && ns > 0.0, "{file}: bad timing for {name}");
+        entries.push((name, ns));
+    }
+    assert!(!entries.is_empty(), "{file}: no bench entries");
+    entries
+}
+
+#[test]
+fn bench_sim_baseline_parses_and_records_the_stripe_speedup() {
+    let entries = parse_baseline("BENCH_sim.json");
+    let find = |name: &str| {
+        entries
+            .iter()
+            .find(|(n, _)| n == name)
+            .unwrap_or_else(|| panic!("BENCH_sim.json must record `{name}`"))
+            .1
+    };
+    let scalar = find("memory_run_512shots/d7/scalar");
+    let striped = find("memory_run_512shots/d7/striped64");
+    // The committed baseline must document the word-parallel win: ≥5×
+    // shots/sec on the d=7 memory benchmark.
+    assert!(
+        scalar / striped >= 5.0,
+        "committed baseline shows {:.2}× (scalar {scalar} ns vs striped {striped} ns)",
+        scalar / striped
+    );
+}
+
+#[test]
+fn bench_decoders_baseline_parses() {
+    let entries = parse_baseline("BENCH_decoders.json");
+    assert!(entries.iter().any(|(n, _)| n.contains("decode_batch")));
+}

@@ -77,6 +77,8 @@ pub enum ExperimentError {
     /// An erasure-detection false-positive/negative rate was outside [0, 1]
     /// or non-finite.
     InvalidDetectionRate(f64),
+    /// A stripe width above the 64-lane word size (0 means auto).
+    InvalidStripeWidth(usize),
     /// `PolicyKind::from_str` did not recognize the name.
     UnknownPolicy(String),
     /// `DecoderKind::from_str` did not recognize the name.
@@ -110,6 +112,9 @@ impl fmt::Display for ExperimentError {
                     "erasure-detection rate must be finite and within [0, 1], got {p}"
                 )
             }
+            ExperimentError::InvalidStripeWidth(w) => {
+                write!(f, "stripe width must be 0 (auto) or 1..=64, got {w}")
+            }
             ExperimentError::UnknownPolicy(s) => write!(f, "unknown policy `{s}`"),
             ExperimentError::UnknownDecoder(s) => write!(f, "unknown decoder `{s}`"),
         }
@@ -133,6 +138,16 @@ fn validate_distance(d: usize) -> Result<(), ExperimentError> {
 fn validate_shots(shots: u64) -> Result<(), ExperimentError> {
     if shots == 0 {
         Err(ExperimentError::ZeroShots)
+    } else {
+        Ok(())
+    }
+}
+
+/// A stripe packs at most 64 shots into one machine word; 0 defers the
+/// resolution to the runtime (shared by both builders).
+fn validate_stripe_width(width: usize) -> Result<(), ExperimentError> {
+    if width > 64 {
+        Err(ExperimentError::InvalidStripeWidth(width))
     } else {
         Ok(())
     }
@@ -480,6 +495,7 @@ pub struct ExperimentBuilder {
     protocol: LrcProtocol,
     decode: bool,
     erasure: ErasureDetection,
+    stripe_width: usize,
 }
 
 impl Default for ExperimentBuilder {
@@ -498,6 +514,7 @@ impl Default for ExperimentBuilder {
             protocol: config.protocol,
             decode: config.decode,
             erasure: config.erasure,
+            stripe_width: config.stripe_width,
         }
     }
 }
@@ -599,6 +616,15 @@ impl ExperimentBuilder {
         self
     }
 
+    /// Shots simulated per word-parallel stripe (1..=64). The default 0
+    /// resolves at run time: the `ERASER_STRIPE` environment variable if
+    /// set, else the full 64-lane stripe. Width 1 selects the scalar
+    /// reference path; results are bit-identical for every width.
+    pub fn stripe_width(mut self, width: usize) -> Self {
+        self.stripe_width = width;
+        self
+    }
+
     fn validated(&self) -> Result<(usize, usize), ExperimentError> {
         let d = self.distance.ok_or(ExperimentError::MissingDistance)?;
         validate_distance(d)?;
@@ -606,6 +632,7 @@ impl ExperimentBuilder {
         spec.validate()?;
         validate_shots(self.shots)?;
         validate_erasure(&self.erasure)?;
+        validate_stripe_width(self.stripe_width)?;
         Ok((d, spec.resolve(d)))
     }
 
@@ -624,6 +651,7 @@ impl ExperimentBuilder {
                 protocol: self.protocol,
                 decode: self.decode,
                 erasure: self.erasure,
+                stripe_width: self.stripe_width,
             },
             policy: self.policy,
         })
@@ -738,6 +766,7 @@ pub struct Sweep {
     protocol: LrcProtocol,
     decode: bool,
     erasure: ErasureDetection,
+    stripe_width: usize,
 }
 
 impl Sweep {
@@ -777,6 +806,7 @@ impl Sweep {
             protocol: self.protocol,
             decode: self.decode,
             erasure: self.erasure,
+            stripe_width: self.stripe_width,
         };
         config.threads = config.resolved_threads();
         let mut runners: HashMap<RunnerKey, MemoryRunner> = HashMap::new();
@@ -825,6 +855,7 @@ pub struct SweepBuilder {
     protocol: LrcProtocol,
     decode: bool,
     erasure: ErasureDetection,
+    stripe_width: usize,
 }
 
 impl Default for SweepBuilder {
@@ -844,6 +875,7 @@ impl Default for SweepBuilder {
             protocol: config.protocol,
             decode: config.decode,
             erasure: config.erasure,
+            stripe_width: config.stripe_width,
         }
     }
 }
@@ -953,6 +985,13 @@ impl SweepBuilder {
         self
     }
 
+    /// Shots simulated per word-parallel stripe for every grid point
+    /// (1..=64; 0 resolves at run time).
+    pub fn stripe_width(mut self, width: usize) -> Self {
+        self.stripe_width = width;
+        self
+    }
+
     /// Validates the grid and run parameters.
     pub fn build(self) -> Result<Sweep, ExperimentError> {
         if self.distances.is_empty() {
@@ -976,6 +1015,7 @@ impl SweepBuilder {
         rounds.validate()?;
         validate_shots(self.shots)?;
         validate_erasure(&self.erasure)?;
+        validate_stripe_width(self.stripe_width)?;
         Ok(Sweep {
             distances: self.distances,
             error_rates: self.error_rates,
@@ -990,6 +1030,7 @@ impl SweepBuilder {
             protocol: self.protocol,
             decode: self.decode,
             erasure: self.erasure,
+            stripe_width: self.stripe_width,
         })
     }
 }

@@ -73,24 +73,10 @@ pub use experiment::{
 };
 pub use policy::{
     AlwaysLrcPolicy, EraserOptions, EraserPolicy, LeakageDetections, LrcPolicy, NoLrcPolicy,
-    OptimalPolicy, RoundContext,
+    OptimalPolicy, RoundContext, StripeRoundContext, StripedPolicy,
 };
 pub use resource::{FpgaPart, ResourceEstimate};
 pub use runtime::{
     DecoderKind, ErasureDetection, LrcProtocol, MemoryRunResult, PostSelection, SpeculationStats,
 };
 pub use swap_table::SwapLookupTable;
-
-#[deprecated(
-    since = "0.2.0",
-    note = "construct experiments through `Experiment::builder()`; the low-level runner \
-            remains available as `eraser_core::runtime::MemoryRunner`"
-)]
-pub use runtime::MemoryRunner;
-
-#[deprecated(
-    since = "0.2.0",
-    note = "set shots/seed/threads/decoder/protocol/decode on `Experiment::builder()`; the \
-            low-level config remains available as `eraser_core::runtime::RunConfig`"
-)]
-pub use runtime::RunConfig;

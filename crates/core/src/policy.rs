@@ -14,7 +14,7 @@
 //! | [`OptimalPolicy`] | simulator ground truth | idealized oracle |
 
 use crate::swap_table::SwapLookupTable;
-use surface_code::{LrcAssignment, RotatedCode};
+use surface_code::{LrcAssignment, RotatedCode, SlotTable};
 
 /// Everything a policy may inspect when planning the next round.
 #[derive(Debug, Clone, Copy)]
@@ -85,6 +85,171 @@ pub trait LrcPolicy {
     /// and leave the decoder leakage-blind.
     fn leakage_detections(&self) -> Option<LeakageDetections<'_>> {
         None
+    }
+}
+
+/// The striped (64-shots-per-word) planning context: the same signals as
+/// [`RoundContext`], transposed into one word per stabilizer / data qubit
+/// with bit `l` belonging to stripe lane `l`.
+#[derive(Debug, Clone, Copy)]
+pub struct StripeRoundContext<'a> {
+    /// Index of the round being planned (0-based; shared by every lane).
+    pub round: usize,
+    /// Detection-event words per stabilizer from the previous round.
+    pub events: &'a [u64],
+    /// |L⟩-label words per stabilizer from the previous round.
+    pub leaked_readouts: &'a [u64],
+    /// Ground-truth leakage words per data qubit at planning time (consumed
+    /// only by the oracle policy).
+    pub oracle_leaked_data: &'a [u64],
+    /// Lanes holding live shots.
+    pub active: u64,
+}
+
+/// The batched read path of the policy layer: wraps one scalar
+/// [`LrcPolicy`] instance per stripe lane and resolves their per-shot plans
+/// into per-**slot** lane masks over a [`SlotTable`] — the form the
+/// word-parallel runtime's static schedules consume.
+///
+/// Lane `l`'s policy sees exactly the [`RoundContext`] the scalar runtime
+/// would hand it for that shot (the transposed words are re-sliced per
+/// lane), and plans are canonically sorted by `(data, stab)` — the same
+/// order the scalar path applies — so striped and scalar runs stay
+/// bit-identical.
+pub struct StripedPolicy {
+    lanes: Vec<Box<dyn LrcPolicy>>,
+    last_plans: Vec<Vec<LrcAssignment>>,
+    /// Per-lane transposed signal rows (`lane × num_stabs` /
+    /// `lane × num_data`), rebuilt each round by *scattering* the set bits
+    /// of the context words — the signals are sparse, so this beats
+    /// extracting every (lane, index) bit.
+    events_rows: Vec<bool>,
+    labels_rows: Vec<bool>,
+    oracle_rows: Vec<bool>,
+    num_stabs: usize,
+    num_data: usize,
+    active_lanes: usize,
+}
+
+impl StripedPolicy {
+    /// Builds one policy instance per lane from `factory` (at most
+    /// `max_lanes`, the stripe width).
+    pub fn new(
+        factory: &(dyn Fn(&RotatedCode) -> Box<dyn LrcPolicy> + Sync),
+        code: &RotatedCode,
+        max_lanes: usize,
+    ) -> StripedPolicy {
+        StripedPolicy {
+            lanes: (0..max_lanes).map(|_| factory(code)).collect(),
+            last_plans: vec![Vec::new(); max_lanes],
+            events_rows: vec![false; max_lanes * code.num_stabs()],
+            labels_rows: vec![false; max_lanes * code.num_stabs()],
+            oracle_rows: vec![false; max_lanes * code.num_data()],
+            num_stabs: code.num_stabs(),
+            num_data: code.num_data(),
+            active_lanes: max_lanes,
+        }
+    }
+
+    /// Display name (all lanes run the same policy).
+    pub fn name(&self) -> &'static str {
+        self.lanes[0].name()
+    }
+
+    /// Whether the wrapped policy requires multi-level readout.
+    pub fn uses_multilevel(&self) -> bool {
+        self.lanes[0].uses_multilevel()
+    }
+
+    /// Starts a fresh stripe of `lanes` live shots.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lanes` exceeds the constructed stripe width.
+    pub fn reset_stripe(&mut self, lanes: usize) {
+        assert!(lanes <= self.lanes.len(), "stripe wider than constructed");
+        self.active_lanes = lanes;
+        for policy in &mut self.lanes[..lanes] {
+            policy.reset_shot();
+        }
+        for plan in &mut self.last_plans[..lanes] {
+            plan.clear();
+        }
+    }
+
+    /// Plans the upcoming round for every active lane, writing one lane
+    /// mask per slot into `slot_masks` (zeroed first).
+    ///
+    /// # Panics
+    ///
+    /// Panics if a lane's policy schedules a non-adjacent (data, stab)
+    /// pair; `slot_masks` must hold `slots.len()` words.
+    pub fn plan_round(
+        &mut self,
+        ctx: &StripeRoundContext<'_>,
+        slots: &SlotTable,
+        slot_masks: &mut [u64],
+    ) {
+        assert_eq!(slot_masks.len(), slots.len());
+        slot_masks.fill(0);
+        let width = self.lanes.len();
+        self.events_rows[..width * self.num_stabs].fill(false);
+        self.labels_rows[..width * self.num_stabs].fill(false);
+        self.oracle_rows[..width * self.num_data].fill(false);
+        let scatter = |rows: &mut [bool], stride: usize, index: usize, word: u64| {
+            let mut lanes = word;
+            while lanes != 0 {
+                let lane = lanes.trailing_zeros() as usize;
+                rows[lane * stride + index] = true;
+                lanes &= lanes - 1;
+            }
+        };
+        for (s, &word) in ctx.events.iter().enumerate() {
+            scatter(&mut self.events_rows, self.num_stabs, s, word & ctx.active);
+        }
+        for (s, &word) in ctx.leaked_readouts.iter().enumerate() {
+            scatter(&mut self.labels_rows, self.num_stabs, s, word & ctx.active);
+        }
+        for (q, &word) in ctx.oracle_leaked_data.iter().enumerate() {
+            scatter(&mut self.oracle_rows, self.num_data, q, word & ctx.active);
+        }
+        for lane in 0..self.active_lanes {
+            if ctx.active >> lane & 1 == 0 {
+                continue;
+            }
+            let mut plan = self.lanes[lane].plan_round(&RoundContext {
+                round: ctx.round,
+                events: &self.events_rows[lane * self.num_stabs..][..self.num_stabs],
+                leaked_readouts: &self.labels_rows[lane * self.num_stabs..][..self.num_stabs],
+                oracle_leaked_data: &self.oracle_rows[lane * self.num_data..][..self.num_data],
+                last_lrcs: &self.last_plans[lane],
+            });
+            // Canonical order: the striped and scalar paths must consume
+            // plans identically (the static schedule's slots are sorted the
+            // same way).
+            plan.sort_unstable_by_key(|l| (l.data, l.stab));
+            debug_assert!(
+                plan.windows(2).all(|w| w[0].data != w[1].data) && {
+                    let mut stabs: Vec<usize> = plan.iter().map(|l| l.stab).collect();
+                    stabs.sort_unstable();
+                    stabs.windows(2).all(|w| w[0] != w[1])
+                },
+                "policy produced a conflicting plan"
+            );
+            for lrc in &plan {
+                let slot = slots
+                    .slot_of(lrc.data, lrc.stab)
+                    .expect("policy scheduled a non-adjacent LRC pair");
+                slot_masks[slot] |= 1u64 << lane;
+            }
+            self.last_plans[lane] = plan;
+        }
+    }
+
+    /// Lane `lane`'s leakage-detection read path (after the latest
+    /// [`StripedPolicy::plan_round`]).
+    pub fn lane_detections(&self, lane: usize) -> Option<LeakageDetections<'_>> {
+        self.lanes[lane].leakage_detections()
     }
 }
 
@@ -306,6 +471,12 @@ pub struct EraserPolicy {
     detected_parity: Vec<bool>,
     multilevel: bool,
     options: EraserOptions,
+    /// Reusable planning scratch ("which data qubits had an LRC last
+    /// round") — `plan_round` runs once per shot-round on the hot path, so
+    /// it must not allocate.
+    scratch_had_lrc: Vec<bool>,
+    /// Reusable planning scratch ("which parity qubits are claimed").
+    scratch_used: Vec<bool>,
 }
 
 /// Design knobs of the LSB/DLI, exposed for the ablation studies DESIGN.md
@@ -347,6 +518,8 @@ impl EraserPolicy {
             code: code.clone(),
             multilevel: false,
             options: EraserOptions::default(),
+            scratch_had_lrc: Vec::new(),
+            scratch_used: Vec::new(),
         }
     }
 
@@ -416,7 +589,11 @@ impl LrcPolicy for EraserPolicy {
 
     fn plan_round(&mut self, ctx: &RoundContext<'_>) -> Vec<LrcAssignment> {
         // --- Leakage Speculation Block -----------------------------------
-        let mut had_lrc = vec![false; self.code.num_data()];
+        // Scratch is taken out of `self` and restored at the end: the body
+        // keeps plain local borrows, with no steady-state allocation.
+        let mut had_lrc = std::mem::take(&mut self.scratch_had_lrc);
+        had_lrc.clear();
+        had_lrc.resize(self.code.num_data(), false);
         for lrc in ctx.last_lrcs {
             had_lrc[lrc.data] = true;
         }
@@ -470,7 +647,9 @@ impl LrcPolicy for EraserPolicy {
         // --- Dynamic LRC Insertion ---------------------------------------
         // PUTT: parity qubits that served an LRC last round missed their MR
         // and must be measured+reset before serving again (§4.2.2).
-        let mut used = vec![false; self.code.num_stabs()];
+        let mut used = std::mem::take(&mut self.scratch_used);
+        used.clear();
+        used.resize(self.code.num_stabs(), false);
         if self.options.use_putt {
             for lrc in ctx.last_lrcs {
                 used[lrc.stab] = true;
@@ -497,6 +676,8 @@ impl LrcPolicy for EraserPolicy {
             // If every candidate is busy the entry stays in the LTT and
             // retries next round.
         }
+        self.scratch_had_lrc = had_lrc;
+        self.scratch_used = used;
         plan
     }
 

@@ -10,6 +10,16 @@
 //! readout is |L⟩, §4.6.2). After the final transversal readout the Z-basis
 //! detector graph is decoded and the logical-Z outcome compared.
 //!
+//! Shots run **stripe-at-a-time**: up to 64 shots are packed into one
+//! word-parallel [`BatchFrameSimulator`] stripe, driven by a *static* round
+//! schedule (`surface_code::MaskedRound`) whose dynamic LRC decisions are
+//! resolved each round into per-slot lane masks by the [`StripedPolicy`]
+//! layer; the stripe's defect/erasure sets then feed the decoder as one
+//! `decode_batch` call. [`RunConfig::stripe_width`] (or the `ERASER_STRIPE`
+//! environment variable) selects the width; width 1 runs the scalar
+//! reference path, and results are bit-identical at every width — exactly
+//! like the worker-thread count, striping is a pure wall-clock knob.
+//!
 //! Metrics collected per run (paper §5.4, §6.4):
 //!
 //! * **LER** — logical error rate (Eq. 4);
@@ -19,15 +29,18 @@
 //! * **speculation stats** — TP/FP/FN/TN of "this data qubit is leaked"
 //!   decisions against simulator ground truth (Fig 16).
 
-use crate::policy::{LrcPolicy, RoundContext};
-use leak_sim::{Discriminator, FrameSimulator};
+use crate::policy::{LrcPolicy, RoundContext, StripeRoundContext, StripedPolicy};
+use leak_sim::{BatchFrameSimulator, Discriminator, FrameSimulator, STRIPE_WIDTH};
 use qec_core::circuit::DetectorBasis;
-use qec_core::{DetectorInfo, MeasKey, NoiseParams, Op, Rng};
+use qec_core::{DetectorInfo, MeasKey, NoiseParams, Op, OpCond, Rng};
 use qec_decoder::{
-    build_dem, DecoderFactory, DecodingGraph, GreedyFactory, MwpmFactory, Syndrome,
+    build_dem, DecodeOutcome, DecoderFactory, DecodingGraph, GreedyFactory, MwpmFactory, Syndrome,
     UnionFindFactory,
 };
-use surface_code::{LrcAssignment, MemoryBasis, MemoryExperiment, RotatedCode, SyndromeRound};
+use surface_code::{
+    LrcAssignment, MaskedRound, MemoryBasis, MemoryExperiment, RotatedCode, SlotTable,
+    SyndromeRound,
+};
 
 /// Which leakage-removal protocol the scheduled pairs execute.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -169,6 +182,11 @@ pub struct RunConfig {
     /// Erasure-aware decoding: thread the policy's leakage-detection flags
     /// into the decoder as dynamically reweighted (erased) edges.
     pub erasure: ErasureDetection,
+    /// Shots simulated per word-parallel stripe (1..=64); 0 means the
+    /// `ERASER_STRIPE` environment variable if set, else the full 64-lane
+    /// stripe. Width 1 runs the scalar reference path; results are
+    /// bit-identical for every width (shots own their RNG streams).
+    pub stripe_width: usize,
 }
 
 impl Default for RunConfig {
@@ -181,6 +199,7 @@ impl Default for RunConfig {
             protocol: LrcProtocol::Swap,
             decode: true,
             erasure: ErasureDetection::default(),
+            stripe_width: 0,
         }
     }
 }
@@ -205,6 +224,26 @@ impl RunConfig {
         std::thread::available_parallelism()
             .map(|n| n.get())
             .unwrap_or(1)
+    }
+
+    /// The stripe width this configuration resolves to: `stripe_width`
+    /// itself; else the `ERASER_STRIPE` environment variable (the CI test
+    /// matrix's hook); else the full 64-lane stripe. Clamped to 1..=64.
+    /// Results are bit-identical for any resolution — this only affects
+    /// wall-clock time.
+    pub fn resolved_stripe_width(&self) -> usize {
+        let width = if self.stripe_width != 0 {
+            self.stripe_width
+        } else if let Some(w) = std::env::var("ERASER_STRIPE")
+            .ok()
+            .and_then(|v| v.parse::<usize>().ok())
+            .filter(|&w| w > 0)
+        {
+            w
+        } else {
+            STRIPE_WIDTH
+        };
+        width.clamp(1, STRIPE_WIDTH)
     }
 }
 
@@ -405,6 +444,15 @@ pub struct MemoryRunner {
     /// Per stabilizer: whether its round-0 outcome is deterministic (it
     /// belongs to the memory basis) and hence produces a round-0 event.
     stab_deterministic_round0: Vec<bool>,
+    /// The enumerable LRC slots of the code, in canonical `(data, stab)`
+    /// order — the address space of the striped runtime's per-round
+    /// schedule bitmasks.
+    slot_table: SlotTable,
+    /// Static SWAP-protocol round schedule (round-0 keys; the executor adds
+    /// the round's key offset).
+    masked_swap: MaskedRound,
+    /// Static DQLR-protocol round schedule.
+    masked_dqlr: MaskedRound,
     /// Provenance buckets `(round, qubit) -> sorted erased-edge indices`:
     /// every decoding-graph edge fed by a fault mechanism whose circuit
     /// location touched `qubit` during `round`. A leakage flag on a qubit
@@ -507,6 +555,10 @@ impl MemoryRunner {
             bucket.dedup();
         }
 
+        let slot_table = SlotTable::new(exp.code());
+        let masked_swap = builder.masked_round(&slot_table, exp.keys());
+        let masked_dqlr = builder.masked_dqlr_round(&slot_table, exp.keys());
+
         MemoryRunner {
             exp,
             detectors,
@@ -514,6 +566,9 @@ impl MemoryRunner {
             graph,
             init_segment,
             final_segment,
+            slot_table,
+            masked_swap,
+            masked_dqlr,
             stab_deterministic_round0,
             qubit_round_edges,
         }
@@ -593,12 +648,17 @@ impl MemoryRunner {
             first += count;
         }
 
+        let width = config.resolved_stripe_width();
         let partials: Vec<PartialStats> = std::thread::scope(|scope| {
             let handles: Vec<_> = jobs
                 .into_iter()
                 .map(|(first, count)| {
                     scope.spawn(move || {
-                        self.run_shots(first, count, policy_factory, factory, config)
+                        if width == 1 {
+                            self.run_shots_scalar(first, count, policy_factory, factory, config)
+                        } else {
+                            self.run_stripes(first, count, width, policy_factory, factory, config)
+                        }
                     })
                 })
                 .collect();
@@ -664,7 +724,10 @@ impl MemoryRunner {
         }
     }
 
-    fn run_shots(
+    /// The scalar reference path (stripe width 1): one shot at a time on
+    /// the scalar [`FrameSimulator`]. The striped path must stay
+    /// bit-identical to this, shot for shot.
+    fn run_shots_scalar(
         &self,
         first_shot: u64,
         shots: u64,
@@ -731,13 +794,17 @@ impl MemoryRunner {
                 for (q, slot) in oracle.iter_mut().enumerate() {
                     *slot = sim.is_leaked(q);
                 }
-                let plan = policy.plan_round(&RoundContext {
+                let mut plan = policy.plan_round(&RoundContext {
                     round: r,
                     events: &events,
                     leaked_readouts: &leaked_readouts,
                     oracle_leaked_data: &oracle,
                     last_lrcs: &last_lrcs,
                 });
+                // Canonical (data, stab) order: the striped path executes
+                // LRC slots in this order, so the scalar reference must
+                // build (and draw randomness for) its rounds the same way.
+                plan.sort_unstable_by_key(|l| (l.data, l.stab));
                 // Confusion matrix against ground truth at planning time.
                 let mut planned = vec![false; num_data];
                 for lrc in &plan {
@@ -882,6 +949,344 @@ impl MemoryRunner {
             }
         }
         stats
+    }
+
+    /// Executes one segment of a static round schedule on the stripe,
+    /// resolving each op's condition to a lane mask. `key_offset` rebases
+    /// the schedule's round-0 measurement keys onto the current round.
+    #[inline]
+    fn exec_segment(
+        &self,
+        sim: &mut BatchFrameSimulator,
+        segment: &[qec_core::MaskedOp],
+        key_offset: usize,
+        active: u64,
+        slot_masks: &[u64],
+        stab_free: &[u64],
+    ) {
+        for mop in segment {
+            let mask = match mop.cond {
+                OpCond::Always => active,
+                OpCond::Slot(i) => slot_masks[i],
+                OpCond::StabFree(s) => stab_free[s],
+                // The ERASER+M intra-round branch: the LRC's data readout
+                // (recorded this round under the slot's stabilizer key)
+                // came back |L⟩. Labels are only ever set under multi-level
+                // readout, so two-level policies always take the clean arm.
+                OpCond::SlotLabelLeaked(i) => {
+                    let key = key_offset + self.slot_table.slot(i).stab;
+                    slot_masks[i] & sim.record().leaked_word(key)
+                }
+                OpCond::SlotLabelClean(i) => {
+                    let key = key_offset + self.slot_table.slot(i).stab;
+                    slot_masks[i] & !sim.record().leaked_word(key)
+                }
+            };
+            if mask == 0 {
+                continue;
+            }
+            let mut op = mop.op;
+            if let Op::Measure { ref mut key, .. } = op {
+                *key += key_offset;
+            }
+            sim.apply_masked(&op, mask);
+        }
+    }
+
+    /// The word-parallel path: up to 64 shots per stripe on the
+    /// [`BatchFrameSimulator`], with one static schedule per round executed
+    /// under the policy layer's per-slot lane masks, and the stripe's
+    /// defect/erasure sets fed to the decoder as one `decode_batch` call.
+    /// Bit-identical to [`MemoryRunner::run_shots_scalar`], shot for shot.
+    fn run_stripes(
+        &self,
+        first_shot: u64,
+        shots: u64,
+        width: usize,
+        policy_factory: &(dyn Fn(&RotatedCode) -> Box<dyn LrcPolicy> + Sync),
+        factory: Option<&dyn DecoderFactory>,
+        config: &RunConfig,
+    ) -> PartialStats {
+        let code = self.exp.code();
+        let rounds = self.exp.rounds();
+        let num_data = code.num_data();
+        let num_stabs = code.num_stabs();
+        let num_qubits = code.num_qubits();
+        let slots = &self.slot_table;
+        let schedule = match config.protocol {
+            LrcProtocol::Swap => &self.masked_swap,
+            LrcProtocol::Dqlr => &self.masked_dqlr,
+        };
+
+        let mut decoder = factory.map(|f| f.build());
+        let erasure_active = config.erasure.enabled && decoder.is_some();
+        let mut policy = StripedPolicy::new(policy_factory, code, width);
+        let discriminator = if policy.uses_multilevel() {
+            Discriminator::MultiLevel
+        } else {
+            Discriminator::TwoLevel
+        };
+        let mut sim = BatchFrameSimulator::new(
+            num_qubits,
+            self.exp.keys().total(),
+            *self.exp.noise(),
+            discriminator,
+        );
+
+        let mut stats = PartialStats {
+            lpr_data_sum: vec![0.0; rounds],
+            lpr_parity_sum: vec![0.0; rounds],
+            ..PartialStats::default()
+        };
+        let mut sim_rngs: Vec<Rng> = Vec::with_capacity(width);
+        let mut det_rngs: Vec<Rng> = Vec::with_capacity(width);
+        let mut prev_syndrome = vec![0u64; num_stabs];
+        let mut events = vec![0u64; num_stabs];
+        let mut leaked_readouts = vec![0u64; num_stabs];
+        let mut oracle = vec![0u64; num_data];
+        let mut slot_masks = vec![0u64; slots.len()];
+        let mut planned = vec![0u64; num_data];
+        let mut stab_free = vec![0u64; num_stabs];
+        let mut det_words = vec![0u64; self.detectors.len()];
+        let mut det_events = vec![false; self.detectors.len()];
+        let mut syndromes: Vec<Syndrome> = (0..width)
+            .map(|_| Syndrome::with_rounds(Vec::new(), rounds))
+            .collect();
+        let mut outcomes: Vec<DecodeOutcome> = Vec::with_capacity(width);
+
+        let end = first_shot + shots;
+        let mut shot = first_shot;
+        while shot < end {
+            let lanes = width.min((end - shot) as usize);
+            // Lane l carries global shot `shot + l`, with exactly the
+            // per-shot streams the scalar path derives: the detection
+            // stream and its fork for the simulator physics.
+            sim_rngs.clear();
+            det_rngs.clear();
+            for l in 0..lanes as u64 {
+                let mut det = shot_rng(config.seed, shot + l);
+                sim_rngs.push(det.fork());
+                det_rngs.push(det);
+            }
+            sim.begin_stripe(&sim_rngs);
+            let active = sim.active();
+            policy.reset_stripe(lanes);
+            for syndrome in &mut syndromes[..lanes] {
+                syndrome.clear();
+            }
+            sim.run_masked(&self.init_segment, active);
+            prev_syndrome.fill(0);
+            events.fill(0);
+            leaked_readouts.fill(0);
+            // Offline post-selection flags, one bit per lane.
+            let mut suspect = 0u64;
+
+            for r in 0..rounds {
+                for (q, word) in oracle.iter_mut().enumerate() {
+                    *word = sim.leak_word(q);
+                }
+                policy.plan_round(
+                    &StripeRoundContext {
+                        round: r,
+                        events: &events,
+                        leaked_readouts: &leaked_readouts,
+                        oracle_leaked_data: &oracle,
+                        active,
+                    },
+                    slots,
+                    &mut slot_masks,
+                );
+                // Confusion matrix and LRC count, word-parallel.
+                planned.fill(0);
+                for (i, &mask) in slot_masks.iter().enumerate() {
+                    if mask != 0 {
+                        planned[slots.slot(i).data] |= mask;
+                        stats.total_lrcs += mask.count_ones() as u64;
+                    }
+                }
+                for q in 0..num_data {
+                    let p = planned[q];
+                    let o = oracle[q] & active;
+                    stats.speculation.true_positive += (p & o).count_ones() as u64;
+                    stats.speculation.false_positive += (p & !o).count_ones() as u64;
+                    stats.speculation.false_negative += (!p & o).count_ones() as u64;
+                    stats.speculation.true_negative += (!p & !o & active).count_ones() as u64;
+                }
+
+                if erasure_active {
+                    // Per-lane detection noise, drawing each lane's stream
+                    // in exactly the scalar order (data, data_returned,
+                    // parity loops per round).
+                    let fp = config.erasure.false_positive;
+                    let fnr = config.erasure.false_negative;
+                    for lane in 0..lanes {
+                        let Some(det) = policy.lane_detections(lane) else {
+                            continue;
+                        };
+                        let det_rng = &mut det_rngs[lane];
+                        let erasures = &mut syndromes[lane].erasures;
+                        for (q, &flag) in det.data.iter().enumerate() {
+                            let reported = if flag {
+                                !det_rng.bernoulli(fnr)
+                            } else {
+                                det_rng.bernoulli(fp)
+                            };
+                            if reported {
+                                self.extend_qubit_erasures(r.saturating_sub(1)..=r, q, erasures);
+                            }
+                        }
+                        for (q, &flag) in det.data_returned.iter().enumerate() {
+                            if flag && !det_rng.bernoulli(fnr) {
+                                self.extend_qubit_erasures(r.saturating_sub(2)..=r, q, erasures);
+                            }
+                        }
+                        for (s, &flag) in det.parity.iter().enumerate() {
+                            let reported = if flag {
+                                !det_rng.bernoulli(fnr)
+                            } else {
+                                det_rng.bernoulli(fp)
+                            };
+                            if reported && r > 0 {
+                                let parity = code.parity_qubit(s);
+                                self.extend_qubit_erasures(r - 1..=r - 1, parity, erasures);
+                            }
+                        }
+                    }
+                }
+
+                for (s, free) in stab_free.iter_mut().enumerate() {
+                    let mut busy = 0u64;
+                    for &i in slots.slots_on_stab(s) {
+                        busy |= slot_masks[i];
+                    }
+                    *free = active & !busy;
+                }
+
+                let key_offset = r * num_stabs;
+                self.exec_segment(
+                    &mut sim,
+                    &schedule.pre,
+                    key_offset,
+                    active,
+                    &slot_masks,
+                    &stab_free,
+                );
+                // LPR probe: after the entangling layers, before readout.
+                stats.lpr_data_sum[r] += sim.leaked_count_in(0..num_data) as f64;
+                stats.lpr_parity_sum[r] += sim.leaked_count_in(num_data..num_qubits) as f64;
+                self.exec_segment(
+                    &mut sim,
+                    &schedule.measure,
+                    key_offset,
+                    active,
+                    &slot_masks,
+                    &stab_free,
+                );
+                self.exec_segment(
+                    &mut sim,
+                    &schedule.mr_reset,
+                    key_offset,
+                    active,
+                    &slot_masks,
+                    &stab_free,
+                );
+                self.exec_segment(
+                    &mut sim,
+                    &schedule.tails,
+                    key_offset,
+                    active,
+                    &slot_masks,
+                    &stab_free,
+                );
+                self.exec_segment(
+                    &mut sim,
+                    &schedule.post,
+                    key_offset,
+                    active,
+                    &slot_masks,
+                    &stab_free,
+                );
+
+                for s in 0..num_stabs {
+                    let flip = sim.record().flip_word(key_offset + s);
+                    events[s] = if r == 0 {
+                        if self.stab_deterministic_round0[s] {
+                            flip
+                        } else {
+                            0
+                        }
+                    } else {
+                        flip ^ prev_syndrome[s]
+                    };
+                    prev_syndrome[s] = flip;
+                    leaked_readouts[s] = sim.record().leaked_word(key_offset + s);
+                }
+                // The offline LSB rule, word-parallel: flag lanes in which
+                // at least half of some data qubit's neighbouring checks
+                // fired this round.
+                if suspect != active {
+                    for q in 0..num_data {
+                        let adj = code.adjacent_stabs(q);
+                        suspect |= at_least(adj.iter().map(|&s| events[s]), adj.len().div_ceil(2));
+                    }
+                    suspect &= active;
+                }
+            }
+            sim.run_masked(&self.final_segment, active);
+
+            stats.postselection.flagged_shots += suspect.count_ones() as u64;
+            if let Some(decoder) = decoder.as_deref_mut() {
+                // Detector parities for all lanes at once, then per-lane
+                // defect extraction into the stripe's syndrome batch.
+                for (i, det) in self.detectors.iter().enumerate() {
+                    det_words[i] = sim.record().parity_word(&det.keys);
+                }
+                for (lane, syndrome) in syndromes.iter_mut().enumerate().take(lanes) {
+                    for (i, &word) in det_words.iter().enumerate() {
+                        det_events[i] = word >> lane & 1 != 0;
+                    }
+                    self.graph
+                        .defects_from_events_into(&det_events, &mut syndrome.defects);
+                    syndrome.erasures.sort_unstable();
+                    syndrome.erasures.dedup();
+                    stats.total_erasures += syndrome.erasures.len() as u64;
+                }
+                decoder.decode_batch(&syndromes[..lanes], &mut outcomes);
+                let actual = sim.record().parity_word(&self.observable);
+                for (lane, outcome) in outcomes.iter().enumerate() {
+                    if outcome.flip != (actual >> lane & 1 != 0) {
+                        stats.logical_errors += 1;
+                        if suspect >> lane & 1 == 0 {
+                            stats.postselection.errors_on_kept += 1;
+                        }
+                    }
+                }
+            }
+            shot += lanes as u64;
+        }
+        stats
+    }
+}
+
+/// Lane mask of "at least `t` of these words' bits are set", via a
+/// bit-sliced ripple counter. Exact for up to 4 words (a data qubit has at
+/// most 4 neighbouring checks).
+#[inline]
+fn at_least(words: impl Iterator<Item = u64>, t: usize) -> u64 {
+    let (mut b0, mut b1, mut b2) = (0u64, 0u64, 0u64);
+    for w in words {
+        let c0 = b0 & w;
+        b0 ^= w;
+        let c1 = b1 & c0;
+        b1 ^= c0;
+        b2 |= c1;
+    }
+    match t {
+        0 => !0,
+        1 => b0 | b1 | b2,
+        2 => b1 | b2,
+        3 => (b1 & b0) | b2,
+        _ => b2,
     }
 }
 

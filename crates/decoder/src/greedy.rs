@@ -213,38 +213,6 @@ impl DecoderFactory for GreedyFactory<'_> {
     }
 }
 
-/// The legacy immutable greedy decoder: a thin shell over
-/// [`GreedyBatchDecoder`] kept so existing [`crate::Decoder`]-based call
-/// sites compile unchanged. Hot paths should migrate to [`GreedyFactory`].
-#[derive(Debug)]
-pub struct GreedyDecoder<'g> {
-    graph: &'g DecodingGraph,
-    paths: Arc<ShortestPaths>,
-}
-
-impl<'g> GreedyDecoder<'g> {
-    /// Builds the decoder (precomputes all-pairs shortest paths).
-    pub fn new(graph: &'g DecodingGraph) -> GreedyDecoder<'g> {
-        GreedyDecoder {
-            graph,
-            paths: Arc::new(ShortestPaths::compute(graph)),
-        }
-    }
-}
-
-#[allow(deprecated)]
-impl crate::Decoder for GreedyDecoder<'_> {
-    fn decode(&self, defects: &[usize]) -> bool {
-        GreedyBatchDecoder::with_paths(self.graph, Arc::clone(&self.paths))
-            .decode_syndrome(&Syndrome::new(defects.to_vec()))
-            .flip
-    }
-
-    fn name(&self) -> &'static str {
-        "greedy"
-    }
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -64,9 +64,6 @@
 //! assert!(!outcomes[0].flip); // no defects, no correction
 //! assert_eq!(outcomes[1].defects, 2);
 //! ```
-//!
-//! The old immutable [`Decoder`] trait remains as a deprecated adapter over
-//! the same implementations (see the migration table in `CHANGES.md`).
 
 pub mod api;
 pub mod dem;
@@ -80,33 +77,8 @@ pub mod unionfind;
 pub use api::{DecodeOutcome, DecoderFactory, Syndrome, SyndromeDecoder};
 pub use dem::{build_dem, DetectorErrorModel, ErrorMechanism};
 pub use graph::{DecodingGraph, GraphEdge};
-pub use greedy::{GreedyBatchDecoder, GreedyDecoder, GreedyFactory};
+pub use greedy::{GreedyBatchDecoder, GreedyFactory};
 pub use matching::{max_weight_matching, MatchingContext};
-pub use mwpm::{MwpmBatchDecoder, MwpmDecoder, MwpmFactory, ShortestPaths};
+pub use mwpm::{MwpmBatchDecoder, MwpmFactory, ShortestPaths};
 pub use overlay::{WeightOverlay, ERASED_WEIGHT};
-pub use unionfind::{
-    UnionFindBatchDecoder, UnionFindCapacities, UnionFindDecoder, UnionFindFactory,
-};
-
-/// A decoder maps a set of fired detectors (defects, as decoding-graph node
-/// ids) to a predicted logical-observable flip.
-///
-/// Deprecated: this immutable, allocation-per-shot interface cannot reuse
-/// scratch and forces every thread through one shared instance. The stateful
-/// replacement is [`SyndromeDecoder`] (built per thread via a
-/// [`DecoderFactory`]); the legacy decoder structs remain as thin adapters
-/// over it, so `decoder.decode(&defects)` and
-/// `decoder.decode_syndrome(&Syndrome::new(defects))` agree bit-for-bit.
-#[deprecated(
-    since = "0.3.0",
-    note = "use the stateful `SyndromeDecoder` trait (`decode_syndrome` / `decode_batch`) \
-            built through a `DecoderFactory`; see the migration table in CHANGES.md"
-)]
-pub trait Decoder {
-    /// Predicts whether the logical observable was flipped, given the fired
-    /// detector nodes.
-    fn decode(&self, defects: &[usize]) -> bool;
-
-    /// Human-readable decoder name (for experiment output).
-    fn name(&self) -> &'static str;
-}
+pub use unionfind::{UnionFindBatchDecoder, UnionFindCapacities, UnionFindFactory};

@@ -381,73 +381,6 @@ impl DecoderFactory for MwpmFactory<'_> {
     }
 }
 
-/// The legacy immutable MWPM decoder: a thin shell over
-/// [`MwpmBatchDecoder`] kept so existing [`crate::Decoder`]-based call sites
-/// compile unchanged. Each [`crate::Decoder::decode`] call builds a fresh
-/// scratch instance; hot paths should migrate to [`MwpmFactory`].
-///
-/// # Example
-///
-/// ```
-/// use qec_core::NoiseParams;
-/// use qec_core::circuit::DetectorBasis;
-/// use qec_decoder::{build_dem, DecodingGraph, MwpmDecoder};
-/// use surface_code::{MemoryExperiment, RotatedCode};
-///
-/// let exp = MemoryExperiment::new(RotatedCode::new(3), NoiseParams::standard(1e-3), 2);
-/// let detectors = exp.detectors();
-/// let dem = build_dem(&exp.base_circuit(), &detectors, &exp.observable_keys());
-/// let graph = DecodingGraph::from_dem(&dem, &detectors, DetectorBasis::Z);
-/// let decoder = MwpmDecoder::new(&graph);
-/// assert!(decoder.match_defects(&[]).0.is_empty());
-/// ```
-#[derive(Debug)]
-pub struct MwpmDecoder<'g> {
-    graph: &'g DecodingGraph,
-    paths: Arc<ShortestPaths>,
-}
-
-impl<'g> MwpmDecoder<'g> {
-    /// Builds the decoder (precomputes all-pairs shortest paths).
-    pub fn new(graph: &'g DecodingGraph) -> MwpmDecoder<'g> {
-        MwpmDecoder {
-            graph,
-            paths: Arc::new(ShortestPaths::compute(graph)),
-        }
-    }
-
-    /// The underlying graph.
-    pub fn graph(&self) -> &DecodingGraph {
-        self.graph
-    }
-
-    /// The precomputed shortest paths (shared with analyses/benchmarks).
-    pub fn paths(&self) -> &ShortestPaths {
-        &self.paths
-    }
-
-    /// Pairs up defects; returns `(matched defect pairs, boundary-matched
-    /// defects)` as indices into `defects`.
-    pub fn match_defects(&self, defects: &[usize]) -> (Vec<(usize, usize)>, Vec<usize>) {
-        let mut scratch = MwpmBatchDecoder::with_paths(self.graph, Arc::clone(&self.paths));
-        scratch.match_defects_into(defects);
-        (scratch.pairs, scratch.to_boundary)
-    }
-}
-
-#[allow(deprecated)]
-impl crate::Decoder for MwpmDecoder<'_> {
-    fn decode(&self, defects: &[usize]) -> bool {
-        MwpmBatchDecoder::with_paths(self.graph, Arc::clone(&self.paths))
-            .decode_syndrome(&Syndrome::new(defects.to_vec()))
-            .flip
-    }
-
-    fn name(&self) -> &'static str {
-        "mwpm"
-    }
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -557,7 +490,7 @@ mod tests {
     #[test]
     fn matched_pairs_partition_defects() {
         let (graph, dem) = setup(3, 3);
-        let decoder = MwpmDecoder::new(&graph);
+        let mut decoder = MwpmBatchDecoder::new(&graph);
         // Combine a few mechanisms into a composite syndrome.
         let mut events = vec![false; graph.num_nodes()];
         for mech in dem.mechanisms.iter().take(6) {
@@ -568,7 +501,8 @@ mod tests {
             }
         }
         let defects: Vec<usize> = (0..graph.num_nodes()).filter(|&n| events[n]).collect();
-        let (pairs, to_boundary) = decoder.match_defects(&defects);
+        decoder.match_defects_into(&defects);
+        let (pairs, to_boundary) = (decoder.pairs.clone(), decoder.to_boundary.clone());
         let mut seen = vec![false; defects.len()];
         for (i, j) in &pairs {
             assert!(!seen[*i] && !seen[*j]);
@@ -580,27 +514,6 @@ mod tests {
             seen[*i] = true;
         }
         assert!(seen.iter().all(|&s| s), "defect left unmatched");
-    }
-
-    #[test]
-    #[allow(deprecated)]
-    fn legacy_adapter_matches_batch_decoder() {
-        use crate::Decoder;
-        let (graph, dem) = setup(3, 3);
-        let legacy = MwpmDecoder::new(&graph);
-        let mut batch = MwpmBatchDecoder::new(&graph);
-        for mech in dem.mechanisms.iter().take(40) {
-            let defects: Vec<usize> = mech
-                .detectors
-                .iter()
-                .filter_map(|&det| graph.node_of_detector(det))
-                .collect();
-            let syndrome = Syndrome::new(defects.clone());
-            assert_eq!(
-                legacy.decode(&defects),
-                batch.decode_syndrome(&syndrome).flip
-            );
-        }
     }
 
     #[test]

@@ -400,44 +400,6 @@ impl DecoderFactory for UnionFindFactory<'_> {
     }
 }
 
-/// The legacy immutable union-find decoder: a thin shell over
-/// [`UnionFindBatchDecoder`] kept so existing [`crate::Decoder`]-based call
-/// sites compile unchanged. Hot paths should migrate to
-/// [`UnionFindFactory`].
-#[derive(Debug)]
-pub struct UnionFindDecoder<'g> {
-    graph: &'g DecodingGraph,
-    capacities: Arc<UnionFindCapacities>,
-}
-
-impl<'g> UnionFindDecoder<'g> {
-    /// Builds the decoder, quantizing edge weights into growth units.
-    pub fn new(graph: &'g DecodingGraph) -> UnionFindDecoder<'g> {
-        UnionFindDecoder {
-            graph,
-            capacities: Arc::new(UnionFindCapacities::compute(graph)),
-        }
-    }
-
-    /// The underlying graph.
-    pub fn graph(&self) -> &DecodingGraph {
-        self.graph
-    }
-}
-
-#[allow(deprecated)]
-impl crate::Decoder for UnionFindDecoder<'_> {
-    fn decode(&self, defects: &[usize]) -> bool {
-        UnionFindBatchDecoder::with_capacities(self.graph, Arc::clone(&self.capacities))
-            .decode_syndrome(&Syndrome::new(defects.to_vec()))
-            .flip
-    }
-
-    fn name(&self) -> &'static str {
-        "union-find"
-    }
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;

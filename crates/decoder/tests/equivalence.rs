@@ -3,7 +3,7 @@
 //! For all three decoders (MWPM, union-find, greedy) and fixed seeds, these
 //! tests assert the chain of identities the redesign promises:
 //!
-//! `decode_batch` ≡ sequential `decode_syndrome` ≡ legacy `Decoder::decode`,
+//! `decode_batch` ≡ sequential `decode_syndrome`,
 //!
 //! plus determinism across repeated calls on a reused instance (stale
 //! scratch must never leak between shots) and single-construction sharing of
@@ -12,8 +12,8 @@
 use qec_core::circuit::DetectorBasis;
 use qec_core::{NoiseParams, Rng};
 use qec_decoder::{
-    build_dem, DecodeOutcome, DecoderFactory, DecodingGraph, DetectorErrorModel, GreedyDecoder,
-    GreedyFactory, MwpmDecoder, MwpmFactory, Syndrome, UnionFindDecoder, UnionFindFactory,
+    build_dem, DecodeOutcome, DecoderFactory, DecodingGraph, DetectorErrorModel, GreedyFactory,
+    MwpmFactory, Syndrome, UnionFindFactory,
 };
 use std::sync::Arc;
 use surface_code::{MemoryExperiment, RotatedCode};
@@ -58,13 +58,7 @@ fn same_prediction(a: &DecodeOutcome, b: &DecodeOutcome) -> bool {
     a.flip == b.flip && a.weight == b.weight && a.defects == b.defects
 }
 
-#[allow(deprecated)]
-fn check_equivalence(
-    factory: &dyn DecoderFactory,
-    legacy: &dyn qec_decoder::Decoder,
-    syndromes: &[Syndrome],
-) {
-    assert_eq!(factory.name(), legacy.name());
+fn check_equivalence(factory: &dyn DecoderFactory, syndromes: &[Syndrome]) {
     // Batch pass on one instance.
     let mut batch_decoder = factory.build();
     let mut batch = Vec::new();
@@ -83,14 +77,6 @@ fn check_equivalence(
         );
         assert_eq!(batched.defects, syndrome.len());
         assert!(batched.weight >= 0.0);
-        // Legacy adapter must predict the same flip.
-        assert_eq!(
-            legacy.decode(&syndrome.defects),
-            batched.flip,
-            "[{}] legacy Decoder::decode disagrees on {:?}",
-            factory.name(),
-            syndrome.defects,
-        );
     }
 
     // Determinism: a second batch pass on the *reused* instance (warm
@@ -107,19 +93,19 @@ fn check_equivalence(
 }
 
 #[test]
-fn all_decoders_batch_sequential_and_legacy_agree() {
+fn all_decoders_batch_and_sequential_agree() {
     for (d, rounds, seed) in [(3usize, 3usize, 42u64), (5, 3, 1337)] {
         let (graph, dem) = setup(d, rounds);
         let syndromes = random_syndromes(&graph, &dem, 120, seed);
 
         let mwpm = MwpmFactory::new(&graph);
-        check_equivalence(&mwpm, &MwpmDecoder::new(&graph), &syndromes);
+        check_equivalence(&mwpm, &syndromes);
 
         let uf = UnionFindFactory::new(&graph);
-        check_equivalence(&uf, &UnionFindDecoder::new(&graph), &syndromes);
+        check_equivalence(&uf, &syndromes);
 
         let greedy = GreedyFactory::with_paths(&graph, Arc::clone(mwpm.paths()));
-        check_equivalence(&greedy, &GreedyDecoder::new(&graph), &syndromes);
+        check_equivalence(&greedy, &syndromes);
     }
 }
 

@@ -100,6 +100,108 @@ pub fn rx_if_partner_leaked(theta: f64) -> Mat {
     })
 }
 
+/// Embedded Pauli (identity on |2⟩, |3⟩): 0 = I, 1 = X, 2 = Y, 3 = Z.
+fn embedded_pauli(i: usize) -> Mat {
+    match i {
+        0 => Mat::identity(Q),
+        1 => embed_qubit_gate(Complex::ZERO, Complex::ONE, Complex::ONE, Complex::ZERO),
+        2 => embed_qubit_gate(
+            Complex::ZERO,
+            Complex::new(0.0, -1.0),
+            Complex::new(0.0, 1.0),
+            Complex::ZERO,
+        ),
+        _ => embed_qubit_gate(Complex::ONE, Complex::ZERO, Complex::ZERO, -Complex::ONE),
+    }
+}
+
+/// Projector onto one ququart's leaked subspace (|2⟩, |3⟩).
+fn leak_projector() -> Mat {
+    let mut m = Mat::zeros(Q);
+    m[(2, 2)] = Complex::ONE;
+    m[(3, 3)] = Complex::ONE;
+    m
+}
+
+/// Projector onto one ququart's computational subspace (|0⟩, |1⟩).
+fn comp_projector() -> Mat {
+    let mut m = Mat::zeros(Q);
+    m[(0, 0)] = Complex::ONE;
+    m[(1, 1)] = Complex::ONE;
+    m
+}
+
+/// One-sided tensor product `a ⊗ b` of two single-ququart matrices.
+fn kron(a: &Mat, b: &Mat) -> Mat {
+    Mat::from_fn(Q * Q, |r, c| a[(r / Q, c / Q)] * b[(r % Q, c % Q)])
+}
+
+/// The Pauli-twirled kick: a uniformly random Pauli on the second qudit
+/// exactly when the first is leaked — the §5.2.2 channel the Pauli-frame
+/// simulator applies to the unleaked operand of a leaked pair. Use twice
+/// with the operands swapped, like [`rx_if_partner_leaked`]. This is the
+/// frame-calibrated replacement for the coherent RX kick: under it the
+/// frame simulator is an unbiased sampler of the exact density dynamics,
+/// which is what the cross-validation suite relies on.
+pub fn pauli_twirl_if_partner_leaked() -> Vec<Mat> {
+    let leak = leak_projector();
+    let comp = comp_projector();
+    let mut ks: Vec<Mat> = (0..4)
+        .map(|i| kron(&leak, &embedded_pauli(i)).scaled(0.5))
+        .collect();
+    ks.push(kron(&comp, &Mat::identity(Q)));
+    ks
+}
+
+/// Frame-calibrated leakage transport: with probability `p`, and only when
+/// *exactly one* operand is leaked, the operands exchange states and the
+/// returned (now computational) qudit is Pauli-twirled into a uniformly
+/// random computational state — the frame simulator's exchange-transport
+/// semantics (`TransportModel::Exchange`), where the returned qubit's
+/// frame is randomized rather than preserved. Clean and doubly-leaked
+/// pairs are untouched (the plain [`leak_transport_kraus`] SWAP-mixture
+/// instead exchanges every pair's states).
+pub fn leak_transport_kraus_frame(p: f64) -> Vec<Mat> {
+    let leak = leak_projector();
+    let comp = comp_projector();
+    // Projectors onto "left leaked, right computational" and the mirror.
+    let left = kron(&leak, &comp);
+    let right = kron(&comp, &leak);
+    let mixed = {
+        let mut m = left.clone();
+        for r in 0..Q * Q {
+            for c in 0..Q * Q {
+                m[(r, c)] += right[(r, c)];
+            }
+        }
+        m
+    };
+    // No-transport branch on the mixed subspace; identity elsewhere.
+    let mut k0 = Mat::identity(Q * Q);
+    for r in 0..Q * Q {
+        for c in 0..Q * Q {
+            k0[(r, c)] = k0[(r, c)] - mixed[(r, c)].scale(1.0 - (1.0 - p).sqrt());
+        }
+    }
+    let mut ks = vec![k0];
+    let swap = swap();
+    // After the SWAP, the side that held the leaked state is the returned
+    // (computational) one and gets the twirl.
+    for (proj, returned_left) in [(&left, true), (&right, false)] {
+        for i in 0..4 {
+            // Twirl the returned operand (post-swap: the side that held the
+            // leaked state) with each Pauli at weight p/4.
+            let twirl = if returned_left {
+                kron(&embedded_pauli(i), &Mat::identity(Q))
+            } else {
+                kron(&Mat::identity(Q), &embedded_pauli(i))
+            };
+            ks.push(twirl.matmul(&swap).matmul(proj).scaled((p / 4.0).sqrt()));
+        }
+    }
+    ks
+}
+
 /// Google's `LeakageISWAP` from the DQLR protocol (paper App A.2, Fig 19):
 /// an iSWAP calibrated on the |11⟩/|20⟩ submanifold of a (data, parity)
 /// pair. With the parity qubit freshly reset to |0⟩ it converts a leaked
@@ -228,6 +330,80 @@ mod tests {
             calm.apply_two(0, 1, &leakage_iswap());
             assert!((calm.population(0, d) - 1.0).abs() < 1e-12);
         }
+    }
+
+    /// A Kraus set must be trace-preserving: Σ K†K = I.
+    fn assert_complete(ks: &[Mat], dim: usize) {
+        let mut sum = Mat::zeros(dim);
+        for k in ks {
+            let prod = k.dagger().matmul(k);
+            for r in 0..dim {
+                for c in 0..dim {
+                    sum[(r, c)] += prod[(r, c)];
+                }
+            }
+        }
+        for r in 0..dim {
+            for c in 0..dim {
+                let expect = if r == c { 1.0 } else { 0.0 };
+                assert!(
+                    (sum[(r, c)] - Complex::real(expect)).norm_sqr() < 1e-18,
+                    "ΣK†K differs from I at ({r},{c}): {:?}",
+                    sum[(r, c)]
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn frame_calibrated_channels_are_trace_preserving() {
+        assert_complete(&pauli_twirl_if_partner_leaked(), Q * Q);
+        for p in [0.0, 0.1, 0.5, 1.0] {
+            assert_complete(&leak_transport_kraus_frame(p), Q * Q);
+        }
+        assert_complete(&leak_transport_kraus(0.1), Q * Q);
+        assert_complete(&leak_inject_kraus(0.3), Q);
+    }
+
+    #[test]
+    fn frame_transport_fires_only_on_singly_leaked_pairs() {
+        // Leaked + computational: leakage moves, returned state is uniform.
+        let mut rho = DensityMatrix::new_pure(2, &[2, 1]);
+        rho.apply_kraus_two(0, 1, &leak_transport_kraus_frame(1.0));
+        assert!((rho.leak_probability(0)).abs() < 1e-12);
+        assert!((rho.leak_probability(1) - 1.0).abs() < 1e-12);
+        assert!(
+            (rho.population(0, 0) - 0.5).abs() < 1e-12,
+            "returned state must be uniformly random, not the partner's |1⟩"
+        );
+        // Clean pairs are untouched (the SWAP mixture would exchange them).
+        let mut clean = DensityMatrix::new_pure(2, &[1, 0]);
+        clean.apply_kraus_two(0, 1, &leak_transport_kraus_frame(1.0));
+        assert!((clean.population(0, 1) - 1.0).abs() < 1e-12);
+        assert!((clean.population(1, 0) - 1.0).abs() < 1e-12);
+        // Doubly-leaked pairs too.
+        let mut both = DensityMatrix::new_pure(2, &[2, 2]);
+        both.apply_kraus_two(0, 1, &leak_transport_kraus_frame(0.7));
+        assert!((both.leak_probability(0) - 1.0).abs() < 1e-12);
+        assert!((both.leak_probability(1) - 1.0).abs() < 1e-12);
+        // Partial transport splits the population like the scalar model.
+        let mut partial = DensityMatrix::new_pure(2, &[2, 0]);
+        partial.apply_kraus_two(0, 1, &leak_transport_kraus_frame(0.1));
+        assert!((partial.leak_probability(1) - 0.1).abs() < 1e-12);
+        assert!((partial.trace().re - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn pauli_twirl_kick_randomizes_only_on_leaked_partner() {
+        // Partner leaked: the computational qubit lands uniformly random.
+        let mut kicked = DensityMatrix::new_pure(2, &[2, 0]);
+        kicked.apply_kraus_two(0, 1, &pauli_twirl_if_partner_leaked());
+        assert!((kicked.population(1, 0) - 0.5).abs() < 1e-12);
+        assert!((kicked.population(1, 1) - 0.5).abs() < 1e-12);
+        // Partner computational: identity.
+        let mut calm = DensityMatrix::new_pure(2, &[1, 1]);
+        calm.apply_kraus_two(0, 1, &pauli_twirl_if_partner_leaked());
+        assert!((calm.population(1, 1) - 1.0).abs() < 1e-12);
     }
 
     #[test]

@@ -37,4 +37,4 @@ pub mod stabilizer;
 
 pub use complex::Complex;
 pub use density::{DensityMatrix, Mat};
-pub use stabilizer::{StabilizerLeakageStudy, StepRecord};
+pub use stabilizer::{KickModel, StabilizerLeakageStudy, StepRecord};

@@ -33,6 +33,18 @@ pub struct StepRecord {
     pub p_correct: f64,
 }
 
+/// The model applied to the unleaked operand of a leaked CNOT pair.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum KickModel {
+    /// Coherent RX(θ) (the paper's Fig 7(b) channel; θ = 0.65π from
+    /// Sycamore).
+    Coherent(f64),
+    /// Uniformly random Pauli — the Pauli-twirled kick the frame simulator
+    /// applies (§5.2.2). Keeps the state diagonal, so the Monte-Carlo
+    /// frame simulator samples the exact same open-system dynamics.
+    PauliTwirl,
+}
+
 /// Configuration and driver for the single-stabilizer leakage study.
 ///
 /// # Example
@@ -51,8 +63,13 @@ pub struct StabilizerLeakageStudy {
     pub p_transport: f64,
     /// Leakage-injection probability per CNOT operand (paper: 1e-4).
     pub p_inject: f64,
-    /// Kick angle for leaked-pair CNOTs (paper: 0.65π from Sycamore).
-    pub kick_theta: f64,
+    /// Kick model for leaked-pair CNOTs.
+    pub kick: KickModel,
+    /// Transport channel: `false` = the paper's SWAP mixture
+    /// ([`gates::leak_transport_kraus`]); `true` = the frame simulator's
+    /// exchange semantics ([`gates::leak_transport_kraus_frame`]: fires
+    /// only on singly-leaked pairs and randomizes the returned state).
+    pub frame_transport: bool,
 }
 
 impl Default for StabilizerLeakageStudy {
@@ -60,7 +77,8 @@ impl Default for StabilizerLeakageStudy {
         StabilizerLeakageStudy {
             p_transport: 0.1,
             p_inject: 1e-4,
-            kick_theta: gates::SYCAMORE_KICK,
+            kick: KickModel::Coherent(gates::SYCAMORE_KICK),
+            frame_transport: false,
         }
     }
 }
@@ -69,6 +87,23 @@ impl Default for StabilizerLeakageStudy {
 pub const PARITY: usize = 4;
 
 impl StabilizerLeakageStudy {
+    /// The frame-calibrated configuration: Pauli-twirled kicks, exchange
+    /// transport, no injection (the frame model injects from *any*
+    /// computational state, the density model only from |1⟩, so injection
+    /// is excluded from exact cross-validation). Under this configuration
+    /// every channel keeps the state diagonal and the leakage-aware frame
+    /// simulator is an unbiased sampler of the exact dynamics — the
+    /// cross-validation suite (`tests/density_crossval.rs`) runs both and
+    /// compares within Monte-Carlo tolerance.
+    pub fn frame_calibrated() -> StabilizerLeakageStudy {
+        StabilizerLeakageStudy {
+            p_transport: 0.1,
+            p_inject: 0.0,
+            kick: KickModel::PauliTwirl,
+            frame_transport: true,
+        }
+    }
+
     /// Runs the full two-round circuit, returning one record per step.
     pub fn run(&self) -> Vec<StepRecord> {
         let mut rho = DensityMatrix::new_pure(5, &[2, 0, 0, 0, 0]);
@@ -115,16 +150,28 @@ impl StabilizerLeakageStudy {
     fn noisy_cnot(&self, rho: &mut DensityMatrix, control: usize, target: usize) {
         rho.apply_two(control, target, &gates::cnot());
         // Fig 7(b) channel sequence: transport, conditional kicks, injection.
-        rho.apply_kraus_two(
-            control,
-            target,
-            &gates::leak_transport_kraus(self.p_transport),
-        );
-        let kick = gates::rx_if_partner_leaked(self.kick_theta);
-        rho.apply_two(control, target, &kick);
-        rho.apply_two(target, control, &kick);
-        rho.apply_kraus_one(control, &gates::leak_inject_kraus(self.p_inject));
-        rho.apply_kraus_one(target, &gates::leak_inject_kraus(self.p_inject));
+        let transport = if self.frame_transport {
+            gates::leak_transport_kraus_frame(self.p_transport)
+        } else {
+            gates::leak_transport_kraus(self.p_transport)
+        };
+        rho.apply_kraus_two(control, target, &transport);
+        match self.kick {
+            KickModel::Coherent(theta) => {
+                let kick = gates::rx_if_partner_leaked(theta);
+                rho.apply_two(control, target, &kick);
+                rho.apply_two(target, control, &kick);
+            }
+            KickModel::PauliTwirl => {
+                let kick = gates::pauli_twirl_if_partner_leaked();
+                rho.apply_kraus_two(control, target, &kick);
+                rho.apply_kraus_two(target, control, &kick);
+            }
+        }
+        if self.p_inject > 0.0 {
+            rho.apply_kraus_one(control, &gates::leak_inject_kraus(self.p_inject));
+            rho.apply_kraus_one(target, &gates::leak_inject_kraus(self.p_inject));
+        }
     }
 
     fn record(&self, rho: &DensityMatrix, label: &str, out: &mut Vec<StepRecord>) {

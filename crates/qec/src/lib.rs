@@ -37,8 +37,10 @@ pub mod circuit;
 pub mod noise;
 pub mod pauli;
 pub mod rng;
+pub mod schedule;
 
 pub use circuit::{Circuit, DetectorBasis, DetectorInfo, MeasKey, Op, QubitId};
 pub use noise::{NoiseParams, TransportModel};
 pub use pauli::Pauli;
 pub use rng::Rng;
+pub use schedule::{MaskedOp, OpCond};

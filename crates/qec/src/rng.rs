@@ -52,7 +52,23 @@ impl Rng {
         Rng { state }
     }
 
+    /// The raw xoshiro256++ state. Together with [`Rng::from_state`] this
+    /// lets the word-parallel simulator keep 64 lane streams in
+    /// structure-of-arrays form (one array per state word) and advance them
+    /// with vectorizable bulk steps, while per-lane fallback draws rebuild
+    /// a `Rng` and stay bit-identical.
+    pub fn state(&self) -> [u64; 4] {
+        self.state
+    }
+
+    /// Rebuilds a generator from a raw state captured by [`Rng::state`]
+    /// (not a seeding function — use [`Rng::new`] for seeds).
+    pub fn from_state(state: [u64; 4]) -> Rng {
+        Rng { state }
+    }
+
     /// Returns the next 64 uniformly random bits.
+    #[inline]
     pub fn next_u64(&mut self) -> u64 {
         let s = &mut self.state;
         let result = s[0].wrapping_add(s[3]).rotate_left(23).wrapping_add(s[0]);
@@ -67,6 +83,7 @@ impl Rng {
     }
 
     /// Uniform float in `[0, 1)` with 53 bits of precision.
+    #[inline]
     pub fn f64(&mut self) -> f64 {
         (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
     }
@@ -75,6 +92,7 @@ impl Rng {
     ///
     /// Probabilities outside `[0, 1]` are clamped (a `p = 0` channel must
     /// never fire, a `p >= 1` channel always fires).
+    #[inline]
     pub fn bernoulli(&mut self, p: f64) -> bool {
         if p <= 0.0 {
             false
@@ -86,6 +104,7 @@ impl Rng {
     }
 
     /// A uniformly random bit.
+    #[inline]
     pub fn bit(&mut self) -> bool {
         self.next_u64() >> 63 != 0
     }
@@ -95,6 +114,7 @@ impl Rng {
     /// # Panics
     ///
     /// Panics if `n == 0`.
+    #[inline]
     pub fn below(&mut self, n: u64) -> u64 {
         assert!(n > 0, "below(0) is meaningless");
         // Debiased multiply-shift (Lemire). The retry loop terminates with
@@ -115,12 +135,14 @@ impl Rng {
 
     /// A uniformly random Pauli from `{I, X, Y, Z}` (used for the random error
     /// a leaked qubit inflicts on its CNOT partner, §5.2.2).
+    #[inline]
     pub fn uniform_pauli(&mut self) -> Pauli {
         Pauli::ALL[self.below(4) as usize]
     }
 
     /// A uniformly random *non-identity* Pauli from `{X, Y, Z}` (a
     /// depolarizing-channel component).
+    #[inline]
     pub fn error_pauli(&mut self) -> Pauli {
         Pauli::ERRORS[self.below(3) as usize]
     }

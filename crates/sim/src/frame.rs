@@ -90,7 +90,13 @@ pub struct FrameSimulator {
     num_qubits: usize,
     x: Vec<bool>,
     z: Vec<bool>,
-    leaked: Vec<bool>,
+    /// Leak flags, bit-packed 64 qubits per word. The packed layout turns
+    /// the per-round LPR probe ([`FrameSimulator::leaked_count_in`]) into a
+    /// handful of masked popcounts instead of an O(n) bool rescan.
+    leaked: Vec<u64>,
+    /// Running number of set bits in `leaked`, maintained by every leak
+    /// transition so [`FrameSimulator::leaked_count`] is O(1).
+    leaked_count: usize,
     noise: NoiseParams,
     discriminator: Discriminator,
     rng: Rng,
@@ -111,11 +117,30 @@ impl FrameSimulator {
             num_qubits,
             x: vec![false; num_qubits],
             z: vec![false; num_qubits],
-            leaked: vec![false; num_qubits],
+            leaked: vec![0; num_qubits.div_ceil(64)],
+            leaked_count: 0,
             noise,
             discriminator,
             rng,
             record: MeasRecord::new(num_keys),
+        }
+    }
+
+    #[inline]
+    fn set_leak(&mut self, q: QubitId) {
+        let (w, b) = (q / 64, 1u64 << (q % 64));
+        if self.leaked[w] & b == 0 {
+            self.leaked[w] |= b;
+            self.leaked_count += 1;
+        }
+    }
+
+    #[inline]
+    fn clear_leak(&mut self, q: QubitId) {
+        let (w, b) = (q / 64, 1u64 << (q % 64));
+        if self.leaked[w] & b != 0 {
+            self.leaked[w] &= !b;
+            self.leaked_count -= 1;
         }
     }
 
@@ -125,7 +150,8 @@ impl FrameSimulator {
     pub fn reset_shot(&mut self) {
         self.x.fill(false);
         self.z.fill(false);
-        self.leaked.fill(false);
+        self.leaked.fill(0);
+        self.leaked_count = 0;
         self.record.clear();
     }
 
@@ -147,18 +173,37 @@ impl FrameSimulator {
     }
 
     /// Whether qubit `q` is currently leaked.
+    #[inline]
     pub fn is_leaked(&self, q: QubitId) -> bool {
-        self.leaked[q]
+        self.leaked[q / 64] >> (q % 64) & 1 != 0
     }
 
-    /// The full leakage bitmap (indexed by qubit).
-    pub fn leaked(&self) -> &[bool] {
-        &self.leaked
+    /// Total number of currently leaked qubits (O(1): maintained as a
+    /// running count across every leak transition).
+    pub fn leaked_count(&self) -> usize {
+        self.leaked_count
     }
 
-    /// Number of currently leaked qubits among `qubits`.
+    /// Number of currently leaked qubits among `qubits`. Masked popcounts
+    /// over the packed leak words — O(n/64), not an O(n) rescan; this sits
+    /// on the per-round LPR probe path of every memory experiment.
     pub fn leaked_count_in(&self, qubits: std::ops::Range<usize>) -> usize {
-        qubits.filter(|&q| self.leaked[q]).count()
+        let (start, end) = (qubits.start, qubits.end.min(self.num_qubits));
+        if start >= end {
+            return 0;
+        }
+        let (first, last) = (start / 64, (end - 1) / 64);
+        let lo = !0u64 << (start % 64);
+        let hi = !0u64 >> (63 - (end - 1) % 64);
+        if first == last {
+            return (self.leaked[first] & lo & hi).count_ones() as usize;
+        }
+        let mut count = (self.leaked[first] & lo).count_ones();
+        for w in &self.leaked[first + 1..last] {
+            count += w.count_ones();
+        }
+        count += (self.leaked[last] & hi).count_ones();
+        count as usize
     }
 
     /// The noise model in force.
@@ -180,7 +225,7 @@ impl FrameSimulator {
     /// Applies a bare Pauli to a qubit's frame (no-op on leaked qubits). Used
     /// by tests to inject deterministic errors.
     pub fn apply_pauli(&mut self, q: QubitId, p: Pauli) {
-        if !self.leaked[q] {
+        if !self.is_leaked(q) {
             self.x[q] ^= p.has_x();
             self.z[q] ^= p.has_z();
         }
@@ -189,7 +234,7 @@ impl FrameSimulator {
     /// Forces qubit `q` into the leaked state (used by targeted experiments
     /// such as the leakage-storm example).
     pub fn force_leak(&mut self, q: QubitId) {
-        self.leaked[q] = true;
+        self.set_leak(q);
         self.x[q] = false;
         self.z[q] = false;
     }
@@ -205,7 +250,7 @@ impl FrameSimulator {
     pub fn apply(&mut self, op: &Op) {
         match *op {
             Op::H(q) => {
-                if !self.leaked[q] {
+                if !self.is_leaked(q) {
                     let (xq, zq) = (self.x[q], self.z[q]);
                     self.x[q] = zq;
                     self.z[q] = xq;
@@ -215,12 +260,12 @@ impl FrameSimulator {
             Op::CnotNoTransport { control, target } => self.cnot(control, target, false),
             Op::Measure { qubit, key } => self.measure(qubit, key),
             Op::Reset(q) => {
-                self.leaked[q] = false;
+                self.clear_leak(q);
                 self.x[q] = false;
                 self.z[q] = false;
             }
             Op::Depolarize1 { qubit, p } => {
-                if !self.leaked[qubit] && self.rng.bernoulli(p) {
+                if !self.is_leaked(qubit) && self.rng.bernoulli(p) {
                     let e = self.rng.error_pauli();
                     self.x[qubit] ^= e.has_x();
                     self.z[qubit] ^= e.has_z();
@@ -230,7 +275,7 @@ impl FrameSimulator {
                 // Gate noise is calibrated for the computational basis; a
                 // leaked operand already received its random-Pauli kick in
                 // `cnot`, so the channel is skipped to avoid double-counting.
-                if !self.leaked[a] && !self.leaked[b] && self.rng.bernoulli(p) {
+                if !self.is_leaked(a) && !self.is_leaked(b) && self.rng.bernoulli(p) {
                     let (pa, pb) = loop {
                         let pa = self.rng.uniform_pauli();
                         let pb = self.rng.uniform_pauli();
@@ -245,22 +290,22 @@ impl FrameSimulator {
                 }
             }
             Op::XError { qubit, p } => {
-                if !self.leaked[qubit] && self.rng.bernoulli(p) {
+                if !self.is_leaked(qubit) && self.rng.bernoulli(p) {
                     self.x[qubit] ^= true;
                 }
             }
             Op::LeakInject { qubit, p } => {
                 if self.rng.bernoulli(p) {
-                    self.leaked[qubit] = true;
+                    self.set_leak(qubit);
                     self.x[qubit] = false;
                     self.z[qubit] = false;
                 }
             }
             Op::Seep { qubit, p } => {
-                if self.leaked[qubit] && self.rng.bernoulli(p) {
+                if self.is_leaked(qubit) && self.rng.bernoulli(p) {
                     // Return in a uniformly random computational state
                     // (§5.2.2 footnote 5).
-                    self.leaked[qubit] = false;
+                    self.clear_leak(qubit);
                     self.x[qubit] = self.rng.bit();
                     self.z[qubit] = self.rng.bit();
                 }
@@ -271,7 +316,7 @@ impl FrameSimulator {
     }
 
     fn cnot(&mut self, c: QubitId, t: QubitId, transport_enabled: bool) {
-        match (self.leaked[c], self.leaked[t]) {
+        match (self.is_leaked(c), self.is_leaked(t)) {
             (false, false) => {
                 self.x[t] ^= self.x[c];
                 self.z[c] ^= self.z[t];
@@ -293,15 +338,15 @@ impl FrameSimulator {
                 if transport_enabled && self.rng.bernoulli(self.noise.p_transport) {
                     match self.noise.transport {
                         TransportModel::Conservative => {
-                            self.leaked[clean_q] = true;
+                            self.set_leak(clean_q);
                             self.x[clean_q] = false;
                             self.z[clean_q] = false;
                         }
                         TransportModel::Exchange => {
-                            self.leaked[clean_q] = true;
+                            self.set_leak(clean_q);
                             self.x[clean_q] = false;
                             self.z[clean_q] = false;
-                            self.leaked[leaked_q] = false;
+                            self.clear_leak(leaked_q);
                             self.x[leaked_q] = self.rng.bit();
                             self.z[leaked_q] = self.rng.bit();
                         }
@@ -312,7 +357,7 @@ impl FrameSimulator {
     }
 
     fn measure(&mut self, q: QubitId, key: MeasKey) {
-        if self.leaked[q] {
+        if self.is_leaked(q) {
             match self.discriminator {
                 Discriminator::TwoLevel => {
                     // A two-level classifier assigns a uniformly random
@@ -351,17 +396,17 @@ impl FrameSimulator {
         // Google's LeakageISWAP (Appendix A.2): an iSWAP in the |11⟩/|20⟩
         // basis. It deterministically moves data-qubit leakage onto the
         // (just-reset) parity qubit and is not vulnerable to transport.
-        if self.leaked[data] && !self.leaked[parity] {
-            self.leaked[data] = false;
-            self.leaked[parity] = true;
+        if self.is_leaked(data) && !self.is_leaked(parity) {
+            self.clear_leak(data);
+            self.set_leak(parity);
             self.x[data] = self.rng.bit();
             self.z[data] = self.rng.bit();
-        } else if !self.leaked[data] && !self.leaked[parity] && self.x[parity] {
+        } else if !self.is_leaked(data) && !self.is_leaked(parity) && self.x[parity] {
             // The parity reset failed (it sits in |1⟩). If the data qubit is
             // also in |1⟩ — probability ½ for a generic data state — the
             // |11⟩→|20⟩ coupling excites the data qubit to |L⟩ (Fig 19(b)).
             if self.rng.bit() {
-                self.leaked[data] = true;
+                self.set_leak(data);
                 self.x[data] = false;
                 self.z[data] = false;
             }

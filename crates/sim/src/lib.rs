@@ -10,6 +10,10 @@
 //!   CNOTs (conservative and exchange variants), random Pauli kicks from
 //!   leaked operands, leaked-readout randomization, and Google's
 //!   `LeakageISWAP` for the DQLR protocol.
+//! * [`BatchFrameSimulator`] — the word-parallel form of the same model: 64
+//!   shots per stripe as per-qubit X/Z/leakage bit-planes with masked-op
+//!   execution, bit-identical to 64 scalar runs (see the [`batch`] module
+//!   docs for the layout and the RNG-alignment discipline).
 //! * [`TableauSimulator`] — a full Aaronson–Gottesman stabilizer simulator
 //!   used by the test-suite to verify that the surface-code circuits measure
 //!   what they claim to measure (deterministic detectors, logical operators).
@@ -33,10 +37,12 @@
 //! assert!(!sim.is_leaked(0)); // reset removes leakage
 //! ```
 
+pub mod batch;
 pub mod frame;
 pub mod readout;
 pub mod tableau;
 
+pub use batch::{BatchFrameSimulator, BatchMeasRecord, STRIPE_WIDTH};
 pub use frame::{FrameSimulator, MeasRecord};
 pub use readout::{Discriminator, ReadoutLabel};
 pub use tableau::TableauSimulator;

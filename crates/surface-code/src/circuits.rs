@@ -131,6 +131,11 @@ impl<'a> RoundBuilder<'a> {
         self.code
     }
 
+    /// The noise model this builder synthesizes with.
+    pub fn noise(&self) -> &NoiseParams {
+        &self.noise
+    }
+
     fn push_cnot(&self, ops: &mut Vec<Op>, control: QubitId, target: QubitId) {
         self.push_cnot_op(ops, Op::Cnot { control, target });
     }

@@ -32,7 +32,9 @@
 pub mod circuits;
 pub mod experiment;
 pub mod layout;
+pub mod schedule;
 
 pub use circuits::{LrcAssignment, LrcPost, RoundBuilder, SyndromeRound};
 pub use experiment::{KeyLayout, MemoryBasis, MemoryExperiment};
 pub use layout::{RotatedCode, StabKind, Stabilizer};
+pub use schedule::{MaskedRound, SlotTable};

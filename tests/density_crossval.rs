@@ -1,0 +1,147 @@
+//! Cross-validation of the (batch) frame simulator against the exact
+//! density-matrix simulator on the d=3 stabilizer cell.
+//!
+//! A full distance-3 surface-code density simulation is intractable (17
+//! ququarts → a 4³⁴-entry operator), so the exact reference is the paper's
+//! §3.3 five-ququart study: one weight-4 Z stabilizer of the d=3 code —
+//! four data qubits and a parity qubit — through a dance + LRC round
+//! followed by a plain round, with q0 initially leaked. Under the
+//! *frame-calibrated* channel set (Pauli-twirled kicks, exchange
+//! transport, see `StabilizerLeakageStudy::frame_calibrated`) the density
+//! dynamics stay diagonal and the leakage-aware Pauli-frame model is an
+//! unbiased sampler of exactly that open system. The striped
+//! [`BatchFrameSimulator`] must therefore reproduce, within binomial
+//! Monte-Carlo tolerance, the exact per-step leakage populations of all
+//! five qudits *and* the stabilizer-readout-correct probability — this is
+//! the integration coverage tying the two simulation stacks together.
+
+use eraser_repro::density_sim::StabilizerLeakageStudy;
+use eraser_repro::leak_sim::{BatchFrameSimulator, Discriminator, STRIPE_WIDTH};
+use eraser_repro::qec_core::{NoiseParams, Op, Rng};
+
+const QUBITS: usize = 5;
+const PARITY: usize = 4;
+const STRIPES: usize = 1500; // 96_000 shots → binomial σ ≤ 0.0017
+
+fn cx(control: usize, target: usize) -> Op {
+    Op::Cnot { control, target }
+}
+
+/// The §3.3 circuit as frame-simulator ops, chunked exactly like the
+/// density study's record points (one chunk per `StepRecord`, the first
+/// being the empty init chunk).
+fn chunks() -> Vec<Vec<Op>> {
+    vec![
+        vec![],                  // init (q0 = |2⟩)
+        vec![cx(0, PARITY)],     // CX#1
+        vec![cx(1, PARITY)],     // CX#2
+        vec![cx(2, PARITY)],     // CX#3
+        vec![cx(3, PARITY)],     // CX#4
+        vec![cx(0, PARITY)],     // CX#5 (swap-in 1/3)
+        vec![cx(PARITY, 0)],     // CX#6 (swap-in 2/3)
+        vec![cx(0, PARITY)],     // A: CX#7
+        vec![Op::Reset(0)],      // MR(q0)
+        vec![cx(PARITY, 0)],     // CX#8 (swap-back 1/2)
+        vec![cx(0, PARITY)],     // CX#9 (swap-back 2/2)
+        vec![Op::Reset(PARITY)], // MR(P) / round 2 start
+        vec![cx(0, PARITY)],     // CX#10
+        vec![cx(1, PARITY)],     // CX#11
+        vec![cx(2, PARITY)],     // CX#12
+        vec![cx(3, PARITY)],     // C: CX#13
+    ]
+}
+
+/// The frame-calibrated noise: exchange transport at p_LT = 0.1, no Pauli
+/// noise, no injection/seepage (injection is excluded from the exact
+/// comparison — the frame model injects from any computational state, the
+/// density model only from |1⟩).
+fn crossval_noise() -> NoiseParams {
+    let mut noise = NoiseParams::exchange_transport(0.0);
+    noise.p_transport = 0.1;
+    noise
+}
+
+#[test]
+fn batch_frame_simulator_matches_exact_density_dynamics() {
+    let study = StabilizerLeakageStudy::frame_calibrated();
+    assert_eq!(study.p_transport, crossval_noise().p_transport);
+    let exact = study.run();
+    let chunks = chunks();
+    assert_eq!(exact.len(), chunks.len(), "record/chunk alignment");
+
+    // Monte-Carlo accumulators per record point.
+    let mut leak_counts = vec![[0u64; QUBITS]; chunks.len()];
+    let mut correct_weight = vec![0f64; chunks.len()];
+
+    let mut sim = BatchFrameSimulator::new(QUBITS, 0, crossval_noise(), Discriminator::TwoLevel);
+    for stripe in 0..STRIPES {
+        let rngs: Vec<Rng> = (0..STRIPE_WIDTH as u64)
+            .map(|lane| Rng::new(stripe as u64 * 64 + lane + 1))
+            .collect();
+        sim.begin_stripe(&rngs);
+        let active = sim.active();
+        sim.force_leak_masked(0, active);
+        for (ci, chunk) in chunks.iter().enumerate() {
+            sim.run_masked(chunk, active);
+            for (q, count) in leak_counts[ci].iter_mut().enumerate() {
+                *count += (sim.leak_word(q) & active).count_ones() as u64;
+            }
+            // Readout-correct probability of P: leaked lanes read out
+            // uniformly (weight ½), unleaked lanes read their X frame.
+            let leaked = sim.leak_word(PARITY) & active;
+            let wrong = sim.x_word(PARITY) & !leaked & active;
+            correct_weight[ci] +=
+                0.5 * leaked.count_ones() as f64 + (active & !leaked & !wrong).count_ones() as f64;
+        }
+    }
+
+    let shots = (STRIPES * STRIPE_WIDTH) as f64;
+    let tol = |p: f64| 5.0 * (p.clamp(1e-6, 1.0 - 1e-6) * (1.0 - p) / shots).sqrt() + 1e-9;
+    for (ci, record) in exact.iter().enumerate() {
+        for (q, &count) in leak_counts[ci].iter().enumerate() {
+            let estimate = count as f64 / shots;
+            let truth = record.leak[q];
+            assert!(
+                (estimate - truth).abs() <= tol(truth),
+                "leak[{q}] at step {ci} ({}): MC {estimate:.5} vs exact {truth:.5}",
+                record.label
+            );
+        }
+        let estimate = correct_weight[ci] / shots;
+        assert!(
+            (estimate - record.p_correct).abs() <= tol(record.p_correct),
+            "p_correct at step {ci} ({}): MC {estimate:.5} vs exact {:.5}",
+            record.label,
+            record.p_correct
+        );
+    }
+
+    // The study must actually exercise the physics being validated.
+    let a = exact.iter().find(|r| r.label.starts_with("A:")).unwrap();
+    assert!(a.leak[PARITY] > 0.2, "LRC transports leakage onto P");
+    // Under the frame-calibrated model q0 returns from the LRC in a
+    // uniformly random computational state (exchange transport + twirl),
+    // so the round-2 CX(q0 → P) pins the readout to a coin flip — unlike
+    // the coherent default, whose swap-back restores most of |0⟩.
+    let c = exact.iter().find(|r| r.label.starts_with("C:")).unwrap();
+    assert!((c.p_correct - 0.5).abs() < 0.02, "got {}", c.p_correct);
+}
+
+/// The twirled-kick channel set is a *different* model from the paper's
+/// coherent RX kick — the cross-validation must not silently compare
+/// against the wrong reference.
+#[test]
+fn frame_calibrated_study_differs_from_coherent_default() {
+    let coherent = StabilizerLeakageStudy {
+        p_inject: 0.0,
+        ..StabilizerLeakageStudy::default()
+    }
+    .run();
+    let twirled = StabilizerLeakageStudy::frame_calibrated().run();
+    let c_coherent = coherent.last().unwrap().p_correct;
+    let c_twirled = twirled.last().unwrap().p_correct;
+    assert!(
+        (c_coherent - c_twirled).abs() > 1e-3,
+        "kick models must be distinguishable: {c_coherent} vs {c_twirled}"
+    );
+}

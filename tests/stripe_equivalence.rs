@@ -1,0 +1,178 @@
+//! Stripe correctness: the word-parallel (64-shots-per-word) runtime must
+//! be bit-identical, shot for shot, to the scalar reference path — across
+//! every policy, both LRC protocols, erasure-aware decoding, and ragged
+//! stripe tails. Stripe width is a pure wall-clock knob, exactly like the
+//! worker-thread count.
+
+use eraser_repro::eraser_core::runtime::{
+    DecoderKind, ErasureDetection, LrcProtocol, MemoryRunResult, MemoryRunner, RunConfig,
+};
+use eraser_repro::eraser_core::{Experiment, PolicyKind};
+use eraser_repro::qec_core::NoiseParams;
+
+fn assert_identical(a: &MemoryRunResult, b: &MemoryRunResult, what: &str) {
+    assert_eq!(a.shots, b.shots, "{what}: shots");
+    assert_eq!(a.logical_errors, b.logical_errors, "{what}: logical errors");
+    assert_eq!(a.total_lrcs, b.total_lrcs, "{what}: LRC count");
+    assert_eq!(a.total_erasures, b.total_erasures, "{what}: erasures");
+    assert_eq!(a.speculation, b.speculation, "{what}: speculation");
+    assert_eq!(a.postselection, b.postselection, "{what}: post-selection");
+    // The LPR sums accumulate integer counts, so even the f64 vectors are
+    // exactly reproducible.
+    assert_eq!(a.lpr_total, b.lpr_total, "{what}: LPR total");
+    assert_eq!(a.lpr_data, b.lpr_data, "{what}: LPR data");
+    assert_eq!(a.lpr_parity, b.lpr_parity, "{what}: LPR parity");
+}
+
+fn run_width(
+    runner: &MemoryRunner,
+    kind: &PolicyKind,
+    base: &RunConfig,
+    width: usize,
+) -> MemoryRunResult {
+    let config = RunConfig {
+        stripe_width: width,
+        ..*base
+    };
+    runner.run(&|code| kind.build(code), &config)
+}
+
+/// The headline property: every policy of the paper, striped vs scalar,
+/// with a shot count that exercises a ragged final stripe (70 = 64 + 6).
+#[test]
+fn stripe_width_is_bit_identical_across_all_policies() {
+    let runner = MemoryRunner::new(3, NoiseParams::standard(4e-3), 6);
+    let base = RunConfig {
+        shots: 70,
+        seed: 0xA11CE,
+        threads: 2,
+        decoder: DecoderKind::Mwpm,
+        ..RunConfig::default()
+    };
+    for kind in PolicyKind::all_standard() {
+        let scalar = run_width(&runner, &kind, &base, 1);
+        let striped = run_width(&runner, &kind, &base, 64);
+        assert_identical(&scalar, &striped, kind.label());
+        // A narrow stripe (width 7: ten stripes of 7 shots) must agree too.
+        let narrow = run_width(&runner, &kind, &base, 7);
+        assert_identical(&scalar, &narrow, &format!("{} width-7", kind.label()));
+    }
+}
+
+/// The DQLR protocol's slot-gated post segment, striped vs scalar.
+#[test]
+fn stripe_width_is_bit_identical_under_dqlr() {
+    let runner = MemoryRunner::new(3, NoiseParams::exchange_transport(4e-3), 5);
+    let base = RunConfig {
+        shots: 70,
+        seed: 77,
+        threads: 1,
+        protocol: LrcProtocol::Dqlr,
+        decoder: DecoderKind::Mwpm,
+        ..RunConfig::default()
+    };
+    for kind in [PolicyKind::AlwaysEveryRound, PolicyKind::eraser()] {
+        let scalar = run_width(&runner, &kind, &base, 1);
+        let striped = run_width(&runner, &kind, &base, 64);
+        assert_identical(&scalar, &striped, kind.label());
+    }
+}
+
+/// Erasure-aware decoding threads per-lane detection noise through the
+/// independent per-shot streams; striped and scalar must collect the same
+/// erasure sets and decode identically.
+#[test]
+fn stripe_width_is_bit_identical_with_erasure_decoding() {
+    let runner = MemoryRunner::new(3, NoiseParams::standard(5e-3), 6);
+    let base = RunConfig {
+        shots: 70,
+        seed: 31,
+        threads: 2,
+        decoder: DecoderKind::Mwpm,
+        erasure: ErasureDetection::imperfect(0.01, 0.05),
+        ..RunConfig::default()
+    };
+    for kind in [
+        PolicyKind::eraser_m(),
+        PolicyKind::eraser(),
+        PolicyKind::Optimal,
+    ] {
+        let scalar = run_width(&runner, &kind, &base, 1);
+        let striped = run_width(&runner, &kind, &base, 64);
+        assert!(
+            kind != PolicyKind::eraser_m() || striped.total_erasures > 0,
+            "ERASER+M must collect erasures"
+        );
+        assert_identical(&scalar, &striped, kind.label());
+    }
+}
+
+/// Ragged-tail property: shot counts around the stripe boundary (63, 64,
+/// 65, and a single shot) all agree with the scalar path.
+#[test]
+fn ragged_stripe_tails_are_bit_identical() {
+    let runner = MemoryRunner::new(3, NoiseParams::standard(4e-3), 4);
+    for shots in [1u64, 63, 64, 65, 130] {
+        let base = RunConfig {
+            shots,
+            seed: 5 + shots,
+            threads: 1,
+            decoder: DecoderKind::Mwpm,
+            ..RunConfig::default()
+        };
+        let kind = PolicyKind::eraser();
+        let scalar = run_width(&runner, &kind, &base, 1);
+        let striped = run_width(&runner, &kind, &base, 64);
+        assert_identical(&scalar, &striped, &format!("{shots} shots"));
+    }
+}
+
+/// Determinism property over seeds: width {1, 64} agreement is not a
+/// one-seed accident, and thread partitioning composes with striping.
+#[test]
+fn stripe_determinism_property_over_seeds_and_threads() {
+    let runner = MemoryRunner::new(3, NoiseParams::standard(5e-3), 5);
+    for seed in 0..8u64 {
+        let base = RunConfig {
+            shots: 37,
+            seed,
+            threads: 1,
+            decoder: DecoderKind::Mwpm,
+            ..RunConfig::default()
+        };
+        let kind = PolicyKind::eraser_m();
+        let scalar = run_width(&runner, &kind, &base, 1);
+        let striped = run_width(&runner, &kind, &base, 64);
+        assert_identical(&scalar, &striped, &format!("seed {seed}"));
+        // Threads split the shot range mid-stripe; lanes re-form without
+        // changing any shot's stream.
+        let threaded = RunConfig {
+            threads: 3,
+            stripe_width: 64,
+            ..base
+        };
+        let multi = runner.run(&|code| kind.build(code), &threaded);
+        assert_identical(&striped, &multi, &format!("seed {seed} threaded"));
+    }
+}
+
+/// The facade knob reaches the runtime and validates its range.
+#[test]
+fn stripe_width_knob_on_the_facade() {
+    let build = |width: usize| {
+        Experiment::builder()
+            .distance(3)
+            .noise(NoiseParams::standard(2e-3))
+            .rounds(3)
+            .policy(PolicyKind::eraser())
+            .shots(40)
+            .seed(9)
+            .stripe_width(width)
+            .build()
+    };
+    let scalar = build(1).expect("valid").run();
+    let striped = build(64).expect("valid").run();
+    assert_identical(&scalar, &striped, "facade");
+    assert!(build(65).is_err(), "width > 64 must be rejected");
+    assert!(build(0).is_ok(), "0 = auto");
+}
