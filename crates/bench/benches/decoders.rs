@@ -11,8 +11,8 @@ use eraser_core::DecoderKind;
 use qec_core::circuit::DetectorBasis;
 use qec_core::NoiseParams;
 use qec_decoder::{
-    build_dem, max_weight_matching, DecoderFactory, DecodingGraph, MwpmFactory, ShortestPaths,
-    Syndrome,
+    build_dem, max_weight_matching, DecoderFactory, DecodingGraph, MwpmBatchDecoder, MwpmFactory,
+    ShortestPaths, StreamingDecoder, Syndrome, SyndromeDecoder, WindowBackend, WindowPlan,
 };
 use std::hint::black_box;
 use surface_code::{MemoryExperiment, RotatedCode};
@@ -120,6 +120,54 @@ fn main() {
                 },
             );
         }
+    }
+
+    // Sliding-window streaming vs monolithic MWPM on the paper's
+    // long-memory workload: one full d=7 shot over 110 rounds (realistic
+    // ~p=3e-3 defect density). The committed baseline asserts windowed
+    // ns/round beats monolithic by ≥3× (`crates/bench/tests/baselines.rs`)
+    // — the window caps blossom's O(k³) at the per-window defect count while
+    // the monolithic matcher pays the whole shot's. The heavy fixture (DEM +
+    // 2665-node APSP) is skipped when the filter excludes these benches.
+    if h.matches("decode_window_shot") {
+        let (d, rounds) = (7usize, 110usize);
+        let exp = MemoryExperiment::new(RotatedCode::new(d), NoiseParams::standard(1e-3), rounds);
+        let detectors = exp.detectors();
+        let dem = build_dem(&exp.base_circuit(), &detectors, &exp.observable_keys());
+        let graph = DecodingGraph::from_dem(&dem, &detectors, DetectorBasis::Z);
+        let mut rng = qec_core::Rng::new(0x110);
+        let mut events = vec![false; graph.num_nodes()];
+        for _ in 0..3 * rounds {
+            let mech = &dem.mechanisms[rng.below(dem.mechanisms.len() as u64) as usize];
+            for &det in &mech.detectors {
+                if let Some(node) = graph.node_of_detector(det) {
+                    events[node] ^= true;
+                }
+            }
+        }
+        let defects: Vec<usize> = (0..graph.num_nodes()).filter(|&n| events[n]).collect();
+        let mut by_round: Vec<Vec<usize>> = vec![Vec::new(); graph.max_round() + 1];
+        for &node in &defects {
+            by_round[graph.node_round(node)].push(node);
+        }
+        let syndrome = Syndrome::build(defects).rounds(rounds).finish();
+
+        let mono_factory = MwpmFactory::new(&graph);
+        let mut mono =
+            MwpmBatchDecoder::with_paths(&graph, std::sync::Arc::clone(mono_factory.paths()));
+        h.bench("decode_window_shot/d7_r110/monolithic_mwpm", || {
+            mono.decode_syndrome(black_box(&syndrome)).flip
+        });
+
+        let plan = WindowPlan::new(&graph, 21, 14, WindowBackend::Mwpm);
+        let mut windowed = plan.streaming();
+        h.bench("decode_window_shot/d7_r110/windowed_mwpm", || {
+            windowed.begin_shot();
+            for round in black_box(&by_round) {
+                windowed.push_round(round, &[]);
+            }
+            windowed.finish().flip
+        });
     }
 
     // Complete graph on 24 vertices with pseudorandom weights: the defect

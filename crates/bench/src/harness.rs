@@ -45,14 +45,21 @@ impl Harness {
         }
     }
 
+    /// Whether `name` passes the command-line filter. Lets a bench target
+    /// skip building an expensive fixture whose benches would all be
+    /// filtered out anyway.
+    pub fn matches(&self, name: &str) -> bool {
+        self.filter
+            .as_ref()
+            .is_none_or(|filter| name.contains(filter.as_str()))
+    }
+
     /// Runs `f` repeatedly for roughly the measurement budget and prints the
     /// mean time per iteration. Skipped (silently) if `name` does not match
     /// the filter.
     pub fn bench<T>(&self, name: &str, mut f: impl FnMut() -> T) {
-        if let Some(filter) = &self.filter {
-            if !name.contains(filter.as_str()) {
-                return;
-            }
+        if !self.matches(name) {
+            return;
         }
         // Warm-up and calibration in one: time a single iteration.
         let start = Instant::now();

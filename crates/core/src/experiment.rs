@@ -79,6 +79,14 @@ pub enum ExperimentError {
     InvalidDetectionRate(f64),
     /// A stripe width above the 64-lane word size (0 means auto).
     InvalidStripeWidth(usize),
+    /// A sliding-window stride exceeding the window length (window 0 means
+    /// monolithic decoding; stride 0 derives the `window − d` default).
+    InvalidWindow {
+        /// Configured `window_rounds`.
+        window: usize,
+        /// Configured `window_stride`.
+        stride: usize,
+    },
     /// `PolicyKind::from_str` did not recognize the name.
     UnknownPolicy(String),
     /// `DecoderKind::from_str` did not recognize the name.
@@ -115,6 +123,12 @@ impl fmt::Display for ExperimentError {
             ExperimentError::InvalidStripeWidth(w) => {
                 write!(f, "stripe width must be 0 (auto) or 1..=64, got {w}")
             }
+            ExperimentError::InvalidWindow { window, stride } => {
+                write!(
+                    f,
+                    "window stride must not exceed the window length, got stride {stride} over window {window}"
+                )
+            }
             ExperimentError::UnknownPolicy(s) => write!(f, "unknown policy `{s}`"),
             ExperimentError::UnknownDecoder(s) => write!(f, "unknown decoder `{s}`"),
         }
@@ -148,6 +162,18 @@ fn validate_shots(shots: u64) -> Result<(), ExperimentError> {
 fn validate_stripe_width(width: usize) -> Result<(), ExperimentError> {
     if width > 64 {
         Err(ExperimentError::InvalidStripeWidth(width))
+    } else {
+        Ok(())
+    }
+}
+
+/// A sliding-window stride must fit inside its window; window 0 selects
+/// monolithic decoding and stride 0 the `window − d` default (shared by
+/// both builders). The buffer ≥ d guarantee is enforced by that default —
+/// explicit strides may trade buffer for speed.
+fn validate_window(window: usize, stride: usize) -> Result<(), ExperimentError> {
+    if stride > window {
+        Err(ExperimentError::InvalidWindow { window, stride })
     } else {
         Ok(())
     }
@@ -467,6 +493,22 @@ impl Experiment {
         self.config.erasure.enabled = enabled;
     }
 
+    /// Swaps the sliding-window configuration without rebuilding the runner:
+    /// the cheap way to compare streaming and monolithic decoding on
+    /// identical physical shots (see [`ExperimentBuilder::window_rounds`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `stride > window` (the builder-validated invariant).
+    pub fn set_window(&mut self, window_rounds: usize, window_stride: usize) {
+        assert!(
+            window_stride <= window_rounds,
+            "window stride {window_stride} exceeds window {window_rounds}"
+        );
+        self.config.window_rounds = window_rounds;
+        self.config.window_stride = window_stride;
+    }
+
     /// Runs the experiment under the configured policy.
     pub fn run(&self) -> MemoryRunResult {
         self.run_policy(&self.policy)
@@ -496,6 +538,8 @@ pub struct ExperimentBuilder {
     decode: bool,
     erasure: ErasureDetection,
     stripe_width: usize,
+    window_rounds: usize,
+    window_stride: usize,
 }
 
 impl Default for ExperimentBuilder {
@@ -515,6 +559,8 @@ impl Default for ExperimentBuilder {
             decode: config.decode,
             erasure: config.erasure,
             stripe_width: config.stripe_width,
+            window_rounds: config.window_rounds,
+            window_stride: config.window_stride,
         }
     }
 }
@@ -625,6 +671,24 @@ impl ExperimentBuilder {
         self
     }
 
+    /// Sliding-window length in rounds for streaming decoding. The default
+    /// 0 resolves at run time: the `ERASER_WINDOW` environment variable if
+    /// set, else monolithic whole-shot decoding (a window larger than the
+    /// round count also auto-selects monolithic). Windows bound peak decoder
+    /// memory at O(window²) regardless of the round count.
+    pub fn window_rounds(mut self, window: usize) -> Self {
+        self.window_rounds = window;
+        self
+    }
+
+    /// Rounds committed (and advanced) per window; 0 derives `window − d`
+    /// (min 1), which keeps the re-decoded buffer at d rounds. Validated at
+    /// build time: the stride must not exceed the window.
+    pub fn window_stride(mut self, stride: usize) -> Self {
+        self.window_stride = stride;
+        self
+    }
+
     fn validated(&self) -> Result<(usize, usize), ExperimentError> {
         let d = self.distance.ok_or(ExperimentError::MissingDistance)?;
         validate_distance(d)?;
@@ -633,6 +697,7 @@ impl ExperimentBuilder {
         validate_shots(self.shots)?;
         validate_erasure(&self.erasure)?;
         validate_stripe_width(self.stripe_width)?;
+        validate_window(self.window_rounds, self.window_stride)?;
         Ok((d, spec.resolve(d)))
     }
 
@@ -652,6 +717,8 @@ impl ExperimentBuilder {
                 decode: self.decode,
                 erasure: self.erasure,
                 stripe_width: self.stripe_width,
+                window_rounds: self.window_rounds,
+                window_stride: self.window_stride,
             },
             policy: self.policy,
         })
@@ -767,6 +834,8 @@ pub struct Sweep {
     decode: bool,
     erasure: ErasureDetection,
     stripe_width: usize,
+    window_rounds: usize,
+    window_stride: usize,
 }
 
 impl Sweep {
@@ -807,6 +876,8 @@ impl Sweep {
             decode: self.decode,
             erasure: self.erasure,
             stripe_width: self.stripe_width,
+            window_rounds: self.window_rounds,
+            window_stride: self.window_stride,
         };
         config.threads = config.resolved_threads();
         let mut runners: HashMap<RunnerKey, MemoryRunner> = HashMap::new();
@@ -856,6 +927,8 @@ pub struct SweepBuilder {
     decode: bool,
     erasure: ErasureDetection,
     stripe_width: usize,
+    window_rounds: usize,
+    window_stride: usize,
 }
 
 impl Default for SweepBuilder {
@@ -876,6 +949,8 @@ impl Default for SweepBuilder {
             decode: config.decode,
             erasure: config.erasure,
             stripe_width: config.stripe_width,
+            window_rounds: config.window_rounds,
+            window_stride: config.window_stride,
         }
     }
 }
@@ -992,6 +1067,21 @@ impl SweepBuilder {
         self
     }
 
+    /// Sliding-window length in rounds for streaming decoding on every grid
+    /// point (0 = monolithic / `ERASER_WINDOW` resolution, as on
+    /// [`ExperimentBuilder::window_rounds`]).
+    pub fn window_rounds(mut self, window: usize) -> Self {
+        self.window_rounds = window;
+        self
+    }
+
+    /// Rounds committed per window on every grid point (0 derives the
+    /// `window − d` default; validated at build time).
+    pub fn window_stride(mut self, stride: usize) -> Self {
+        self.window_stride = stride;
+        self
+    }
+
     /// Validates the grid and run parameters.
     pub fn build(self) -> Result<Sweep, ExperimentError> {
         if self.distances.is_empty() {
@@ -1016,6 +1106,7 @@ impl SweepBuilder {
         validate_shots(self.shots)?;
         validate_erasure(&self.erasure)?;
         validate_stripe_width(self.stripe_width)?;
+        validate_window(self.window_rounds, self.window_stride)?;
         Ok(Sweep {
             distances: self.distances,
             error_rates: self.error_rates,
@@ -1031,6 +1122,8 @@ impl SweepBuilder {
             decode: self.decode,
             erasure: self.erasure,
             stripe_width: self.stripe_width,
+            window_rounds: self.window_rounds,
+            window_stride: self.window_stride,
         })
     }
 }
@@ -1081,6 +1174,25 @@ mod tests {
             base().erasure_detection(1.5, 0.0).build().unwrap_err(),
             ExperimentError::InvalidDetectionRate(1.5)
         );
+        assert_eq!(
+            base()
+                .window_rounds(4)
+                .window_stride(5)
+                .build()
+                .unwrap_err(),
+            ExperimentError::InvalidWindow {
+                window: 4,
+                stride: 5
+            }
+        );
+        assert_eq!(
+            base().window_stride(2).build().unwrap_err(),
+            ExperimentError::InvalidWindow {
+                window: 0,
+                stride: 2
+            },
+            "a stride needs a window"
+        );
         assert!(matches!(
             base().erasure_detection(0.0, f64::NAN).build(),
             Err(ExperimentError::InvalidDetectionRate(_))
@@ -1108,6 +1220,61 @@ mod tests {
         // The physical shots are shared: only the decoding changed.
         assert_eq!(blind.total_lrcs, aware.total_lrcs);
         assert_eq!(blind.speculation, aware.speculation);
+    }
+
+    #[test]
+    fn window_knobs_reach_the_runtime() {
+        let exp = base()
+            .shots(40)
+            .rounds(9)
+            .noise(NoiseParams::standard(3e-3))
+            .policy(PolicyKind::eraser())
+            .window_rounds(4)
+            .window_stride(2)
+            .build()
+            .unwrap();
+        assert_eq!(exp.config().window_rounds, 4);
+        assert_eq!(exp.config().window_stride, 2);
+        let windowed = exp.run();
+        // Rounds 0..=9 are ten detector rounds: windows start at 0, 2, 4, 6
+        // (the final [6, 9] commits the rest) → 4 windows per shot.
+        assert_eq!(windowed.decode_latency.samples(), 40 * 4);
+        // Same physics as the monolithic run of the same seed.
+        let mono = base()
+            .shots(40)
+            .rounds(9)
+            .noise(NoiseParams::standard(3e-3))
+            .policy(PolicyKind::eraser())
+            .build()
+            .unwrap()
+            .run();
+        assert_eq!(mono.total_lrcs, windowed.total_lrcs);
+        assert_eq!(mono.speculation, windowed.speculation);
+
+        // Sweep builder carries the same knobs.
+        let sweep = Sweep::builder()
+            .distances([3])
+            .error_rates([1e-3])
+            .policy(PolicyKind::NoLrc)
+            .rounds(8)
+            .shots(8)
+            .window_rounds(4)
+            .window_stride(4)
+            .build()
+            .unwrap();
+        let points = sweep.run();
+        assert_eq!(points.len(), 1);
+        assert!(points[0].result.decode_latency.samples() >= 8 * 2);
+        assert!(Sweep::builder()
+            .distances([3])
+            .error_rates([1e-3])
+            .policy(PolicyKind::NoLrc)
+            .rounds(8)
+            .shots(8)
+            .window_rounds(2)
+            .window_stride(3)
+            .build()
+            .is_err());
     }
 
     #[test]

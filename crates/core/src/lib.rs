@@ -77,6 +77,7 @@ pub use policy::{
 };
 pub use resource::{FpgaPart, ResourceEstimate};
 pub use runtime::{
-    DecoderKind, ErasureDetection, LrcProtocol, MemoryRunResult, PostSelection, SpeculationStats,
+    DecodeLatencyStats, DecoderKind, ErasureDetection, LrcProtocol, MemoryRunResult, PostSelection,
+    SpeculationStats,
 };
 pub use swap_table::SwapLookupTable;

@@ -20,6 +20,21 @@
 //! reference path, and results are bit-identical at every width — exactly
 //! like the worker-thread count, striping is a pure wall-clock knob.
 //!
+//! Decoding has two paths. **Monolithic** (the default, auto-selected when
+//! [`RunConfig::window_rounds`] is 0 or exceeds the round count): the whole
+//! shot's detection events form one syndrome over the whole-experiment
+//! decoding graph. **Sliding-window streaming** (`window_rounds` in
+//! `1..=rounds`, or the `ERASER_WINDOW` environment variable): each round's
+//! defects and erasure flags are pushed into a per-shot
+//! [`qec_decoder::WindowedDecoder`] as the round completes, and windows of
+//! `window_rounds` rounds are decoded incrementally, committing
+//! `window_stride` rounds each (the remaining buffer — keep it ≥ d — is
+//! re-decoded by the next window). Peak decoder memory is then O(window²)
+//! regardless of R, which is what makes long-memory workloads (R ≫ d)
+//! decodable with MWPM at all; per-window decode latency lands in
+//! [`MemoryRunResult::decode_latency`]. The simulated physics is identical
+//! on both paths — only the decode differs.
+//!
 //! Metrics collected per run (paper §5.4, §6.4):
 //!
 //! * **LER** — logical error rate (Eq. 4);
@@ -34,8 +49,8 @@ use leak_sim::{BatchFrameSimulator, Discriminator, FrameSimulator, STRIPE_WIDTH}
 use qec_core::circuit::DetectorBasis;
 use qec_core::{DetectorInfo, MeasKey, NoiseParams, Op, OpCond, Rng};
 use qec_decoder::{
-    build_dem, DecodeOutcome, DecoderFactory, DecodingGraph, GreedyFactory, MwpmFactory, Syndrome,
-    UnionFindFactory,
+    build_dem, DecodeOutcome, DecoderFactory, DecodingGraph, GreedyFactory, MwpmFactory,
+    StreamingDecoder, Syndrome, UnionFindFactory, WindowBackend, WindowPlan, WindowedDecoder,
 };
 use surface_code::{
     LrcAssignment, MaskedRound, MemoryBasis, MemoryExperiment, RotatedCode, SlotTable,
@@ -56,8 +71,10 @@ pub enum LrcProtocol {
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub enum DecoderKind {
     /// MWPM below [`DecoderKind::AUTO_MWPM_NODE_LIMIT`] graph nodes,
-    /// union-find above (the O(n³) matching and O(n²) path table are
-    /// impractical for d ≥ 9 over 110 rounds).
+    /// union-find above. On the monolithic path the node count is the
+    /// whole-experiment graph's (where MWPM's O(n³) matching and O(n²) path
+    /// table price out large d × R products); on the sliding-window path it
+    /// is the *window's*, so MWPM stays selected at any R.
     #[default]
     Auto,
     /// Exact blossom MWPM (the paper's decoder).
@@ -100,6 +117,27 @@ impl DecoderKind {
             DecoderKind::UnionFind => Box::new(UnionFindFactory::new(graph)),
             DecoderKind::Greedy => Box::new(GreedyFactory::new(graph)),
             DecoderKind::Auto => unreachable!("resolve never returns Auto"),
+        }
+    }
+
+    /// Resolves the per-window backend for sliding-window decoding: `Auto`
+    /// applies [`DecoderKind::AUTO_MWPM_NODE_LIMIT`] to the *window's* node
+    /// count (per-round nodes × window rounds) rather than the whole
+    /// experiment's — the windowed path is exactly what keeps MWPM viable at
+    /// large R.
+    pub fn resolve_window_backend(self, graph: &DecodingGraph, window: usize) -> WindowBackend {
+        match self {
+            DecoderKind::Auto => {
+                let per_round = graph.num_nodes() / (graph.max_round() + 1).max(1);
+                if per_round * (window + 1) <= DecoderKind::AUTO_MWPM_NODE_LIMIT {
+                    WindowBackend::Mwpm
+                } else {
+                    WindowBackend::UnionFind
+                }
+            }
+            DecoderKind::Mwpm => WindowBackend::Mwpm,
+            DecoderKind::UnionFind => WindowBackend::UnionFind,
+            DecoderKind::Greedy => WindowBackend::Greedy,
         }
     }
 }
@@ -187,6 +225,15 @@ pub struct RunConfig {
     /// stripe. Width 1 runs the scalar reference path; results are
     /// bit-identical for every width (shots own their RNG streams).
     pub stripe_width: usize,
+    /// Sliding-window length in rounds for streaming decoding; 0 means the
+    /// `ERASER_WINDOW` environment variable if set, else monolithic
+    /// whole-shot decoding. A window larger than the round count also
+    /// auto-selects the monolithic path (one window would cover the shot).
+    pub window_rounds: usize,
+    /// Rounds committed (and advanced) per window; 0 derives the default
+    /// `window_rounds − d` (clamped to ≥ 1), which keeps the re-decoded
+    /// buffer at d rounds. Must not exceed `window_rounds`.
+    pub window_stride: usize,
 }
 
 impl Default for RunConfig {
@@ -200,8 +247,22 @@ impl Default for RunConfig {
             decode: true,
             erasure: ErasureDetection::default(),
             stripe_width: 0,
+            window_rounds: 0,
+            window_stride: 0,
         }
     }
+}
+
+/// Parses an `ERASER_WINDOW` specification: `"15"` (window only, stride
+/// defaulted at run time) or `"15:10"` (window:stride).
+pub(crate) fn parse_window_spec(spec: &str) -> Option<(usize, usize)> {
+    let mut it = spec.splitn(2, ':');
+    let window = it.next()?.trim().parse::<usize>().ok().filter(|&w| w > 0)?;
+    let stride = match it.next() {
+        Some(s) => s.trim().parse::<usize>().ok().filter(|&x| x <= window)?,
+        None => 0,
+    };
+    Some((window, stride))
 }
 
 impl RunConfig {
@@ -224,6 +285,24 @@ impl RunConfig {
         std::thread::available_parallelism()
             .map(|n| n.get())
             .unwrap_or(1)
+    }
+
+    /// The `(window_rounds, window_stride)` pair this configuration resolves
+    /// to: the config fields themselves when `window_rounds` is set; else the
+    /// `ERASER_WINDOW` environment variable (`"W"` or `"W:S"`, the CI smoke
+    /// leg's hook); else `(0, 0)` — monolithic decoding. A stride of 0 is
+    /// resolved later against the code distance (`window − d`, min 1).
+    pub fn resolved_window(&self) -> (usize, usize) {
+        if self.window_rounds != 0 {
+            return (
+                self.window_rounds,
+                self.window_stride.min(self.window_rounds),
+            );
+        }
+        std::env::var("ERASER_WINDOW")
+            .ok()
+            .and_then(|v| parse_window_spec(&v))
+            .unwrap_or((0, 0))
     }
 
     /// The stripe width this configuration resolves to: `stripe_width`
@@ -360,6 +439,97 @@ impl PostSelection {
     }
 }
 
+/// Decode-latency distribution in nanoseconds **per committed round**,
+/// aggregated over every decode call of a run (per window on the streaming
+/// path, per shot on the monolithic path — both normalized by the rounds the
+/// call settled, so the two paths are directly comparable).
+///
+/// Samples land in power-of-two histogram buckets, which keeps the stats
+/// O(1) in memory, exactly mergeable across worker threads, and good to
+/// ~1.5× resolution on the reported quantiles — plenty for the real-time
+/// story the `longmem` figure tells.
+#[derive(Debug, Clone)]
+pub struct DecodeLatencyStats {
+    /// `buckets[i]` counts samples with ns/round in `[2^i, 2^(i+1))`.
+    buckets: [u64; 64],
+    count: u64,
+    total_nanos: u64,
+    total_rounds: u64,
+}
+
+impl Default for DecodeLatencyStats {
+    fn default() -> DecodeLatencyStats {
+        DecodeLatencyStats {
+            buckets: [0; 64],
+            count: 0,
+            total_nanos: 0,
+            total_rounds: 0,
+        }
+    }
+}
+
+impl DecodeLatencyStats {
+    /// Records one decode call that took `nanos` and settled `rounds`.
+    pub fn record(&mut self, nanos: u64, rounds: usize) {
+        let rounds = rounds.max(1) as u64;
+        let per_round = (nanos / rounds).max(1);
+        self.buckets[63 - per_round.leading_zeros() as usize] += 1;
+        self.count += 1;
+        self.total_nanos += nanos;
+        self.total_rounds += rounds;
+    }
+
+    /// Number of decode calls sampled.
+    pub fn samples(&self) -> u64 {
+        self.count
+    }
+
+    /// Mean ns per committed round (exact — computed from the raw totals).
+    pub fn mean_ns_per_round(&self) -> f64 {
+        if self.total_rounds == 0 {
+            return 0.0;
+        }
+        self.total_nanos as f64 / self.total_rounds as f64
+    }
+
+    /// The `q`-quantile (0..=1) of ns/round, to bucket resolution (the
+    /// geometric midpoint of the winning power-of-two bucket).
+    pub fn quantile_ns_per_round(&self, q: f64) -> f64 {
+        if self.count == 0 {
+            return 0.0;
+        }
+        let target = ((q.clamp(0.0, 1.0) * self.count as f64).ceil() as u64).max(1);
+        let mut cumulative = 0;
+        for (i, &b) in self.buckets.iter().enumerate() {
+            cumulative += b;
+            if cumulative >= target {
+                return (1u64 << i) as f64 * 1.5;
+            }
+        }
+        unreachable!("count is the sum of the buckets")
+    }
+
+    /// Median ns/round.
+    pub fn p50_ns_per_round(&self) -> f64 {
+        self.quantile_ns_per_round(0.50)
+    }
+
+    /// 99th-percentile ns/round — the number a real-time decode budget has
+    /// to absorb.
+    pub fn p99_ns_per_round(&self) -> f64 {
+        self.quantile_ns_per_round(0.99)
+    }
+
+    fn merge(&mut self, other: &DecodeLatencyStats) {
+        for (a, b) in self.buckets.iter_mut().zip(&other.buckets) {
+            *a += b;
+        }
+        self.count += other.count;
+        self.total_nanos += other.total_nanos;
+        self.total_rounds += other.total_rounds;
+    }
+}
+
 /// Aggregated result of a Monte-Carlo run.
 #[derive(Debug, Clone)]
 pub struct MemoryRunResult {
@@ -389,6 +559,10 @@ pub struct MemoryRunResult {
     pub policy: String,
     /// Decoder display name.
     pub decoder: String,
+    /// Decode-latency distribution (ns per committed round): one sample per
+    /// window on the streaming path, one per shot on the monolithic path.
+    /// Empty when decoding is disabled.
+    pub decode_latency: DecodeLatencyStats,
 }
 
 impl MemoryRunResult {
@@ -426,6 +600,7 @@ struct PartialStats {
     total_erasures: u64,
     speculation: SpeculationStats,
     postselection: PostSelection,
+    decode_latency: DecodeLatencyStats,
 }
 
 /// Reusable memory-experiment runner: owns the experiment description, the
@@ -453,6 +628,12 @@ pub struct MemoryRunner {
     masked_swap: MaskedRound,
     /// Static DQLR-protocol round schedule.
     masked_dqlr: MaskedRound,
+    /// Detectors of the decoded basis grouped by round, as `(detector index,
+    /// graph node)` pairs in ascending node order — the streaming path's
+    /// per-round read schedule (detector round r is fully measured once
+    /// simulation round r completes; the final transversal detectors carry
+    /// round = rounds and complete with the final segment).
+    detector_nodes_by_round: Vec<Vec<(u32, u32)>>,
     /// Provenance buckets `(round, qubit) -> sorted erased-edge indices`:
     /// every decoding-graph edge fed by a fault mechanism whose circuit
     /// location touched `qubit` during `round`. A leakage flag on a qubit
@@ -559,6 +740,13 @@ impl MemoryRunner {
         let masked_swap = builder.masked_round(&slot_table, exp.keys());
         let masked_dqlr = builder.masked_dqlr_round(&slot_table, exp.keys());
 
+        let mut detector_nodes_by_round: Vec<Vec<(u32, u32)>> = vec![Vec::new(); rounds + 1];
+        for (di, det) in detectors.iter().enumerate() {
+            if let Some(node) = graph.node_of_detector(di) {
+                detector_nodes_by_round[det.round].push((di as u32, node as u32));
+            }
+        }
+
         MemoryRunner {
             exp,
             detectors,
@@ -570,6 +758,7 @@ impl MemoryRunner {
             masked_swap,
             masked_dqlr,
             stab_deterministic_round0,
+            detector_nodes_by_round,
             qubit_round_edges,
         }
     }
@@ -607,6 +796,42 @@ impl MemoryRunner {
         }
     }
 
+    /// Collects detector round `round`'s fired defects (graph node ids,
+    /// ascending) from a scalar simulator's record — the streaming path's
+    /// per-round read.
+    fn gather_round_defects(&self, sim: &FrameSimulator, round: usize, out: &mut Vec<usize>) {
+        out.clear();
+        for &(di, node) in &self.detector_nodes_by_round[round] {
+            if sim.record().parity(&self.detectors[di as usize].keys) {
+                out.push(node as usize);
+            }
+        }
+    }
+
+    /// The word-parallel analogue of [`MemoryRunner::gather_round_defects`]:
+    /// one parity word per detector of the round, scattered into each active
+    /// lane's defect list (ascending node order preserved).
+    fn gather_round_defect_lanes(
+        &self,
+        sim: &BatchFrameSimulator,
+        round: usize,
+        active: u64,
+        lanes: usize,
+        out: &mut [Vec<usize>],
+    ) {
+        for buffer in out.iter_mut().take(lanes) {
+            buffer.clear();
+        }
+        for &(di, node) in &self.detector_nodes_by_round[round] {
+            let mut word = sim.record().parity_word(&self.detectors[di as usize].keys) & active;
+            while word != 0 {
+                let lane = word.trailing_zeros() as usize;
+                out[lane].push(node as usize);
+                word &= word - 1;
+            }
+        }
+    }
+
     /// Runs `config.shots` shots of the experiment under the policy produced
     /// by `policy_factory` (one instance per worker thread).
     ///
@@ -619,10 +844,29 @@ impl MemoryRunner {
         config: &RunConfig,
     ) -> MemoryRunResult {
         assert!(config.shots >= 1, "a run needs at least one shot");
+        // Streaming vs monolithic decode path. A window of 0 (or beyond the
+        // round count, where a single window would cover the whole shot)
+        // selects monolithic decoding; otherwise the sliding-window plan —
+        // with its per-*shape* precomputation — is built once per run here.
+        let (window, stride_raw) = config.resolved_window();
+        let plan: Option<WindowPlan> = if config.decode && window > 0 && window <= self.exp.rounds()
+        {
+            let d = self.exp.code().distance();
+            let stride = if stride_raw == 0 {
+                window.saturating_sub(d).max(1)
+            } else {
+                stride_raw.min(window)
+            };
+            let backend = config.decoder.resolve_window_backend(&self.graph, window);
+            Some(WindowPlan::new(&self.graph, window, stride, backend))
+        } else {
+            None
+        };
+        let plan = plan.as_ref();
         // The factory pays the expensive precomputation (APSP table, edge
         // capacities) once per run; worker threads build their own stateful
         // instances from it.
-        let factory: Option<Box<dyn DecoderFactory + '_>> = if config.decode {
+        let factory: Option<Box<dyn DecoderFactory + '_>> = if config.decode && plan.is_none() {
             Some(config.decoder.build_factory(&self.graph))
         } else {
             None
@@ -655,9 +899,24 @@ impl MemoryRunner {
                 .map(|(first, count)| {
                     scope.spawn(move || {
                         if width == 1 {
-                            self.run_shots_scalar(first, count, policy_factory, factory, config)
+                            self.run_shots_scalar(
+                                first,
+                                count,
+                                policy_factory,
+                                factory,
+                                plan,
+                                config,
+                            )
                         } else {
-                            self.run_stripes(first, count, width, policy_factory, factory, config)
+                            self.run_stripes(
+                                first,
+                                count,
+                                width,
+                                policy_factory,
+                                factory,
+                                plan,
+                                config,
+                            )
                         }
                     })
                 })
@@ -681,6 +940,7 @@ impl MemoryRunner {
             merged.speculation.merge(&p.speculation);
             merged.postselection.flagged_shots += p.postselection.flagged_shots;
             merged.postselection.errors_on_kept += p.postselection.errors_on_kept;
+            merged.decode_latency.merge(&p.decode_latency);
             for r in 0..rounds {
                 merged.lpr_data_sum[r] += p.lpr_data_sum[r];
                 merged.lpr_parity_sum[r] += p.lpr_parity_sum[r];
@@ -720,7 +980,12 @@ impl MemoryRunner {
             speculation: merged.speculation,
             postselection: merged.postselection,
             policy: policy_name,
-            decoder: factory.map(|f| f.name()).unwrap_or("none").to_string(),
+            decoder: plan
+                .map(|p| p.backend().name())
+                .or_else(|| factory.map(|f| f.name()))
+                .unwrap_or("none")
+                .to_string(),
+            decode_latency: merged.decode_latency,
         }
     }
 
@@ -733,6 +998,7 @@ impl MemoryRunner {
         shots: u64,
         policy_factory: &(dyn Fn(&RotatedCode) -> Box<dyn LrcPolicy> + Sync),
         factory: Option<&dyn DecoderFactory>,
+        plan: Option<&WindowPlan>,
         config: &RunConfig,
     ) -> PartialStats {
         let code = self.exp.code();
@@ -743,9 +1009,12 @@ impl MemoryRunner {
         let num_stabs = code.num_stabs();
 
         // Per-thread decoder instance: mutable, with scratch buffers reused
-        // across every shot this worker decodes.
+        // across every shot this worker decodes. Exactly one of `decoder`
+        // (monolithic) and `streaming` (sliding-window) is live on
+        // decode-enabled runs.
         let mut decoder = factory.map(|f| f.build());
-        let erasure_active = config.erasure.enabled && decoder.is_some();
+        let mut streaming = plan.map(|p| p.streaming());
+        let erasure_active = config.erasure.enabled && (decoder.is_some() || streaming.is_some());
         let mut policy = policy_factory(code);
         let discriminator = if policy.uses_multilevel() {
             Discriminator::MultiLevel
@@ -770,7 +1039,13 @@ impl MemoryRunner {
         let mut leaked_readouts = vec![false; num_stabs];
         let mut oracle = vec![false; num_data];
         let mut det_events = vec![false; self.detectors.len()];
-        let mut syndrome = Syndrome::with_rounds(Vec::new(), rounds);
+        let mut syndrome = Syndrome::build(Vec::new()).rounds(rounds).finish();
+        // Streaming-path scratch: the current round's defects / erasure
+        // edges, plus the shot-level erasure log (kept only to report
+        // `total_erasures` with the monolithic dedup-per-shot semantics).
+        let mut round_defects: Vec<usize> = Vec::new();
+        let mut round_erasures: Vec<usize> = Vec::new();
+        let mut erasure_log: Vec<usize> = Vec::new();
 
         for shot in first_shot..first_shot + shots {
             // The shot's stream splits in two: the simulator's physics and
@@ -781,6 +1056,10 @@ impl MemoryRunner {
             sim.reset_shot();
             policy.reset_shot();
             syndrome.clear();
+            erasure_log.clear();
+            if let Some(stream) = streaming.as_mut() {
+                stream.begin_shot();
+            }
             sim.run(&self.init_segment);
             prev_syndrome.fill(false);
             events.fill(false);
@@ -820,6 +1099,7 @@ impl MemoryRunner {
                 }
                 stats.total_lrcs += plan.len() as u64;
 
+                round_erasures.clear();
                 if erasure_active {
                     if let Some(det) = policy.leakage_detections() {
                         let fp = config.erasure.false_positive;
@@ -841,7 +1121,7 @@ impl MemoryRunner {
                                 self.extend_qubit_erasures(
                                     r.saturating_sub(1)..=r,
                                     q,
-                                    &mut syndrome.erasures,
+                                    &mut round_erasures,
                                 );
                             }
                         }
@@ -854,7 +1134,7 @@ impl MemoryRunner {
                                 self.extend_qubit_erasures(
                                     r.saturating_sub(2)..=r,
                                     q,
-                                    &mut syndrome.erasures,
+                                    &mut round_erasures,
                                 );
                             }
                         }
@@ -869,9 +1149,14 @@ impl MemoryRunner {
                                 self.extend_qubit_erasures(
                                     r - 1..=r - 1,
                                     parity,
-                                    &mut syndrome.erasures,
+                                    &mut round_erasures,
                                 );
                             }
+                        }
+                        if streaming.is_some() {
+                            erasure_log.extend_from_slice(&round_erasures);
+                        } else {
+                            syndrome.erasures.extend_from_slice(&round_erasures);
                         }
                     }
                 }
@@ -920,6 +1205,14 @@ impl MemoryRunner {
                         flips >= adj.len().div_ceil(2)
                     });
                 }
+                if let Some(stream) = streaming.as_mut() {
+                    // Detector round r is fully measured now: stream its
+                    // defects (and this round's erasure flags) into the
+                    // windowed decoder, which retires any window whose last
+                    // round just arrived.
+                    self.gather_round_defects(&sim, r, &mut round_defects);
+                    stream.push_round(&round_defects, &round_erasures);
+                }
                 last_lrcs = plan;
             }
             sim.run(&self.final_segment);
@@ -938,9 +1231,30 @@ impl MemoryRunner {
                 syndrome.erasures.sort_unstable();
                 syndrome.erasures.dedup();
                 stats.total_erasures += syndrome.erasures.len() as u64;
-                let predicted = decoder.decode_syndrome(&syndrome).flip;
+                let outcome = decoder.decode_syndrome(&syndrome);
+                stats.decode_latency.record(outcome.nanos, rounds + 1);
                 let actual = sim.record().parity(&self.observable);
-                if predicted != actual {
+                if outcome.flip != actual {
+                    stats.logical_errors += 1;
+                    if !suspect {
+                        stats.postselection.errors_on_kept += 1;
+                    }
+                }
+            } else if let Some(stream) = streaming.as_mut() {
+                // The final transversal detectors (round = rounds) complete
+                // with the final segment; pushing them retires the last
+                // window and seals the shot.
+                self.gather_round_defects(&sim, rounds, &mut round_defects);
+                stream.push_round(&round_defects, &[]);
+                let outcome = stream.finish();
+                for &(nanos, committed) in stream.window_latencies() {
+                    stats.decode_latency.record(nanos, committed as usize);
+                }
+                erasure_log.sort_unstable();
+                erasure_log.dedup();
+                stats.total_erasures += erasure_log.len() as u64;
+                let actual = sim.record().parity(&self.observable);
+                if outcome.flip != actual {
                     stats.logical_errors += 1;
                     if !suspect {
                         stats.postselection.errors_on_kept += 1;
@@ -998,6 +1312,7 @@ impl MemoryRunner {
     /// under the policy layer's per-slot lane masks, and the stripe's
     /// defect/erasure sets fed to the decoder as one `decode_batch` call.
     /// Bit-identical to [`MemoryRunner::run_shots_scalar`], shot for shot.
+    #[allow(clippy::too_many_arguments)]
     fn run_stripes(
         &self,
         first_shot: u64,
@@ -1005,6 +1320,7 @@ impl MemoryRunner {
         width: usize,
         policy_factory: &(dyn Fn(&RotatedCode) -> Box<dyn LrcPolicy> + Sync),
         factory: Option<&dyn DecoderFactory>,
+        plan: Option<&WindowPlan>,
         config: &RunConfig,
     ) -> PartialStats {
         let code = self.exp.code();
@@ -1019,7 +1335,14 @@ impl MemoryRunner {
         };
 
         let mut decoder = factory.map(|f| f.build());
-        let erasure_active = config.erasure.enabled && decoder.is_some();
+        // One windowed decoder per lane: each lane is its own shot, so each
+        // needs its own streaming state (the expensive tables stay shared
+        // through the plan).
+        let mut streams: Vec<WindowedDecoder> = match plan {
+            Some(p) => (0..width).map(|_| p.streaming()).collect(),
+            None => Vec::new(),
+        };
+        let erasure_active = config.erasure.enabled && (decoder.is_some() || !streams.is_empty());
         let mut policy = StripedPolicy::new(policy_factory, code, width);
         let discriminator = if policy.uses_multilevel() {
             Discriminator::MultiLevel
@@ -1050,9 +1373,13 @@ impl MemoryRunner {
         let mut det_words = vec![0u64; self.detectors.len()];
         let mut det_events = vec![false; self.detectors.len()];
         let mut syndromes: Vec<Syndrome> = (0..width)
-            .map(|_| Syndrome::with_rounds(Vec::new(), rounds))
+            .map(|_| Syndrome::build(Vec::new()).rounds(rounds).finish())
             .collect();
         let mut outcomes: Vec<DecodeOutcome> = Vec::with_capacity(width);
+        // Streaming-path scratch, one slot per lane.
+        let mut lane_round_defects: Vec<Vec<usize>> = vec![Vec::new(); width];
+        let mut lane_round_erasures: Vec<Vec<usize>> = vec![Vec::new(); width];
+        let mut lane_erasure_log: Vec<Vec<usize>> = vec![Vec::new(); width];
 
         let end = first_shot + shots;
         let mut shot = first_shot;
@@ -1073,6 +1400,12 @@ impl MemoryRunner {
             policy.reset_stripe(lanes);
             for syndrome in &mut syndromes[..lanes] {
                 syndrome.clear();
+            }
+            for log in lane_erasure_log.iter_mut().take(lanes) {
+                log.clear();
+            }
+            for stream in streams.iter_mut().take(lanes) {
+                stream.begin_shot();
             }
             sim.run_masked(&self.init_segment, active);
             prev_syndrome.fill(0);
@@ -1113,6 +1446,9 @@ impl MemoryRunner {
                     stats.speculation.true_negative += (!p & !o & active).count_ones() as u64;
                 }
 
+                for buffer in lane_round_erasures.iter_mut().take(lanes) {
+                    buffer.clear();
+                }
                 if erasure_active {
                     // Per-lane detection noise, drawing each lane's stream
                     // in exactly the scalar order (data, data_returned,
@@ -1124,7 +1460,7 @@ impl MemoryRunner {
                             continue;
                         };
                         let det_rng = &mut det_rngs[lane];
-                        let erasures = &mut syndromes[lane].erasures;
+                        let erasures = &mut lane_round_erasures[lane];
                         for (q, &flag) in det.data.iter().enumerate() {
                             let reported = if flag {
                                 !det_rng.bernoulli(fnr)
@@ -1150,6 +1486,11 @@ impl MemoryRunner {
                                 let parity = code.parity_qubit(s);
                                 self.extend_qubit_erasures(r - 1..=r - 1, parity, erasures);
                             }
+                        }
+                        if streams.is_empty() {
+                            syndromes[lane].erasures.extend_from_slice(erasures);
+                        } else {
+                            lane_erasure_log[lane].extend_from_slice(erasures);
                         }
                     }
                 }
@@ -1231,6 +1572,13 @@ impl MemoryRunner {
                     }
                     suspect &= active;
                 }
+                if !streams.is_empty() {
+                    self.gather_round_defect_lanes(&sim, r, active, lanes, &mut lane_round_defects);
+                    for lane in 0..lanes {
+                        streams[lane]
+                            .push_round(&lane_round_defects[lane], &lane_round_erasures[lane]);
+                    }
+                }
             }
             sim.run_masked(&self.final_segment, active);
 
@@ -1254,6 +1602,36 @@ impl MemoryRunner {
                 decoder.decode_batch(&syndromes[..lanes], &mut outcomes);
                 let actual = sim.record().parity_word(&self.observable);
                 for (lane, outcome) in outcomes.iter().enumerate() {
+                    stats.decode_latency.record(outcome.nanos, rounds + 1);
+                    if outcome.flip != (actual >> lane & 1 != 0) {
+                        stats.logical_errors += 1;
+                        if suspect >> lane & 1 == 0 {
+                            stats.postselection.errors_on_kept += 1;
+                        }
+                    }
+                }
+            } else if !streams.is_empty() {
+                // Final transversal detectors (round = rounds) arrive with
+                // the final segment; push them, then seal every lane's shot.
+                self.gather_round_defect_lanes(
+                    &sim,
+                    rounds,
+                    active,
+                    lanes,
+                    &mut lane_round_defects,
+                );
+                let actual = sim.record().parity_word(&self.observable);
+                for lane in 0..lanes {
+                    let stream = &mut streams[lane];
+                    stream.push_round(&lane_round_defects[lane], &[]);
+                    let outcome = stream.finish();
+                    for &(nanos, committed) in stream.window_latencies() {
+                        stats.decode_latency.record(nanos, committed as usize);
+                    }
+                    let log = &mut lane_erasure_log[lane];
+                    log.sort_unstable();
+                    log.dedup();
+                    stats.total_erasures += log.len() as u64;
                     if outcome.flip != (actual >> lane & 1 != 0) {
                         stats.logical_errors += 1;
                         if suspect >> lane & 1 == 0 {
@@ -1524,6 +1902,155 @@ mod tests {
         let noisy = MemoryRunner::new_with_basis(3, NoiseParams::standard(1e-3), 6, MemoryBasis::X);
         let result = noisy.run(&|c| Box::new(EraserPolicy::new(c)), &cfg(200));
         assert!(result.ler() < 0.2);
+    }
+
+    #[test]
+    fn window_spec_parses_window_and_stride() {
+        assert_eq!(parse_window_spec("15"), Some((15, 0)));
+        assert_eq!(parse_window_spec("15:10"), Some((15, 10)));
+        assert_eq!(parse_window_spec(" 8 : 8 "), Some((8, 8)));
+        assert_eq!(parse_window_spec("0"), None);
+        assert_eq!(parse_window_spec("8:9"), None, "stride beyond window");
+        assert_eq!(parse_window_spec("abc"), None);
+        assert_eq!(parse_window_spec(""), None);
+        // Config fields always win over the environment hook.
+        let config = RunConfig {
+            window_rounds: 6,
+            window_stride: 9,
+            ..RunConfig::default()
+        };
+        assert_eq!(config.resolved_window(), (6, 6), "stride clamps to window");
+    }
+
+    #[test]
+    fn auto_backend_resolves_against_the_window() {
+        let runner = MemoryRunner::new(3, NoiseParams::standard(1e-3), 30);
+        // The whole-experiment graph stays below the monolithic limit here,
+        // but the rule under test is the per-window node count.
+        assert_eq!(
+            DecoderKind::Auto.resolve_window_backend(runner.graph(), 10),
+            WindowBackend::Mwpm
+        );
+        assert_eq!(
+            DecoderKind::Greedy.resolve_window_backend(runner.graph(), 10),
+            WindowBackend::Greedy
+        );
+        let nodes_per_round = runner.graph().num_nodes() / (runner.graph().max_round() + 1);
+        let huge = DecoderKind::AUTO_MWPM_NODE_LIMIT / nodes_per_round + 2;
+        // A window that large would blow the MWPM limit — were the
+        // experiment long enough to host it, Auto would pick union-find.
+        assert_eq!(
+            DecoderKind::Auto.resolve_window_backend(runner.graph(), huge),
+            WindowBackend::UnionFind
+        );
+    }
+
+    /// The windowed path simulates identical physics (it only changes *when*
+    /// decoding happens) and its LER tracks the monolithic decoder tightly.
+    #[test]
+    fn windowed_decoding_preserves_physics_and_tracks_monolithic_ler() {
+        let runner = MemoryRunner::new(3, NoiseParams::standard(3e-3), 12);
+        let config = |window: usize| RunConfig {
+            shots: 200,
+            seed: 77,
+            threads: 2,
+            decoder: DecoderKind::Mwpm,
+            window_rounds: window,
+            erasure: ErasureDetection::perfect_readout(),
+            ..RunConfig::default()
+        };
+        let policy =
+            |c: &RotatedCode| -> Box<dyn LrcPolicy> { Box::new(EraserPolicy::with_multilevel(c)) };
+        // A window beyond the round count auto-selects monolithic decoding
+        // (and, unlike window 0, is immune to a CI-set `ERASER_WINDOW`).
+        let mono = runner.run(&policy, &config(13));
+        let windowed = runner.run(&policy, &config(5));
+        // Identical physics: every decode-independent statistic matches.
+        assert_eq!(mono.total_lrcs, windowed.total_lrcs);
+        assert_eq!(mono.speculation, windowed.speculation);
+        assert_eq!(mono.lpr_total, windowed.lpr_total);
+        assert_eq!(
+            mono.postselection.flagged_shots,
+            windowed.postselection.flagged_shots
+        );
+        assert_eq!(mono.total_erasures, windowed.total_erasures);
+        assert_eq!(mono.decoder, windowed.decoder, "same backend name");
+        // Paired shots: the decode disagreement rate is tiny.
+        let delta = mono.logical_errors.abs_diff(windowed.logical_errors);
+        assert!(
+            delta <= 6,
+            "windowed LER drifted: {} vs {}",
+            windowed.logical_errors,
+            mono.logical_errors
+        );
+        // Latency probes: one sample per shot monolithically, one per window
+        // (⌈(12+1−5)/s⌉+1 windows with the stride defaulting to w−d=2) when
+        // streaming.
+        assert_eq!(mono.decode_latency.samples(), 200);
+        assert_eq!(windowed.decode_latency.samples(), 200 * 5);
+        assert!(windowed.decode_latency.p50_ns_per_round() > 0.0);
+        assert!(
+            windowed.decode_latency.p99_ns_per_round()
+                >= windowed.decode_latency.p50_ns_per_round()
+        );
+    }
+
+    /// Windowed runs stay bit-identical across worker-thread counts and
+    /// stripe widths, exactly like monolithic runs.
+    #[test]
+    fn windowed_results_bit_identical_across_threads_and_stripes() {
+        let runner = MemoryRunner::new(3, NoiseParams::standard(3e-3), 10);
+        let run_with = |threads: usize, stripe: usize| {
+            let config = RunConfig {
+                shots: 90,
+                seed: 31,
+                threads,
+                stripe_width: stripe,
+                decoder: DecoderKind::Mwpm,
+                window_rounds: 4,
+                window_stride: 2,
+                erasure: ErasureDetection::imperfect(0.01, 0.05),
+                ..RunConfig::default()
+            };
+            runner.run(&|c| Box::new(EraserPolicy::with_multilevel(c)), &config)
+        };
+        let reference = run_with(1, 1);
+        assert!(reference.total_erasures > 0, "erasures must be in play");
+        for (threads, stripe) in [(1usize, 64usize), (4, 1), (4, 64), (3, 13)] {
+            let other = run_with(threads, stripe);
+            assert_eq!(
+                reference.logical_errors, other.logical_errors,
+                "{threads}t stripe{stripe}"
+            );
+            assert_eq!(reference.total_lrcs, other.total_lrcs);
+            assert_eq!(reference.total_erasures, other.total_erasures);
+            assert_eq!(reference.speculation, other.speculation);
+            assert_eq!(reference.postselection, other.postselection);
+            assert_eq!(reference.lpr_total, other.lpr_total);
+        }
+    }
+
+    #[test]
+    fn decode_latency_stats_quantiles_and_merge() {
+        let mut stats = DecodeLatencyStats::default();
+        assert_eq!(stats.samples(), 0);
+        assert_eq!(stats.p50_ns_per_round(), 0.0);
+        for _ in 0..99 {
+            stats.record(1000, 1); // bucket [512, 1024) -> midpoint 768
+        }
+        stats.record(1 << 20, 1);
+        assert_eq!(stats.samples(), 100);
+        assert_eq!(stats.p50_ns_per_round(), 768.0);
+        assert_eq!(stats.p99_ns_per_round(), 768.0);
+        assert!(stats.quantile_ns_per_round(1.0) > 1e6);
+        let mean = stats.mean_ns_per_round();
+        assert!((mean - (99.0 * 1000.0 + (1u64 << 20) as f64) / 100.0).abs() < 1e-6);
+        // Normalization: 10_000 ns over 10 rounds is a 1000 ns/round sample.
+        let mut other = DecodeLatencyStats::default();
+        other.record(10_000, 10);
+        assert_eq!(other.p50_ns_per_round(), 768.0);
+        stats.merge(&other);
+        assert_eq!(stats.samples(), 101);
     }
 
     #[test]

@@ -59,32 +59,43 @@ pub struct Syndrome {
 }
 
 impl Syndrome {
-    /// A syndrome from a defect node list (rounds unknown, no erasures).
-    pub fn new(defects: Vec<usize>) -> Syndrome {
-        Syndrome {
-            defects,
-            rounds: 0,
-            erasures: Vec::new(),
+    /// Starts a [`SyndromeBuilder`] from a defect node list. The builder is
+    /// the one constructor that composes every piece of metadata — round
+    /// count and erasure set — in a single expression:
+    ///
+    /// ```
+    /// use qec_decoder::Syndrome;
+    ///
+    /// let s = Syndrome::build(vec![2, 7]).rounds(11).erasures(vec![4]).finish();
+    /// assert_eq!(s.rounds, 11);
+    /// assert_eq!(s.erasures, vec![4]);
+    /// ```
+    pub fn build(defects: Vec<usize>) -> SyndromeBuilder {
+        SyndromeBuilder {
+            syndrome: Syndrome {
+                defects,
+                rounds: 0,
+                erasures: Vec::new(),
+            },
         }
     }
 
-    /// A syndrome with round metadata (no erasures).
+    /// A syndrome from a defect node list (rounds unknown, no erasures).
+    /// Thin wrapper over [`Syndrome::build`].
+    pub fn new(defects: Vec<usize>) -> Syndrome {
+        Syndrome::build(defects).finish()
+    }
+
+    /// A syndrome with round metadata (no erasures). Thin wrapper over
+    /// [`Syndrome::build`].
     pub fn with_rounds(defects: Vec<usize>, rounds: usize) -> Syndrome {
-        Syndrome {
-            defects,
-            rounds,
-            erasures: Vec::new(),
-        }
+        Syndrome::build(defects).rounds(rounds).finish()
     }
 
     /// A syndrome carrying an erasure set (decoding-graph edge indices
-    /// flagged by leakage detection).
+    /// flagged by leakage detection). Thin wrapper over [`Syndrome::build`].
     pub fn with_erasures(defects: Vec<usize>, erasures: Vec<usize>) -> Syndrome {
-        Syndrome {
-            defects,
-            rounds: 0,
-            erasures,
-        }
+        Syndrome::build(defects).erasures(erasures).finish()
     }
 
     /// Number of defects.
@@ -102,6 +113,40 @@ impl Syndrome {
     pub fn clear(&mut self) {
         self.defects.clear();
         self.erasures.clear();
+    }
+}
+
+/// Builder for [`Syndrome`], started via [`Syndrome::build`]. Unlike the
+/// legacy `with_rounds` / `with_erasures` constructors (which cannot be
+/// combined), the builder composes all metadata freely.
+#[derive(Debug, Clone, Default)]
+pub struct SyndromeBuilder {
+    syndrome: Syndrome,
+}
+
+impl SyndromeBuilder {
+    /// Sets the number of syndrome-extraction rounds the shot spans.
+    pub fn rounds(mut self, rounds: usize) -> SyndromeBuilder {
+        self.syndrome.rounds = rounds;
+        self
+    }
+
+    /// Sets the erasure set (decoding-graph edge indices flagged by leakage
+    /// detection).
+    pub fn erasures(mut self, erasures: Vec<usize>) -> SyndromeBuilder {
+        self.syndrome.erasures = erasures;
+        self
+    }
+
+    /// Finishes the build.
+    pub fn finish(self) -> Syndrome {
+        self.syndrome
+    }
+}
+
+impl From<SyndromeBuilder> for Syndrome {
+    fn from(builder: SyndromeBuilder) -> Syndrome {
+        builder.finish()
     }
 }
 
@@ -129,6 +174,30 @@ pub struct DecodeOutcome {
 pub trait SyndromeDecoder {
     /// Decodes one syndrome.
     fn decode_syndrome(&mut self, syndrome: &Syndrome) -> DecodeOutcome;
+
+    /// Decodes one syndrome and additionally emits the correction as
+    /// decoding-graph **edge indices** into `correction` (cleared first,
+    /// allocation reused; an edge may appear more than once — occurrences
+    /// XOR). The emitted edge set's observable-flip XOR always equals the
+    /// returned [`DecodeOutcome::flip`]; this is what lets the
+    /// sliding-window adapter ([`crate::window::WindowedDecoder`]) commit a
+    /// correction region by region.
+    ///
+    /// All in-repo decoders implement this; the default is for external
+    /// implementations that have no edge-level correction and panics when a
+    /// windowed pipeline requires one.
+    fn decode_with_correction(
+        &mut self,
+        syndrome: &Syndrome,
+        correction: &mut Vec<usize>,
+    ) -> DecodeOutcome {
+        let _ = syndrome;
+        let _ = correction;
+        unimplemented!(
+            "{}: decode_with_correction not supported (required for windowed decoding)",
+            self.name()
+        )
+    }
 
     /// Decodes a batch of syndromes into `out` (cleared first, allocation
     /// reused). The default implementation loops over
@@ -202,6 +271,31 @@ mod tests {
         let e = Syndrome::with_erasures(vec![1], vec![4, 9]);
         assert_eq!(e.erasures, vec![4, 9]);
         assert_eq!(e.rounds, 0);
+    }
+
+    #[test]
+    fn builder_composes_rounds_and_erasures() {
+        // The one thing the legacy constructors cannot do: carry both.
+        let s = Syndrome::build(vec![1, 2])
+            .rounds(7)
+            .erasures(vec![3])
+            .finish();
+        assert_eq!(
+            (s.defects.as_slice(), s.rounds, s.erasures.as_slice()),
+            (&[1, 2][..], 7, &[3][..])
+        );
+        // The legacy constructors are thin wrappers over the builder.
+        assert_eq!(Syndrome::new(vec![5]), Syndrome::build(vec![5]).finish());
+        assert_eq!(
+            Syndrome::with_rounds(vec![5], 3),
+            Syndrome::build(vec![5]).rounds(3).finish()
+        );
+        assert_eq!(
+            Syndrome::with_erasures(vec![5], vec![8]),
+            Syndrome::build(vec![5]).erasures(vec![8]).finish()
+        );
+        let via_from: Syndrome = Syndrome::build(vec![9]).rounds(2).into();
+        assert_eq!(via_from.rounds, 2);
     }
 
     #[test]

@@ -68,6 +68,10 @@ pub struct DecodingGraph {
     /// provenance to graph edges — the basis of exact heralded-erasure
     /// lookups.
     mechanism_edges: Vec<Vec<usize>>,
+    /// Per node: the syndrome-extraction round of its detector (the final
+    /// data-measurement detectors carry round = number of rounds). This is
+    /// the round index the sliding-window machinery partitions on.
+    node_round: Vec<usize>,
 }
 
 impl DecodingGraph {
@@ -87,6 +91,10 @@ impl DecodingGraph {
             }
         }
         let num_nodes = node_to_detector.len();
+        let node_round: Vec<usize> = node_to_detector
+            .iter()
+            .map(|&det| detectors[det].round)
+            .collect();
         let boundary = num_nodes;
 
         // First pass: project every mechanism; collect elementary (≤2 node)
@@ -178,6 +186,37 @@ impl DecodingGraph {
             detector_to_node,
             undetectable_observable_flips,
             mechanism_edges,
+            node_round,
+        }
+    }
+
+    /// Builds a bare graph from pre-restricted parts (the sliding-window
+    /// subgraph constructor, see [`crate::window::WindowGraph`]): nodes are
+    /// locally numbered, `edges` reference local ids (boundary = `num_nodes`),
+    /// and `node_round` carries each node's round *relative to the window
+    /// base*. The detector mappings degenerate to the identity and the
+    /// provenance map is empty — window graphs are decode-only views.
+    pub(crate) fn from_window_parts(
+        num_nodes: usize,
+        edges: Vec<GraphEdge>,
+        node_round: Vec<usize>,
+    ) -> DecodingGraph {
+        assert_eq!(node_round.len(), num_nodes);
+        let mut adjacency = vec![Vec::new(); num_nodes + 1];
+        for (i, e) in edges.iter().enumerate() {
+            debug_assert!(e.a < num_nodes && e.b <= num_nodes && e.a < e.b);
+            adjacency[e.a].push(i);
+            adjacency[e.b].push(i);
+        }
+        DecodingGraph {
+            num_nodes,
+            edges,
+            adjacency,
+            node_to_detector: (0..num_nodes).collect(),
+            detector_to_node: (0..num_nodes).map(Some).collect(),
+            undetectable_observable_flips: 0,
+            mechanism_edges: Vec::new(),
+            node_round,
         }
     }
 
@@ -213,6 +252,25 @@ impl DecodingGraph {
     /// Maps a graph node back to its global detector index.
     pub fn detector_of_node(&self, node: usize) -> usize {
         self.node_to_detector[node]
+    }
+
+    /// The syndrome-extraction round of `node`'s detector (the final
+    /// data-measurement detectors carry round = number of rounds). Window
+    /// graphs report rounds relative to their own base round.
+    pub fn node_round(&self, node: usize) -> usize {
+        self.node_round[node]
+    }
+
+    /// The largest node round in the graph (= the experiment's round count
+    /// for a full memory-experiment graph, because the final transversal
+    /// detectors carry that round value).
+    pub fn max_round(&self) -> usize {
+        self.node_round.iter().copied().max().unwrap_or(0)
+    }
+
+    /// All node rounds, indexed by node id (for windowing's range queries).
+    pub(crate) fn node_rounds(&self) -> &[usize] {
+        &self.node_round
     }
 
     /// Maps a global detector index to its graph node, if it belongs to this
@@ -501,6 +559,29 @@ mod tests {
             }
         }
         assert!(covered > 100, "too few visible mechanisms ({covered})");
+    }
+
+    #[test]
+    fn node_rounds_are_round_major_and_cover_the_span() {
+        // The sliding-window machinery relies on nodes being numbered
+        // round-major (each window is a contiguous node range) with a uniform
+        // per-round node count.
+        for basis in [DetectorBasis::Z, DetectorBasis::X] {
+            let (g, _) = graph_for(3, 4, basis);
+            let rounds: Vec<usize> = (0..g.num_nodes()).map(|n| g.node_round(n)).collect();
+            assert!(rounds.windows(2).all(|w| w[0] <= w[1]), "round-major order");
+            if basis == DetectorBasis::Z {
+                assert_eq!(g.max_round(), 4, "final detectors carry round = R");
+                let per_round = g.num_nodes() / (g.max_round() + 1);
+                for r in 0..=g.max_round() {
+                    assert_eq!(
+                        rounds.iter().filter(|&&x| x == r).count(),
+                        per_round,
+                        "uniform node count at round {r}"
+                    );
+                }
+            }
+        }
     }
 
     #[test]

@@ -12,7 +12,7 @@
 use crate::api::{DecodeOutcome, DecoderFactory, Syndrome, SyndromeDecoder};
 use crate::graph::DecodingGraph;
 use crate::mwpm::ShortestPaths;
-use crate::overlay::WeightOverlay;
+use crate::overlay::{DijkstraScratch, WeightOverlay};
 use std::sync::Arc;
 use std::time::Instant;
 
@@ -29,6 +29,7 @@ pub struct GreedyBatchDecoder<'g> {
     overlay: WeightOverlay,
     eff_dist: Vec<f64>,
     eff_par: Vec<bool>,
+    dijkstra: DijkstraScratch,
 }
 
 impl<'g> GreedyBatchDecoder<'g> {
@@ -61,6 +62,7 @@ impl<'g> GreedyBatchDecoder<'g> {
             overlay: WeightOverlay::new(),
             eff_dist: Vec::new(),
             eff_par: Vec::new(),
+            dijkstra: DijkstraScratch::new(),
         }
     }
 
@@ -70,8 +72,19 @@ impl<'g> GreedyBatchDecoder<'g> {
     }
 }
 
-impl SyndromeDecoder for GreedyBatchDecoder<'_> {
-    fn decode_syndrome(&mut self, syndrome: &Syndrome) -> DecodeOutcome {
+impl GreedyBatchDecoder<'_> {
+    /// Shared decode core; with `correction`, pairing paths are also emitted
+    /// as edge indices and the returned flip is computed from those edges
+    /// (bit-identical to the pairwise parity on the erasure-free path — the
+    /// walk is parity-consistent — and self-consistent under erasures).
+    fn decode_inner(
+        &mut self,
+        syndrome: &Syndrome,
+        mut correction: Option<&mut Vec<usize>>,
+    ) -> DecodeOutcome {
+        if let Some(c) = correction.as_deref_mut() {
+            c.clear();
+        }
         let defects = &syndrome.defects;
         let k = defects.len();
         if k == 0 {
@@ -138,19 +151,39 @@ impl SyndromeDecoder for GreedyBatchDecoder<'_> {
             }
             self.matched[i] = true;
             self.matched[j] = true;
-            flip ^= if erased {
-                self.eff_par[i * t + j]
-            } else {
-                self.paths.observable_parity(defects[i], defects[j])
+            flip ^= match (&mut correction, erased) {
+                (Some(c), true) => self.dijkstra.effective_path_edges(
+                    self.graph,
+                    &self.overlay,
+                    defects[i],
+                    defects[j],
+                    c,
+                ),
+                (Some(c), false) => {
+                    self.paths.path_edges(self.graph, defects[i], defects[j], c);
+                    self.paths.observable_parity(defects[i], defects[j])
+                }
+                (None, true) => self.eff_par[i * t + j],
+                (None, false) => self.paths.observable_parity(defects[i], defects[j]),
             };
             weight += d;
         }
         for (i, &d) in defects.iter().enumerate() {
             if !self.matched[i] {
-                flip ^= if erased {
-                    self.eff_par[i * t + k]
-                } else {
-                    self.paths.observable_parity(d, boundary)
+                flip ^= match (&mut correction, erased) {
+                    (Some(c), true) => self.dijkstra.effective_path_edges(
+                        self.graph,
+                        &self.overlay,
+                        d,
+                        boundary,
+                        c,
+                    ),
+                    (Some(c), false) => {
+                        self.paths.path_edges(self.graph, d, boundary, c);
+                        self.paths.observable_parity(d, boundary)
+                    }
+                    (None, true) => self.eff_par[i * t + k],
+                    (None, false) => self.paths.observable_parity(d, boundary),
                 };
                 weight += self.bdist[i];
             }
@@ -164,6 +197,20 @@ impl SyndromeDecoder for GreedyBatchDecoder<'_> {
             defects: k,
             nanos: start.elapsed().as_nanos() as u64,
         }
+    }
+}
+
+impl SyndromeDecoder for GreedyBatchDecoder<'_> {
+    fn decode_syndrome(&mut self, syndrome: &Syndrome) -> DecodeOutcome {
+        self.decode_inner(syndrome, None)
+    }
+
+    fn decode_with_correction(
+        &mut self,
+        syndrome: &Syndrome,
+        correction: &mut Vec<usize>,
+    ) -> DecodeOutcome {
+        self.decode_inner(syndrome, Some(correction))
     }
 
     fn name(&self) -> &'static str {

@@ -32,6 +32,11 @@
 //!   policy flagged ([`Syndrome::erasures`]) to ~0 for MWPM path costs,
 //!   union-find growth, and greedy pairing, then restores them. An empty
 //!   erasure set decodes bit-identically to the erasure-unaware path.
+//! * [`window`] — sliding-window streaming decoding: a round-indexed
+//!   [`WindowGraph`] partition view, a per-graph [`WindowPlan`] whose
+//!   precomputation is O(window²) per *shape* rather than O(R²), and the
+//!   [`StreamingDecoder`] / [`WindowedDecoder`] round-incremental interface
+//!   that gives all three decoders bounded-memory decoding at any R.
 //!
 //! # Decoding millions of shots
 //!
@@ -73,12 +78,14 @@ pub mod matching;
 pub mod mwpm;
 pub mod overlay;
 pub mod unionfind;
+pub mod window;
 
-pub use api::{DecodeOutcome, DecoderFactory, Syndrome, SyndromeDecoder};
+pub use api::{DecodeOutcome, DecoderFactory, Syndrome, SyndromeBuilder, SyndromeDecoder};
 pub use dem::{build_dem, DetectorErrorModel, ErrorMechanism};
 pub use graph::{DecodingGraph, GraphEdge};
 pub use greedy::{GreedyBatchDecoder, GreedyFactory};
 pub use matching::{max_weight_matching, MatchingContext};
 pub use mwpm::{MwpmBatchDecoder, MwpmFactory, ShortestPaths};
-pub use overlay::{WeightOverlay, ERASED_WEIGHT};
+pub use overlay::{DijkstraScratch, WeightOverlay, ERASED_WEIGHT};
 pub use unionfind::{UnionFindBatchDecoder, UnionFindCapacities, UnionFindFactory};
+pub use window::{StreamingDecoder, WindowBackend, WindowGraph, WindowPlan, WindowedDecoder};

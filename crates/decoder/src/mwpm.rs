@@ -18,7 +18,7 @@
 use crate::api::{DecodeOutcome, DecoderFactory, Syndrome, SyndromeDecoder};
 use crate::graph::DecodingGraph;
 use crate::matching::MatchingContext;
-use crate::overlay::WeightOverlay;
+use crate::overlay::{DijkstraScratch, WeightOverlay};
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
 use std::sync::Arc;
@@ -65,6 +65,67 @@ impl ShortestPaths {
     /// Number of nodes including the boundary.
     pub fn num_nodes_with_boundary(&self) -> usize {
         self.n
+    }
+
+    /// Reconstructs a shortest path from `u` to `v` as edge indices, appended
+    /// to `out`.
+    ///
+    /// The walk follows the relaxation equalities of the Dijkstra run rooted
+    /// at `v`: each step moves to a neighbor that preserves both the exact
+    /// stored distance *and* the stored observable parity. The parity
+    /// condition telescopes, so the XOR of the emitted edges' observable
+    /// flips equals [`ShortestPaths::observable_parity`]`(u, v)` exactly —
+    /// degenerate equal-weight paths of opposite parity can never be picked.
+    /// This is what lets the sliding-window committer work edge by edge while
+    /// staying bit-identical to whole-path matching.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v` is unreachable from `u`.
+    pub fn path_edges(&self, graph: &DecodingGraph, u: usize, v: usize, out: &mut Vec<usize>) {
+        assert!(
+            self.distance(v, u).is_finite(),
+            "node {u} cannot reach node {v}"
+        );
+        let mut cur = u;
+        // A shortest path visits each edge at most once.
+        let mut guard = graph.edges().len() + 1;
+        while cur != v {
+            let d_cur = self.distance(v, cur);
+            let o_cur = self.observable_parity(v, cur);
+            let mut next: Option<(usize, usize)> = None;
+            // Exact pass: the final relaxation that produced `dist[cur]`
+            // guarantees a neighbor with bit-exact distance and parity.
+            for &ei in graph.incident(cur) {
+                let e = &graph.edges()[ei];
+                let w = if e.a == cur { e.b } else { e.a };
+                if self.distance(v, w) + e.weight == d_cur
+                    && (self.observable_parity(v, w) ^ e.flips_observable) == o_cur
+                {
+                    next = Some((ei, w));
+                    break;
+                }
+            }
+            // Paranoia fallback (never taken for tables produced by
+            // `ShortestPaths::compute`): epsilon comparison, parity first.
+            if next.is_none() {
+                for &ei in graph.incident(cur) {
+                    let e = &graph.edges()[ei];
+                    let w = if e.a == cur { e.b } else { e.a };
+                    if (self.distance(v, w) + e.weight - d_cur).abs() < 1e-9
+                        && (self.observable_parity(v, w) ^ e.flips_observable) == o_cur
+                    {
+                        next = Some((ei, w));
+                        break;
+                    }
+                }
+            }
+            let (ei, w) = next.expect("shortest-path walk found no consistent step");
+            out.push(ei);
+            cur = w;
+            guard -= 1;
+            assert!(guard > 0, "shortest-path walk failed to terminate");
+        }
     }
 }
 
@@ -132,6 +193,7 @@ pub struct MwpmBatchDecoder<'g> {
     overlay: WeightOverlay,
     eff_dist: Vec<f64>,
     eff_par: Vec<bool>,
+    dijkstra: DijkstraScratch,
 }
 
 impl<'g> MwpmBatchDecoder<'g> {
@@ -165,6 +227,7 @@ impl<'g> MwpmBatchDecoder<'g> {
             overlay: WeightOverlay::new(),
             eff_dist: Vec::new(),
             eff_par: Vec::new(),
+            dijkstra: DijkstraScratch::new(),
         }
     }
 
@@ -262,8 +325,20 @@ impl<'g> MwpmBatchDecoder<'g> {
     }
 }
 
-impl SyndromeDecoder for MwpmBatchDecoder<'_> {
-    fn decode_syndrome(&mut self, syndrome: &Syndrome) -> DecodeOutcome {
+impl MwpmBatchDecoder<'_> {
+    /// Shared decode core. With `correction`, the matched paths are also
+    /// emitted as edge indices; the returned flip is then computed from those
+    /// edges, which is bit-identical to the pairwise parity on the
+    /// erasure-free path (the walk is parity-consistent, see
+    /// [`ShortestPaths::path_edges`]) and self-consistent under erasures.
+    fn decode_inner(
+        &mut self,
+        syndrome: &Syndrome,
+        mut correction: Option<&mut Vec<usize>>,
+    ) -> DecodeOutcome {
+        if let Some(c) = correction.as_deref_mut() {
+            c.clear();
+        }
         let defects = &syndrome.defects;
         if defects.is_empty() {
             // Trivial shot: skip even the clock reads (the common case at
@@ -279,10 +354,16 @@ impl SyndromeDecoder for MwpmBatchDecoder<'_> {
             for &(i, j) in &self.pairs {
                 flip ^= self.paths.observable_parity(defects[i], defects[j]);
                 weight += self.paths.distance(defects[i], defects[j]);
+                if let Some(c) = correction.as_deref_mut() {
+                    self.paths.path_edges(self.graph, defects[i], defects[j], c);
+                }
             }
             for &i in &self.to_boundary {
                 flip ^= self.paths.observable_parity(defects[i], boundary);
                 weight += self.paths.distance(defects[i], boundary);
+                if let Some(c) = correction.as_deref_mut() {
+                    self.paths.path_edges(self.graph, defects[i], boundary, c);
+                }
             }
         } else {
             // Erasure decoding: overlay the flagged edges (weight ~0), match
@@ -299,12 +380,32 @@ impl SyndromeDecoder for MwpmBatchDecoder<'_> {
             self.match_defects_from_matrix(k);
             let t = k + 1;
             for &(i, j) in &self.pairs {
-                flip ^= self.eff_par[i * t + j];
                 weight += self.eff_dist[i * t + j];
+                flip ^= if let Some(c) = correction.as_deref_mut() {
+                    self.dijkstra.effective_path_edges(
+                        self.graph,
+                        &self.overlay,
+                        defects[i],
+                        defects[j],
+                        c,
+                    )
+                } else {
+                    self.eff_par[i * t + j]
+                };
             }
             for &i in &self.to_boundary {
-                flip ^= self.eff_par[i * t + k];
                 weight += self.eff_dist[i * t + k];
+                flip ^= if let Some(c) = correction.as_deref_mut() {
+                    self.dijkstra.effective_path_edges(
+                        self.graph,
+                        &self.overlay,
+                        defects[i],
+                        boundary,
+                        c,
+                    )
+                } else {
+                    self.eff_par[i * t + k]
+                };
             }
             self.overlay.restore();
         }
@@ -314,6 +415,20 @@ impl SyndromeDecoder for MwpmBatchDecoder<'_> {
             defects: defects.len(),
             nanos: start.elapsed().as_nanos() as u64,
         }
+    }
+}
+
+impl SyndromeDecoder for MwpmBatchDecoder<'_> {
+    fn decode_syndrome(&mut self, syndrome: &Syndrome) -> DecodeOutcome {
+        self.decode_inner(syndrome, None)
+    }
+
+    fn decode_with_correction(
+        &mut self,
+        syndrome: &Syndrome,
+        correction: &mut Vec<usize>,
+    ) -> DecodeOutcome {
+        self.decode_inner(syndrome, Some(correction))
     }
 
     fn name(&self) -> &'static str {

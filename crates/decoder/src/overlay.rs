@@ -417,6 +417,132 @@ impl WeightOverlay {
     }
 }
 
+/// Reusable Dijkstra scratch for reconstructing shortest paths under the
+/// overlay-effective metric (erased edges cost [`ERASED_WEIGHT`]).
+///
+/// The matching decoders pick erasure-aware pairs through the hub-contracted
+/// [`WeightOverlay::effective_metrics`]; when a windowed pipeline then needs
+/// the correction as explicit edges, this scratch recovers a concrete
+/// minimum-effective-weight path per matched pair. Buffers are stamped and
+/// reused, so warm calls perform no heap allocation.
+#[derive(Debug, Default)]
+pub struct DijkstraScratch {
+    epoch: u32,
+    dist: Vec<f64>,
+    pred_edge: Vec<usize>,
+    pred_node: Vec<usize>,
+    stamp: Vec<u32>,
+    done: Vec<bool>,
+    heap: std::collections::BinaryHeap<std::cmp::Reverse<EffHeapItem>>,
+}
+
+#[derive(Debug, PartialEq)]
+struct EffHeapItem(f64, usize);
+
+impl Eq for EffHeapItem {}
+
+impl PartialOrd for EffHeapItem {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for EffHeapItem {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        // Effective weights are finite positive floats; total order is safe.
+        self.0
+            .partial_cmp(&other.0)
+            .unwrap()
+            .then(self.1.cmp(&other.1))
+    }
+}
+
+impl DijkstraScratch {
+    /// A fresh scratch; buffers grow on first use and are reused after.
+    pub fn new() -> DijkstraScratch {
+        DijkstraScratch::default()
+    }
+
+    /// Appends the edge indices of a shortest `u -> v` path under the
+    /// overlay-effective weights to `out` and returns the XOR of the path
+    /// edges' observable flips.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v` is unreachable from `u`.
+    pub fn effective_path_edges(
+        &mut self,
+        graph: &DecodingGraph,
+        overlay: &WeightOverlay,
+        u: usize,
+        v: usize,
+        out: &mut Vec<usize>,
+    ) -> bool {
+        let n = graph.num_nodes() + 1;
+        if self.stamp.len() < n {
+            self.stamp.resize(n, 0);
+            self.dist.resize(n, f64::INFINITY);
+            self.pred_edge.resize(n, usize::MAX);
+            self.pred_node.resize(n, usize::MAX);
+            self.done.resize(n, false);
+        }
+        if self.epoch == u32::MAX {
+            self.stamp.fill(0);
+            self.epoch = 0;
+        }
+        self.epoch += 1;
+        self.heap.clear();
+        let touch = |slf: &mut DijkstraScratch, x: usize| {
+            if slf.stamp[x] != slf.epoch {
+                slf.stamp[x] = slf.epoch;
+                slf.dist[x] = f64::INFINITY;
+                slf.pred_edge[x] = usize::MAX;
+                slf.pred_node[x] = usize::MAX;
+                slf.done[x] = false;
+            }
+        };
+        touch(self, u);
+        self.dist[u] = 0.0;
+        self.heap.push(std::cmp::Reverse(EffHeapItem(0.0, u)));
+        while let Some(std::cmp::Reverse(EffHeapItem(d, x))) = self.heap.pop() {
+            if self.done[x] {
+                continue;
+            }
+            self.done[x] = true;
+            if x == v {
+                break;
+            }
+            for &ei in graph.incident(x) {
+                let e = &graph.edges()[ei];
+                let y = if e.a == x { e.b } else { e.a };
+                touch(self, y);
+                let nd = d + overlay.effective_weight(graph, ei);
+                if nd < self.dist[y] {
+                    self.dist[y] = nd;
+                    self.pred_edge[y] = ei;
+                    self.pred_node[y] = x;
+                    self.heap.push(std::cmp::Reverse(EffHeapItem(nd, y)));
+                }
+            }
+        }
+        assert!(
+            self.stamp[v] == self.epoch && self.dist[v].is_finite(),
+            "node {u} cannot reach node {v} under the overlay metric"
+        );
+        let mut flip = false;
+        let mut cur = v;
+        let start = out.len();
+        while cur != u {
+            let ei = self.pred_edge[cur];
+            out.push(ei);
+            flip ^= graph.edges()[ei].flips_observable;
+            cur = self.pred_node[cur];
+        }
+        out[start..].reverse();
+        flip
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -546,6 +672,48 @@ mod tests {
         overlay.effective_metrics(&paths, &defects, g.boundary(), &mut dist, &mut par);
         assert!(dist[1] <= 1e-9, "endpoints of an erased edge are free");
         assert_eq!(par[1], e.flips_observable);
+    }
+
+    #[test]
+    fn dijkstra_path_follows_the_effective_metric() {
+        let g = graph();
+        let mut overlay = WeightOverlay::new();
+        let mut scratch = DijkstraScratch::new();
+        let mut out = Vec::new();
+        // Without erasures, the path between an edge's endpoints is the edge
+        // itself and the returned parity is the edge's.
+        let ei = g
+            .edges()
+            .iter()
+            .position(|e| e.b != g.boundary())
+            .expect("a bulk edge");
+        let e = g.edges()[ei].clone();
+        overlay.apply(&g, &[]);
+        let flip = scratch.effective_path_edges(&g, &overlay, e.a, e.b, &mut out);
+        assert_eq!(out, vec![ei]);
+        assert_eq!(flip, e.flips_observable);
+        overlay.restore();
+        // Erasing a detour makes it the shortest path: erase every edge
+        // around a hub node and route between two of its neighbours.
+        let hub = g.edges()[g.incident(0)[0]].a;
+        let erased: Vec<usize> = g.incident(hub).to_vec();
+        assert!(erased.len() >= 2);
+        let (e1, e2) = (&g.edges()[erased[0]], &g.edges()[erased[1]]);
+        let n1 = if e1.a == hub { e1.b } else { e1.a };
+        let n2 = if e2.a == hub { e2.b } else { e2.a };
+        if n1 != n2 && n1 != g.boundary() && n2 != g.boundary() {
+            overlay.apply(&g, &erased);
+            out.clear();
+            let flip = scratch.effective_path_edges(&g, &overlay, n1, n2, &mut out);
+            let cost: f64 = out.iter().map(|&x| overlay.effective_weight(&g, x)).sum();
+            assert!(cost <= erased.len() as f64 * ERASED_WEIGHT + 1e-9);
+            assert!(out.iter().all(|x| erased.contains(x)), "path stays erased");
+            let xor = out
+                .iter()
+                .fold(false, |acc, &x| acc ^ g.edges()[x].flips_observable);
+            assert_eq!(xor, flip);
+            overlay.restore();
+        }
     }
 
     #[test]

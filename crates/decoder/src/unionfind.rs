@@ -266,8 +266,19 @@ impl<'g> UnionFindBatchDecoder<'g> {
     }
 }
 
-impl SyndromeDecoder for UnionFindBatchDecoder<'_> {
-    fn decode_syndrome(&mut self, syndrome: &Syndrome) -> DecodeOutcome {
+impl UnionFindBatchDecoder<'_> {
+    /// Shared decode core. With `correction`, the peeled correction edges are
+    /// emitted directly — union-find's correction *is* an edge set, so no
+    /// path reconstruction is needed and the emitted XOR equals the returned
+    /// flip by construction.
+    fn decode_inner(
+        &mut self,
+        syndrome: &Syndrome,
+        mut correction: Option<&mut Vec<usize>>,
+    ) -> DecodeOutcome {
+        if let Some(c) = correction.as_deref_mut() {
+            c.clear();
+        }
         let defects = &syndrome.defects;
         if defects.is_empty() {
             // Trivial shot: skip even the clock reads (the common case at
@@ -332,6 +343,9 @@ impl SyndromeDecoder for UnionFindBatchDecoder<'_> {
             if self.mark[v] {
                 let e = &edges[ei];
                 flip ^= e.flips_observable;
+                if let Some(c) = correction.as_deref_mut() {
+                    c.push(ei);
+                }
                 weight += if erased && self.overlay.is_erased(ei) {
                     ERASED_WEIGHT
                 } else {
@@ -357,6 +371,20 @@ impl SyndromeDecoder for UnionFindBatchDecoder<'_> {
             defects: defects.len(),
             nanos: start.elapsed().as_nanos() as u64,
         }
+    }
+}
+
+impl SyndromeDecoder for UnionFindBatchDecoder<'_> {
+    fn decode_syndrome(&mut self, syndrome: &Syndrome) -> DecodeOutcome {
+        self.decode_inner(syndrome, None)
+    }
+
+    fn decode_with_correction(
+        &mut self,
+        syndrome: &Syndrome,
+        correction: &mut Vec<usize>,
+    ) -> DecodeOutcome {
+        self.decode_inner(syndrome, Some(correction))
     }
 
     fn name(&self) -> &'static str {

@@ -72,16 +72,17 @@ fn fixture() -> (DecodingGraph, Vec<Syndrome>) {
                 }
             }
         }
-        let mut syndrome = Syndrome::new((0..graph.num_nodes()).filter(|&n| events[n]).collect());
+        let mut erasures = Vec::new();
         if i % 3 == 0 {
             for _ in 0..1 + rng.below(2) {
                 let node = rng.below(graph.num_nodes() as u64) as usize;
-                syndrome.erasures.extend_from_slice(graph.incident(node));
+                erasures.extend_from_slice(graph.incident(node));
             }
-            syndrome.erasures.sort_unstable();
-            syndrome.erasures.dedup();
+            erasures.sort_unstable();
+            erasures.dedup();
         }
-        syndromes.push(syndrome);
+        let defects = (0..graph.num_nodes()).filter(|&n| events[n]).collect();
+        syndromes.push(Syndrome::build(defects).erasures(erasures).finish());
     }
     assert!(syndromes.iter().any(|s| !s.erasures.is_empty()));
     (graph, syndromes)

@@ -15,6 +15,9 @@ pub struct Opts {
     pub dmax: usize,
     pub cycles: usize,
     pub decoder: DecoderKind,
+    /// Sliding-window decode configuration `(window_rounds, window_stride)`
+    /// applied to every figure; (0, 0) = monolithic (or `ERASER_WINDOW`).
+    pub window: (usize, usize),
     pub out: PathBuf,
     pub quick: bool,
 }
@@ -30,6 +33,7 @@ impl Default for Opts {
             dmax: 11,
             cycles: 10,
             decoder: DecoderKind::Auto,
+            window: (0, 0),
             out: PathBuf::from("results"),
             quick: false,
         }
@@ -85,6 +89,23 @@ pub fn parse(args: &[String]) -> Result<(String, Opts), String> {
                     opts.decoder = value(&mut i)?
                         .parse()
                         .map_err(|e| format!("--decoder: {e}"))?
+                }
+                "window" => {
+                    let spec = value(&mut i)?;
+                    let mut parts = spec.splitn(2, ':');
+                    let window: usize = parts
+                        .next()
+                        .unwrap_or_default()
+                        .parse()
+                        .map_err(|e| format!("--window: {e}"))?;
+                    let stride: usize = match parts.next() {
+                        Some(s) => s.parse().map_err(|e| format!("--window stride: {e}"))?,
+                        None => 0,
+                    };
+                    if stride > window {
+                        return Err(format!("--window: stride {stride} exceeds window {window}"));
+                    }
+                    opts.window = (window, stride);
                 }
                 "out" => opts.out = PathBuf::from(value(&mut i)?),
                 "quick" => opts.quick = true,

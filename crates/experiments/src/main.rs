@@ -24,6 +24,7 @@
 //!   postselect offline post-selection vs real-time suppression (§7.1)
 //!   memx       memory-X vs memory-Z symmetry check (extension)
 //!   erasure    ERASER+M ± erasure-aware decoding across (d, p) (extension)
+//!   longmem    windowed vs monolithic decoding at R in {d,10d,100d} (extension)
 //!   all        run everything
 //!
 //! options:
@@ -35,6 +36,8 @@
 //!   --dmax N       cap the distance sweep (default 11)
 //!   --cycles N     QEC cycles (default 10; each cycle is d rounds)
 //!   --decoder K    mwpm | uf | greedy | auto (default auto)
+//!   --window W[:S] sliding-window decoding: W rounds per window, S committed
+//!                  per step (S defaults to W - d; 0/unset = monolithic)
 //!   --out DIR      CSV output directory (default results/)
 //!   --quick        tiny-budget smoke run (overrides --shots)
 //! ```
@@ -84,11 +87,12 @@ fn dispatch(command: &str, opts: &Opts) -> Result<(), String> {
         "postselect" => figures::postselect(opts),
         "memx" => figures::memx(opts),
         "erasure" => figures::erasure(opts),
+        "longmem" => figures::longmem(opts),
         "all" => {
             for cmd in [
                 "analytic", "table2", "fig8", "table3", "fig1c", "fig2c", "fig5", "fig6", "fig14",
                 "fig15", "fig16", "table4", "fig17", "fig18", "fig20", "fig21", "ablation",
-                "erasure",
+                "erasure", "longmem",
             ] {
                 dispatch(cmd, opts)?;
             }
