@@ -10,6 +10,7 @@
 //! the measurements as JSON when the harness is dropped (the baseline files
 //! under `results/` are produced this way).
 
+use eraser_json::Value;
 use std::cell::RefCell;
 use std::path::PathBuf;
 use std::time::{Duration, Instant};
@@ -78,21 +79,25 @@ impl Harness {
         self.results.borrow_mut().push((name.to_string(), per_iter));
     }
 
-    /// Renders the recorded measurements as a JSON document.
+    /// Renders the recorded measurements as a JSON document (via the
+    /// shared `eraser_json` writer, the same serializer the serve protocol
+    /// uses — escaping and number formatting live in one place).
     fn to_json(&self) -> String {
-        let mut out = String::from("{\n  \"benches\": [\n");
-        let results = self.results.borrow();
-        for (i, (name, ns)) in results.iter().enumerate() {
-            let comma = if i + 1 < results.len() { "," } else { "" };
-            // Bench names are plain ASCII identifiers; escape the two JSON
-            // metacharacters anyway for safety.
-            let escaped = name.replace('\\', "\\\\").replace('"', "\\\"");
-            out.push_str(&format!(
-                "    {{\"name\": \"{escaped}\", \"ns_per_iter\": {ns:.1}}}{comma}\n"
-            ));
-        }
-        out.push_str("  ]\n}\n");
-        out
+        let benches = self
+            .results
+            .borrow()
+            .iter()
+            .map(|(name, ns)| {
+                let mut entry = Value::object();
+                entry.set("name", name.as_str());
+                // Sub-0.1ns resolution is noise; keep baselines diffable.
+                entry.set("ns_per_iter", (ns * 10.0).round() / 10.0);
+                entry
+            })
+            .collect();
+        let mut root = Value::object();
+        root.set("benches", Value::Array(benches));
+        root.to_pretty()
     }
 }
 
@@ -186,10 +191,15 @@ mod tests {
         h.bench("alpha", || 1 + 1);
         h.bench("beta", || 2 + 2);
         let json = h.to_json();
-        assert!(json.contains("\"name\": \"alpha\""));
-        assert!(json.contains("\"name\": \"beta\""));
-        assert!(json.contains("ns_per_iter"));
-        // Exactly one trailing entry without a comma.
-        assert_eq!(json.matches("},").count(), 1);
+        // The document must round-trip through the shared parser with both
+        // measurements intact and positive.
+        let parsed = Value::parse(&json).unwrap();
+        let benches = parsed.get("benches").and_then(|b| b.as_array()).unwrap();
+        assert_eq!(benches.len(), 2);
+        for (entry, name) in benches.iter().zip(["alpha", "beta"]) {
+            assert_eq!(entry.get("name").and_then(|n| n.as_str()), Some(name));
+            let ns = entry.get("ns_per_iter").and_then(|n| n.as_f64()).unwrap();
+            assert!(ns > 0.0, "{name}: {ns}");
+        }
     }
 }

@@ -4,37 +4,45 @@
 //! emits the JSON by hand, so a formatting regression would otherwise
 //! surface only when someone's tooling chokes on a baseline).
 
+use eraser_json::Value;
 use std::path::PathBuf;
 
-/// Minimal validator for the harness's JSON shape:
-/// `{"benches": [{"name": "...", "ns_per_iter": 123.4}, ...]}`.
-/// Returns the parsed (name, ns) pairs.
-fn parse_baseline(file: &str) -> Vec<(String, f64)> {
+/// Reads and parses a committed baseline with the shared `eraser_json`
+/// parser (the same code that wrote it).
+fn read_baseline(file: &str) -> Value {
     let path = PathBuf::from(env!("CARGO_MANIFEST_DIR"))
         .join("../../results")
         .join(file);
     let text = std::fs::read_to_string(&path)
         .unwrap_or_else(|e| panic!("baseline {} must be committed: {e}", path.display()));
-    assert!(text.contains("\"benches\""), "{file}: missing benches key");
-    let mut entries = Vec::new();
-    for line in text.lines() {
-        let Some(name_start) = line.find("\"name\": \"") else {
-            continue;
-        };
-        let rest = &line[name_start + 9..];
-        let name = rest[..rest.find('"').expect("unterminated name")].to_string();
-        let ns_key = "\"ns_per_iter\": ";
-        let ns_start = line.find(ns_key).expect("entry without ns_per_iter") + ns_key.len();
-        let ns_text: String = line[ns_start..]
-            .chars()
-            .take_while(|c| c.is_ascii_digit() || *c == '.')
-            .collect();
-        let ns: f64 = ns_text.parse().unwrap_or_else(|e| {
-            panic!("{file}: ns_per_iter of `{name}` must parse: {e}");
-        });
-        assert!(ns.is_finite() && ns > 0.0, "{file}: bad timing for {name}");
-        entries.push((name, ns));
-    }
+    Value::parse(&text).unwrap_or_else(|e| panic!("{file} must be valid JSON: {e}"))
+}
+
+/// Validator for the harness's shape:
+/// `{"benches": [{"name": "...", "ns_per_iter": 123.4}, ...]}`.
+/// Returns the (name, ns) pairs.
+fn parse_baseline(file: &str) -> Vec<(String, f64)> {
+    let doc = read_baseline(file);
+    let benches = doc
+        .get("benches")
+        .and_then(|b| b.as_array())
+        .unwrap_or_else(|| panic!("{file}: missing benches array"));
+    let entries: Vec<(String, f64)> = benches
+        .iter()
+        .map(|entry| {
+            let name = entry
+                .get("name")
+                .and_then(|n| n.as_str())
+                .unwrap_or_else(|| panic!("{file}: entry without a name"))
+                .to_string();
+            let ns = entry
+                .get("ns_per_iter")
+                .and_then(|n| n.as_f64())
+                .unwrap_or_else(|| panic!("{file}: `{name}` lacks ns_per_iter"));
+            assert!(ns.is_finite() && ns > 0.0, "{file}: bad timing for {name}");
+            (name, ns)
+        })
+        .collect();
     assert!(!entries.is_empty(), "{file}: no bench entries");
     entries
 }
@@ -86,5 +94,50 @@ fn bench_decoders_baseline_records_the_windowed_speedup() {
         mono / windowed >= 3.0,
         "committed baseline shows {:.2}× (monolithic {mono} ns vs windowed {windowed} ns)",
         mono / windowed
+    );
+}
+
+#[test]
+fn bench_serve_baseline_records_the_artifact_cache_win() {
+    // `eraser-serve loadgen --json` writes this one (see crates/serve); the
+    // shape differs from the harness files, so it gets its own validator.
+    let doc = read_baseline("BENCH_serve.json");
+    let serve = doc
+        .get("serve")
+        .unwrap_or_else(|| panic!("BENCH_serve.json: missing `serve` object"));
+    let get = |key: &str| {
+        serve
+            .get(key)
+            .and_then(|v| v.as_f64())
+            .unwrap_or_else(|| panic!("BENCH_serve.json: missing numeric `{key}`"))
+    };
+
+    // The committed baseline must document the tentpole claim: a warm
+    // server answers the d=7 reference job at least 2× faster than a cold
+    // one, because the artifact cache absorbs the DEM + APSP builds.
+    let speedup = get("warm_speedup");
+    assert!(
+        speedup >= 2.0,
+        "committed baseline shows only {speedup:.2}× warm-over-cold"
+    );
+    let cold = get("cold_job_micros");
+    let warm = get("warm_job_micros");
+    assert!(
+        cold > warm && warm > 0.0,
+        "cold {cold} µs vs warm {warm} µs"
+    );
+
+    // Sanity on the throughput phase.
+    assert!(get("jobs_per_sec") > 0.0);
+    assert!(get("p99_job_micros") >= get("p50_job_micros"));
+    let hit_rate = get("cache_hit_rate");
+    assert!(
+        hit_rate > 0.0 && hit_rate <= 1.0,
+        "steady-state hit rate {hit_rate} should be in (0, 1]"
+    );
+    assert_eq!(
+        serve.get("quick").and_then(|v| v.as_bool()),
+        Some(false),
+        "baselines must come from a full (non --quick) loadgen run"
     );
 }

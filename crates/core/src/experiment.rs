@@ -34,18 +34,19 @@
 //!   resolves the thread-pool partitioning once for the whole grid, and
 //!   streams [`SweepPoint`]s to a sink as they complete.
 
-use std::collections::HashMap;
 use std::fmt;
 use std::str::FromStr;
 use std::sync::Arc;
 
+use crate::cache::{ArtifactCache, ArtifactKind, CacheKey, ExperimentKey};
 use crate::policy::{
     AlwaysLrcPolicy, EraserOptions, EraserPolicy, LrcPolicy, NoLrcPolicy, OptimalPolicy,
 };
 use crate::runtime::{
-    DecoderKind, ErasureDetection, LrcProtocol, MemoryRunResult, MemoryRunner, RunConfig,
+    DecoderKind, EnvOverrideError, ErasureDetection, LrcProtocol, MemoryRunResult, MemoryRunner,
+    RunConfig,
 };
-use qec_core::{NoiseParams, TransportModel};
+use qec_core::NoiseParams;
 use surface_code::{MemoryBasis, RotatedCode};
 
 /// The escape hatch: a thread-safe factory producing one policy instance per
@@ -91,6 +92,16 @@ pub enum ExperimentError {
     UnknownPolicy(String),
     /// `DecoderKind::from_str` did not recognize the name.
     UnknownDecoder(String),
+    /// A malformed `ERASER_*` environment override the configuration would
+    /// consult at run time. Checked at build time so the error surfaces
+    /// here, as a `Result`, instead of deep inside a worker thread.
+    EnvOverride(EnvOverrideError),
+}
+
+impl From<EnvOverrideError> for ExperimentError {
+    fn from(err: EnvOverrideError) -> ExperimentError {
+        ExperimentError::EnvOverride(err)
+    }
 }
 
 impl fmt::Display for ExperimentError {
@@ -131,6 +142,7 @@ impl fmt::Display for ExperimentError {
             }
             ExperimentError::UnknownPolicy(s) => write!(f, "unknown policy `{s}`"),
             ExperimentError::UnknownDecoder(s) => write!(f, "unknown decoder `{s}`"),
+            ExperimentError::EnvOverride(err) => err.fmt(f),
         }
     }
 }
@@ -516,8 +528,19 @@ impl Experiment {
 
     /// Runs the experiment under `kind`, reusing this experiment's runner and
     /// configuration. This is the cheap way to compare policies on one code.
+    ///
+    /// Decode artifacts (APSP tables, union-find capacities, window plans)
+    /// resolve through the process-wide [`ArtifactCache`], so repeated runs
+    /// over the same physics — across policies, experiments, or server
+    /// jobs — pay the build once. Artifacts are deterministic functions of
+    /// the physics, so results are bit-identical to a cache-free run.
     pub fn run_policy(&self, kind: &PolicyKind) -> MemoryRunResult {
-        self.runner.run(&|code| kind.build(code), &self.config)
+        let artifacts = self
+            .runner
+            .decode_artifacts(&self.config, Some(ArtifactCache::global()))
+            .unwrap_or_else(|e| panic!("{e}"));
+        self.runner
+            .run_with_artifacts(&|code| kind.build(code), &self.config, &artifacts)
     }
 }
 
@@ -705,21 +728,23 @@ impl ExperimentBuilder {
     /// and the decoding graph once).
     pub fn build(self) -> Result<Experiment, ExperimentError> {
         let (d, rounds) = self.validated()?;
+        let config = RunConfig {
+            shots: self.shots,
+            seed: self.seed,
+            threads: self.threads,
+            decoder: self.decoder,
+            protocol: self.protocol,
+            decode: self.decode,
+            erasure: self.erasure,
+            stripe_width: self.stripe_width,
+            window_rounds: self.window_rounds,
+            window_stride: self.window_stride,
+        };
+        config.validate_env()?;
         let runner = MemoryRunner::new_with_basis(d, self.noise, rounds, self.basis);
         Ok(Experiment {
             runner,
-            config: RunConfig {
-                shots: self.shots,
-                seed: self.seed,
-                threads: self.threads,
-                decoder: self.decoder,
-                protocol: self.protocol,
-                decode: self.decode,
-                erasure: self.erasure,
-                stripe_width: self.stripe_width,
-                window_rounds: self.window_rounds,
-                window_stride: self.window_stride,
-            },
+            config,
             policy: self.policy,
         })
     }
@@ -781,37 +806,6 @@ pub struct SweepPoint {
     pub result: MemoryRunResult,
 }
 
-/// Runner-cache key: runs sharing (distance, rounds, basis, noise) reuse one
-/// [`MemoryRunner`] — and with it the detector list and decoding graph.
-#[derive(PartialEq, Eq, Hash)]
-struct RunnerKey {
-    d: usize,
-    rounds: usize,
-    basis: MemoryBasis,
-    noise_bits: [u64; 5],
-    transport: TransportModel,
-    leakage_enabled: bool,
-}
-
-impl RunnerKey {
-    fn new(d: usize, rounds: usize, basis: MemoryBasis, noise: &NoiseParams) -> RunnerKey {
-        RunnerKey {
-            d,
-            rounds,
-            basis,
-            noise_bits: [
-                noise.p.to_bits(),
-                noise.leak_fraction.to_bits(),
-                noise.seep_fraction.to_bits(),
-                noise.p_transport.to_bits(),
-                noise.multilevel_error_factor.to_bits(),
-            ],
-            transport: noise.transport,
-            leakage_enabled: noise.leakage_enabled,
-        }
-    }
-}
-
 /// A validated experiment grid: distances × physical error rates × policies,
 /// under one noise family, rounds specification, and run configuration.
 ///
@@ -862,11 +856,34 @@ impl Sweep {
 
     /// Executes the whole grid, streaming each completed point to `sink`.
     ///
-    /// Runner construction is cached per (distance, rounds, basis, noise)
-    /// key, and the worker-thread partitioning is resolved once up front.
-    /// (Results are bit-identical for any thread count — shots own their RNG
-    /// streams — so the resolution only pins wall-clock behaviour.)
+    /// Routes through the process-wide [`ArtifactCache`]: runners are
+    /// shared per content key (distance, rounds, basis, noise) — so two
+    /// cells differing only in policy share one DEM build — and the decode
+    /// artifacts (APSP table / union-find capacities / window plan) are
+    /// resolved once per cell and shared with every other run of the same
+    /// physics, including other sweeps and `eraser-serve` jobs in this
+    /// process. The worker-thread partitioning is resolved once up front.
+    /// (Results are bit-identical for any thread count and any cache state
+    /// — shots own their RNG streams and artifacts are deterministic — so
+    /// both only pin wall-clock behaviour.)
     pub fn for_each(&self, mut sink: impl FnMut(SweepPoint)) {
+        self.try_for_each_cached(ArtifactCache::global(), |point| {
+            sink(point);
+            true
+        });
+    }
+
+    /// [`Sweep::for_each`] against an explicit cache — the `eraser-serve`
+    /// hook, whose server owns a cache sized by its own `--cache-mb`.
+    ///
+    /// The sink returns whether to continue: `false` abandons the rest of
+    /// the grid (a disconnected client), completed points stay delivered.
+    /// Returns `true` iff the whole grid ran.
+    pub fn try_for_each_cached(
+        &self,
+        cache: &ArtifactCache,
+        mut sink: impl FnMut(SweepPoint) -> bool,
+    ) -> bool {
         let mut config = RunConfig {
             shots: self.shots,
             seed: self.seed,
@@ -879,27 +896,41 @@ impl Sweep {
             window_rounds: self.window_rounds,
             window_stride: self.window_stride,
         };
-        config.threads = config.resolved_threads();
-        let mut runners: HashMap<RunnerKey, MemoryRunner> = HashMap::new();
+        // The builder validated the environment, but it can have changed
+        // since; the panic here is the documented low-level behaviour.
+        config.threads = config.resolved_threads().unwrap_or_else(|e| panic!("{e}"));
         for &d in &self.distances {
             let rounds = self.rounds.resolve(d);
             for &p in &self.error_rates {
                 let noise = self.noise.params(p);
-                let runner = runners
-                    .entry(RunnerKey::new(d, rounds, self.basis, &noise))
-                    .or_insert_with(|| MemoryRunner::new_with_basis(d, noise, rounds, self.basis));
+                let runner = cache.get_or_build(
+                    &CacheKey {
+                        experiment: ExperimentKey::new(d, rounds, self.basis, &noise),
+                        kind: ArtifactKind::Runner,
+                    },
+                    MemoryRunner::approx_bytes,
+                    || MemoryRunner::new_with_basis(d, noise, rounds, self.basis),
+                );
+                let artifacts = runner
+                    .decode_artifacts(&config, Some(cache))
+                    .unwrap_or_else(|e| panic!("{e}"));
                 for kind in &self.policies {
-                    let result = runner.run(&|code| kind.build(code), &config);
-                    sink(SweepPoint {
+                    let result =
+                        runner.run_with_artifacts(&|code| kind.build(code), &config, &artifacts);
+                    let proceed = sink(SweepPoint {
                         distance: d,
                         p,
                         rounds,
                         policy: kind.label().to_string(),
                         result,
                     });
+                    if !proceed {
+                        return false;
+                    }
                 }
             }
         }
+        true
     }
 
     /// Executes the whole grid and collects the points in execution order.
@@ -1107,6 +1138,14 @@ impl SweepBuilder {
         validate_erasure(&self.erasure)?;
         validate_stripe_width(self.stripe_width)?;
         validate_window(self.window_rounds, self.window_stride)?;
+        RunConfig {
+            threads: self.threads,
+            stripe_width: self.stripe_width,
+            window_rounds: self.window_rounds,
+            window_stride: self.window_stride,
+            ..RunConfig::default()
+        }
+        .validate_env()?;
         Ok(Sweep {
             distances: self.distances,
             error_rates: self.error_rates,

@@ -60,6 +60,7 @@
 //! ```
 
 pub mod analysis;
+pub mod cache;
 pub mod experiment;
 pub mod policy;
 pub mod resource;
@@ -67,6 +68,7 @@ pub mod rtl;
 pub mod runtime;
 pub mod swap_table;
 
+pub use cache::{ArtifactCache, ArtifactKind, CacheKey, CacheStats, ExperimentKey};
 pub use experiment::{
     Experiment, ExperimentBuilder, ExperimentError, NoiseModel, PolicyFactory, PolicyKind, Sweep,
     SweepBuilder, SweepPoint,
@@ -77,7 +79,7 @@ pub use policy::{
 };
 pub use resource::{FpgaPart, ResourceEstimate};
 pub use runtime::{
-    DecodeLatencyStats, DecoderKind, ErasureDetection, LrcProtocol, MemoryRunResult, PostSelection,
-    SpeculationStats,
+    DecodeLatencyStats, DecoderKind, EnvOverrideError, ErasureDetection, LrcProtocol,
+    MemoryRunResult, PostSelection, SpeculationStats,
 };
 pub use swap_table::SwapLookupTable;

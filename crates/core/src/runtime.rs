@@ -44,14 +44,17 @@
 //! * **speculation stats** — TP/FP/FN/TN of "this data qubit is leaked"
 //!   decisions against simulator ground truth (Fig 16).
 
+use crate::cache::{ArtifactCache, ArtifactKind, CacheKey, ExperimentKey};
 use crate::policy::{LrcPolicy, RoundContext, StripeRoundContext, StripedPolicy};
 use leak_sim::{BatchFrameSimulator, Discriminator, FrameSimulator, STRIPE_WIDTH};
 use qec_core::circuit::DetectorBasis;
 use qec_core::{DetectorInfo, MeasKey, NoiseParams, Op, OpCond, Rng};
 use qec_decoder::{
     build_dem, DecodeOutcome, DecoderFactory, DecodingGraph, GreedyFactory, MwpmFactory,
-    StreamingDecoder, Syndrome, UnionFindFactory, WindowBackend, WindowPlan, WindowedDecoder,
+    ShortestPaths, StreamingDecoder, Syndrome, UnionFindCapacities, UnionFindFactory,
+    WindowBackend, WindowPlan, WindowedDecoder,
 };
+use std::sync::Arc;
 use surface_code::{
     LrcAssignment, MaskedRound, MemoryBasis, MemoryExperiment, RotatedCode, SlotTable,
     SyndromeRound,
@@ -253,16 +256,98 @@ impl Default for RunConfig {
     }
 }
 
+/// A malformed `ERASER_*` environment override.
+///
+/// The `ERASER_THREADS` / `ERASER_STRIPE` / `ERASER_WINDOW` hooks used to
+/// be resolved with `.parse().ok()`, so a typo (`ERASER_THREADS=fuor`)
+/// silently fell back to the default — the worst failure mode for a knob
+/// whose whole job is reproducing a specific configuration. Malformed
+/// values now surface as this error: the `Experiment`/`Sweep` builders
+/// return it at build time, and the low-level [`MemoryRunner::run`] path
+/// panics with its message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct EnvOverrideError {
+    /// The environment variable that failed to parse.
+    pub var: &'static str,
+    /// Its raw value.
+    pub value: String,
+    /// What was wrong with it.
+    pub reason: &'static str,
+}
+
+impl std::fmt::Display for EnvOverrideError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "invalid {}={:?}: {} (unset the variable or fix the value)",
+            self.var, self.value, self.reason
+        )
+    }
+}
+
+impl std::error::Error for EnvOverrideError {}
+
+/// Parses an `ERASER_THREADS` value: a positive integer. An empty (or
+/// all-whitespace) value counts as unset — CI matrix legs pass `""` to
+/// mean "no override".
+pub fn parse_threads_env(raw: &str) -> Result<Option<usize>, EnvOverrideError> {
+    parse_positive_env("ERASER_THREADS", raw)
+}
+
+/// Parses an `ERASER_STRIPE` value: a positive integer (clamped to the
+/// 64-lane stripe width at resolution time). Empty counts as unset.
+pub fn parse_stripe_env(raw: &str) -> Result<Option<usize>, EnvOverrideError> {
+    parse_positive_env("ERASER_STRIPE", raw)
+}
+
+fn parse_positive_env(var: &'static str, raw: &str) -> Result<Option<usize>, EnvOverrideError> {
+    let trimmed = raw.trim();
+    if trimmed.is_empty() {
+        return Ok(None);
+    }
+    match trimmed.parse::<usize>() {
+        Ok(0) => Err(EnvOverrideError {
+            var,
+            value: raw.to_string(),
+            reason: "must be a positive integer",
+        }),
+        Ok(n) => Ok(Some(n)),
+        Err(_) => Err(EnvOverrideError {
+            var,
+            value: raw.to_string(),
+            reason: "not an integer",
+        }),
+    }
+}
+
 /// Parses an `ERASER_WINDOW` specification: `"15"` (window only, stride
-/// defaulted at run time) or `"15:10"` (window:stride).
-pub(crate) fn parse_window_spec(spec: &str) -> Option<(usize, usize)> {
-    let mut it = spec.splitn(2, ':');
-    let window = it.next()?.trim().parse::<usize>().ok().filter(|&w| w > 0)?;
+/// defaulted at run time against the code distance) or `"15:10"`
+/// (window:stride, stride ≤ window). Empty counts as unset.
+pub fn parse_window_env(raw: &str) -> Result<Option<(usize, usize)>, EnvOverrideError> {
+    let err = |reason: &'static str| EnvOverrideError {
+        var: "ERASER_WINDOW",
+        value: raw.to_string(),
+        reason,
+    };
+    let trimmed = raw.trim();
+    if trimmed.is_empty() {
+        return Ok(None);
+    }
+    let mut it = trimmed.splitn(2, ':');
+    let window = match it.next().unwrap_or("").trim().parse::<usize>() {
+        Ok(0) => return Err(err("window must be a positive round count")),
+        Ok(w) => w,
+        Err(_) => return Err(err("expected \"W\" or \"W:S\" with integer rounds")),
+    };
     let stride = match it.next() {
-        Some(s) => s.trim().parse::<usize>().ok().filter(|&x| x <= window)?,
+        Some(s) => match s.trim().parse::<usize>() {
+            Ok(x) if x <= window => x,
+            Ok(_) => return Err(err("stride exceeds the window")),
+            Err(_) => return Err(err("expected \"W\" or \"W:S\" with integer rounds")),
+        },
         None => 0,
     };
-    Some((window, stride))
+    Ok(Some((window, stride)))
 }
 
 impl RunConfig {
@@ -270,21 +355,20 @@ impl RunConfig {
     /// itself; else the `ERASER_THREADS` environment variable (the CI test
     /// matrix's hook); else every available core. Results are bit-identical
     /// for any resolution — shots own their RNG streams — so this only
-    /// affects wall-clock time.
-    pub fn resolved_threads(&self) -> usize {
+    /// affects wall-clock time. A malformed override is an error, never a
+    /// silent default.
+    pub fn resolved_threads(&self) -> Result<usize, EnvOverrideError> {
         if self.threads != 0 {
-            return self.threads;
+            return Ok(self.threads);
         }
-        if let Some(n) = std::env::var("ERASER_THREADS")
-            .ok()
-            .and_then(|v| v.parse::<usize>().ok())
-            .filter(|&n| n > 0)
-        {
-            return n;
+        if let Ok(raw) = std::env::var("ERASER_THREADS") {
+            if let Some(n) = parse_threads_env(&raw)? {
+                return Ok(n);
+            }
         }
-        std::thread::available_parallelism()
+        Ok(std::thread::available_parallelism()
             .map(|n| n.get())
-            .unwrap_or(1)
+            .unwrap_or(1))
     }
 
     /// The `(window_rounds, window_stride)` pair this configuration resolves
@@ -292,37 +376,50 @@ impl RunConfig {
     /// `ERASER_WINDOW` environment variable (`"W"` or `"W:S"`, the CI smoke
     /// leg's hook); else `(0, 0)` — monolithic decoding. A stride of 0 is
     /// resolved later against the code distance (`window − d`, min 1).
-    pub fn resolved_window(&self) -> (usize, usize) {
+    /// A malformed override is an error, never a silent default.
+    pub fn resolved_window(&self) -> Result<(usize, usize), EnvOverrideError> {
         if self.window_rounds != 0 {
-            return (
+            return Ok((
                 self.window_rounds,
                 self.window_stride.min(self.window_rounds),
-            );
+            ));
         }
-        std::env::var("ERASER_WINDOW")
-            .ok()
-            .and_then(|v| parse_window_spec(&v))
-            .unwrap_or((0, 0))
+        if let Ok(raw) = std::env::var("ERASER_WINDOW") {
+            if let Some(pair) = parse_window_env(&raw)? {
+                return Ok(pair);
+            }
+        }
+        Ok((0, 0))
     }
 
     /// The stripe width this configuration resolves to: `stripe_width`
     /// itself; else the `ERASER_STRIPE` environment variable (the CI test
     /// matrix's hook); else the full 64-lane stripe. Clamped to 1..=64.
     /// Results are bit-identical for any resolution — this only affects
-    /// wall-clock time.
-    pub fn resolved_stripe_width(&self) -> usize {
+    /// wall-clock time. A malformed override is an error, never a silent
+    /// default.
+    pub fn resolved_stripe_width(&self) -> Result<usize, EnvOverrideError> {
         let width = if self.stripe_width != 0 {
             self.stripe_width
-        } else if let Some(w) = std::env::var("ERASER_STRIPE")
-            .ok()
-            .and_then(|v| v.parse::<usize>().ok())
-            .filter(|&w| w > 0)
-        {
+        } else if let Some(w) = match std::env::var("ERASER_STRIPE") {
+            Ok(raw) => parse_stripe_env(&raw)?,
+            Err(_) => None,
+        } {
             w
         } else {
             STRIPE_WIDTH
         };
-        width.clamp(1, STRIPE_WIDTH)
+        Ok(width.clamp(1, STRIPE_WIDTH))
+    }
+
+    /// Checks every `ERASER_*` override this configuration would consult,
+    /// so facades can reject malformed environments eagerly (at build
+    /// time) instead of deep inside a worker thread.
+    pub fn validate_env(&self) -> Result<(), EnvOverrideError> {
+        self.resolved_threads()?;
+        self.resolved_window()?;
+        self.resolved_stripe_width()?;
+        Ok(())
     }
 }
 
@@ -646,6 +743,42 @@ pub struct MemoryRunner {
     qubit_round_edges: Vec<Vec<usize>>,
 }
 
+/// The decode-path artifacts resolved for one (runner, config) pair:
+/// either a sliding-window plan or the monolithic decoder's precomputed
+/// tables, `Arc`-shared so an [`ArtifactCache`] can hand one build to many
+/// runs. Built by [`MemoryRunner::decode_artifacts`]; consumed by
+/// [`MemoryRunner::run_with_artifacts`].
+#[derive(Debug, Clone)]
+pub struct DecodeArtifacts {
+    resolved: Option<ResolvedDecode>,
+}
+
+#[derive(Debug, Clone)]
+enum ResolvedDecode {
+    /// Whole-experiment decoding; `kind` is resolved (never `Auto`) and
+    /// exactly one of the tables is populated (paths for MWPM/greedy,
+    /// capacities for union-find).
+    Monolithic {
+        kind: DecoderKind,
+        paths: Option<Arc<ShortestPaths>>,
+        capacities: Option<Arc<UnionFindCapacities>>,
+    },
+    /// Sliding-window streaming decoding.
+    Windowed(Arc<WindowPlan>),
+}
+
+impl DecodeArtifacts {
+    /// Whether the run will decode at all.
+    pub fn decodes(&self) -> bool {
+        self.resolved.is_some()
+    }
+
+    /// Whether the run takes the sliding-window path.
+    pub fn windowed(&self) -> bool {
+        matches!(self.resolved, Some(ResolvedDecode::Windowed(_)))
+    }
+}
+
 impl MemoryRunner {
     /// Builds the runner for a distance-`d` memory-Z experiment over `rounds`
     /// rounds under `noise` (the paper's workload).
@@ -832,25 +965,56 @@ impl MemoryRunner {
         }
     }
 
-    /// Runs `config.shots` shots of the experiment under the policy produced
-    /// by `policy_factory` (one instance per worker thread).
+    /// The content identity of this runner — runs sharing it share every
+    /// decode artifact bit-for-bit. See [`ExperimentKey`].
+    pub fn cache_key(&self) -> ExperimentKey {
+        ExperimentKey::new(
+            self.exp.code().distance(),
+            self.exp.rounds(),
+            self.exp.basis(),
+            self.exp.noise(),
+        )
+    }
+
+    /// Approximate heap footprint of the runner itself (DEM-derived graph,
+    /// round schedules, provenance buckets), for size-bounded caches.
+    pub fn approx_bytes(&self) -> usize {
+        let buckets: usize = self
+            .qubit_round_edges
+            .iter()
+            .map(|b| b.len() * std::mem::size_of::<usize>())
+            .sum();
+        let detectors = self.detectors.len() * std::mem::size_of::<DetectorInfo>();
+        let segments =
+            (self.init_segment.len() + self.final_segment.len()) * std::mem::size_of::<Op>();
+        // Per-edge/node constants are rough: endpoints, weight, provenance
+        // vectors' headers.
+        let graph = self.graph.edges().len() * 64 + self.graph.num_nodes() * 16;
+        buckets + detectors + segments + graph
+    }
+
+    /// Resolves the decode-path artifacts for `config`: the sliding-window
+    /// plan when a window applies, else the monolithic decoder's APSP or
+    /// capacity table. With a cache, artifacts are fetched by content key
+    /// and shared across runs (and across content-identical runners);
+    /// without one they are built fresh — the results are bit-identical
+    /// either way, because every artifact is a deterministic function of
+    /// the key.
     ///
-    /// # Panics
-    ///
-    /// Panics if `config.shots == 0`.
-    pub fn run(
+    /// Fails only on a malformed `ERASER_WINDOW` override.
+    pub fn decode_artifacts(
         &self,
-        policy_factory: &(dyn Fn(&RotatedCode) -> Box<dyn LrcPolicy> + Sync),
         config: &RunConfig,
-    ) -> MemoryRunResult {
-        assert!(config.shots >= 1, "a run needs at least one shot");
+        cache: Option<&ArtifactCache>,
+    ) -> Result<DecodeArtifacts, EnvOverrideError> {
+        if !config.decode {
+            return Ok(DecodeArtifacts { resolved: None });
+        }
         // Streaming vs monolithic decode path. A window of 0 (or beyond the
         // round count, where a single window would cover the whole shot)
-        // selects monolithic decoding; otherwise the sliding-window plan —
-        // with its per-*shape* precomputation — is built once per run here.
-        let (window, stride_raw) = config.resolved_window();
-        let plan: Option<WindowPlan> = if config.decode && window > 0 && window <= self.exp.rounds()
-        {
+        // selects monolithic decoding.
+        let (window, stride_raw) = config.resolved_window()?;
+        let resolved = if window > 0 && window <= self.exp.rounds() {
             let d = self.exp.code().distance();
             let stride = if stride_raw == 0 {
                 window.saturating_sub(d).max(1)
@@ -858,23 +1022,150 @@ impl MemoryRunner {
                 stride_raw.min(window)
             };
             let backend = config.decoder.resolve_window_backend(&self.graph, window);
-            Some(WindowPlan::new(&self.graph, window, stride, backend))
+            let plan = match cache {
+                Some(cache) => cache.get_or_build(
+                    &CacheKey {
+                        experiment: self.cache_key(),
+                        kind: ArtifactKind::WindowPlan {
+                            window,
+                            stride,
+                            backend,
+                        },
+                    },
+                    WindowPlan::approx_decoder_bytes,
+                    || WindowPlan::new(&self.graph, window, stride, backend),
+                ),
+                None => Arc::new(WindowPlan::new(&self.graph, window, stride, backend)),
+            };
+            ResolvedDecode::Windowed(plan)
         } else {
-            None
+            let kind = config.decoder.resolve(&self.graph);
+            let (paths, capacities) = match kind {
+                DecoderKind::Mwpm | DecoderKind::Greedy => {
+                    let paths = match cache {
+                        Some(cache) => cache.get_or_build(
+                            &CacheKey {
+                                experiment: self.cache_key(),
+                                kind: ArtifactKind::Apsp,
+                            },
+                            ShortestPaths::approx_bytes,
+                            || ShortestPaths::compute(&self.graph),
+                        ),
+                        None => Arc::new(ShortestPaths::compute(&self.graph)),
+                    };
+                    (Some(paths), None)
+                }
+                DecoderKind::UnionFind => {
+                    let capacities = match cache {
+                        Some(cache) => cache.get_or_build(
+                            &CacheKey {
+                                experiment: self.cache_key(),
+                                kind: ArtifactKind::UfCapacities,
+                            },
+                            UnionFindCapacities::approx_bytes,
+                            || UnionFindCapacities::compute(&self.graph),
+                        ),
+                        None => Arc::new(UnionFindCapacities::compute(&self.graph)),
+                    };
+                    (None, Some(capacities))
+                }
+                DecoderKind::Auto => unreachable!("resolve never returns Auto"),
+            };
+            ResolvedDecode::Monolithic {
+                kind,
+                paths,
+                capacities,
+            }
         };
-        let plan = plan.as_ref();
-        // The factory pays the expensive precomputation (APSP table, edge
-        // capacities) once per run; worker threads build their own stateful
-        // instances from it.
-        let factory: Option<Box<dyn DecoderFactory + '_>> = if config.decode && plan.is_none() {
-            Some(config.decoder.build_factory(&self.graph))
-        } else {
-            None
+        Ok(DecodeArtifacts {
+            resolved: Some(resolved),
+        })
+    }
+
+    /// Runs `config.shots` shots of the experiment under the policy produced
+    /// by `policy_factory` (one instance per worker thread).
+    ///
+    /// Builds the decode artifacts fresh (no cache); callers that reuse
+    /// artifacts across runs — the `Sweep` engine, `eraser-serve` — resolve
+    /// them once via [`MemoryRunner::decode_artifacts`] and call
+    /// [`MemoryRunner::run_with_artifacts`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `config.shots == 0`, or on a malformed `ERASER_*`
+    /// environment override (the `Experiment`/`Sweep` facades validate the
+    /// environment at build time and surface the same condition as an
+    /// `Err` instead).
+    pub fn run(
+        &self,
+        policy_factory: &(dyn Fn(&RotatedCode) -> Box<dyn LrcPolicy> + Sync),
+        config: &RunConfig,
+    ) -> MemoryRunResult {
+        let artifacts = self
+            .decode_artifacts(config, None)
+            .unwrap_or_else(|e| panic!("{e}"));
+        self.run_with_artifacts(policy_factory, config, &artifacts)
+    }
+
+    /// [`MemoryRunner::run`] with pre-resolved decode artifacts.
+    ///
+    /// `artifacts` must come from [`MemoryRunner::decode_artifacts`] on a
+    /// content-identical runner with this `config` (same decoder selection
+    /// and window geometry). Results are bit-identical to [`run`] — the
+    /// artifacts are deterministic, so sharing them cannot change a single
+    /// decode.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `config.shots == 0`, or on a malformed `ERASER_*`
+    /// environment override.
+    ///
+    /// [`run`]: MemoryRunner::run
+    pub fn run_with_artifacts(
+        &self,
+        policy_factory: &(dyn Fn(&RotatedCode) -> Box<dyn LrcPolicy> + Sync),
+        config: &RunConfig,
+        artifacts: &DecodeArtifacts,
+    ) -> MemoryRunResult {
+        assert!(config.shots >= 1, "a run needs at least one shot");
+        let plan: Option<&WindowPlan> = match &artifacts.resolved {
+            Some(ResolvedDecode::Windowed(plan)) => Some(plan),
+            _ => None,
+        };
+        // The factory holds the expensive precomputation (APSP table, edge
+        // capacities) — resolved once, possibly from a cache; worker
+        // threads build their own stateful instances from it.
+        let factory: Option<Box<dyn DecoderFactory + '_>> = match &artifacts.resolved {
+            Some(ResolvedDecode::Monolithic {
+                kind,
+                paths,
+                capacities,
+            }) => Some(match kind {
+                DecoderKind::Mwpm => Box::new(MwpmFactory::with_paths(
+                    &self.graph,
+                    Arc::clone(paths.as_ref().expect("mwpm artifacts carry paths")),
+                )),
+                DecoderKind::Greedy => Box::new(GreedyFactory::with_paths(
+                    &self.graph,
+                    Arc::clone(paths.as_ref().expect("greedy artifacts carry paths")),
+                )),
+                DecoderKind::UnionFind => Box::new(UnionFindFactory::with_capacities(
+                    &self.graph,
+                    Arc::clone(
+                        capacities
+                            .as_ref()
+                            .expect("union-find artifacts carry capacities"),
+                    ),
+                )),
+                DecoderKind::Auto => unreachable!("artifacts hold a resolved kind"),
+            }),
+            _ => None,
         };
         let factory = factory.as_deref();
 
         let threads = config
             .resolved_threads()
+            .unwrap_or_else(|e| panic!("{e}"))
             .min(config.shots.max(1) as usize)
             .max(1);
         // Contiguous shot ranges per worker. Every shot derives its own RNG
@@ -892,7 +1183,9 @@ impl MemoryRunner {
             first += count;
         }
 
-        let width = config.resolved_stripe_width();
+        let width = config
+            .resolved_stripe_width()
+            .unwrap_or_else(|e| panic!("{e}"));
         let partials: Vec<PartialStats> = std::thread::scope(|scope| {
             let handles: Vec<_> = jobs
                 .into_iter()
@@ -1904,22 +2197,102 @@ mod tests {
         assert!(result.ler() < 0.2);
     }
 
+    /// Table-driven coverage of every `ERASER_*` override parser. The
+    /// parsers are pure functions of the raw string — no `set_var` here,
+    /// which would race with concurrently running tests — and the contract
+    /// under test is exactly the satellite's: valid values parse, empty
+    /// means unset, and malformed values are a *clear error*, never a
+    /// silent default or a panic.
     #[test]
-    fn window_spec_parses_window_and_stride() {
-        assert_eq!(parse_window_spec("15"), Some((15, 0)));
-        assert_eq!(parse_window_spec("15:10"), Some((15, 10)));
-        assert_eq!(parse_window_spec(" 8 : 8 "), Some((8, 8)));
-        assert_eq!(parse_window_spec("0"), None);
-        assert_eq!(parse_window_spec("8:9"), None, "stride beyond window");
-        assert_eq!(parse_window_spec("abc"), None);
-        assert_eq!(parse_window_spec(""), None);
-        // Config fields always win over the environment hook.
+    fn env_override_parsing_is_strict() {
+        // (raw, expected) for the two positive-integer knobs.
+        let int_cases: &[(&str, Result<Option<usize>, &str>)] = &[
+            ("4", Ok(Some(4))),
+            (" 8 ", Ok(Some(8))),
+            ("1", Ok(Some(1))),
+            ("", Ok(None)),
+            ("   ", Ok(None)),
+            ("0", Err("must be a positive integer")),
+            ("four", Err("not an integer")),
+            ("4x", Err("not an integer")),
+            ("-2", Err("not an integer")),
+            ("4.0", Err("not an integer")),
+        ];
+        for (raw, expected) in int_cases {
+            for (var, result) in [
+                ("ERASER_THREADS", parse_threads_env(raw)),
+                ("ERASER_STRIPE", parse_stripe_env(raw)),
+            ] {
+                match expected {
+                    Ok(v) => assert_eq!(result.as_ref().ok(), Some(v), "{var}={raw:?}"),
+                    Err(reason) => {
+                        let err = result.expect_err(&format!("{var}={raw:?} must error"));
+                        assert_eq!(err.var, var);
+                        assert_eq!(err.reason, *reason);
+                        assert!(
+                            err.to_string().contains(var) && err.to_string().contains(reason),
+                            "message names the variable and the problem: {err}"
+                        );
+                    }
+                }
+            }
+        }
+
+        type WindowCase = (&'static str, Result<Option<(usize, usize)>, &'static str>);
+        let window_cases: &[WindowCase] = &[
+            ("15", Ok(Some((15, 0)))),
+            ("15:10", Ok(Some((15, 10)))),
+            (" 8 : 8 ", Ok(Some((8, 8)))),
+            ("", Ok(None)),
+            ("  ", Ok(None)),
+            ("0", Err("window must be a positive round count")),
+            ("8:9", Err("stride exceeds the window")),
+            ("abc", Err("expected \"W\" or \"W:S\" with integer rounds")),
+            ("8:x", Err("expected \"W\" or \"W:S\" with integer rounds")),
+            (":4", Err("expected \"W\" or \"W:S\" with integer rounds")),
+            ("8:", Err("expected \"W\" or \"W:S\" with integer rounds")),
+        ];
+        for (raw, expected) in window_cases {
+            match expected {
+                Ok(v) => assert_eq!(
+                    parse_window_env(raw).as_ref().ok(),
+                    Some(v),
+                    "ERASER_WINDOW={raw:?}"
+                ),
+                Err(reason) => {
+                    let err = parse_window_env(raw)
+                        .expect_err(&format!("ERASER_WINDOW={raw:?} must error"));
+                    assert_eq!(err.reason, *reason);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn config_fields_win_over_environment_hooks() {
+        // Explicit config fields resolve without consulting the
+        // environment at all.
         let config = RunConfig {
             window_rounds: 6,
             window_stride: 9,
             ..RunConfig::default()
         };
-        assert_eq!(config.resolved_window(), (6, 6), "stride clamps to window");
+        assert_eq!(
+            config.resolved_window().unwrap(),
+            (6, 6),
+            "stride clamps to window"
+        );
+        let config = RunConfig {
+            threads: 3,
+            stripe_width: 200,
+            ..RunConfig::default()
+        };
+        assert_eq!(config.resolved_threads().unwrap(), 3);
+        assert_eq!(
+            config.resolved_stripe_width().unwrap(),
+            STRIPE_WIDTH,
+            "stripe clamps to the 64-lane word"
+        );
     }
 
     #[test]

@@ -52,6 +52,11 @@ impl ShortestPaths {
         ShortestPaths { n, dist, obs }
     }
 
+    /// Approximate heap footprint, for size-bounded artifact caches.
+    pub fn approx_bytes(&self) -> usize {
+        self.dist.len() * std::mem::size_of::<f64>() + self.obs.len()
+    }
+
     /// Shortest-path length between two nodes (boundary = `num_nodes`).
     pub fn distance(&self, u: usize, v: usize) -> f64 {
         self.dist[u * self.n + v]

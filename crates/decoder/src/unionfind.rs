@@ -27,6 +27,11 @@ pub struct UnionFindCapacities {
 }
 
 impl UnionFindCapacities {
+    /// Approximate heap footprint, for size-bounded artifact caches.
+    pub fn approx_bytes(&self) -> usize {
+        self.capacity.len() * std::mem::size_of::<u32>()
+    }
+
     /// Quantizes every edge weight into growth units.
     pub fn compute(graph: &DecodingGraph) -> UnionFindCapacities {
         let min_w = graph
@@ -403,10 +408,17 @@ pub struct UnionFindFactory<'g> {
 impl<'g> UnionFindFactory<'g> {
     /// Quantizes the graph's edge weights (the shared precomputation).
     pub fn new(graph: &'g DecodingGraph) -> UnionFindFactory<'g> {
-        UnionFindFactory {
-            graph,
-            capacities: Arc::new(UnionFindCapacities::compute(graph)),
-        }
+        UnionFindFactory::with_capacities(graph, Arc::new(UnionFindCapacities::compute(graph)))
+    }
+
+    /// Builds the factory around an already-computed capacity table —
+    /// the hook a process-wide artifact cache uses to share one table
+    /// across runs over content-identical graphs.
+    pub fn with_capacities(
+        graph: &'g DecodingGraph,
+        capacities: Arc<UnionFindCapacities>,
+    ) -> UnionFindFactory<'g> {
+        UnionFindFactory { graph, capacities }
     }
 
     /// The shared capacity table.

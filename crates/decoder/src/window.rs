@@ -57,7 +57,7 @@ use std::sync::Arc;
 use std::time::Instant;
 
 /// Which per-window decoder a [`WindowPlan`] runs.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum WindowBackend {
     /// Exact blossom MWPM per window (the default — windows are small).
     Mwpm,

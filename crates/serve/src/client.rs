@@ -1,0 +1,152 @@
+//! Blocking client for the `eraser-serve` protocol.
+
+use crate::protocol::{write_frame, FrameReader, JobSpec, ReadOutcome};
+use eraser_json::Value;
+use std::io;
+use std::net::{TcpStream, ToSocketAddrs};
+
+/// What a submit attempt produced.
+#[derive(Debug)]
+pub enum Submission {
+    /// The job sits in the queue; stream events with [`Client::next_event`].
+    Accepted { job: u64, cells: u64 },
+    /// Queue full — retry later. The explicit backpressure signal.
+    Busy { queued: u64, capacity: u64 },
+    /// The server rejected the job (validation, shutdown).
+    Rejected { message: String },
+}
+
+/// One frame of a running job's stream.
+#[derive(Debug)]
+pub enum JobEvent {
+    /// A completed sweep cell.
+    Point(Value),
+    /// The job finished; carries timing and cache counters.
+    Done(Value),
+}
+
+/// A connected client. One in-flight job per connection (matching the
+/// server's per-connection streaming); open more connections for
+/// pipelining.
+pub struct Client {
+    reader: FrameReader<TcpStream>,
+    writer: TcpStream,
+}
+
+impl Client {
+    /// Connects (blocking reads, no timeout).
+    pub fn connect(addr: impl ToSocketAddrs) -> io::Result<Client> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true).ok();
+        let writer = stream.try_clone()?;
+        Ok(Client {
+            reader: FrameReader::new(stream),
+            writer,
+        })
+    }
+
+    fn recv(&mut self) -> io::Result<Value> {
+        loop {
+            match self.reader.read()? {
+                ReadOutcome::Frame(v) => return Ok(v),
+                ReadOutcome::Idle => continue,
+                ReadOutcome::Eof => {
+                    return Err(io::Error::new(
+                        io::ErrorKind::UnexpectedEof,
+                        "server closed the connection",
+                    ))
+                }
+            }
+        }
+    }
+
+    fn send(&mut self, value: &Value) -> io::Result<()> {
+        write_frame(&mut self.writer, value)
+    }
+
+    /// Round-trips a ping; returns the `pong` frame.
+    pub fn ping(&mut self) -> io::Result<Value> {
+        let mut v = Value::object();
+        v.set("type", "ping");
+        self.send(&v)?;
+        self.recv()
+    }
+
+    /// Fetches the server's `stats` frame.
+    pub fn stats(&mut self) -> io::Result<Value> {
+        let mut v = Value::object();
+        v.set("type", "stats");
+        self.send(&v)?;
+        self.recv()
+    }
+
+    /// Requests graceful shutdown; returns once the `bye` ack arrives.
+    pub fn shutdown(&mut self) -> io::Result<Value> {
+        let mut v = Value::object();
+        v.set("type", "shutdown");
+        self.send(&v)?;
+        self.recv()
+    }
+
+    /// Submits a job and reads the immediate response (accepted / busy /
+    /// rejected).
+    pub fn submit(&mut self, spec: &JobSpec) -> io::Result<Submission> {
+        self.send(&spec.to_frame())?;
+        let reply = self.recv()?;
+        match reply.get("type").and_then(|t| t.as_str()) {
+            Some("accepted") => Ok(Submission::Accepted {
+                job: reply.get("job").and_then(|v| v.as_u64()).unwrap_or(0),
+                cells: reply.get("cells").and_then(|v| v.as_u64()).unwrap_or(0),
+            }),
+            Some("busy") => Ok(Submission::Busy {
+                queued: reply.get("queued").and_then(|v| v.as_u64()).unwrap_or(0),
+                capacity: reply.get("capacity").and_then(|v| v.as_u64()).unwrap_or(0),
+            }),
+            Some("error") => Ok(Submission::Rejected {
+                message: reply
+                    .get("message")
+                    .and_then(|v| v.as_str())
+                    .unwrap_or("unspecified error")
+                    .to_string(),
+            }),
+            other => Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("unexpected submit reply type {other:?}"),
+            )),
+        }
+    }
+
+    /// Next frame of the accepted job's stream.
+    pub fn next_event(&mut self) -> io::Result<JobEvent> {
+        let frame = self.recv()?;
+        match frame.get("type").and_then(|t| t.as_str()) {
+            Some("point") => Ok(JobEvent::Point(frame)),
+            Some("done") => Ok(JobEvent::Done(frame)),
+            other => Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("unexpected stream frame type {other:?}"),
+            )),
+        }
+    }
+
+    /// Convenience: submit, collect every point, return `(points, done)`.
+    /// Busy/rejected submissions surface as `Err(WouldBlock/InvalidInput)`.
+    pub fn run_job(&mut self, spec: &JobSpec) -> io::Result<(Vec<Value>, Value)> {
+        match self.submit(spec)? {
+            Submission::Accepted { .. } => {}
+            Submission::Busy { .. } => {
+                return Err(io::Error::new(io::ErrorKind::WouldBlock, "server busy"))
+            }
+            Submission::Rejected { message } => {
+                return Err(io::Error::new(io::ErrorKind::InvalidInput, message))
+            }
+        }
+        let mut points = Vec::new();
+        loop {
+            match self.next_event()? {
+                JobEvent::Point(p) => points.push(p),
+                JobEvent::Done(done) => return Ok((points, done)),
+            }
+        }
+    }
+}

@@ -1,0 +1,24 @@
+//! `eraser-serve`: decoding-as-a-service for the ERASER reproduction.
+//!
+//! A long-running, std-only TCP server that accepts experiment/decode
+//! jobs over a length-prefixed JSON frame protocol ([`protocol`]),
+//! validates them through the `Experiment`/`Sweep` facade, runs them on a
+//! worker pool, and streams each completed sweep cell back as it
+//! finishes. Expensive per-physics artifacts — DEM builds, APSP tables,
+//! union-find capacities, window plans — are shared across jobs and
+//! clients through the process-wide [`eraser_core::ArtifactCache`], which
+//! is what makes a warm server answer the same job several times faster
+//! than a cold one (see `results/BENCH_serve.json`).
+//!
+//! Binary usage is documented in the README's "Serving" section; the
+//! `loadgen` subcommand ([`loadgen`]) doubles as the benchmark harness
+//! and CI smoke client.
+
+pub mod client;
+pub mod loadgen;
+pub mod protocol;
+pub mod server;
+
+pub use client::{Client, JobEvent, Submission};
+pub use protocol::{FrameReader, JobSpec, ReadOutcome, MAX_FRAME_BYTES, PROTOCOL_VERSION};
+pub use server::{ServerConfig, ServerHandle};

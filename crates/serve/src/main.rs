@@ -1,0 +1,128 @@
+//! CLI entry point: `eraser-serve [OPTIONS]` runs the server;
+//! `eraser-serve loadgen [OPTIONS]` drives one.
+
+use eraser_serve::loadgen::{self, LoadgenOptions};
+use eraser_serve::server::{ServerConfig, ServerHandle};
+use std::process::ExitCode;
+
+const USAGE: &str = "\
+eraser-serve: decoding-as-a-service for the ERASER reproduction
+
+USAGE:
+  eraser-serve [--addr HOST:PORT] [--workers N] [--queue N] [--cache-mb N]
+  eraser-serve loadgen [--addr HOST:PORT] [--quick] [--connections N]
+                       [--jobs N] [--json PATH] [--shutdown]
+
+SERVER OPTIONS:
+  --addr HOST:PORT   bind address (default 127.0.0.1:7171; port 0 = any)
+  --workers N        worker threads per job (default: all cores)
+  --queue N          job-queue depth before `busy` rejects (default 64)
+  --cache-mb N       artifact-cache budget in MiB (default 256)
+
+LOADGEN OPTIONS:
+  --addr HOST:PORT   server to drive (default 127.0.0.1:7171)
+  --quick            CI-sized run
+  --connections N    concurrent clients in the throughput phase
+  --jobs N           jobs per connection
+  --json PATH        write the benchmark report JSON
+  --shutdown         send a shutdown frame when done
+";
+
+fn usage_error(message: &str) -> ExitCode {
+    eprintln!("error: {message}\n\n{USAGE}");
+    ExitCode::from(2)
+}
+
+fn parse_flag<T: std::str::FromStr>(
+    args: &mut std::iter::Peekable<std::vec::IntoIter<String>>,
+    flag: &str,
+) -> Result<T, String> {
+    let raw = args.next().ok_or_else(|| format!("{flag} needs a value"))?;
+    raw.parse()
+        .map_err(|_| format!("{flag} got unparsable value {raw:?}"))
+}
+
+fn main() -> ExitCode {
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    let loadgen_mode = args.first().map(String::as_str) == Some("loadgen");
+    if loadgen_mode {
+        args.remove(0);
+    }
+    let mut args = args.into_iter().peekable();
+
+    if loadgen_mode {
+        let mut options = LoadgenOptions::default();
+        while let Some(arg) = args.next() {
+            let result = match arg.as_str() {
+                "--addr" => parse_flag(&mut args, "--addr").map(|v| options.addr = v),
+                "--quick" => {
+                    options.quick = true;
+                    Ok(())
+                }
+                "--connections" => {
+                    parse_flag(&mut args, "--connections").map(|v| options.connections = v)
+                }
+                "--jobs" => parse_flag(&mut args, "--jobs").map(|v| options.jobs = v),
+                "--json" => parse_flag(&mut args, "--json").map(|v| options.json = Some(v)),
+                "--shutdown" => {
+                    options.shutdown = true;
+                    Ok(())
+                }
+                "--help" | "-h" => {
+                    println!("{USAGE}");
+                    return ExitCode::SUCCESS;
+                }
+                other => Err(format!("unknown loadgen option {other:?}")),
+            };
+            if let Err(message) = result {
+                return usage_error(&message);
+            }
+        }
+        return match loadgen::run(&options) {
+            Ok(_) => ExitCode::SUCCESS,
+            Err(e) => {
+                eprintln!("loadgen failed: {e}");
+                ExitCode::FAILURE
+            }
+        };
+    }
+
+    let mut config = ServerConfig::default();
+    while let Some(arg) = args.next() {
+        let result = match arg.as_str() {
+            "--addr" => parse_flag(&mut args, "--addr").map(|v| config.addr = v),
+            "--workers" => parse_flag(&mut args, "--workers").map(|v| config.workers = v),
+            "--queue" => parse_flag(&mut args, "--queue").map(|v| config.queue_capacity = v),
+            "--cache-mb" => {
+                parse_flag(&mut args, "--cache-mb").map(|mb: usize| config.cache_bytes = mb << 20)
+            }
+            "--help" | "-h" => {
+                println!("{USAGE}");
+                return ExitCode::SUCCESS;
+            }
+            other => Err(format!("unknown option {other:?}")),
+        };
+        if let Err(message) = result {
+            return usage_error(&message);
+        }
+    }
+
+    let server = match ServerHandle::start(config.clone()) {
+        Ok(server) => server,
+        Err(e) => {
+            eprintln!("failed to start server on {}: {e}", config.addr);
+            return ExitCode::FAILURE;
+        }
+    };
+    println!(
+        "eraser-serve listening on {} (queue {}, cache {} MiB)",
+        server.addr(),
+        config.queue_capacity,
+        config.cache_bytes >> 20
+    );
+    // Runs until a client sends a shutdown frame; the handle then drains
+    // accepted jobs and both loops exit, giving a clean exit code 0.
+    server.wait();
+    println!("eraser-serve drained and stopped");
+    ExitCode::SUCCESS
+}
