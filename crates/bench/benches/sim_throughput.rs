@@ -11,7 +11,10 @@
 
 use density_sim::{gates, DensityMatrix};
 use eraser_bench::{round_ops, Harness};
-use eraser_core::{Experiment, PolicyKind};
+use eraser_core::{
+    AdaptivePolicy, ControlBase, ControllerConfig, EraserPolicy, Experiment, LrcPolicy, PolicyKind,
+    RoundContext,
+};
 use leak_sim::{BatchFrameSimulator, Discriminator, FrameSimulator, TableauSimulator};
 use qec_core::{NoiseParams, Rng};
 use std::hint::black_box;
@@ -73,6 +76,47 @@ fn main() {
         let striped = build(64);
         h.bench("memory_run_512shots/d7/striped64", || {
             striped.run().total_lrcs
+        });
+    }
+
+    // Per-round planning cost of the adaptive controller in its steady
+    // state (quiet syndrome, base mode, base = ERASER) vs the static
+    // policy it wraps. The baselines test asserts the controller's
+    // bookkeeping — two signal scans plus the law update — stays within
+    // 10% of plain ERASER's planning time.
+    {
+        let (code, _, _) = round_ops(7);
+        let quiet_events = vec![false; code.num_stabs()];
+        let quiet_labels = vec![false; code.num_stabs()];
+        let oracle = vec![false; code.num_data()];
+        let ctx = RoundContext {
+            round: 1,
+            events: &quiet_events,
+            leaked_readouts: &quiet_labels,
+            oracle_leaked_data: &oracle,
+            last_lrcs: &[],
+        };
+        let mut eraser = EraserPolicy::new(&code);
+        h.bench("policy_round/d7/eraser", || {
+            black_box(eraser.plan_round(black_box(&ctx)).len())
+        });
+        let steady = ControllerConfig {
+            base: ControlBase::Eraser,
+            ..ControllerConfig::ewma()
+        };
+        let mut ewma = AdaptivePolicy::new(&code, steady);
+        h.bench("policy_round/d7/adaptive-ewma", || {
+            black_box(ewma.plan_round(black_box(&ctx)).len())
+        });
+        let mut budget = AdaptivePolicy::new(
+            &code,
+            ControllerConfig {
+                base: ControlBase::Eraser,
+                ..ControllerConfig::budget()
+            },
+        );
+        h.bench("policy_round/d7/adaptive-budget", || {
+            black_box(budget.plan_round(black_box(&ctx)).len())
         });
     }
 

@@ -69,6 +69,37 @@ fn bench_sim_baseline_parses_and_records_the_stripe_speedup() {
 }
 
 #[test]
+fn bench_sim_baseline_bounds_the_adaptive_controller_overhead() {
+    let entries = parse_baseline("BENCH_sim.json");
+    let find = |name: &str| {
+        entries
+            .iter()
+            .find(|(n, _)| n == name)
+            .unwrap_or_else(|| panic!("BENCH_sim.json must record `{name}`"))
+            .1
+    };
+    let eraser = find("policy_round/d7/eraser");
+    let ewma = find("policy_round/d7/adaptive-ewma");
+    let budget = find("policy_round/d7/adaptive-budget");
+    // The adaptive controller's steady-state planning cost (quiet syndrome,
+    // base = ERASER) must stay within 10% of the static policy it wraps:
+    // the per-round bookkeeping is two signal scans and an integer EWMA.
+    assert!(
+        ewma / eraser <= 1.10,
+        "committed baseline shows {:.1}% EWMA-controller overhead \
+         (eraser {eraser} ns vs adaptive-ewma {ewma} ns)",
+        (ewma / eraser - 1.0) * 100.0
+    );
+    // The budget law adds a quota check on top; keep it bounded too.
+    assert!(
+        budget / eraser <= 1.25,
+        "committed baseline shows {:.1}% budget-controller overhead \
+         (eraser {eraser} ns vs adaptive-budget {budget} ns)",
+        (budget / eraser - 1.0) * 100.0
+    );
+}
+
+#[test]
 fn bench_decoders_baseline_parses() {
     let entries = parse_baseline("BENCH_decoders.json");
     assert!(entries.iter().any(|(n, _)| n.contains("decode_batch")));

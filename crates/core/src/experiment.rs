@@ -39,6 +39,7 @@ use std::str::FromStr;
 use std::sync::Arc;
 
 use crate::cache::{ArtifactCache, ArtifactKind, CacheKey, ExperimentKey};
+use crate::control::{AdaptivePolicy, ControlLawKind, ControllerConfig, LeakageProfile};
 use crate::policy::{
     AlwaysLrcPolicy, EraserOptions, EraserPolicy, LrcPolicy, NoLrcPolicy, OptimalPolicy,
 };
@@ -88,6 +89,12 @@ pub enum ExperimentError {
         /// Configured `window_stride`.
         stride: usize,
     },
+    /// An adaptive-controller configuration failed validation (thresholds,
+    /// smoothing shift, or quota out of range).
+    InvalidController(&'static str),
+    /// A leakage-profile schedule failed validation (rate out of range or
+    /// a degenerate burst/ramp shape).
+    InvalidProfile(&'static str),
     /// `PolicyKind::from_str` did not recognize the name.
     UnknownPolicy(String),
     /// `DecoderKind::from_str` did not recognize the name.
@@ -139,6 +146,12 @@ impl fmt::Display for ExperimentError {
                     f,
                     "window stride must not exceed the window length, got stride {stride} over window {window}"
                 )
+            }
+            ExperimentError::InvalidController(reason) => {
+                write!(f, "invalid controller configuration: {reason}")
+            }
+            ExperimentError::InvalidProfile(reason) => {
+                write!(f, "invalid leakage profile: {reason}")
             }
             ExperimentError::UnknownPolicy(s) => write!(f, "unknown policy `{s}`"),
             ExperimentError::UnknownDecoder(s) => write!(f, "unknown decoder `{s}`"),
@@ -202,6 +215,31 @@ fn validate_erasure(erasure: &ErasureDetection) -> Result<(), ExperimentError> {
     Ok(())
 }
 
+/// Controller knobs must validate — both a `RunConfig::controller` override
+/// and the knobs embedded in a selected [`PolicyKind::Adaptive`] (shared by
+/// both builders).
+fn validate_controller(
+    controller: &Option<ControllerConfig>,
+    policy: Option<&PolicyKind>,
+) -> Result<(), ExperimentError> {
+    if let Some(config) = controller {
+        config
+            .validate()
+            .map_err(ExperimentError::InvalidController)?;
+    }
+    if let Some(PolicyKind::Adaptive(config)) = policy {
+        config
+            .validate()
+            .map_err(ExperimentError::InvalidController)?;
+    }
+    Ok(())
+}
+
+/// Leakage-profile schedules must validate (shared by both builders).
+fn validate_profile(profile: &LeakageProfile) -> Result<(), ExperimentError> {
+    profile.validate().map_err(ExperimentError::InvalidProfile)
+}
+
 // ---------------------------------------------------------------------------
 // PolicyKind registry
 // ---------------------------------------------------------------------------
@@ -225,6 +263,12 @@ pub enum PolicyKind {
     EraserM(EraserOptions),
     /// The idealized oracle scheduler (§3.2).
     Optimal,
+    /// The feedback-controlled adaptive policy: a [`crate::control`]
+    /// estimator + control law retuning the LRC density mid-run. The
+    /// embedded knobs are defaults — `RunConfig::controller` or the
+    /// `ERASER_CONTROL` environment variable override them per run (see
+    /// [`PolicyKind::resolved`]).
+    Adaptive(ControllerConfig),
     /// A user-supplied policy factory (the closure escape hatch).
     Custom {
         /// Display label for tables and CSV columns.
@@ -243,6 +287,16 @@ impl PolicyKind {
     /// ERASER+M at the paper's design point.
     pub fn eraser_m() -> PolicyKind {
         PolicyKind::EraserM(EraserOptions::default())
+    }
+
+    /// The adaptive controller running `law` at its default design point
+    /// ([`ControllerConfig::ewma`] / [`ControllerConfig::budget`]).
+    /// Construct [`PolicyKind::Adaptive`] directly for custom knobs.
+    pub fn adaptive(law: ControlLawKind) -> PolicyKind {
+        PolicyKind::Adaptive(match law {
+            ControlLawKind::Ewma => ControllerConfig::ewma(),
+            ControlLawKind::Budget => ControllerConfig::budget(),
+        })
     }
 
     /// Wraps an arbitrary policy factory.
@@ -281,7 +335,22 @@ impl PolicyKind {
             PolicyKind::Eraser(_) => "eraser",
             PolicyKind::EraserM(_) => "eraser+m",
             PolicyKind::Optimal => "optimal",
+            PolicyKind::Adaptive(config) => config.law_name(),
             PolicyKind::Custom { name, .. } => name,
+        }
+    }
+
+    /// The policy this kind resolves to under `config`: for
+    /// [`PolicyKind::Adaptive`] the run-level controller override
+    /// (`RunConfig::controller`, else `ERASER_CONTROL`) replaces the
+    /// variant's embedded knobs; every other kind is returned unchanged.
+    pub fn resolved(&self, config: &RunConfig) -> Result<PolicyKind, EnvOverrideError> {
+        match self {
+            PolicyKind::Adaptive(own) => {
+                let effective = config.resolved_controller()?.unwrap_or(*own);
+                Ok(PolicyKind::Adaptive(effective))
+            }
+            other => Ok(other.clone()),
         }
     }
 
@@ -296,6 +365,7 @@ impl PolicyKind {
                 Box::new(EraserPolicy::with_multilevel_options(code, *options))
             }
             PolicyKind::Optimal => Box::new(OptimalPolicy::new(code)),
+            PolicyKind::Adaptive(config) => Box::new(AdaptivePolicy::new(code, *config)),
             PolicyKind::Custom { factory, .. } => factory(code),
         }
     }
@@ -312,6 +382,7 @@ impl fmt::Debug for PolicyKind {
         match self {
             PolicyKind::Eraser(options) => f.debug_tuple("Eraser").field(options).finish(),
             PolicyKind::EraserM(options) => f.debug_tuple("EraserM").field(options).finish(),
+            PolicyKind::Adaptive(config) => f.debug_tuple("Adaptive").field(config).finish(),
             PolicyKind::Custom { name, .. } => f
                 .debug_struct("Custom")
                 .field("name", name)
@@ -330,6 +401,7 @@ impl PartialEq for PolicyKind {
             | (PolicyKind::Optimal, PolicyKind::Optimal) => true,
             (PolicyKind::Eraser(a), PolicyKind::Eraser(b))
             | (PolicyKind::EraserM(a), PolicyKind::EraserM(b)) => a == b,
+            (PolicyKind::Adaptive(a), PolicyKind::Adaptive(b)) => a == b,
             (
                 PolicyKind::Custom {
                     name: a,
@@ -358,6 +430,8 @@ impl FromStr for PolicyKind {
             "eraser" => Ok(PolicyKind::eraser()),
             "eraser+m" | "eraser-m" | "eraserm" => Ok(PolicyKind::eraser_m()),
             "optimal" | "oracle" => Ok(PolicyKind::Optimal),
+            "adaptive" | "adaptive-ewma" => Ok(PolicyKind::adaptive(ControlLawKind::Ewma)),
+            "adaptive-budget" => Ok(PolicyKind::adaptive(ControlLawKind::Budget)),
             _ => Err(ExperimentError::UnknownPolicy(s.to_string())),
         }
     }
@@ -535,6 +609,12 @@ impl Experiment {
     /// jobs — pay the build once. Artifacts are deterministic functions of
     /// the physics, so results are bit-identical to a cache-free run.
     pub fn run_policy(&self, kind: &PolicyKind) -> MemoryRunResult {
+        // Adaptive kinds resolve the run-level controller override
+        // (`RunConfig::controller`, else `ERASER_CONTROL`) here, the one
+        // place every facade run passes through.
+        let kind = kind
+            .resolved(&self.config)
+            .unwrap_or_else(|e| panic!("{e}"));
         let artifacts = self
             .runner
             .decode_artifacts(&self.config, Some(ArtifactCache::global()))
@@ -563,6 +643,8 @@ pub struct ExperimentBuilder {
     stripe_width: usize,
     window_rounds: usize,
     window_stride: usize,
+    controller: Option<ControllerConfig>,
+    profile: LeakageProfile,
 }
 
 impl Default for ExperimentBuilder {
@@ -584,6 +666,8 @@ impl Default for ExperimentBuilder {
             stripe_width: config.stripe_width,
             window_rounds: config.window_rounds,
             window_stride: config.window_stride,
+            controller: config.controller,
+            profile: config.profile,
         }
     }
 }
@@ -712,6 +796,23 @@ impl ExperimentBuilder {
         self
     }
 
+    /// Run-level controller override for adaptive policies: replaces the
+    /// knobs embedded in the selected [`PolicyKind::Adaptive`] (and beats
+    /// the `ERASER_CONTROL` environment hook). Validated at build time;
+    /// static policies ignore it.
+    pub fn controller(mut self, config: ControllerConfig) -> Self {
+        self.controller = Some(config);
+        self
+    }
+
+    /// Time-varying injected-leakage schedule (default
+    /// [`LeakageProfile::Stationary`]: nothing injected). Validated at
+    /// build time; applied identically on the scalar and striped paths.
+    pub fn leakage_profile(mut self, profile: LeakageProfile) -> Self {
+        self.profile = profile;
+        self
+    }
+
     fn validated(&self) -> Result<(usize, usize), ExperimentError> {
         let d = self.distance.ok_or(ExperimentError::MissingDistance)?;
         validate_distance(d)?;
@@ -721,6 +822,8 @@ impl ExperimentBuilder {
         validate_erasure(&self.erasure)?;
         validate_stripe_width(self.stripe_width)?;
         validate_window(self.window_rounds, self.window_stride)?;
+        validate_controller(&self.controller, Some(&self.policy))?;
+        validate_profile(&self.profile)?;
         Ok((d, spec.resolve(d)))
     }
 
@@ -739,6 +842,8 @@ impl ExperimentBuilder {
             stripe_width: self.stripe_width,
             window_rounds: self.window_rounds,
             window_stride: self.window_stride,
+            controller: self.controller,
+            profile: self.profile,
         };
         config.validate_env()?;
         let runner = MemoryRunner::new_with_basis(d, self.noise, rounds, self.basis);
@@ -830,6 +935,8 @@ pub struct Sweep {
     stripe_width: usize,
     window_rounds: usize,
     window_stride: usize,
+    controller: Option<ControllerConfig>,
+    profile: LeakageProfile,
 }
 
 impl Sweep {
@@ -895,10 +1002,19 @@ impl Sweep {
             stripe_width: self.stripe_width,
             window_rounds: self.window_rounds,
             window_stride: self.window_stride,
+            controller: self.controller,
+            profile: self.profile,
         };
         // The builder validated the environment, but it can have changed
         // since; the panic here is the documented low-level behaviour.
         config.threads = config.resolved_threads().unwrap_or_else(|e| panic!("{e}"));
+        // Adaptive kinds resolve the run-level controller override once for
+        // the whole grid (every cell shares one configuration).
+        let policies: Vec<PolicyKind> = self
+            .policies
+            .iter()
+            .map(|kind| kind.resolved(&config).unwrap_or_else(|e| panic!("{e}")))
+            .collect();
         for &d in &self.distances {
             let rounds = self.rounds.resolve(d);
             for &p in &self.error_rates {
@@ -914,7 +1030,7 @@ impl Sweep {
                 let artifacts = runner
                     .decode_artifacts(&config, Some(cache))
                     .unwrap_or_else(|e| panic!("{e}"));
-                for kind in &self.policies {
+                for kind in &policies {
                     let result =
                         runner.run_with_artifacts(&|code| kind.build(code), &config, &artifacts);
                     let proceed = sink(SweepPoint {
@@ -960,6 +1076,8 @@ pub struct SweepBuilder {
     stripe_width: usize,
     window_rounds: usize,
     window_stride: usize,
+    controller: Option<ControllerConfig>,
+    profile: LeakageProfile,
 }
 
 impl Default for SweepBuilder {
@@ -982,6 +1100,8 @@ impl Default for SweepBuilder {
             stripe_width: config.stripe_width,
             window_rounds: config.window_rounds,
             window_stride: config.window_stride,
+            controller: config.controller,
+            profile: config.profile,
         }
     }
 }
@@ -1113,6 +1233,20 @@ impl SweepBuilder {
         self
     }
 
+    /// Run-level controller override for adaptive policies on every grid
+    /// point (validated at build time; static policies ignore it).
+    pub fn controller(mut self, config: ControllerConfig) -> Self {
+        self.controller = Some(config);
+        self
+    }
+
+    /// Time-varying injected-leakage schedule applied to every grid point
+    /// (default [`LeakageProfile::Stationary`]; validated at build time).
+    pub fn leakage_profile(mut self, profile: LeakageProfile) -> Self {
+        self.profile = profile;
+        self
+    }
+
     /// Validates the grid and run parameters.
     pub fn build(self) -> Result<Sweep, ExperimentError> {
         if self.distances.is_empty() {
@@ -1138,6 +1272,10 @@ impl SweepBuilder {
         validate_erasure(&self.erasure)?;
         validate_stripe_width(self.stripe_width)?;
         validate_window(self.window_rounds, self.window_stride)?;
+        for kind in &self.policies {
+            validate_controller(&self.controller, Some(kind))?;
+        }
+        validate_profile(&self.profile)?;
         RunConfig {
             threads: self.threads,
             stripe_width: self.stripe_width,
@@ -1163,6 +1301,8 @@ impl SweepBuilder {
             stripe_width: self.stripe_width,
             window_rounds: self.window_rounds,
             window_stride: self.window_stride,
+            controller: self.controller,
+            profile: self.profile,
         })
     }
 }
@@ -1475,5 +1615,141 @@ mod tests {
         assert!(points
             .iter()
             .all(|pt| pt.result.shots == 8 && pt.rounds == 2));
+    }
+
+    #[test]
+    fn adaptive_policy_kind_round_trips_and_builds() {
+        use crate::control::ControlLawKind;
+        for (kind, label) in [
+            (PolicyKind::adaptive(ControlLawKind::Ewma), "adaptive-ewma"),
+            (
+                PolicyKind::adaptive(ControlLawKind::Budget),
+                "adaptive-budget",
+            ),
+        ] {
+            assert_eq!(kind.label(), label);
+            let parsed: PolicyKind = label.parse().unwrap();
+            assert_eq!(parsed, kind, "round-trip of {label}");
+        }
+        assert_eq!(
+            "adaptive".parse::<PolicyKind>().unwrap(),
+            PolicyKind::adaptive(ControlLawKind::Ewma),
+            "bare \"adaptive\" means the EWMA escalator"
+        );
+        let code = RotatedCode::new(3);
+        let policy = PolicyKind::adaptive(ControlLawKind::Ewma).build(&code);
+        assert_eq!(policy.name(), "adaptive-ewma");
+        assert!(
+            policy.uses_multilevel(),
+            "adaptive runs reserve multi-level readout for escalation"
+        );
+    }
+
+    #[test]
+    fn builder_rejects_invalid_controller_and_profile() {
+        let bad = ControllerConfig {
+            up: 0.1,
+            down: 0.5,
+            ..ControllerConfig::ewma()
+        };
+        assert_eq!(
+            base().controller(bad).build().unwrap_err(),
+            ExperimentError::InvalidController("thresholds must satisfy 0 <= down <= up <= 1")
+        );
+        assert_eq!(
+            base()
+                .policy(PolicyKind::Adaptive(bad))
+                .build()
+                .unwrap_err(),
+            ExperimentError::InvalidController("thresholds must satisfy 0 <= down <= up <= 1")
+        );
+        assert_eq!(
+            base()
+                .leakage_profile(LeakageProfile::Burst {
+                    start: 0,
+                    len: 0,
+                    period: 4,
+                    rate: 0.1,
+                })
+                .build()
+                .unwrap_err(),
+            ExperimentError::InvalidProfile("burst length must be at least one round")
+        );
+        assert_eq!(
+            Sweep::builder()
+                .distances([3])
+                .error_rates([1e-3])
+                .policy(PolicyKind::Adaptive(bad))
+                .rounds(2)
+                .shots(5)
+                .build()
+                .unwrap_err(),
+            ExperimentError::InvalidController("thresholds must satisfy 0 <= down <= up <= 1")
+        );
+    }
+
+    #[test]
+    fn run_config_controller_overrides_the_variant_knobs() {
+        use crate::control::ControlLawKind;
+        let override_config = ControllerConfig {
+            budget: 7,
+            ..ControllerConfig::budget()
+        };
+        let kind = PolicyKind::adaptive(ControlLawKind::Ewma);
+        let mut config = RunConfig::default();
+        assert_eq!(
+            kind.resolved(&config).unwrap(),
+            kind,
+            "no override leaves the embedded knobs"
+        );
+        config.controller = Some(override_config);
+        assert_eq!(
+            kind.resolved(&config).unwrap(),
+            PolicyKind::Adaptive(override_config),
+            "the run-level controller rebinds the variant"
+        );
+        // Static kinds never change.
+        assert_eq!(
+            PolicyKind::eraser().resolved(&config).unwrap(),
+            PolicyKind::eraser()
+        );
+    }
+
+    #[test]
+    fn leakage_profile_and_controller_reach_the_runtime() {
+        use crate::control::ControlLawKind;
+        let storm = LeakageProfile::Burst {
+            start: 2,
+            len: 3,
+            period: 0,
+            rate: 0.25,
+        };
+        let exp = base()
+            .shots(40)
+            .rounds(8)
+            .noise(NoiseParams::standard(2e-3))
+            .policy(PolicyKind::adaptive(ControlLawKind::Ewma))
+            .leakage_profile(storm)
+            .build()
+            .unwrap();
+        assert_eq!(exp.config().profile, storm);
+        let result = exp.run();
+        assert!(
+            result.controller.is_active(),
+            "adaptive runs must report controller telemetry"
+        );
+        assert_eq!(result.controller.rounds(), 40 * 8);
+        // A static policy on the same workload reports no controller.
+        let quiet = base()
+            .shots(40)
+            .rounds(8)
+            .noise(NoiseParams::standard(2e-3))
+            .policy(PolicyKind::eraser())
+            .leakage_profile(storm)
+            .build()
+            .unwrap()
+            .run();
+        assert!(!quiet.controller.is_active());
+        assert_eq!(quiet.controller, crate::control::ControllerStats::default());
     }
 }

@@ -13,7 +13,13 @@
 //!   [`EraserPolicy`] (the Leakage Speculation Block with its Leakage
 //!   Tracking Table, Parity Usage Tracking Table, and ≥2-flip rule), ERASER+M
 //!   (multi-level readout, §4.6), and [`OptimalPolicy`] (the idealized
-//!   oracle) — plus a closure escape hatch, [`PolicyKind::Custom`].
+//!   oracle) — plus a closure escape hatch, [`PolicyKind::Custom`], and the
+//!   feedback-controlled [`PolicyKind::Adaptive`] family.
+//! * [`control`] — online adaptive leakage control: a [`LeakageEstimator`]
+//!   (integer-EWMA reference implementation) feeding a [`ControlLaw`]
+//!   (threshold escalator with hysteresis, or a fixed-budget scheduler)
+//!   that retunes the LRC density mid-run, plus [`LeakageProfile`]
+//!   time-varying noise schedules (bursts, ramps) to adapt against.
 //! * [`runtime`] — the Monte-Carlo memory-experiment engine behind the
 //!   facade: executes policy-adapted rounds on the leakage-aware frame
 //!   simulator, decodes with MWPM / union-find / greedy, and reports logical
@@ -61,6 +67,7 @@
 
 pub mod analysis;
 pub mod cache;
+pub mod control;
 pub mod experiment;
 pub mod policy;
 pub mod resource;
@@ -69,6 +76,11 @@ pub mod runtime;
 pub mod swap_table;
 
 pub use cache::{ArtifactCache, ArtifactKind, CacheKey, CacheStats, ExperimentKey};
+pub use control::{
+    AdaptivePolicy, ControlBase, ControlLaw, ControlLawKind, ControlMode, ControlSignals,
+    ControllerConfig, ControllerStats, EwmaEstimator, EwmaThresholdLaw, FixedBudgetLaw,
+    LeakageEstimator, LeakageProfile,
+};
 pub use experiment::{
     Experiment, ExperimentBuilder, ExperimentError, NoiseModel, PolicyFactory, PolicyKind, Sweep,
     SweepBuilder, SweepPoint,

@@ -86,6 +86,14 @@ pub trait LrcPolicy {
     fn leakage_detections(&self) -> Option<LeakageDetections<'_>> {
         None
     }
+
+    /// Run-level feedback-controller telemetry. Static policies return
+    /// `None`; [`crate::control::AdaptivePolicy`] exposes its accumulated
+    /// [`crate::control::ControllerStats`], which the runtime harvests once
+    /// per worker (scalar) or lane (striped) and merges exactly.
+    fn controller(&self) -> Option<&crate::control::ControllerStats> {
+        None
+    }
 }
 
 /// The striped (64-shots-per-word) planning context: the same signals as
@@ -250,6 +258,12 @@ impl StripedPolicy {
     /// [`StripedPolicy::plan_round`]).
     pub fn lane_detections(&self, lane: usize) -> Option<LeakageDetections<'_>> {
         self.lanes[lane].leakage_detections()
+    }
+
+    /// Lane `lane`'s feedback-controller telemetry (the lane's own
+    /// run-level accumulation; harvested once after the lane's last shot).
+    pub fn lane_controller(&self, lane: usize) -> Option<&crate::control::ControllerStats> {
+        self.lanes[lane].controller()
     }
 }
 

@@ -45,6 +45,7 @@
 //!   decisions against simulator ground truth (Fig 16).
 
 use crate::cache::{ArtifactCache, ArtifactKind, CacheKey, ExperimentKey};
+use crate::control::{parse_control_env, ControllerConfig, ControllerStats, LeakageProfile};
 use crate::policy::{LrcPolicy, RoundContext, StripeRoundContext, StripedPolicy};
 use leak_sim::{BatchFrameSimulator, Discriminator, FrameSimulator, STRIPE_WIDTH};
 use qec_core::circuit::DetectorBasis;
@@ -237,6 +238,17 @@ pub struct RunConfig {
     /// `window_rounds − d` (clamped to ≥ 1), which keeps the re-decoded
     /// buffer at d rounds. Must not exceed `window_rounds`.
     pub window_stride: usize,
+    /// Feedback-controller override for adaptive policies: `Some` replaces
+    /// the knobs embedded in `PolicyKind::Adaptive` for this run; `None`
+    /// defers to the `ERASER_CONTROL` environment variable, then to the
+    /// policy's own configuration. Static policies ignore it entirely.
+    pub controller: Option<ControllerConfig>,
+    /// Time-varying injected-leakage schedule (bursts, ramps). The runner
+    /// applies the profile's per-round rate as an extra `LeakInject` on
+    /// every data qubit at the top of each round, identically on the
+    /// scalar and striped paths. [`LeakageProfile::Stationary`] (the
+    /// default) injects nothing.
+    pub profile: LeakageProfile,
 }
 
 impl Default for RunConfig {
@@ -252,6 +264,8 @@ impl Default for RunConfig {
             stripe_width: 0,
             window_rounds: 0,
             window_stride: 0,
+            controller: None,
+            profile: LeakageProfile::Stationary,
         }
     }
 }
@@ -412,6 +426,21 @@ impl RunConfig {
         Ok(width.clamp(1, STRIPE_WIDTH))
     }
 
+    /// The controller configuration adaptive policies resolve to:
+    /// `controller` itself when set; else the `ERASER_CONTROL` environment
+    /// variable (a controller spec, e.g. `ewma:up=0.1,down=0.03`); else
+    /// `None` — the `PolicyKind::Adaptive` variant's own knobs apply.
+    /// A malformed override is an error, never a silent default.
+    pub fn resolved_controller(&self) -> Result<Option<ControllerConfig>, EnvOverrideError> {
+        if let Some(config) = self.controller {
+            return Ok(Some(config));
+        }
+        if let Ok(raw) = std::env::var("ERASER_CONTROL") {
+            return parse_control_env(&raw);
+        }
+        Ok(None)
+    }
+
     /// Checks every `ERASER_*` override this configuration would consult,
     /// so facades can reject malformed environments eagerly (at build
     /// time) instead of deep inside a worker thread.
@@ -419,6 +448,7 @@ impl RunConfig {
         self.resolved_threads()?;
         self.resolved_window()?;
         self.resolved_stripe_width()?;
+        self.resolved_controller()?;
         Ok(())
     }
 }
@@ -660,6 +690,10 @@ pub struct MemoryRunResult {
     /// window on the streaming path, one per shot on the monolithic path.
     /// Empty when decoding is disabled.
     pub decode_latency: DecodeLatencyStats,
+    /// Feedback-controller telemetry (escalations, rounds per mode,
+    /// estimator trace stats). All-zero for static policies; see
+    /// [`ControllerStats::is_active`].
+    pub controller: ControllerStats,
 }
 
 impl MemoryRunResult {
@@ -698,6 +732,7 @@ struct PartialStats {
     speculation: SpeculationStats,
     postselection: PostSelection,
     decode_latency: DecodeLatencyStats,
+    controller: ControllerStats,
 }
 
 /// Reusable memory-experiment runner: owns the experiment description, the
@@ -1234,6 +1269,7 @@ impl MemoryRunner {
             merged.postselection.flagged_shots += p.postselection.flagged_shots;
             merged.postselection.errors_on_kept += p.postselection.errors_on_kept;
             merged.decode_latency.merge(&p.decode_latency);
+            merged.controller.merge(&p.controller);
             for r in 0..rounds {
                 merged.lpr_data_sum[r] += p.lpr_data_sum[r];
                 merged.lpr_parity_sum[r] += p.lpr_parity_sum[r];
@@ -1279,6 +1315,7 @@ impl MemoryRunner {
                 .unwrap_or("none")
                 .to_string(),
             decode_latency: merged.decode_latency,
+            controller: merged.controller,
         }
     }
 
@@ -1363,6 +1400,16 @@ impl MemoryRunner {
             let mut suspect = false;
 
             for r in 0..rounds {
+                // Time-varying injected leakage (the profile schedule),
+                // applied before the oracle snapshot so even the idealized
+                // policy sees the storm the round it lands. The striped path
+                // injects identically (same qubit order, same draws).
+                let extra = config.profile.extra_leak_p(r);
+                if extra > 0.0 {
+                    for q in 0..num_data {
+                        sim.run(&[Op::LeakInject { qubit: q, p: extra }]);
+                    }
+                }
                 for (q, slot) in oracle.iter_mut().enumerate() {
                     *slot = sim.is_leaked(q);
                 }
@@ -1555,6 +1602,11 @@ impl MemoryRunner {
                 }
             }
         }
+        // Controller telemetry accumulates across this worker's shots;
+        // harvest it once (sum/max merge makes the order irrelevant).
+        if let Some(controller) = policy.controller() {
+            stats.controller.merge(controller);
+        }
         stats
     }
 
@@ -1708,6 +1760,15 @@ impl MemoryRunner {
             let mut suspect = 0u64;
 
             for r in 0..rounds {
+                // Time-varying injected leakage, mirroring the scalar path:
+                // same qubit order, and per-active-lane draws line up with
+                // each lane's scalar physics stream.
+                let extra = config.profile.extra_leak_p(r);
+                if extra > 0.0 {
+                    for q in 0..num_data {
+                        sim.apply_masked(&Op::LeakInject { qubit: q, p: extra }, active);
+                    }
+                }
                 for (q, word) in oracle.iter_mut().enumerate() {
                     *word = sim.leak_word(q);
                 }
@@ -1934,6 +1995,13 @@ impl MemoryRunner {
                 }
             }
             shot += lanes as u64;
+        }
+        // Controller telemetry accumulates per lane across the worker's
+        // stripes; harvest each lane once (sum/max merge is order-free).
+        for lane in 0..width {
+            if let Some(controller) = policy.lane_controller(lane) {
+                stats.controller.merge(controller);
+            }
         }
         stats
     }
@@ -2268,6 +2336,79 @@ mod tests {
         }
     }
 
+    /// `ERASER_CONTROL` goes through the same strict contract as the other
+    /// overrides: empty means unset, anything else parses fully or errors
+    /// with a named reason — never a silent default.
+    #[test]
+    fn control_env_parsing_is_strict() {
+        use crate::control::{parse_control_env, ControlBase, ControlLawKind, ControllerConfig};
+        type ControlCase = (&'static str, Result<Option<ControllerConfig>, &'static str>);
+        let cases: &[ControlCase] = &[
+            ("", Ok(None)),
+            ("   ", Ok(None)),
+            ("ewma", Ok(Some(ControllerConfig::ewma()))),
+            (" budget ", Ok(Some(ControllerConfig::budget()))),
+            (
+                "ewma:up=0.2,down=0.05",
+                Ok(Some(ControllerConfig {
+                    up: 0.2,
+                    down: 0.05,
+                    ..ControllerConfig::ewma()
+                })),
+            ),
+            (
+                "budget:quota=7,base=eraser,shift=2,dwell=1",
+                Ok(Some(ControllerConfig {
+                    law: ControlLawKind::Budget,
+                    base: ControlBase::Eraser,
+                    budget: 7,
+                    ewma_shift: 2,
+                    min_dwell: 1,
+                    ..ControllerConfig::budget()
+                })),
+            ),
+            (
+                "pid",
+                Err("unknown control law (expected \"ewma\" or \"budget\")"),
+            ),
+            ("ewma:up=two", Err("knob value is not a number")),
+            (
+                "ewma:up=0.01,down=0.5",
+                Err("thresholds must satisfy 0 <= down <= up <= 1"),
+            ),
+            ("ewma:shift=16", Err("ewma shift must be at most 15")),
+            ("budget:quota=0", Err("budget law needs a positive quota")),
+            (
+                "ewma:base=optimal",
+                Err("unknown base policy (expected \"no-lrc\" or \"eraser\")"),
+            ),
+            (
+                "ewma:wat=1",
+                Err("unknown control knob (expected up/down/shift/dwell/quota/base)"),
+            ),
+            ("ewma:up", Err("knobs must be key=value pairs")),
+        ];
+        for (raw, expected) in cases {
+            match expected {
+                Ok(v) => assert_eq!(
+                    parse_control_env(raw).as_ref().ok(),
+                    Some(v),
+                    "ERASER_CONTROL={raw:?}"
+                ),
+                Err(reason) => {
+                    let err = parse_control_env(raw)
+                        .expect_err(&format!("ERASER_CONTROL={raw:?} must error"));
+                    assert_eq!(err.var, "ERASER_CONTROL");
+                    assert_eq!(err.reason, *reason);
+                    assert!(
+                        err.to_string().contains("ERASER_CONTROL"),
+                        "message names the variable: {err}"
+                    );
+                }
+            }
+        }
+    }
+
     #[test]
     fn config_fields_win_over_environment_hooks() {
         // Explicit config fields resolve without consulting the
@@ -2292,6 +2433,15 @@ mod tests {
             config.resolved_stripe_width().unwrap(),
             STRIPE_WIDTH,
             "stripe clamps to the 64-lane word"
+        );
+        let config = RunConfig {
+            controller: Some(ControllerConfig::budget()),
+            ..RunConfig::default()
+        };
+        assert_eq!(
+            config.resolved_controller().unwrap(),
+            Some(ControllerConfig::budget()),
+            "an explicit controller field needs no environment"
         );
     }
 

@@ -27,7 +27,7 @@
 //! | `stats`    | server + artifact-cache counters                             |
 //! | `bye`      | shutdown acknowledged; the server drains and exits           |
 
-use eraser_core::{ExperimentError, NoiseModel, Sweep};
+use eraser_core::{ControllerConfig, ExperimentError, LeakageProfile, NoiseModel, Sweep};
 use eraser_json::Value;
 use std::io::{self, Read, Write};
 
@@ -189,6 +189,15 @@ pub struct JobSpec {
     pub window: usize,
     /// Sliding-window stride; 0 derives `window − d` (default 0).
     pub stride: usize,
+    /// Controller spec for adaptive policies, e.g. `"ewma:up=0.2"` or
+    /// `"budget:quota=40"`; empty = each adaptive policy's embedded
+    /// defaults (default empty; see
+    /// [`ControllerConfig::parse_spec`](eraser_core::ControllerConfig)).
+    pub control: String,
+    /// Injected-leakage schedule, e.g. `"burst:start=5,len=2,period=10,rate=0.02"`;
+    /// empty = stationary (default empty; see
+    /// [`LeakageProfile::parse_spec`](eraser_core::LeakageProfile)).
+    pub profile: String,
 }
 
 impl Default for JobSpec {
@@ -209,6 +218,8 @@ impl Default for JobSpec {
             erasure_fn: 0.0,
             window: 0,
             stride: 0,
+            control: String::new(),
+            profile: String::new(),
         }
     }
 }
@@ -247,6 +258,8 @@ impl JobSpec {
         v.set("erasure_fn", self.erasure_fn);
         v.set("window", self.window);
         v.set("stride", self.stride);
+        v.set("control", self.control.as_str());
+        v.set("profile", self.profile.as_str());
         v
     }
 
@@ -303,6 +316,8 @@ impl JobSpec {
         read_f64(v, "erasure_fn", &mut spec.erasure_fn)?;
         read_usize(v, "window", &mut spec.window)?;
         read_usize(v, "stride", &mut spec.stride)?;
+        read_string(v, "control", &mut spec.control)?;
+        read_string(v, "profile", &mut spec.profile)?;
         Ok(spec)
     }
 
@@ -343,6 +358,16 @@ impl JobSpec {
             .erasure_detection(self.erasure_fp, self.erasure_fn)
             .window_rounds(self.window)
             .window_stride(self.stride);
+        if !self.control.trim().is_empty() {
+            let config = ControllerConfig::parse_spec(self.control.trim())
+                .map_err(|reason| format!("invalid control spec: {reason}"))?;
+            builder = builder.controller(config);
+        }
+        if !self.profile.trim().is_empty() {
+            let profile = LeakageProfile::parse_spec(self.profile.trim())
+                .map_err(|reason| format!("invalid leakage profile: {reason}"))?;
+            builder = builder.leakage_profile(profile);
+        }
         for kind in policies {
             builder = builder.policy(kind);
         }
@@ -494,6 +519,40 @@ mod tests {
             ..JobSpec::default()
         };
         assert!(bad.build_sweep(1).is_err());
+    }
+
+    #[test]
+    fn adaptive_jobs_round_trip_and_validate() {
+        let spec = JobSpec {
+            policies: vec!["adaptive-ewma".into(), "adaptive-budget".into()],
+            control: "budget:quota=12,base=eraser".into(),
+            profile: "burst:start=5,len=2,period=10,rate=0.02".into(),
+            ..JobSpec::default()
+        };
+        let mut wire = Vec::new();
+        write_frame(&mut wire, &spec.to_frame()).unwrap();
+        let mut reader = FrameReader::new(&wire[..]);
+        let frame = match reader.read().unwrap() {
+            ReadOutcome::Frame(v) => v,
+            other => panic!("expected frame, got {other:?}"),
+        };
+        assert_eq!(JobSpec::from_frame(&frame).unwrap(), spec);
+        let sweep = spec.build_sweep(1).unwrap();
+        assert_eq!(sweep.len(), 2);
+
+        let bad = JobSpec {
+            control: "pid:kp=0.3".into(),
+            ..JobSpec::default()
+        };
+        let err = bad.build_sweep(1).unwrap_err();
+        assert!(err.contains("invalid control spec"), "{err}");
+
+        let bad = JobSpec {
+            profile: "burst:rate=7".into(),
+            ..JobSpec::default()
+        };
+        let err = bad.build_sweep(1).unwrap_err();
+        assert!(err.contains("invalid leakage profile"), "{err}");
     }
 
     #[test]

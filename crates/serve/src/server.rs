@@ -265,6 +265,14 @@ fn point_frame(job: u64, point: &SweepPoint) -> Value {
     v.set("spec_fp", r.speculation.false_positive);
     v.set("spec_fn", r.speculation.false_negative);
     v.set("spec_tn", r.speculation.true_negative);
+    v.set("spec_accuracy", r.speculation.accuracy());
+    if r.controller.is_active() {
+        v.set("ctrl_escalations", r.controller.escalations);
+        v.set("ctrl_rounds_escalated", r.controller.rounds_escalated);
+        v.set("ctrl_rounds_base", r.controller.rounds_base);
+        v.set("ctrl_mean_estimate", r.controller.mean_estimate());
+        v.set("ctrl_peak_estimate", r.controller.peak_estimate());
+    }
     v.set("flagged_shots", r.postselection.flagged_shots);
     v.set("errors_on_kept", r.postselection.errors_on_kept);
     v.set(

@@ -92,6 +92,43 @@ fn assert_points_match(points: &[Value], reference: &[SweepPoint], context: &str
             r.postselection.errors_on_kept,
             "{ctx}: errors_on_kept"
         );
+        assert_eq!(
+            get_f64("spec_accuracy").to_bits(),
+            r.speculation.accuracy().to_bits(),
+            "{ctx}: spec_accuracy"
+        );
+        if r.controller.is_active() {
+            assert_eq!(
+                get_u64("ctrl_escalations"),
+                r.controller.escalations,
+                "{ctx}: ctrl_escalations"
+            );
+            assert_eq!(
+                get_u64("ctrl_rounds_escalated"),
+                r.controller.rounds_escalated,
+                "{ctx}: ctrl_rounds_escalated"
+            );
+            assert_eq!(
+                get_u64("ctrl_rounds_base"),
+                r.controller.rounds_base,
+                "{ctx}: ctrl_rounds_base"
+            );
+            assert_eq!(
+                get_f64("ctrl_mean_estimate").to_bits(),
+                r.controller.mean_estimate().to_bits(),
+                "{ctx}: ctrl_mean_estimate"
+            );
+            assert_eq!(
+                get_f64("ctrl_peak_estimate").to_bits(),
+                r.controller.peak_estimate().to_bits(),
+                "{ctx}: ctrl_peak_estimate"
+            );
+        } else {
+            assert!(
+                frame.get("ctrl_escalations").is_none(),
+                "{ctx}: static policies must not carry controller fields"
+            );
+        }
         let lpr: Vec<f64> = frame
             .get("lpr_total")
             .and_then(|v| v.as_array())
@@ -104,6 +141,36 @@ fn assert_points_match(points: &[Value], reference: &[SweepPoint], context: &str
             assert_eq!(got.to_bits(), want.to_bits(), "{ctx}: lpr value");
         }
     }
+}
+
+#[test]
+fn adaptive_jobs_stream_controller_telemetry() {
+    let spec = JobSpec {
+        distances: vec![3],
+        error_rates: vec![2e-3],
+        policies: vec!["eraser".to_string(), "adaptive-ewma".to_string()],
+        rounds: 12,
+        shots: 96,
+        seed: 0xC0DE,
+        decoder: "mwpm".to_string(),
+        profile: "burst:start=4,len=3,period=8,rate=0.05".to_string(),
+        ..JobSpec::default()
+    };
+    let reference = spec.build_sweep(2).unwrap().run();
+    assert_eq!(reference.len(), 2);
+    let adaptive = &reference[1];
+    assert_eq!(adaptive.policy, "adaptive-ewma");
+    assert!(
+        adaptive.result.controller.is_active(),
+        "the reference adaptive run must report telemetry"
+    );
+
+    let server = start(2, 4);
+    let mut client = Client::connect(server.addr()).unwrap();
+    let (points, _) = client.run_job(&spec).unwrap();
+    assert_points_match(&points, &reference, "adaptive job");
+    server.shutdown();
+    server.wait();
 }
 
 fn done_u64(done: &Value, key: &str) -> u64 {

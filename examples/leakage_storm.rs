@@ -1,96 +1,81 @@
-//! Leakage storm: drive the simulator by hand, inject a burst of leakage, and
-//! watch the ERASER speculation pipeline (LSB → LTT → DLI) chase it down.
+//! Leakage storm: inject a burst of leakage with a [`LeakageProfile`] and
+//! watch the per-round leakage population ratio (LPR) as three policies
+//! fight it — no LRCs at all, static ERASER, and the adaptive feedback
+//! controller that escalates only while the storm lasts.
 //!
-//! This example exercises the lower-level public API: building rounds with
-//! [`RoundBuilder`], executing them on the frame simulator, computing
-//! detection events, and feeding an [`EraserPolicy`] directly — the same loop
-//! the `Experiment` facade automates.
+//! This example runs entirely through the `Experiment` facade: the burst is
+//! a declarative noise schedule, the per-round LPR trace comes out of
+//! [`MemoryRunResult::lpr_data`], and the controller's telemetry rides in
+//! [`MemoryRunResult::controller`].
 //!
 //! ```text
 //! cargo run --release --example leakage_storm
 //! ```
 
-use eraser_repro::eraser_core::{EraserPolicy, LrcPolicy, RoundContext};
-use eraser_repro::leak_sim::{Discriminator, FrameSimulator};
-use eraser_repro::qec_core::{NoiseParams, Rng};
-use eraser_repro::surface_code::{LrcAssignment, MemoryExperiment, RotatedCode, StabKind};
+use eraser_repro::eraser_core::runtime::MemoryRunResult;
+use eraser_repro::eraser_core::{ControlLawKind, Experiment, LeakageProfile, PolicyKind};
+use eraser_repro::qec_core::NoiseParams;
+
+fn run(policy: PolicyKind, storm: LeakageProfile, rounds: usize) -> MemoryRunResult {
+    Experiment::builder()
+        .distance(5)
+        // Quiet background so the storm dominates the picture.
+        .noise(NoiseParams::standard(1e-4))
+        .rounds(rounds)
+        .policy(policy)
+        .shots(400)
+        .seed(99)
+        .leakage_profile(storm)
+        .build()
+        .expect("a valid storm experiment")
+        .run()
+}
 
 fn main() {
-    let code = RotatedCode::new(5);
     let rounds = 12;
-    // Quiet background so the storm dominates the picture.
-    let noise = NoiseParams::standard(1e-4);
-    let exp = MemoryExperiment::new(code.clone(), noise, rounds);
-    let keys = *exp.keys();
-    let builder = exp.round_builder();
+    let storm = LeakageProfile::Burst {
+        start: 3,
+        len: 1,
+        period: 0, // one-shot burst
+        rate: 0.5,
+    };
 
-    let mut sim = FrameSimulator::new(
-        code.num_qubits(),
-        keys.total(),
-        noise,
-        Discriminator::TwoLevel,
-        Rng::new(99),
-    );
-    let mut policy = EraserPolicy::new(&code);
-    sim.run(&exp.init_segment());
-
-    let storm_round = 3;
-    let storm: Vec<usize> = vec![
-        code.data_qubit(2, 2),
-        code.data_qubit(2, 3),
-        code.data_qubit(3, 2),
+    let policies = [
+        PolicyKind::NoLrc,
+        PolicyKind::eraser(),
+        PolicyKind::adaptive(ControlLawKind::Ewma),
     ];
+    let results: Vec<MemoryRunResult> = policies
+        .iter()
+        .map(|p| run(p.clone(), storm, rounds))
+        .collect();
 
-    let mut prev = vec![false; code.num_stabs()];
-    let mut events = vec![false; code.num_stabs()];
-    let no_labels = vec![false; code.num_stabs()];
-    let no_oracle = vec![false; code.num_data()];
-    let mut last: Vec<LrcAssignment> = Vec::new();
-
-    println!("round | leaked data qubits | events | LRCs scheduled by ERASER");
+    println!("Burst: every data qubit leaks with p=0.5 at round 3 (400 shots, d=5).");
+    println!();
+    println!("round | LPR no-lrc | LPR eraser | LPR adaptive");
     for r in 0..rounds {
-        if r == storm_round {
-            for &q in &storm {
-                sim.force_leak(q);
-            }
-            println!("   -- leakage storm: forcing qubits {storm:?} into |L> --");
-        }
-        let plan = policy.plan_round(&RoundContext {
-            round: r,
-            events: &events,
-            leaked_readouts: &no_labels,
-            oracle_leaked_data: &no_oracle,
-            last_lrcs: &last,
-        });
-
-        let round = builder.round(r, &plan, &keys);
-        sim.run(&round.pre);
-        let leaked: Vec<usize> = (0..code.num_data()).filter(|&q| sim.is_leaked(q)).collect();
-        sim.run(&round.measure);
-        sim.run(&round.mr_reset);
-        for tail in &round.lrc_post {
-            sim.run(&tail.swap_back);
-        }
-
-        let mut event_count = 0;
-        for s in 0..code.num_stabs() {
-            let flip = sim.record().flip(keys.stab_key(r, s));
-            events[s] = if r == 0 {
-                code.stabilizers()[s].kind == StabKind::Z && flip
-            } else {
-                flip ^ prev[s]
-            };
-            prev[s] = flip;
-            event_count += events[s] as usize;
-        }
-        let scheduled: Vec<usize> = plan.iter().map(|l| l.data).collect();
+        let marker = if r == 3 { "  <- storm" } else { "" };
         println!(
-            "  {r:>3} | {:<18} | {event_count:>6} | {scheduled:?}",
-            format!("{leaked:?}"),
+            "  {r:>3} | {:>10.4} | {:>10.4} | {:>12.4}{marker}",
+            results[0].lpr_data[r], results[1].lpr_data[r], results[2].lpr_data[r],
         );
-        last = plan;
     }
-    println!("\nThe burst becomes visible through the random parity flips it causes;");
-    println!("ERASER speculates the affected qubits within a round or two and its");
-    println!("LRCs reset them, after which the event counts fall back to noise.");
+
+    let ctrl = &results[2].controller;
+    println!();
+    println!(
+        "adaptive controller: {} escalations, {} of {} rounds escalated \
+         (mean leakage estimate {:.4}, peak {:.4})",
+        ctrl.escalations,
+        ctrl.rounds_escalated,
+        ctrl.rounds(),
+        ctrl.mean_estimate(),
+        ctrl.peak_estimate(),
+    );
+    println!();
+    println!("Without LRCs the burst never drains: seepage is far slower than the");
+    println!("round clock. ERASER speculates the leaked qubits from their randomized");
+    println!("parity checks and clears them within a few rounds; the adaptive");
+    println!("controller does the same work only while its leakage estimate is");
+    println!("elevated, then drops back to its cheap base policy.");
 }

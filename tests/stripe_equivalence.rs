@@ -7,8 +7,11 @@
 use eraser_repro::eraser_core::runtime::{
     DecoderKind, ErasureDetection, LrcProtocol, MemoryRunResult, MemoryRunner, RunConfig,
 };
-use eraser_repro::eraser_core::{Experiment, PolicyKind};
+use eraser_repro::eraser_core::{
+    ControlLawKind, Experiment, LeakageProfile, PolicyKind, StripeRoundContext, StripedPolicy,
+};
 use eraser_repro::qec_core::NoiseParams;
+use eraser_repro::surface_code::{RotatedCode, SlotTable};
 
 fn assert_identical(a: &MemoryRunResult, b: &MemoryRunResult, what: &str) {
     assert_eq!(a.shots, b.shots, "{what}: shots");
@@ -17,6 +20,9 @@ fn assert_identical(a: &MemoryRunResult, b: &MemoryRunResult, what: &str) {
     assert_eq!(a.total_erasures, b.total_erasures, "{what}: erasures");
     assert_eq!(a.speculation, b.speculation, "{what}: speculation");
     assert_eq!(a.postselection, b.postselection, "{what}: post-selection");
+    // Controller telemetry is all-integer (Q16 fixed point) and merges by
+    // sums and maxima, so it too must agree bit for bit.
+    assert_eq!(a.controller, b.controller, "{what}: controller stats");
     // The LPR sums accumulate integer counts, so even the f64 vectors are
     // exactly reproducible.
     assert_eq!(a.lpr_total, b.lpr_total, "{what}: LPR total");
@@ -154,6 +160,110 @@ fn stripe_determinism_property_over_seeds_and_threads() {
         let multi = runner.run(&|code| kind.build(code), &threaded);
         assert_identical(&striped, &multi, &format!("seed {seed} threaded"));
     }
+}
+
+/// Adaptive (feedback-controlled) policies keep the stripe invariant: each
+/// lane runs its own controller, decisions become per-lane slot masks, and
+/// the merged run — telemetry included — matches the scalar path exactly,
+/// under a leakage storm that actually trips the escalator.
+#[test]
+fn adaptive_policies_are_bit_identical_across_widths_and_threads() {
+    let runner = MemoryRunner::new(3, NoiseParams::standard(3e-3), 10);
+    let base = RunConfig {
+        shots: 70,
+        seed: 0x570_12F,
+        threads: 1,
+        decoder: DecoderKind::Mwpm,
+        profile: LeakageProfile::Burst {
+            start: 3,
+            len: 3,
+            period: 7,
+            rate: 0.08,
+        },
+        ..RunConfig::default()
+    };
+    for law in [ControlLawKind::Ewma, ControlLawKind::Budget] {
+        let kind = PolicyKind::adaptive(law);
+        let scalar = run_width(&runner, &kind, &base, 1);
+        assert!(
+            scalar.controller.escalations > 0,
+            "{}: the storm must trip the controller for the test to bite",
+            kind.label()
+        );
+        let striped = run_width(&runner, &kind, &base, 64);
+        assert_identical(&scalar, &striped, kind.label());
+        let narrow = run_width(&runner, &kind, &base, 7);
+        assert_identical(&scalar, &narrow, &format!("{} width-7", kind.label()));
+        // Thread partitioning splits the shot range mid-stripe; the
+        // controller harvest merges per lane, so counts cannot drift.
+        let threaded = RunConfig {
+            threads: 3,
+            stripe_width: 64,
+            ..base
+        };
+        let multi = runner.run(&|code| kind.build(code), &threaded);
+        assert_identical(&striped, &multi, &format!("{} threaded", kind.label()));
+    }
+}
+
+/// Structural property: striped adaptive planning stays a masked selection
+/// over the code's static slot table. Lanes fed a leakage storm escalate
+/// and populate their mask bits; quiet lanes stay silent — on the *same*
+/// schedule, with no per-lane slot structure.
+#[test]
+fn adaptive_striped_planning_is_masked_static_schedule_selection() {
+    let code = RotatedCode::new(3);
+    let slots = SlotTable::new(&code);
+    let factory = |code: &RotatedCode| PolicyKind::adaptive(ControlLawKind::Ewma).build(code);
+    let mut policy = StripedPolicy::new(&factory, &code, 2);
+    policy.reset_stripe(2);
+    let mut slot_masks = vec![0u64; slots.len()];
+
+    // Lane 0 sees every stabilizer fire with |L⟩ labels (a storm); lane 1
+    // sees nothing. Repeat for a few rounds so the EWMA clears its dwell.
+    let stormy_lane = 1u64; // bit 0
+    let events: Vec<u64> = vec![stormy_lane; code.num_stabs()];
+    let labels: Vec<u64> = vec![stormy_lane; code.num_stabs()];
+    let oracle: Vec<u64> = vec![0; code.num_data()];
+    let mut lane0_planned = 0u32;
+    for round in 0..6 {
+        policy.plan_round(
+            &StripeRoundContext {
+                round,
+                events: &events,
+                leaked_readouts: &labels,
+                oracle_leaked_data: &oracle,
+                active: 0b11,
+            },
+            &slots,
+            &mut slot_masks,
+        );
+        // Every scheduled LRC is a mask bit on an existing static slot —
+        // the mask vector's length never leaves the slot table's.
+        assert_eq!(slot_masks.len(), slots.len());
+        for (slot, &mask) in slot_masks.iter().enumerate() {
+            assert_eq!(
+                mask & !0b11,
+                0,
+                "slot {slot}: mask bits outside the active stripe"
+            );
+            assert_eq!(mask & 0b10, 0, "slot {slot}: the quiet lane planned an LRC");
+            lane0_planned += (mask & 0b01) as u32;
+        }
+    }
+    assert!(
+        lane0_planned > 0,
+        "the stormy lane must escalate into a non-empty masked schedule"
+    );
+    assert!(
+        policy.lane_controller(0).unwrap().escalations > 0,
+        "lane 0's controller must have escalated"
+    );
+    assert_eq!(
+        policy.lane_controller(1).unwrap().escalations,
+        0,
+        "lane 1's controller must have stayed in base mode"
+    );
 }
 
 /// The facade knob reaches the runtime and validates its range.
