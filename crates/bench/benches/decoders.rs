@@ -52,7 +52,7 @@ fn main() {
         h.bench("mwpm_thread_instance_build/d5_r10", || factory.build());
     }
 
-    // Stateful batch decoding (32 shots per iteration) for all three
+    // Stateful batch decoding (32 shots per iteration) for all four
     // decoders.
     {
         let fixture = decode_fixture(5, 10, 32);
@@ -64,6 +64,7 @@ fn main() {
 
         for kind in [
             DecoderKind::Mwpm,
+            DecoderKind::SparseMwpm,
             DecoderKind::UnionFind,
             DecoderKind::Greedy,
         ] {
@@ -106,6 +107,7 @@ fn main() {
             .collect();
         for kind in [
             DecoderKind::Mwpm,
+            DecoderKind::SparseMwpm,
             DecoderKind::UnionFind,
             DecoderKind::Greedy,
         ] {
@@ -119,6 +121,51 @@ fn main() {
                     outcomes.iter().filter(|o| o.flip).count()
                 },
             );
+        }
+    }
+
+    // Dense vs sparse blossom on a realistic d=7 long-memory batch (32
+    // shots, ~1 fault per round). Each iteration is the *cold* per-cell
+    // cost a sweep cell or serve job pays on a fresh graph shape: build
+    // the factory (dense: the O(n²) all-pairs table — 82 ms at these 864
+    // nodes; sparse: one O(E log V) boundary Dijkstra — 92 µs), then
+    // decode the batch. Both return the same optimal correction weight
+    // (`crates/decoder/tests/equivalence.rs`); the precomputation gap is
+    // exactly why `DecoderKind::Auto` flips to sparse above
+    // `AUTO_MWPM_NODE_LIMIT` nodes. The committed baseline asserts sparse
+    // ≥2× dense end to end (`crates/bench/tests/baselines.rs`).
+    if h.matches("decode_batch_32/d7") {
+        let (d, rounds) = (7usize, 35usize);
+        let fixture = decode_fixture(d, rounds, 1);
+        let mut rng = qec_core::Rng::new(0x735);
+        let syndromes: Vec<Syndrome> = (0..32)
+            .map(|_| {
+                let mut events = vec![false; fixture.graph.num_nodes()];
+                for _ in 0..rounds {
+                    let mech = &fixture.dem.mechanisms
+                        [rng.below(fixture.dem.mechanisms.len() as u64) as usize];
+                    for &det in &mech.detectors {
+                        if let Some(node) = fixture.graph.node_of_detector(det) {
+                            events[node] ^= true;
+                        }
+                    }
+                }
+                Syndrome::new(
+                    (0..fixture.graph.num_nodes())
+                        .filter(|&n| events[n])
+                        .collect(),
+                )
+            })
+            .collect();
+        for kind in [DecoderKind::Mwpm, DecoderKind::SparseMwpm] {
+            let name = kind.build_factory(&fixture.graph).name();
+            let mut outcomes = Vec::new();
+            h.bench(&format!("decode_batch_32/d7_r35_cold/{name}"), || {
+                let factory = kind.build_factory(&fixture.graph);
+                let mut decoder = factory.build();
+                decoder.decode_batch(black_box(&syndromes), &mut outcomes);
+                outcomes.iter().filter(|o| o.flip).count()
+            });
         }
     }
 

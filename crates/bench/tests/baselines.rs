@@ -129,6 +129,31 @@ fn bench_decoders_baseline_records_the_windowed_speedup() {
 }
 
 #[test]
+fn bench_decoders_baseline_records_the_sparse_blossom_speedup() {
+    let entries = parse_baseline("BENCH_decoders.json");
+    let find = |name: &str| {
+        entries
+            .iter()
+            .find(|(n, _)| n == name)
+            .unwrap_or_else(|| panic!("BENCH_decoders.json must record `{name}`"))
+            .1
+    };
+    let dense = find("decode_batch_32/d7_r35_cold/mwpm");
+    let sparse = find("decode_batch_32/d7_r35_cold/sparse-mwpm");
+    // Both benches decode the same realistic 32-shot d=7 batch end to end
+    // (factory precomputation + decode) at identical optimal correction
+    // weight. The committed baseline must document the sparse-blossom win:
+    // ≥2× per cold cell, driven by the O(V) boundary index replacing the
+    // dense O(V²) all-pairs table — the gap that makes MWPM-accuracy
+    // decoding viable past `DecoderKind::AUTO_MWPM_NODE_LIMIT`.
+    assert!(
+        dense / sparse >= 2.0,
+        "committed baseline shows {:.2}× (dense {dense} ns vs sparse {sparse} ns)",
+        dense / sparse
+    );
+}
+
+#[test]
 fn bench_serve_baseline_records_the_artifact_cache_win() {
     // `eraser-serve loadgen --json` writes this one (see crates/serve); the
     // shape differs from the harness files, so it gets its own validator.

@@ -96,6 +96,9 @@ pub enum ArtifactKind {
     Apsp,
     /// The union-find edge-capacity quantization of the monolithic graph.
     UfCapacities,
+    /// The sparse-MWPM boundary index (per-node boundary distance, parity,
+    /// and predecessor) over the monolithic decoding graph.
+    SparseIndex,
     /// A sliding-window decode plan, additionally keyed by its resolved
     /// window geometry and per-window backend.
     WindowPlan {

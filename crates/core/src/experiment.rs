@@ -442,6 +442,7 @@ impl fmt::Display for DecoderKind {
         f.write_str(match self {
             DecoderKind::Auto => "auto",
             DecoderKind::Mwpm => "mwpm",
+            DecoderKind::SparseMwpm => "sparse-mwpm",
             DecoderKind::UnionFind => "union-find",
             DecoderKind::Greedy => "greedy",
         })
@@ -455,6 +456,7 @@ impl FromStr for DecoderKind {
         match s.to_ascii_lowercase().as_str() {
             "auto" => Ok(DecoderKind::Auto),
             "mwpm" => Ok(DecoderKind::Mwpm),
+            "sparse-mwpm" | "sparse" | "sparse-blossom" => Ok(DecoderKind::SparseMwpm),
             "union-find" | "unionfind" | "uf" => Ok(DecoderKind::UnionFind),
             "greedy" => Ok(DecoderKind::Greedy),
             _ => Err(ExperimentError::UnknownDecoder(s.to_string())),
@@ -558,13 +560,18 @@ impl Experiment {
     }
 
     /// The decoder the configured [`DecoderKind`] resolves to for this
-    /// experiment's decoding graph. Goes through [`DecoderKind::resolve`] —
-    /// the same single-source rule `MemoryRunner::run` applies — so on
-    /// decode-enabled runs `Auto` reports exactly what will decode (runs
-    /// built with `.decode(false)` decode nothing and report `"none"`).
-    /// Never returns [`DecoderKind::Auto`].
+    /// experiment's decoding graph. Goes through
+    /// [`RunConfig::resolved_decoder`] (the `ERASER_DECODER` hook, already
+    /// validated at build time) and then [`DecoderKind::resolve`] — the same
+    /// single-source rule `MemoryRunner::run` applies — so on decode-enabled
+    /// runs `Auto` reports exactly what will decode (runs built with
+    /// `.decode(false)` decode nothing and report `"none"`). Never returns
+    /// [`DecoderKind::Auto`].
     pub fn resolved_decoder(&self) -> DecoderKind {
-        self.config.decoder.resolve(self.runner.graph())
+        self.config
+            .resolved_decoder()
+            .unwrap_or(self.config.decoder)
+            .resolve(self.runner.graph())
     }
 
     /// Swaps the LRC protocol without rebuilding the runner.
@@ -1488,11 +1495,50 @@ mod tests {
     #[test]
     fn facade_resolves_auto_exactly_like_the_runtime() {
         let exp = base().build().unwrap();
-        // d=3, 2 rounds is far below the Auto threshold → MWPM, and the run
-        // must report the same resolution the facade predicts.
-        assert_eq!(exp.resolved_decoder(), DecoderKind::Mwpm);
+        // d=3, 2 rounds is far below the Auto threshold → dense MWPM —
+        // unless a CI matrix leg pinned the decoder via `ERASER_DECODER`,
+        // in which case the facade must predict that pin instead.
+        let expected = match std::env::var("ERASER_DECODER") {
+            Ok(raw) if !raw.trim().is_empty() => raw
+                .trim()
+                .parse::<DecoderKind>()
+                .unwrap()
+                .resolve(exp.runner().graph()),
+            _ => DecoderKind::Mwpm,
+        };
+        assert_eq!(exp.resolved_decoder(), expected);
         let result = exp.run();
         assert_eq!(result.decoder, exp.resolved_decoder().to_string());
+    }
+
+    /// The sparse-blossom acceptance bar end to end: a d = 11 long memory,
+    /// whose decoding graph prices out the dense all-pairs table, Auto-
+    /// selects the sparse MWPM backend and decodes through the facade.
+    #[test]
+    fn d11_long_memory_auto_selects_sparse_and_decodes() {
+        let exp = Experiment::builder()
+            .distance(11)
+            .rounds(55)
+            .shots(4)
+            .seed(9)
+            .policy(PolicyKind::NoLrc)
+            .build()
+            .unwrap();
+        assert!(
+            exp.runner().graph().num_nodes() > DecoderKind::AUTO_MWPM_NODE_LIMIT,
+            "graph must be past the dense-MWPM limit ({} nodes)",
+            exp.runner().graph().num_nodes()
+        );
+        // Env-independent form of the Auto rule: this graph is sparse
+        // territory (an `ERASER_DECODER` pin may still override the run).
+        assert_eq!(
+            DecoderKind::Auto.resolve(exp.runner().graph()),
+            DecoderKind::SparseMwpm
+        );
+        let result = exp.run();
+        assert_eq!(result.shots, 4);
+        assert_eq!(result.decoder, exp.resolved_decoder().to_string());
+        assert!(result.logical_errors <= result.shots);
     }
 
     #[test]
@@ -1539,12 +1585,17 @@ mod tests {
         for kind in [
             DecoderKind::Auto,
             DecoderKind::Mwpm,
+            DecoderKind::SparseMwpm,
             DecoderKind::UnionFind,
             DecoderKind::Greedy,
         ] {
             assert_eq!(kind.to_string().parse::<DecoderKind>().unwrap(), kind);
         }
         assert_eq!("uf".parse::<DecoderKind>().unwrap(), DecoderKind::UnionFind);
+        assert_eq!(
+            "sparse".parse::<DecoderKind>().unwrap(),
+            DecoderKind::SparseMwpm
+        );
         assert!("tensor-network".parse::<DecoderKind>().is_err());
     }
 

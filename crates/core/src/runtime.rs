@@ -52,8 +52,8 @@ use qec_core::circuit::DetectorBasis;
 use qec_core::{DetectorInfo, MeasKey, NoiseParams, Op, OpCond, Rng};
 use qec_decoder::{
     build_dem, DecodeOutcome, DecoderFactory, DecodingGraph, GreedyFactory, MwpmFactory,
-    ShortestPaths, StreamingDecoder, Syndrome, UnionFindCapacities, UnionFindFactory,
-    WindowBackend, WindowPlan, WindowedDecoder,
+    ShortestPaths, SparseIndex, SparseMwpmFactory, StreamingDecoder, Syndrome, UnionFindCapacities,
+    UnionFindFactory, WindowBackend, WindowPlan, WindowedDecoder,
 };
 use std::sync::Arc;
 use surface_code::{
@@ -74,15 +74,20 @@ pub enum LrcProtocol {
 /// Decoder selection for a run.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub enum DecoderKind {
-    /// MWPM below [`DecoderKind::AUTO_MWPM_NODE_LIMIT`] graph nodes,
-    /// union-find above. On the monolithic path the node count is the
-    /// whole-experiment graph's (where MWPM's O(n³) matching and O(n²) path
-    /// table price out large d × R products); on the sliding-window path it
-    /// is the *window's*, so MWPM stays selected at any R.
+    /// Dense MWPM below [`DecoderKind::AUTO_MWPM_NODE_LIMIT`] graph nodes,
+    /// sparse MWPM above. On the monolithic path the node count is the
+    /// whole-experiment graph's (where dense MWPM's O(n²) path table prices
+    /// out large d × R products — the sparse blossom keeps the same optimal
+    /// weight with O(n) precomputation); on the sliding-window path it is
+    /// the *window's*.
     #[default]
     Auto,
-    /// Exact blossom MWPM (the paper's decoder).
+    /// Exact blossom MWPM (the paper's decoder), dense all-pairs tables.
     Mwpm,
+    /// Exact sparse blossom MWPM: same optimal correction weight as
+    /// [`DecoderKind::Mwpm`] without the all-pairs table — the
+    /// MWPM-accuracy decoder for d ≥ 11.
+    SparseMwpm,
     /// Weighted union-find.
     UnionFind,
     /// Greedy nearest-first (ablation baseline).
@@ -90,21 +95,23 @@ pub enum DecoderKind {
 }
 
 impl DecoderKind {
-    /// Node count above which `Auto` switches from MWPM to union-find. This
-    /// constant — together with [`DecoderKind::resolve`] — is the *single*
-    /// source of the Auto-selection rule; both [`MemoryRunner::run`] and the
-    /// `Experiment` facade go through it.
+    /// Node count above which `Auto` switches from dense to sparse MWPM.
+    /// This constant — together with [`DecoderKind::resolve`] — is the
+    /// *single* source of the Auto-selection rule; both
+    /// [`MemoryRunner::run`] and the `Experiment` facade go through it.
     pub const AUTO_MWPM_NODE_LIMIT: usize = 3000;
 
     /// Resolves `Auto` against a concrete decoding graph; the other variants
-    /// map to themselves. Never returns [`DecoderKind::Auto`].
+    /// map to themselves. Never returns [`DecoderKind::Auto`]. Both arms are
+    /// MWPM-accurate: the limit only decides whether the dense all-pairs
+    /// table is affordable.
     pub fn resolve(self, graph: &DecodingGraph) -> DecoderKind {
         match self {
             DecoderKind::Auto => {
                 if graph.num_nodes() <= DecoderKind::AUTO_MWPM_NODE_LIMIT {
                     DecoderKind::Mwpm
                 } else {
-                    DecoderKind::UnionFind
+                    DecoderKind::SparseMwpm
                 }
             }
             other => other,
@@ -118,6 +125,7 @@ impl DecoderKind {
     pub fn build_factory(self, graph: &DecodingGraph) -> Box<dyn DecoderFactory + '_> {
         match self.resolve(graph) {
             DecoderKind::Mwpm => Box::new(MwpmFactory::new(graph)),
+            DecoderKind::SparseMwpm => Box::new(SparseMwpmFactory::new(graph)),
             DecoderKind::UnionFind => Box::new(UnionFindFactory::new(graph)),
             DecoderKind::Greedy => Box::new(GreedyFactory::new(graph)),
             DecoderKind::Auto => unreachable!("resolve never returns Auto"),
@@ -136,10 +144,11 @@ impl DecoderKind {
                 if per_round * (window + 1) <= DecoderKind::AUTO_MWPM_NODE_LIMIT {
                     WindowBackend::Mwpm
                 } else {
-                    WindowBackend::UnionFind
+                    WindowBackend::SparseMwpm
                 }
             }
             DecoderKind::Mwpm => WindowBackend::Mwpm,
+            DecoderKind::SparseMwpm => WindowBackend::SparseMwpm,
             DecoderKind::UnionFind => WindowBackend::UnionFind,
             DecoderKind::Greedy => WindowBackend::Greedy,
         }
@@ -214,7 +223,9 @@ pub struct RunConfig {
     /// Worker threads; 0 means the `ERASER_THREADS` environment variable if
     /// set, else all available cores.
     pub threads: usize,
-    /// Decoder selection.
+    /// Decoder selection. `Auto` defers to the `ERASER_DECODER`
+    /// environment variable if set, else to the node-count rule in
+    /// [`DecoderKind::resolve`]. An explicit kind always wins.
     pub decoder: DecoderKind,
     /// Leakage-removal protocol executed for scheduled pairs.
     pub protocol: LrcProtocol,
@@ -334,6 +345,25 @@ fn parse_positive_env(var: &'static str, raw: &str) -> Result<Option<usize>, Env
     }
 }
 
+/// Parses an `ERASER_DECODER` value: a decoder name (`auto`, `mwpm`,
+/// `sparse-mwpm`, `union-find`, `greedy`, or an alias accepted by
+/// [`DecoderKind`]'s `FromStr`). Empty counts as unset — CI matrix legs
+/// pass `""` to mean "no override".
+pub fn parse_decoder_env(raw: &str) -> Result<Option<DecoderKind>, EnvOverrideError> {
+    let trimmed = raw.trim();
+    if trimmed.is_empty() {
+        return Ok(None);
+    }
+    trimmed
+        .parse::<DecoderKind>()
+        .map(Some)
+        .map_err(|_| EnvOverrideError {
+            var: "ERASER_DECODER",
+            value: raw.to_string(),
+            reason: "unknown decoder (expected auto, mwpm, sparse-mwpm, union-find, or greedy)",
+        })
+}
+
 /// Parses an `ERASER_WINDOW` specification: `"15"` (window only, stride
 /// defaulted at run time against the code distance) or `"15:10"`
 /// (window:stride, stride ≤ window). Empty counts as unset.
@@ -406,6 +436,25 @@ impl RunConfig {
         Ok((0, 0))
     }
 
+    /// The decoder selection this configuration resolves to: `decoder`
+    /// itself when it is not `Auto`; else the `ERASER_DECODER` environment
+    /// variable (the CI test matrix's hook); else `Auto`, deferred to
+    /// [`DecoderKind::resolve`] against the concrete decoding graph. Every
+    /// resolution is MWPM-accurate or an explicitly requested ablation, so
+    /// the override never silently degrades accuracy. A malformed override
+    /// is an error, never a silent default.
+    pub fn resolved_decoder(&self) -> Result<DecoderKind, EnvOverrideError> {
+        if self.decoder != DecoderKind::Auto {
+            return Ok(self.decoder);
+        }
+        if let Ok(raw) = std::env::var("ERASER_DECODER") {
+            if let Some(kind) = parse_decoder_env(&raw)? {
+                return Ok(kind);
+            }
+        }
+        Ok(DecoderKind::Auto)
+    }
+
     /// The stripe width this configuration resolves to: `stripe_width`
     /// itself; else the `ERASER_STRIPE` environment variable (the CI test
     /// matrix's hook); else the full 64-lane stripe. Clamped to 1..=64.
@@ -447,6 +496,7 @@ impl RunConfig {
     pub fn validate_env(&self) -> Result<(), EnvOverrideError> {
         self.resolved_threads()?;
         self.resolved_window()?;
+        self.resolved_decoder()?;
         self.resolved_stripe_width()?;
         self.resolved_controller()?;
         Ok(())
@@ -792,11 +842,12 @@ pub struct DecodeArtifacts {
 enum ResolvedDecode {
     /// Whole-experiment decoding; `kind` is resolved (never `Auto`) and
     /// exactly one of the tables is populated (paths for MWPM/greedy,
-    /// capacities for union-find).
+    /// capacities for union-find, the boundary index for sparse MWPM).
     Monolithic {
         kind: DecoderKind,
         paths: Option<Arc<ShortestPaths>>,
         capacities: Option<Arc<UnionFindCapacities>>,
+        sparse: Option<Arc<SparseIndex>>,
     },
     /// Sliding-window streaming decoding.
     Windowed(Arc<WindowPlan>),
@@ -1036,7 +1087,8 @@ impl MemoryRunner {
     /// either way, because every artifact is a deterministic function of
     /// the key.
     ///
-    /// Fails only on a malformed `ERASER_WINDOW` override.
+    /// Fails only on a malformed `ERASER_WINDOW` / `ERASER_DECODER`
+    /// override.
     pub fn decode_artifacts(
         &self,
         config: &RunConfig,
@@ -1049,6 +1101,7 @@ impl MemoryRunner {
         // round count, where a single window would cover the whole shot)
         // selects monolithic decoding.
         let (window, stride_raw) = config.resolved_window()?;
+        let decoder = config.resolved_decoder()?;
         let resolved = if window > 0 && window <= self.exp.rounds() {
             let d = self.exp.code().distance();
             let stride = if stride_raw == 0 {
@@ -1056,7 +1109,7 @@ impl MemoryRunner {
             } else {
                 stride_raw.min(window)
             };
-            let backend = config.decoder.resolve_window_backend(&self.graph, window);
+            let backend = decoder.resolve_window_backend(&self.graph, window);
             let plan = match cache {
                 Some(cache) => cache.get_or_build(
                     &CacheKey {
@@ -1074,8 +1127,8 @@ impl MemoryRunner {
             };
             ResolvedDecode::Windowed(plan)
         } else {
-            let kind = config.decoder.resolve(&self.graph);
-            let (paths, capacities) = match kind {
+            let kind = decoder.resolve(&self.graph);
+            let (paths, capacities, sparse) = match kind {
                 DecoderKind::Mwpm | DecoderKind::Greedy => {
                     let paths = match cache {
                         Some(cache) => cache.get_or_build(
@@ -1088,7 +1141,21 @@ impl MemoryRunner {
                         ),
                         None => Arc::new(ShortestPaths::compute(&self.graph)),
                     };
-                    (Some(paths), None)
+                    (Some(paths), None, None)
+                }
+                DecoderKind::SparseMwpm => {
+                    let sparse = match cache {
+                        Some(cache) => cache.get_or_build(
+                            &CacheKey {
+                                experiment: self.cache_key(),
+                                kind: ArtifactKind::SparseIndex,
+                            },
+                            SparseIndex::approx_bytes,
+                            || SparseIndex::compute(&self.graph),
+                        ),
+                        None => Arc::new(SparseIndex::compute(&self.graph)),
+                    };
+                    (None, None, Some(sparse))
                 }
                 DecoderKind::UnionFind => {
                     let capacities = match cache {
@@ -1102,7 +1169,7 @@ impl MemoryRunner {
                         ),
                         None => Arc::new(UnionFindCapacities::compute(&self.graph)),
                     };
-                    (None, Some(capacities))
+                    (None, Some(capacities), None)
                 }
                 DecoderKind::Auto => unreachable!("resolve never returns Auto"),
             };
@@ -1110,6 +1177,7 @@ impl MemoryRunner {
                 kind,
                 paths,
                 capacities,
+                sparse,
             }
         };
         Ok(DecodeArtifacts {
@@ -1175,10 +1243,15 @@ impl MemoryRunner {
                 kind,
                 paths,
                 capacities,
+                sparse,
             }) => Some(match kind {
                 DecoderKind::Mwpm => Box::new(MwpmFactory::with_paths(
                     &self.graph,
                     Arc::clone(paths.as_ref().expect("mwpm artifacts carry paths")),
+                )),
+                DecoderKind::SparseMwpm => Box::new(SparseMwpmFactory::with_index(
+                    &self.graph,
+                    Arc::clone(sparse.as_ref().expect("sparse artifacts carry an index")),
                 )),
                 DecoderKind::Greedy => Box::new(GreedyFactory::with_paths(
                     &self.graph,
@@ -2334,6 +2407,39 @@ mod tests {
                 }
             }
         }
+
+        type DecoderCase = (&'static str, Result<Option<DecoderKind>, ()>);
+        let decoder_cases: &[DecoderCase] = &[
+            ("mwpm", Ok(Some(DecoderKind::Mwpm))),
+            (" sparse-mwpm ", Ok(Some(DecoderKind::SparseMwpm))),
+            ("sparse", Ok(Some(DecoderKind::SparseMwpm))),
+            ("SPARSE-BLOSSOM", Ok(Some(DecoderKind::SparseMwpm))),
+            ("uf", Ok(Some(DecoderKind::UnionFind))),
+            ("greedy", Ok(Some(DecoderKind::Greedy))),
+            ("auto", Ok(Some(DecoderKind::Auto))),
+            ("", Ok(None)),
+            ("  ", Ok(None)),
+            ("tensor-network", Err(())),
+            ("mwpm2", Err(())),
+        ];
+        for (raw, expected) in decoder_cases {
+            match expected {
+                Ok(v) => assert_eq!(
+                    parse_decoder_env(raw).as_ref().ok(),
+                    Some(v),
+                    "ERASER_DECODER={raw:?}"
+                ),
+                Err(()) => {
+                    let err = parse_decoder_env(raw)
+                        .expect_err(&format!("ERASER_DECODER={raw:?} must error"));
+                    assert_eq!(err.var, "ERASER_DECODER");
+                    assert!(
+                        err.to_string().contains("ERASER_DECODER"),
+                        "message names the variable: {err}"
+                    );
+                }
+            }
+        }
     }
 
     /// `ERASER_CONTROL` goes through the same strict contract as the other
@@ -2460,11 +2566,12 @@ mod tests {
         );
         let nodes_per_round = runner.graph().num_nodes() / (runner.graph().max_round() + 1);
         let huge = DecoderKind::AUTO_MWPM_NODE_LIMIT / nodes_per_round + 2;
-        // A window that large would blow the MWPM limit — were the
-        // experiment long enough to host it, Auto would pick union-find.
+        // A window that large prices out the dense all-pairs table — were
+        // the experiment long enough to host it, Auto would pick the sparse
+        // blossom (same optimal weight, O(n) precomputation).
         assert_eq!(
             DecoderKind::Auto.resolve_window_backend(runner.graph(), huge),
-            WindowBackend::UnionFind
+            WindowBackend::SparseMwpm
         );
     }
 

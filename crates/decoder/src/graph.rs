@@ -9,6 +9,7 @@
 //! standard Stim/PyMatching `decompose_errors` behaviour.
 
 use crate::dem::{combine_probability, DetectorErrorModel};
+use crate::weight::{snap_weight, validate_edge_weight};
 use qec_core::circuit::DetectorBasis;
 use qec_core::DetectorInfo;
 use std::collections::HashMap;
@@ -155,12 +156,18 @@ impl DecodingGraph {
                     a,
                     b,
                     probability,
-                    weight: ((1.0 - p) / p).ln().max(1e-4),
+                    // Snapped to the shared integer-quantization grid so the
+                    // dense (scaled f64 path sums) and sparse (summed scaled
+                    // edges) blossom backends optimize the exact same metric.
+                    weight: snap_weight(((1.0 - p) / p).ln().max(1e-4)),
                     flips_observable,
                 }
             })
             .collect();
         edges.sort_by_key(|x| (x.a, x.b));
+        for (i, e) in edges.iter().enumerate() {
+            validate_edge_weight(i, e.weight);
+        }
 
         let mut adjacency = vec![Vec::new(); num_nodes + 1];
         let mut key_to_edge: HashMap<(usize, usize), usize> = HashMap::new();
@@ -205,6 +212,7 @@ impl DecodingGraph {
         let mut adjacency = vec![Vec::new(); num_nodes + 1];
         for (i, e) in edges.iter().enumerate() {
             debug_assert!(e.a < num_nodes && e.b <= num_nodes && e.a < e.b);
+            validate_edge_weight(i, e.weight);
             adjacency[e.a].push(i);
             adjacency[e.b].push(i);
         }

@@ -24,6 +24,13 @@
 //! * [`mwpm`] — the MWPM decoder: all-pairs shortest paths with
 //!   observable-parity tracking, boundary handling via per-defect virtual
 //!   nodes, and blossom matching.
+//! * [`sparse`] — the sparse (APSP-free) MWPM decoder: per-defect bounded
+//!   Dijkstras over integer weights, component decomposition, and exact
+//!   per-component blossom matching. Same optimal correction weight as
+//!   [`mwpm`] with O(V) precomputation instead of O(V²) — the MWPM-accuracy
+//!   backend for d ≥ 11.
+//! * [`weight`] — the shared f64 → integer weight quantization both blossom
+//!   backends use, so their optimality comparison is exact.
 //! * [`unionfind`] — a weighted union-find decoder (Delfosse–Nickerson) used
 //!   for large code distances where O(n³) matching is too slow.
 //! * [`greedy`] — a nearest-first greedy matcher, the ablation baseline.
@@ -77,7 +84,9 @@ pub mod greedy;
 pub mod matching;
 pub mod mwpm;
 pub mod overlay;
+pub mod sparse;
 pub mod unionfind;
+pub mod weight;
 pub mod window;
 
 pub use api::{DecodeOutcome, DecoderFactory, Syndrome, SyndromeBuilder, SyndromeDecoder};
@@ -87,5 +96,7 @@ pub use greedy::{GreedyBatchDecoder, GreedyFactory};
 pub use matching::{max_weight_matching, MatchingContext};
 pub use mwpm::{MwpmBatchDecoder, MwpmFactory, ShortestPaths};
 pub use overlay::{DijkstraScratch, WeightOverlay, ERASED_WEIGHT};
+pub use sparse::{SparseIndex, SparseMwpmDecoder, SparseMwpmFactory};
 pub use unionfind::{UnionFindBatchDecoder, UnionFindCapacities, UnionFindFactory};
+pub use weight::{scale_weight, snap_weight, WEIGHT_SCALE};
 pub use window::{StreamingDecoder, WindowBackend, WindowGraph, WindowPlan, WindowedDecoder};

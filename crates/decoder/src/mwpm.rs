@@ -19,14 +19,11 @@ use crate::api::{DecodeOutcome, DecoderFactory, Syndrome, SyndromeDecoder};
 use crate::graph::DecodingGraph;
 use crate::matching::MatchingContext;
 use crate::overlay::{DijkstraScratch, WeightOverlay};
+use crate::weight::scale_weight;
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
 use std::sync::Arc;
 use std::time::Instant;
-
-/// Resolution used when converting f64 path lengths to the integer weights
-/// the blossom algorithm requires.
-const WEIGHT_SCALE: f64 = 1e4;
 
 /// All-pairs shortest paths over a decoding graph (boundary node included),
 /// with observable parity tracked along each shortest path.
@@ -147,11 +144,10 @@ impl PartialOrd for HeapItem {
 
 impl Ord for HeapItem {
     fn cmp(&self, other: &Self) -> std::cmp::Ordering {
-        // Weights are finite positive floats; total order is safe.
-        self.0
-            .partial_cmp(&other.0)
-            .unwrap()
-            .then(self.1.cmp(&other.1))
+        // `total_cmp`, not `partial_cmp().unwrap()`: graph construction
+        // validates weights, but a degenerate distance must surface as a
+        // wrong answer caught by tests — never as a panic inside BinaryHeap.
+        self.0.total_cmp(&other.0).then(self.1.cmp(&other.1))
     }
 }
 
@@ -264,10 +260,10 @@ impl<'g> MwpmBatchDecoder<'g> {
         for i in 0..k {
             for j in (i + 1)..k {
                 let d = self.paths.distance(defects[i], defects[j]);
-                self.scaled[i * k + j] = (d * WEIGHT_SCALE).round() as i64;
+                self.scaled[i * k + j] = scale_weight(d);
             }
             let d = self.paths.distance(defects[i], boundary);
-            self.scaled_boundary[i] = (d * WEIGHT_SCALE).round() as i64;
+            self.scaled_boundary[i] = scale_weight(d);
         }
         self.solve_staged(k);
     }
@@ -287,9 +283,9 @@ impl<'g> MwpmBatchDecoder<'g> {
         self.scaled_boundary.resize(k, 0);
         for i in 0..k {
             for j in (i + 1)..k {
-                self.scaled[i * k + j] = (self.eff_dist[i * t + j] * WEIGHT_SCALE).round() as i64;
+                self.scaled[i * k + j] = scale_weight(self.eff_dist[i * t + j]);
             }
-            self.scaled_boundary[i] = (self.eff_dist[i * t + k] * WEIGHT_SCALE).round() as i64;
+            self.scaled_boundary[i] = scale_weight(self.eff_dist[i * t + k]);
         }
         self.solve_staged(k);
     }

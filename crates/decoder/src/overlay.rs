@@ -449,11 +449,9 @@ impl PartialOrd for EffHeapItem {
 
 impl Ord for EffHeapItem {
     fn cmp(&self, other: &Self) -> std::cmp::Ordering {
-        // Effective weights are finite positive floats; total order is safe.
-        self.0
-            .partial_cmp(&other.0)
-            .unwrap()
-            .then(self.1.cmp(&other.1))
+        // `total_cmp`, not `partial_cmp().unwrap()`: a degenerate effective
+        // weight must never panic inside BinaryHeap (see `HeapItem`).
+        self.0.total_cmp(&other.0).then(self.1.cmp(&other.1))
     }
 }
 

@@ -1,0 +1,125 @@
+//! Shared f64 → integer weight quantization for the matching decoders.
+//!
+//! Both blossom backends — the dense all-pairs decoder ([`crate::mwpm`]) and
+//! the sparse local decoder ([`crate::sparse`]) — reduce matching to the
+//! exact integer blossom solver in [`crate::matching`], so both must convert
+//! f64 log-likelihood weights to integers. The conversion lives here, in one
+//! place, for a correctness reason beyond tidiness: [`crate::DecodingGraph`]
+//! snaps every edge weight to the `1 / WEIGHT_SCALE` grid at construction
+//! ([`snap_weight`]), which makes "scale a summed f64 path length"
+//! (dense: [`scale_weight`] of a Dijkstra sum) and "sum scaled integer edge
+//! weights" (sparse: integer Dijkstra over [`scale_weight`] of each edge)
+//! agree *exactly* — the accumulated f64 error over any realistic path is
+//! ~1e-13 of a quantum, far below the 0.5 rounding margin. Weight-optimality
+//! comparisons between the two backends are therefore exact integer
+//! equalities, not epsilon tests.
+
+/// Resolution of the integer weight grid: one integer unit per
+/// `1 / WEIGHT_SCALE` of log-likelihood weight.
+pub const WEIGHT_SCALE: f64 = 1e4;
+
+/// Largest scaled weight a single edge may carry. With probabilities clamped
+/// to `[1e-12, 0.5)` the worst edge weight is `ln((1-1e-12)/1e-12) ≈ 27.6`,
+/// i.e. ~2.8e5 units — this bound leaves three orders of magnitude of
+/// headroom while keeping any sum of `< 2^31` edges (far beyond any d × R
+/// product) below `i64::MAX / 4`, so the blossom reduction's `c - w`
+/// arithmetic can never overflow.
+pub const MAX_SCALED_EDGE_WEIGHT: i64 = 1 << 28;
+
+/// Converts an f64 weight (an edge weight, or a sum of snapped edge weights)
+/// to the integer grid the blossom solver works on.
+#[inline]
+pub fn scale_weight(w: f64) -> i64 {
+    (w * WEIGHT_SCALE).round() as i64
+}
+
+/// Snaps an f64 edge weight to the quantization grid (the f64 that exactly
+/// de-scales [`scale_weight`]). Idempotent.
+#[inline]
+pub fn snap_weight(w: f64) -> f64 {
+    scale_weight(w) as f64 / WEIGHT_SCALE
+}
+
+/// Validates one decoding-graph edge weight at graph-construction time:
+/// finite, positive, and quantizable without overflow or tie-collapse.
+///
+/// # Panics
+///
+/// Panics with a clear message if `w` is NaN/infinite/non-positive (e.g. a
+/// degenerate DEM mechanism with p = 0 or p ≥ 0.5 reaching the graph without
+/// clamping), if it quantizes to 0 (distinct weights would collapse onto
+/// erased/free edges), or if it exceeds [`MAX_SCALED_EDGE_WEIGHT`] (i64
+/// overflow headroom for large d × R path sums).
+pub fn validate_edge_weight(edge: usize, w: f64) {
+    assert!(
+        w.is_finite() && w > 0.0,
+        "decoding-graph edge {edge} has invalid weight {w}: weights must be \
+         finite and positive (check the DEM mechanism probabilities)"
+    );
+    let scaled = scale_weight(w);
+    assert!(
+        scaled >= 1,
+        "decoding-graph edge {edge} weight {w} quantizes to 0 at \
+         WEIGHT_SCALE={WEIGHT_SCALE}: ties with free edges would collapse"
+    );
+    assert!(
+        scaled <= MAX_SCALED_EDGE_WEIGHT,
+        "decoding-graph edge {edge} weight {w} exceeds the integer headroom \
+         ({scaled} > {MAX_SCALED_EDGE_WEIGHT}): path sums could overflow i64"
+    );
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn snap_is_idempotent_and_scale_exact() {
+        for w in [1e-4, 1e-3, 0.7312, 6.9068, 27.631] {
+            let snapped = snap_weight(w);
+            assert_eq!(snap_weight(snapped), snapped);
+            // Scaling a snapped weight recovers the integer exactly.
+            assert_eq!(scale_weight(snapped), scale_weight(w));
+        }
+    }
+
+    #[test]
+    fn snapped_sums_scale_exactly() {
+        // The property the dense/sparse equivalence rests on: a f64 sum of
+        // snapped weights scales to the exact sum of the scaled integers.
+        let weights: Vec<f64> = (1..2000).map(|i| snap_weight(i as f64 * 7e-3)).collect();
+        let f64_sum: f64 = weights.iter().sum();
+        let int_sum: i64 = weights.iter().map(|&w| scale_weight(w)).sum();
+        assert_eq!(scale_weight(f64_sum), int_sum);
+    }
+
+    #[test]
+    fn validate_accepts_the_realistic_range() {
+        validate_edge_weight(0, 1e-4); // the graph's weight floor
+        validate_edge_weight(0, 27.631); // p = 1e-12
+    }
+
+    #[test]
+    #[should_panic(expected = "finite and positive")]
+    fn validate_rejects_nan() {
+        validate_edge_weight(3, f64::NAN);
+    }
+
+    #[test]
+    #[should_panic(expected = "finite and positive")]
+    fn validate_rejects_infinite() {
+        validate_edge_weight(4, f64::INFINITY);
+    }
+
+    #[test]
+    #[should_panic(expected = "quantizes to 0")]
+    fn validate_rejects_tie_collapse() {
+        validate_edge_weight(5, 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "integer headroom")]
+    fn validate_rejects_overflow_scale() {
+        validate_edge_weight(6, 1e30);
+    }
+}

@@ -52,6 +52,7 @@ use crate::api::{DecodeOutcome, Syndrome, SyndromeDecoder};
 use crate::graph::{DecodingGraph, GraphEdge};
 use crate::greedy::GreedyBatchDecoder;
 use crate::mwpm::{MwpmBatchDecoder, ShortestPaths};
+use crate::sparse::{SparseIndex, SparseMwpmDecoder};
 use crate::unionfind::{UnionFindBatchDecoder, UnionFindCapacities};
 use std::sync::Arc;
 use std::time::Instant;
@@ -61,6 +62,9 @@ use std::time::Instant;
 pub enum WindowBackend {
     /// Exact blossom MWPM per window (the default — windows are small).
     Mwpm,
+    /// Exact sparse blossom MWPM per window (same optimal weight as
+    /// [`WindowBackend::Mwpm`], O(window) precomputation per shape).
+    SparseMwpm,
     /// Weighted union-find per window.
     UnionFind,
     /// Greedy nearest-first per window.
@@ -72,6 +76,7 @@ impl WindowBackend {
     pub fn name(&self) -> &'static str {
         match self {
             WindowBackend::Mwpm => "mwpm",
+            WindowBackend::SparseMwpm => "sparse-mwpm",
             WindowBackend::UnionFind => "union-find",
             WindowBackend::Greedy => "greedy",
         }
@@ -213,6 +218,7 @@ impl WindowGraph {
 struct ShapeData {
     paths: Option<Arc<ShortestPaths>>,
     capacities: Option<Arc<UnionFindCapacities>>,
+    sparse: Option<Arc<SparseIndex>>,
 }
 
 /// One window position of the plan.
@@ -223,6 +229,12 @@ struct Position {
     /// Commit boundary relative to `lo`: correction edges with an endpoint
     /// below it become final. `usize::MAX` commits everything (final window).
     commit_rel: usize,
+    /// Rounds at the front of this window already committed by earlier
+    /// positions. Non-zero only for a clamped final window, whose `lo` is
+    /// pulled back to keep full width; excluded from the committed-rounds
+    /// latency accounting (re-decoding them is legal — corrections are fresh
+    /// XOR edges — but they were already counted).
+    overlap: usize,
     shape: usize,
     node_start: usize,
     node_count: usize,
@@ -276,8 +288,19 @@ impl WindowPlan {
         let mut lo = 0;
         loop {
             let last = lo + window >= span;
+            // The final position is clamped back to full width: a naive
+            // `[lo, max_round]` window can be narrower than `window` (even
+            // < d) when `span − lo` is small, silently weakening the buffer
+            // guarantee for the last committed rounds. The rounds re-covered
+            // by the clamp were already committed — recorded as `overlap` so
+            // latency accounting doesn't double-count them.
+            let start = if last {
+                span.saturating_sub(window).min(lo)
+            } else {
+                lo
+            };
             let hi = if last { max_round } else { lo + window - 1 };
-            let wg = WindowGraph::build(graph, lo, hi);
+            let wg = WindowGraph::build(graph, start, hi);
             let shape = match shapes.iter().position(|s| s.same_shape(&wg)) {
                 Some(i) => i,
                 None => {
@@ -286,9 +309,10 @@ impl WindowPlan {
                 }
             };
             positions.push(Position {
-                lo,
+                lo: start,
                 hi,
                 commit_rel: if last { usize::MAX } else { stride },
+                overlap: lo - start,
                 shape,
                 node_start: wg.node_start,
                 node_count: wg.node_count(),
@@ -312,11 +336,18 @@ impl WindowPlan {
                     ShapeData {
                         paths: Some(paths),
                         capacities: None,
+                        sparse: None,
                     }
                 }
+                WindowBackend::SparseMwpm => ShapeData {
+                    paths: None,
+                    capacities: None,
+                    sparse: Some(Arc::new(SparseIndex::compute(shape.graph()))),
+                },
                 WindowBackend::UnionFind => ShapeData {
                     paths: None,
                     capacities: Some(Arc::new(UnionFindCapacities::compute(shape.graph()))),
+                    sparse: None,
                 },
             })
             .collect();
@@ -380,6 +411,9 @@ impl WindowPlan {
             if data.capacities.is_some() {
                 total += e * std::mem::size_of::<u32>();
             }
+            if let Some(sparse) = &data.sparse {
+                total += sparse.approx_bytes();
+            }
         }
         for pos in &self.positions {
             total += pos.edge_globals.len() * std::mem::size_of::<u32>();
@@ -400,6 +434,10 @@ impl WindowPlan {
                     WindowBackend::Mwpm => Box::new(MwpmBatchDecoder::with_paths(
                         shape.graph(),
                         Arc::clone(data.paths.as_ref().expect("mwpm shape has paths")),
+                    )),
+                    WindowBackend::SparseMwpm => Box::new(SparseMwpmDecoder::with_index(
+                        shape.graph(),
+                        Arc::clone(data.sparse.as_ref().expect("sparse shape has an index")),
                     )),
                     WindowBackend::UnionFind => Box::new(UnionFindBatchDecoder::with_capacities(
                         shape.graph(),
@@ -610,7 +648,7 @@ impl WindowedDecoder<'_> {
         let nanos = started.elapsed().as_nanos() as u64;
         self.nanos += nanos;
         let committed_rounds = if commit_rel == usize::MAX {
-            pos.hi - pos.lo + 1
+            pos.hi - pos.lo + 1 - pos.overlap
         } else {
             commit_rel
         };
@@ -750,28 +788,41 @@ mod tests {
         let g = graph(3, 11);
         for (window, stride) in [(4usize, 2usize), (5, 5), (3, 1), (12, 6), (30, 7)] {
             let plan = WindowPlan::new(&g, window, stride, WindowBackend::UnionFind);
+            let span = g.max_round() + 1;
             let positions = &plan.positions;
             assert_eq!(positions[0].lo, 0);
             assert_eq!(positions.last().unwrap().hi, g.max_round());
             assert_eq!(positions.last().unwrap().commit_rel, usize::MAX);
+            for pos in positions.iter() {
+                // Every position — the clamped final one included — keeps
+                // the full window width (the buffer guarantee).
+                assert_eq!(
+                    pos.hi - pos.lo + 1,
+                    window.min(span),
+                    "w={window} s={stride}"
+                );
+            }
             for pair in positions.windows(2) {
-                assert_eq!(pair[1].lo, pair[0].lo + stride);
+                // `overlap` absorbs the final clamp: the *fresh* region still
+                // starts exactly one stride after the previous window.
+                assert_eq!(pair[1].lo + pair[1].overlap, pair[0].lo + stride);
                 assert_eq!(pair[0].commit_rel, stride);
+                assert_eq!(pair[0].overlap, 0);
                 // The buffer region is exactly what the next window re-reads.
-                assert!(pair[1].lo <= pair[0].hi + 1);
+                assert!(pair[1].lo + pair[1].overlap <= pair[0].hi + 1);
             }
             // Committed rounds add up to the whole span.
             let committed: usize = positions
                 .iter()
                 .map(|p| {
                     if p.commit_rel == usize::MAX {
-                        p.hi - p.lo + 1
+                        p.hi - p.lo + 1 - p.overlap
                     } else {
                         p.commit_rel
                     }
                 })
                 .sum();
-            assert_eq!(committed, g.max_round() + 1, "w={window} s={stride}");
+            assert_eq!(committed, span, "w={window} s={stride}");
         }
     }
 

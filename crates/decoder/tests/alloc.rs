@@ -7,10 +7,11 @@
 //! without erasures, and are asserted at zero end to end. The MWPM blossom
 //! solver's *interior* (blossom formation) allocates per solve — a
 //! pre-existing property of the seed matcher that also occurs on
-//! erasure-free batches — so for MWPM the overlay machinery is audited in
-//! isolation (apply → effective_metrics → restore must be exactly zero) and
-//! the full pipeline is asserted to be stable (repeating an identical warm
-//! batch costs an identical allocation count: nothing accumulates or leaks).
+//! erasure-free batches — so for the two blossom backends (dense and sparse
+//! MWPM) the overlay machinery is audited in isolation (apply →
+//! effective_metrics → restore must be exactly zero) and the full pipeline
+//! is asserted to be stable (repeating an identical warm batch costs an
+//! identical allocation count: nothing accumulates or leaks).
 //!
 //! The test lives in its own integration-test binary so the counting global
 //! allocator sees no interference from concurrently running tests.
@@ -18,8 +19,8 @@
 use qec_core::circuit::DetectorBasis;
 use qec_core::{NoiseParams, Rng};
 use qec_decoder::{
-    build_dem, DecoderFactory, DecodingGraph, GreedyFactory, MwpmFactory, ShortestPaths, Syndrome,
-    UnionFindFactory, WeightOverlay,
+    build_dem, DecoderFactory, DecodingGraph, GreedyFactory, MwpmFactory, ShortestPaths,
+    SparseMwpmFactory, Syndrome, UnionFindFactory, WeightOverlay,
 };
 use std::alloc::{GlobalAlloc, Layout, System};
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -165,5 +166,26 @@ fn warm_decoding_with_erasures_is_allocation_free() {
     assert_eq!(
         first, second,
         "repeated warm MWPM erasure batches must cost identically"
+    );
+
+    // Phase 4: sparse MWPM, held to the same bar as dense MWPM: its
+    // discovery Dijkstras, candidate buffers, component scratch, and the
+    // per-erasure-shot boundary re-index are all epoch-stamped and reused,
+    // so only the shared blossom interior may allocate — and an identical
+    // warm batch must cost an identical count.
+    let factory = SparseMwpmFactory::new(&graph);
+    let mut decoder = factory.build();
+    let mut out = Vec::new();
+    decoder.decode_batch(&syndromes, &mut out);
+    decoder.decode_batch(&syndromes, &mut out);
+    let before = allocations();
+    decoder.decode_batch(&syndromes, &mut out);
+    let first = allocations() - before;
+    let before = allocations();
+    decoder.decode_batch(&syndromes, &mut out);
+    let second = allocations() - before;
+    assert_eq!(
+        first, second,
+        "repeated warm sparse-MWPM erasure batches must cost identically"
     );
 }

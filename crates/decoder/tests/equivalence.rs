@@ -1,7 +1,8 @@
 //! Equivalence + determinism suite for the stateful decoder API.
 //!
-//! For all three decoders (MWPM, union-find, greedy) and fixed seeds, these
-//! tests assert the chain of identities the redesign promises:
+//! For all four decoders (dense MWPM, sparse MWPM, union-find, greedy) and
+//! fixed seeds, these tests assert the chain of identities the redesign
+//! promises:
 //!
 //! `decode_batch` ≡ sequential `decode_syndrome`,
 //!
@@ -12,8 +13,8 @@
 use qec_core::circuit::DetectorBasis;
 use qec_core::{NoiseParams, Rng};
 use qec_decoder::{
-    build_dem, DecodeOutcome, DecoderFactory, DecodingGraph, DetectorErrorModel, GreedyFactory,
-    MwpmFactory, Syndrome, UnionFindFactory,
+    build_dem, scale_weight, DecodeOutcome, DecoderFactory, DecodingGraph, DetectorErrorModel,
+    GreedyFactory, MwpmFactory, SparseMwpmFactory, Syndrome, UnionFindFactory,
 };
 use std::sync::Arc;
 use surface_code::{MemoryExperiment, RotatedCode};
@@ -101,11 +102,80 @@ fn all_decoders_batch_and_sequential_agree() {
         let mwpm = MwpmFactory::new(&graph);
         check_equivalence(&mwpm, &syndromes);
 
+        let sparse = SparseMwpmFactory::new(&graph);
+        check_equivalence(&sparse, &syndromes);
+
         let uf = UnionFindFactory::new(&graph);
         check_equivalence(&uf, &syndromes);
 
         let greedy = GreedyFactory::with_paths(&graph, Arc::clone(mwpm.paths()));
         check_equivalence(&greedy, &syndromes);
+    }
+}
+
+/// The tentpole's acceptance bar: on random erasure-free multi-fault
+/// batches, the sparse blossom produces the **same optimal correction
+/// weight and the same observable flip** as the dense MWPM decoder —
+/// compared in the shared integer weight domain ([`scale_weight`]), where
+/// the equality is exact rather than within-epsilon.
+#[test]
+fn sparse_matches_dense_weight_and_flip_on_random_batches() {
+    for (d, rounds, seed) in [(3usize, 4usize, 11u64), (5, 4, 23), (7, 3, 31)] {
+        let (graph, dem) = setup(d, rounds);
+        let syndromes = random_syndromes(&graph, &dem, 150, seed);
+        let dense = MwpmFactory::new(&graph);
+        let sparse = SparseMwpmFactory::new(&graph);
+        let mut dense_dec = dense.build();
+        let mut sparse_dec = sparse.build();
+        for (i, syndrome) in syndromes.iter().enumerate() {
+            let a = dense_dec.decode_syndrome(syndrome);
+            let b = sparse_dec.decode_syndrome(syndrome);
+            assert_eq!(
+                scale_weight(a.weight),
+                scale_weight(b.weight),
+                "d={d} shot {i}: weight diverged (dense {} vs sparse {})",
+                a.weight,
+                b.weight
+            );
+            assert_eq!(a.flip, b.flip, "d={d} shot {i}: flip diverged");
+            assert_eq!(a.defects, b.defects);
+        }
+    }
+}
+
+/// Erasure parity: with the `WeightOverlay` engaged (erased edges → ~0
+/// weight), the sparse decoder's matched weight still equals dense MWPM's
+/// in the integer domain on every shot. The *flip* can legitimately differ
+/// on erasure shots — inside an erased cluster all pairings cost the same
+/// and the two backends break the tie differently — so flip equality is
+/// asserted only for erasure-free shots (where the paths are unique-cost).
+#[test]
+fn sparse_erasure_overlay_matches_dense_weight() {
+    for (d, rounds, seed) in [(3usize, 4usize, 51u64), (5, 4, 67)] {
+        let (graph, dem) = setup(d, rounds);
+        let mut syndromes = random_syndromes(&graph, &dem, 120, seed);
+        // Half the shots carry erasures; the rest interleave to exercise
+        // overlay apply/restore on warm scratch.
+        attach_random_erasures(&graph, &mut syndromes[..60], seed ^ 0xE5A5);
+        let dense = MwpmFactory::new(&graph);
+        let sparse = SparseMwpmFactory::new(&graph);
+        let mut dense_dec = dense.build();
+        let mut sparse_dec = sparse.build();
+        for (i, syndrome) in syndromes.iter().enumerate() {
+            let a = dense_dec.decode_syndrome(syndrome);
+            let b = sparse_dec.decode_syndrome(syndrome);
+            assert_eq!(
+                scale_weight(a.weight),
+                scale_weight(b.weight),
+                "d={d} shot {i} ({} erasures): weight diverged (dense {} vs sparse {})",
+                syndrome.erasures.len(),
+                a.weight,
+                b.weight
+            );
+            if syndrome.erasures.is_empty() {
+                assert_eq!(a.flip, b.flip, "d={d} shot {i}: erasure-free flip diverged");
+            }
+        }
     }
 }
 
@@ -125,6 +195,13 @@ fn factory_precomputation_is_shared_not_recomputed() {
     let _d = uf.build();
     let _e = uf.build();
     assert_eq!(Arc::strong_count(uf.capacities()), before + 2);
+
+    let sparse = SparseMwpmFactory::new(&graph);
+    let before = Arc::strong_count(sparse.index());
+    let _f = sparse.build();
+    let _g = sparse.build();
+    // The boundary index is shared, never recomputed per instance.
+    assert_eq!(Arc::strong_count(sparse.index()), before + 2);
 }
 
 #[test]
@@ -185,9 +262,10 @@ fn empty_erasure_set_is_bit_identical_to_plain_path() {
     attach_random_erasures(&graph, &mut erasure_warmup, 77);
 
     let mwpm = MwpmFactory::new(&graph);
+    let sparse = SparseMwpmFactory::new(&graph);
     let uf = UnionFindFactory::new(&graph);
     let greedy = GreedyFactory::with_paths(&graph, Arc::clone(mwpm.paths()));
-    let factories: [&dyn DecoderFactory; 3] = [&mwpm, &uf, &greedy];
+    let factories: [&dyn DecoderFactory; 4] = [&mwpm, &sparse, &uf, &greedy];
     for factory in factories {
         let mut reference = factory.build();
         let mut out_ref = Vec::new();
@@ -232,9 +310,10 @@ fn warm_overlay_scratch_is_deterministic_across_batches() {
     assert!(syndromes.iter().any(|s| !s.erasures.is_empty()));
 
     let mwpm = MwpmFactory::new(&graph);
+    let sparse = SparseMwpmFactory::new(&graph);
     let uf = UnionFindFactory::new(&graph);
     let greedy = GreedyFactory::with_paths(&graph, Arc::clone(mwpm.paths()));
-    let factories: [&dyn DecoderFactory; 3] = [&mwpm, &uf, &greedy];
+    let factories: [&dyn DecoderFactory; 4] = [&mwpm, &sparse, &uf, &greedy];
     for factory in factories {
         let mut decoder = factory.build();
         let mut first = Vec::new();

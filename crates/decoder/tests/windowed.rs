@@ -19,11 +19,14 @@ use qec_decoder::{
     build_dem, DecodingGraph, DetectorErrorModel, StreamingDecoder, SyndromeDecoder, WindowBackend,
     WindowPlan,
 };
-use qec_decoder::{GreedyBatchDecoder, MwpmBatchDecoder, Syndrome, UnionFindBatchDecoder};
+use qec_decoder::{
+    GreedyBatchDecoder, MwpmBatchDecoder, SparseMwpmDecoder, Syndrome, UnionFindBatchDecoder,
+};
 use surface_code::{MemoryExperiment, RotatedCode};
 
-const BACKENDS: [WindowBackend; 3] = [
+const BACKENDS: [WindowBackend; 4] = [
     WindowBackend::Mwpm,
+    WindowBackend::SparseMwpm,
     WindowBackend::UnionFind,
     WindowBackend::Greedy,
 ];
@@ -42,6 +45,7 @@ fn monolithic<'g>(
 ) -> Box<dyn SyndromeDecoder + 'g> {
     match backend {
         WindowBackend::Mwpm => Box::new(MwpmBatchDecoder::new(graph)),
+        WindowBackend::SparseMwpm => Box::new(SparseMwpmDecoder::new(graph)),
         WindowBackend::UnionFind => Box::new(UnionFindBatchDecoder::new(graph)),
         WindowBackend::Greedy => Box::new(GreedyBatchDecoder::new(graph)),
     }
@@ -150,8 +154,10 @@ fn sliding_windows_correct_every_single_fault() {
                 }
                 // Union-find and greedy are not distance-preserving on
                 // decomposed hyperedges even monolithically; hold the exact
-                // bar only where the monolithic decoder meets it.
-                if backend != WindowBackend::Mwpm && defects.len() > 2 {
+                // bar only where the monolithic decoder meets it (both
+                // blossom backends do).
+                let exact = matches!(backend, WindowBackend::Mwpm | WindowBackend::SparseMwpm);
+                if !exact && defects.len() > 2 {
                     continue;
                 }
                 let out = stream_shot(&mut windowed, &graph, &defects, &[]);
