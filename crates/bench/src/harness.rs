@@ -96,6 +96,14 @@ impl Harness {
             })
             .collect();
         let mut root = Value::object();
+        // Host parallelism matters to any baseline that measures a
+        // multi-threaded path (the fusion benches): a 1-core runner cannot
+        // show a parallel speedup, and assertions on the recorded numbers
+        // must know what machine produced them.
+        root.set(
+            "cores",
+            std::thread::available_parallelism().map_or(1, |n| n.get()),
+        );
         root.set("benches", Value::Array(benches));
         root.to_pretty()
     }
@@ -194,6 +202,8 @@ mod tests {
         // The document must round-trip through the shared parser with both
         // measurements intact and positive.
         let parsed = Value::parse(&json).unwrap();
+        let cores = parsed.get("cores").and_then(|c| c.as_u64()).unwrap();
+        assert!(cores >= 1, "host core count is recorded: {cores}");
         let benches = parsed.get("benches").and_then(|b| b.as_array()).unwrap();
         assert_eq!(benches.len(), 2);
         for (entry, name) in benches.iter().zip(["alpha", "beta"]) {

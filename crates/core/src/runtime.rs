@@ -51,9 +51,9 @@ use leak_sim::{BatchFrameSimulator, Discriminator, FrameSimulator, STRIPE_WIDTH}
 use qec_core::circuit::DetectorBasis;
 use qec_core::{DetectorInfo, MeasKey, NoiseParams, Op, OpCond, Rng};
 use qec_decoder::{
-    build_dem, DecodeOutcome, DecoderFactory, DecodingGraph, GreedyFactory, MwpmFactory,
-    ShortestPaths, SparseIndex, SparseMwpmFactory, StreamingDecoder, Syndrome, UnionFindCapacities,
-    UnionFindFactory, WindowBackend, WindowPlan, WindowedDecoder,
+    build_dem, DecodeOutcome, DecoderFactory, DecodingGraph, FusionDecoder, FusionPlan, FusionPool,
+    GreedyFactory, MwpmFactory, ShortestPaths, SparseIndex, SparseMwpmFactory, StreamingDecoder,
+    Syndrome, UnionFindCapacities, UnionFindFactory, WindowBackend, WindowPlan, WindowedDecoder,
 };
 use std::sync::Arc;
 use surface_code::{
@@ -249,6 +249,16 @@ pub struct RunConfig {
     /// `window_rounds − d` (clamped to ≥ 1), which keeps the re-decoded
     /// buffer at d rounds. Must not exceed `window_rounds`.
     pub window_stride: usize,
+    /// Intra-shot fusion decoding threads: each shot's window chain is
+    /// partitioned into this many leaf blocks, decoded concurrently, and
+    /// fused up a balanced merge tree — bit-identical to the sequential
+    /// windowed path at every count. 0 means the `ERASER_FUSION`
+    /// environment variable if set, else 1 (sequential). Values > 1 imply
+    /// windowed decoding: if no window is configured, `min(3d, rounds)`
+    /// with the default stride is derived. Per-worker fusion pools stack on
+    /// top of [`RunConfig::threads`], so pair `fusion_threads = T` with
+    /// `threads = cores / T` when measuring latency.
+    pub fusion_threads: usize,
     /// Feedback-controller override for adaptive policies: `Some` replaces
     /// the knobs embedded in `PolicyKind::Adaptive` for this run; `None`
     /// defers to the `ERASER_CONTROL` environment variable, then to the
@@ -275,6 +285,7 @@ impl Default for RunConfig {
             stripe_width: 0,
             window_rounds: 0,
             window_stride: 0,
+            fusion_threads: 0,
             controller: None,
             profile: LeakageProfile::Stationary,
         }
@@ -323,6 +334,12 @@ pub fn parse_threads_env(raw: &str) -> Result<Option<usize>, EnvOverrideError> {
 /// 64-lane stripe width at resolution time). Empty counts as unset.
 pub fn parse_stripe_env(raw: &str) -> Result<Option<usize>, EnvOverrideError> {
     parse_positive_env("ERASER_STRIPE", raw)
+}
+
+/// Parses an `ERASER_FUSION` value: a positive intra-shot fusion thread
+/// count (1 = sequential windowed decoding). Empty counts as unset.
+pub fn parse_fusion_env(raw: &str) -> Result<Option<usize>, EnvOverrideError> {
+    parse_positive_env("ERASER_FUSION", raw)
 }
 
 fn parse_positive_env(var: &'static str, raw: &str) -> Result<Option<usize>, EnvOverrideError> {
@@ -475,6 +492,25 @@ impl RunConfig {
         Ok(width.clamp(1, STRIPE_WIDTH))
     }
 
+    /// The intra-shot fusion thread count this configuration resolves to:
+    /// `fusion_threads` itself; else the `ERASER_FUSION` environment
+    /// variable (the CI test matrix's hook); else 1 — sequential windowed
+    /// decoding. Results are bit-identical for any resolution (the fusion
+    /// merge tree reconverges on the sequential carry chain), so this only
+    /// affects per-shot decode latency. A malformed override is an error,
+    /// never a silent default.
+    pub fn resolved_fusion(&self) -> Result<usize, EnvOverrideError> {
+        if self.fusion_threads != 0 {
+            return Ok(self.fusion_threads);
+        }
+        if let Ok(raw) = std::env::var("ERASER_FUSION") {
+            if let Some(n) = parse_fusion_env(&raw)? {
+                return Ok(n);
+            }
+        }
+        Ok(1)
+    }
+
     /// The controller configuration adaptive policies resolve to:
     /// `controller` itself when set; else the `ERASER_CONTROL` environment
     /// variable (a controller spec, e.g. `ewma:up=0.1,down=0.03`); else
@@ -498,6 +534,7 @@ impl RunConfig {
         self.resolved_window()?;
         self.resolved_decoder()?;
         self.resolved_stripe_width()?;
+        self.resolved_fusion()?;
         self.resolved_controller()?;
         Ok(())
     }
@@ -669,13 +706,23 @@ impl DecodeLatencyStats {
         self.total_nanos as f64 / self.total_rounds as f64
     }
 
-    /// The `q`-quantile (0..=1) of ns/round, to bucket resolution (the
-    /// geometric midpoint of the winning power-of-two bucket).
+    /// The `q`-quantile of ns/round, to bucket resolution (the geometric
+    /// midpoint of the winning power-of-two bucket).
+    ///
+    /// Total on every input: an empty histogram returns 0.0; `q` is clamped
+    /// into `[0, 1]` (`q ≤ 0` is the minimum bucket, `q ≥ 1` the maximum)
+    /// and a non-finite `q` is treated as 0 — never NaN out, never a
+    /// division, never a panic.
     pub fn quantile_ns_per_round(&self, q: f64) -> f64 {
         if self.count == 0 {
             return 0.0;
         }
-        let target = ((q.clamp(0.0, 1.0) * self.count as f64).ceil() as u64).max(1);
+        let q = if q.is_finite() {
+            q.clamp(0.0, 1.0)
+        } else {
+            0.0
+        };
+        let target = ((q * self.count as f64).ceil() as u64).clamp(1, self.count);
         let mut cumulative = 0;
         for (i, &b) in self.buckets.iter().enumerate() {
             cumulative += b;
@@ -851,6 +898,11 @@ enum ResolvedDecode {
     },
     /// Sliding-window streaming decoding.
     Windowed(Arc<WindowPlan>),
+    /// Sliding-window decoding with intra-shot fusion parallelism: the
+    /// window positions are partitioned into leaf blocks decoded
+    /// concurrently and merged up a fusion tree. Bit-identical to
+    /// `Windowed` over the wrapped plan.
+    Fused(Arc<FusionPlan>),
 }
 
 impl DecodeArtifacts {
@@ -859,9 +911,76 @@ impl DecodeArtifacts {
         self.resolved.is_some()
     }
 
-    /// Whether the run takes the sliding-window path.
+    /// Whether the run takes the sliding-window path (sequentially or
+    /// through the fusion decoder).
     pub fn windowed(&self) -> bool {
-        matches!(self.resolved, Some(ResolvedDecode::Windowed(_)))
+        matches!(
+            self.resolved,
+            Some(ResolvedDecode::Windowed(_) | ResolvedDecode::Fused(_))
+        )
+    }
+
+    /// Whether the run decodes each shot's window chain on an intra-shot
+    /// fusion pool.
+    pub fn fused(&self) -> bool {
+        matches!(self.resolved, Some(ResolvedDecode::Fused(_)))
+    }
+
+    /// The decoder name a run with these artifacts reports in
+    /// [`MemoryRunResult::decoder`]: the window backend on the streaming
+    /// paths (which an `ERASER_WINDOW` / `ERASER_FUSION` override can
+    /// resolve differently than the monolithic graph would), the resolved
+    /// monolithic kind otherwise, `"none"` when decoding is disabled.
+    pub fn decoder_name(&self) -> String {
+        match &self.resolved {
+            Some(ResolvedDecode::Windowed(plan)) => plan.backend().name().to_string(),
+            Some(ResolvedDecode::Fused(fplan)) => fplan.window_plan().backend().name().to_string(),
+            Some(ResolvedDecode::Monolithic { kind, .. }) => kind.to_string(),
+            None => "none".to_string(),
+        }
+    }
+}
+
+/// One shot's streaming decode engine: the sequential windowed chain, or
+/// the fusion decoder running the same chain's positions on an intra-shot
+/// worker pool. Built per runtime worker — fusion pools nest *inside* a
+/// shot-level worker thread and are never shared across workers.
+enum ShotStream<'p> {
+    Windowed(WindowedDecoder<'p>),
+    Fused(FusionDecoder<'p>),
+}
+
+impl ShotStream<'_> {
+    fn begin_shot(&mut self) {
+        match self {
+            ShotStream::Windowed(w) => w.begin_shot(),
+            ShotStream::Fused(f) => f.begin_shot(),
+        }
+    }
+
+    fn push_round(&mut self, defects: &[usize], erasures: &[usize]) {
+        match self {
+            ShotStream::Windowed(w) => w.push_round(defects, erasures),
+            ShotStream::Fused(f) => f.push_round(defects, erasures),
+        }
+    }
+
+    fn finish(&mut self) -> DecodeOutcome {
+        match self {
+            ShotStream::Windowed(w) => w.finish(),
+            ShotStream::Fused(f) => f.finish(),
+        }
+    }
+
+    /// Latency samples for the just-finished shot as `(nanos, rounds)`
+    /// pairs: one per window position on the sequential path, one per
+    /// *shot* (wall time of the whole fused decode) on the fusion path.
+    /// Both are ns-per-committed-round samples for [`DecodeLatencyStats`].
+    fn latencies(&self) -> &[(u64, u32)] {
+        match self {
+            ShotStream::Windowed(w) => w.window_latencies(),
+            ShotStream::Fused(f) => f.shot_latencies(),
+        }
     }
 }
 
@@ -1087,8 +1206,8 @@ impl MemoryRunner {
     /// either way, because every artifact is a deterministic function of
     /// the key.
     ///
-    /// Fails only on a malformed `ERASER_WINDOW` / `ERASER_DECODER`
-    /// override.
+    /// Fails only on a malformed `ERASER_WINDOW` / `ERASER_DECODER` /
+    /// `ERASER_FUSION` override.
     pub fn decode_artifacts(
         &self,
         config: &RunConfig,
@@ -1099,11 +1218,18 @@ impl MemoryRunner {
         }
         // Streaming vs monolithic decode path. A window of 0 (or beyond the
         // round count, where a single window would cover the whole shot)
-        // selects monolithic decoding.
-        let (window, stride_raw) = config.resolved_window()?;
+        // selects monolithic decoding — unless fusion is requested, which
+        // *requires* a window chain to partition: fusion_threads > 1 with
+        // no usable window derives the default geometry min(3d, rounds).
+        let (mut window, mut stride_raw) = config.resolved_window()?;
         let decoder = config.resolved_decoder()?;
+        let fusion = config.resolved_fusion()?;
+        let d = self.exp.code().distance();
+        if fusion > 1 && (window == 0 || window > self.exp.rounds()) {
+            window = (3 * d).min(self.exp.rounds());
+            stride_raw = 0;
+        }
         let resolved = if window > 0 && window <= self.exp.rounds() {
-            let d = self.exp.code().distance();
             let stride = if stride_raw == 0 {
                 window.saturating_sub(d).max(1)
             } else {
@@ -1125,7 +1251,27 @@ impl MemoryRunner {
                 ),
                 None => Arc::new(WindowPlan::new(&self.graph, window, stride, backend)),
             };
-            ResolvedDecode::Windowed(plan)
+            if fusion > 1 {
+                let fplan = match cache {
+                    Some(cache) => cache.get_or_build(
+                        &CacheKey {
+                            experiment: self.cache_key(),
+                            kind: ArtifactKind::FusionPlan {
+                                window,
+                                stride,
+                                backend,
+                                threads: fusion,
+                            },
+                        },
+                        FusionPlan::approx_bytes,
+                        || FusionPlan::new(Arc::clone(&plan), fusion),
+                    ),
+                    None => Arc::new(FusionPlan::new(Arc::clone(&plan), fusion)),
+                };
+                ResolvedDecode::Fused(fplan)
+            } else {
+                ResolvedDecode::Windowed(plan)
+            }
         } else {
             let kind = decoder.resolve(&self.graph);
             let (paths, capacities, sparse) = match kind {
@@ -1231,9 +1377,10 @@ impl MemoryRunner {
         artifacts: &DecodeArtifacts,
     ) -> MemoryRunResult {
         assert!(config.shots >= 1, "a run needs at least one shot");
-        let plan: Option<&WindowPlan> = match &artifacts.resolved {
-            Some(ResolvedDecode::Windowed(plan)) => Some(plan),
-            _ => None,
+        let (plan, fused): (Option<&WindowPlan>, Option<&FusionPlan>) = match &artifacts.resolved {
+            Some(ResolvedDecode::Windowed(plan)) => (Some(plan), None),
+            Some(ResolvedDecode::Fused(fplan)) => (Some(fplan.window_plan()), Some(fplan)),
+            _ => (None, None),
         };
         // The factory holds the expensive precomputation (APSP table, edge
         // capacities) — resolved once, possibly from a cache; worker
@@ -1306,6 +1453,7 @@ impl MemoryRunner {
                                 policy_factory,
                                 factory,
                                 plan,
+                                fused,
                                 config,
                             )
                         } else {
@@ -1316,6 +1464,7 @@ impl MemoryRunner {
                                 policy_factory,
                                 factory,
                                 plan,
+                                fused,
                                 config,
                             )
                         }
@@ -1395,6 +1544,7 @@ impl MemoryRunner {
     /// The scalar reference path (stripe width 1): one shot at a time on
     /// the scalar [`FrameSimulator`]. The striped path must stay
     /// bit-identical to this, shot for shot.
+    #[allow(clippy::too_many_arguments)]
     fn run_shots_scalar(
         &self,
         first_shot: u64,
@@ -1402,6 +1552,7 @@ impl MemoryRunner {
         policy_factory: &(dyn Fn(&RotatedCode) -> Box<dyn LrcPolicy> + Sync),
         factory: Option<&dyn DecoderFactory>,
         plan: Option<&WindowPlan>,
+        fused: Option<&FusionPlan>,
         config: &RunConfig,
     ) -> PartialStats {
         let code = self.exp.code();
@@ -1416,7 +1567,14 @@ impl MemoryRunner {
         // (monolithic) and `streaming` (sliding-window) is live on
         // decode-enabled runs.
         let mut decoder = factory.map(|f| f.build());
-        let mut streaming = plan.map(|p| p.streaming());
+        let mut streaming: Option<ShotStream> = match (fused, plan) {
+            (Some(f), _) => Some(ShotStream::Fused(FusionDecoder::new(
+                f,
+                Arc::new(FusionPool::new(f.threads())),
+            ))),
+            (None, Some(p)) => Some(ShotStream::Windowed(p.streaming())),
+            (None, None) => None,
+        };
         let erasure_active = config.erasure.enabled && (decoder.is_some() || streaming.is_some());
         let mut policy = policy_factory(code);
         let discriminator = if policy.uses_multilevel() {
@@ -1660,7 +1818,7 @@ impl MemoryRunner {
                 self.gather_round_defects(&sim, rounds, &mut round_defects);
                 stream.push_round(&round_defects, &[]);
                 let outcome = stream.finish();
-                for &(nanos, committed) in stream.window_latencies() {
+                for &(nanos, committed) in stream.latencies() {
                     stats.decode_latency.record(nanos, committed as usize);
                 }
                 erasure_log.sort_unstable();
@@ -1739,6 +1897,7 @@ impl MemoryRunner {
         policy_factory: &(dyn Fn(&RotatedCode) -> Box<dyn LrcPolicy> + Sync),
         factory: Option<&dyn DecoderFactory>,
         plan: Option<&WindowPlan>,
+        fused: Option<&FusionPlan>,
         config: &RunConfig,
     ) -> PartialStats {
         let code = self.exp.code();
@@ -1753,12 +1912,22 @@ impl MemoryRunner {
         };
 
         let mut decoder = factory.map(|f| f.build());
-        // One windowed decoder per lane: each lane is its own shot, so each
+        // One streaming decoder per lane: each lane is its own shot, so each
         // needs its own streaming state (the expensive tables stay shared
-        // through the plan).
-        let mut streams: Vec<WindowedDecoder> = match plan {
-            Some(p) => (0..width).map(|_| p.streaming()).collect(),
-            None => Vec::new(),
+        // through the plan). On the fusion path the lanes finish strictly one
+        // at a time, so a single intra-shot pool serves all of this worker's
+        // lanes.
+        let mut streams: Vec<ShotStream> = match (fused, plan) {
+            (Some(f), _) => {
+                let pool = Arc::new(FusionPool::new(f.threads()));
+                (0..width)
+                    .map(|_| ShotStream::Fused(FusionDecoder::new(f, Arc::clone(&pool))))
+                    .collect()
+            }
+            (None, Some(p)) => (0..width)
+                .map(|_| ShotStream::Windowed(p.streaming()))
+                .collect(),
+            (None, None) => Vec::new(),
         };
         let erasure_active = config.erasure.enabled && (decoder.is_some() || !streams.is_empty());
         let mut policy = StripedPolicy::new(policy_factory, code, width);
@@ -2052,7 +2221,7 @@ impl MemoryRunner {
                     let stream = &mut streams[lane];
                     stream.push_round(&lane_round_defects[lane], &[]);
                     let outcome = stream.finish();
-                    for &(nanos, committed) in stream.window_latencies() {
+                    for &(nanos, committed) in stream.latencies() {
                         stats.decode_latency.record(nanos, committed as usize);
                     }
                     let log = &mut lane_erasure_log[lane];
@@ -2346,7 +2515,7 @@ mod tests {
     /// silent default or a panic.
     #[test]
     fn env_override_parsing_is_strict() {
-        // (raw, expected) for the two positive-integer knobs.
+        // (raw, expected) for the positive-integer knobs.
         let int_cases: &[(&str, Result<Option<usize>, &str>)] = &[
             ("4", Ok(Some(4))),
             (" 8 ", Ok(Some(8))),
@@ -2363,6 +2532,7 @@ mod tests {
             for (var, result) in [
                 ("ERASER_THREADS", parse_threads_env(raw)),
                 ("ERASER_STRIPE", parse_stripe_env(raw)),
+                ("ERASER_FUSION", parse_fusion_env(raw)),
             ] {
                 match expected {
                     Ok(v) => assert_eq!(result.as_ref().ok(), Some(v), "{var}={raw:?}"),
@@ -2586,6 +2756,10 @@ mod tests {
             threads: 2,
             decoder: DecoderKind::Mwpm,
             window_rounds: window,
+            // Pinned sequential: the per-window latency-sample count below
+            // is the sequential path's contract (a CI-set `ERASER_FUSION`
+            // would otherwise flip this run to one sample per shot).
+            fusion_threads: 1,
             erasure: ErasureDetection::perfect_readout(),
             ..RunConfig::default()
         };
@@ -2660,6 +2834,92 @@ mod tests {
         }
     }
 
+    /// Intra-shot fusion is a pure wall-clock knob at the run level too:
+    /// every statistic of a fused run — logical errors included — matches
+    /// the sequential windowed run bit-for-bit at every thread count, on
+    /// both the scalar and striped paths, with erasures in play.
+    #[test]
+    fn fused_runs_match_sequential_windowed_bitwise() {
+        let runner = MemoryRunner::new(3, NoiseParams::standard(3e-3), 12);
+        let run_with = |fusion: usize, stripe: usize| {
+            let config = RunConfig {
+                shots: 120,
+                seed: 99,
+                threads: 2,
+                stripe_width: stripe,
+                decoder: DecoderKind::Mwpm,
+                window_rounds: 5,
+                window_stride: 2,
+                fusion_threads: fusion,
+                erasure: ErasureDetection::imperfect(0.01, 0.05),
+                ..RunConfig::default()
+            };
+            runner.run(&|c| Box::new(EraserPolicy::with_multilevel(c)), &config)
+        };
+        let sequential = run_with(1, 64);
+        assert!(sequential.total_erasures > 0, "erasures must be in play");
+        for (fusion, stripe) in [(2usize, 64usize), (2, 1), (3, 64), (8, 13)] {
+            let fused = run_with(fusion, stripe);
+            assert_eq!(
+                sequential.logical_errors, fused.logical_errors,
+                "{fusion} fusion threads, stripe {stripe}"
+            );
+            assert_eq!(sequential.lpr_total, fused.lpr_total);
+            assert_eq!(sequential.total_lrcs, fused.total_lrcs);
+            assert_eq!(sequential.total_erasures, fused.total_erasures);
+            assert_eq!(sequential.speculation, fused.speculation);
+            assert_eq!(sequential.postselection, fused.postselection);
+            assert_eq!(sequential.decoder, fused.decoder);
+            // The fused latency probe is one sample per *shot* (the number
+            // the real-time budget cares about), not one per window.
+            assert_eq!(fused.decode_latency.samples(), 120);
+            assert!(fused.decode_latency.p50_ns_per_round() > 0.0);
+        }
+    }
+
+    /// `fusion_threads > 1` with no window configured derives the
+    /// `min(3d, rounds)` default geometry instead of silently falling back
+    /// to monolithic decoding (which has no chain to partition).
+    #[test]
+    fn fusion_derives_a_window_when_none_is_configured() {
+        let runner = MemoryRunner::new(3, NoiseParams::standard(1e-3), 20);
+        let fused = RunConfig {
+            fusion_threads: 4,
+            ..cfg(10)
+        };
+        let artifacts = runner.decode_artifacts(&fused, None).unwrap();
+        assert!(artifacts.windowed() && artifacts.fused());
+        // Pinned sequential with no window stays monolithic (unless an
+        // external `ERASER_WINDOW` — e.g. a CI matrix leg — supplies one,
+        // which is a window config, not a fusion derivation).
+        let sequential = RunConfig {
+            fusion_threads: 1,
+            ..cfg(10)
+        };
+        let artifacts = runner.decode_artifacts(&sequential, None).unwrap();
+        assert!(!artifacts.fused());
+        if sequential.resolved_window().unwrap().0 == 0 {
+            assert!(!artifacts.windowed());
+        }
+        // An explicit window under fusion keeps its configured geometry.
+        let windowed = RunConfig {
+            fusion_threads: 4,
+            window_rounds: 6,
+            window_stride: 3,
+            ..cfg(10)
+        };
+        let artifacts = runner.decode_artifacts(&windowed, None).unwrap();
+        assert!(artifacts.windowed() && artifacts.fused());
+        // And a no-decode run resolves nothing regardless of fusion.
+        let no_decode = RunConfig {
+            decode: false,
+            fusion_threads: 4,
+            ..cfg(10)
+        };
+        let artifacts = runner.decode_artifacts(&no_decode, None).unwrap();
+        assert!(!artifacts.decodes() && !artifacts.fused());
+    }
+
     #[test]
     fn decode_latency_stats_quantiles_and_merge() {
         let mut stats = DecodeLatencyStats::default();
@@ -2681,6 +2941,49 @@ mod tests {
         assert_eq!(other.p50_ns_per_round(), 768.0);
         stats.merge(&other);
         assert_eq!(stats.samples(), 101);
+    }
+
+    /// The quantile is total on every input: empty histograms, boundary
+    /// and out-of-range `q`, non-finite `q`, and single-bucket histograms
+    /// all return a defined, finite value — never NaN, never a panic.
+    #[test]
+    fn decode_latency_quantile_edge_cases_are_total() {
+        // Empty histogram: 0.0 for every q, including the pathological ones.
+        let empty = DecodeLatencyStats::default();
+        for q in [0.0, 0.5, 1.0, -3.0, 7.0, f64::NAN, f64::INFINITY] {
+            assert_eq!(empty.quantile_ns_per_round(q), 0.0, "empty, q={q}");
+        }
+        assert_eq!(empty.mean_ns_per_round(), 0.0);
+
+        // Single-bucket histogram: every q lands in that bucket.
+        let mut single = DecodeLatencyStats::default();
+        for _ in 0..5 {
+            single.record(700, 1); // bucket [512, 1024) -> midpoint 768
+        }
+        for q in [0.0, 0.25, 0.5, 0.99, 1.0, -1.0, 2.0] {
+            assert_eq!(single.quantile_ns_per_round(q), 768.0, "single, q={q}");
+        }
+
+        // Two-bucket histogram: q=0 is the minimum bucket, q=1 the maximum,
+        // out-of-range q clamps to those, and non-finite q acts like 0.
+        let mut two = DecodeLatencyStats::default();
+        two.record(700, 1);
+        two.record(100_000, 1); // bucket [2^16, 2^17) -> midpoint 98304
+        assert_eq!(two.quantile_ns_per_round(0.0), 768.0);
+        assert_eq!(two.quantile_ns_per_round(-0.5), 768.0);
+        assert_eq!(two.quantile_ns_per_round(1.0), 98304.0);
+        assert_eq!(two.quantile_ns_per_round(1.5), 98304.0);
+        assert_eq!(two.quantile_ns_per_round(f64::NAN), 768.0);
+        assert_eq!(two.quantile_ns_per_round(f64::NEG_INFINITY), 768.0);
+        for q in [0.0, 0.5, 1.0] {
+            assert!(two.quantile_ns_per_round(q).is_finite());
+        }
+
+        // A zero-nanosecond sample (timer resolution floor) still buckets.
+        let mut floor = DecodeLatencyStats::default();
+        floor.record(0, 1);
+        assert_eq!(floor.samples(), 1);
+        assert!(floor.quantile_ns_per_round(0.5) > 0.0);
     }
 
     #[test]

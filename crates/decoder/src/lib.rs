@@ -44,6 +44,11 @@
 //!   precomputation is O(window²) per *shape* rather than O(R²), and the
 //!   [`StreamingDecoder`] / [`WindowedDecoder`] round-incremental interface
 //!   that gives all three decoders bounded-memory decoding at any R.
+//! * [`fusion`] — intra-shot parallel decoding over the window chain: a
+//!   [`FusionPlan`] partitions the positions into leaf blocks, a
+//!   [`FusionDecoder`] decodes them concurrently on a std-only
+//!   [`FusionPool`] and fuses carries up a balanced merge tree —
+//!   bit-identical to the sequential windowed path at every thread count.
 //!
 //! # Decoding millions of shots
 //!
@@ -79,6 +84,7 @@
 
 pub mod api;
 pub mod dem;
+pub mod fusion;
 pub mod graph;
 pub mod greedy;
 pub mod matching;
@@ -91,6 +97,7 @@ pub mod window;
 
 pub use api::{DecodeOutcome, DecoderFactory, Syndrome, SyndromeBuilder, SyndromeDecoder};
 pub use dem::{build_dem, DetectorErrorModel, ErrorMechanism};
+pub use fusion::{FusionDecoder, FusionPlan, FusionPool};
 pub use graph::{DecodingGraph, GraphEdge};
 pub use greedy::{GreedyBatchDecoder, GreedyFactory};
 pub use matching::{max_weight_matching, MatchingContext};

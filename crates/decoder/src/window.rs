@@ -329,8 +329,14 @@ impl WindowPlan {
                 WindowBackend::Mwpm | WindowBackend::Greedy => {
                     let paths = Arc::new(ShortestPaths::compute(shape.graph()));
                     let b = shape.graph().boundary();
+                    // Isolated nodes (no incident edges at all — e.g. every
+                    // node of a noiseless experiment's empty DEM) can never
+                    // host a defect, so only connected nodes must reach the
+                    // boundary for the window slicing to be sound.
                     debug_assert!(
-                        (0..shape.graph().num_nodes()).all(|v| paths.distance(v, b).is_finite()),
+                        (0..shape.graph().num_nodes()).all(|v| {
+                            shape.graph().incident(v).is_empty() || paths.distance(v, b).is_finite()
+                        }),
                         "window node cut off from the boundary"
                     );
                     ShapeData {
@@ -393,6 +399,12 @@ impl WindowPlan {
         self.max_round
     }
 
+    /// Last round (inclusive, absolute) covered by position `k`. Fusion's
+    /// replay machinery slices per-round defect/erasure buffers with this.
+    pub(crate) fn position_hi(&self, k: usize) -> usize {
+        self.positions[k].hi
+    }
+
     /// Approximate resident bytes of the plan's decode state: per-shape
     /// graphs and APSP/capacity tables plus per-position edge maps. The
     /// number the `longmem` figure reports against the monolithic APSP
@@ -401,15 +413,16 @@ impl WindowPlan {
     pub fn approx_decoder_bytes(&self) -> usize {
         let mut total = 0;
         for (shape, data) in self.shapes.iter().zip(&self.shape_data) {
-            let n = shape.node_count() + 1;
-            let e = shape.graph().edges().len();
             total += std::mem::size_of_val(shape.graph().edges());
             total += shape.node_count() * std::mem::size_of::<usize>() * 3;
-            if data.paths.is_some() {
-                total += n * n * (std::mem::size_of::<f64>() + std::mem::size_of::<bool>());
+            // Each backend's table prices itself, so the estimate cannot
+            // drift from the tables' real layouts (the sparse backend's
+            // estimate did exactly that when it was hand-expanded here).
+            if let Some(paths) = &data.paths {
+                total += paths.approx_bytes();
             }
-            if data.capacities.is_some() {
-                total += e * std::mem::size_of::<u32>();
+            if let Some(capacities) = &data.capacities {
+                total += capacities.approx_bytes();
             }
             if let Some(sparse) = &data.sparse {
                 total += sparse.approx_bytes();
@@ -425,11 +438,11 @@ impl WindowPlan {
     /// scratch and per-shape inner decoders are private to the instance, the
     /// expensive tables are shared through the plan).
     pub fn streaming(&self) -> WindowedDecoder<'_> {
-        let inner: Vec<Box<dyn SyndromeDecoder + '_>> = self
+        let inner: Vec<Box<dyn SyndromeDecoder + Send + '_>> = self
             .shapes
             .iter()
             .zip(&self.shape_data)
-            .map(|(shape, data)| -> Box<dyn SyndromeDecoder + '_> {
+            .map(|(shape, data)| -> Box<dyn SyndromeDecoder + Send + '_> {
                 match self.backend {
                     WindowBackend::Mwpm => Box::new(MwpmBatchDecoder::with_paths(
                         shape.graph(),
@@ -499,7 +512,7 @@ pub trait StreamingDecoder {
 /// defects into the next window. Built via [`WindowPlan::streaming`].
 pub struct WindowedDecoder<'p> {
     plan: &'p WindowPlan,
-    inner: Vec<Box<dyn SyndromeDecoder + 'p>>,
+    inner: Vec<Box<dyn SyndromeDecoder + Send + 'p>>,
     round_cursor: usize,
     next_position: usize,
     /// Live defect set, as sorted global node ids: not-yet-committed real
@@ -546,11 +559,21 @@ impl WindowedDecoder<'_> {
         self.par_val[v] = !self.par_val[v];
     }
 
-    fn decode_position(&mut self, k: usize) {
+    /// Decodes position `k` against the current live `defects` / `erasures`
+    /// state, leaving the carried defect set in `self.defects`, and returns
+    /// this position's `(observable flip, committed weight)` partials.
+    ///
+    /// Shared by the sequential driver ([`Self::decode_position`]) and the
+    /// fusion replay path ([`Self::replay_position`]): both fold the partials
+    /// in position order, which keeps the non-associative f64 weight
+    /// accumulation — and therefore the whole outcome — bit-identical
+    /// between the two paths.
+    fn decode_position_core(&mut self, k: usize) -> (bool, f64) {
         let pos = &self.plan.positions[k];
         let shape = &self.plan.shapes[pos.shape];
         let sgraph = shape.graph();
-        let started = Instant::now();
+        let mut flip = false;
+        let mut weight = 0.0f64;
 
         self.local.clear();
         self.local.rounds = pos.hi - pos.lo + 1;
@@ -604,8 +627,8 @@ impl WindowedDecoder<'_> {
             let committed = sgraph.node_round(e.a) < commit_rel
                 || (e.b != boundary && sgraph.node_round(e.b) < commit_rel);
             if committed {
-                self.flip ^= e.flips_observable;
-                self.weight += if self.local.erasures.binary_search(&ce).is_ok() {
+                flip ^= e.flips_observable;
+                weight += if self.local.erasures.binary_search(&ce).is_ok() {
                     crate::overlay::ERASED_WEIGHT
                 } else {
                     e.weight
@@ -635,6 +658,17 @@ impl WindowedDecoder<'_> {
         }
         self.touched = touched;
         self.defects.sort_unstable();
+        (flip, weight)
+    }
+
+    /// Sequential driver: decode position `k`, fold its partials into the
+    /// shot accumulators, retire erasures the remaining windows can never
+    /// see, and record the per-window latency sample.
+    fn decode_position(&mut self, k: usize) {
+        let started = Instant::now();
+        let (flip, weight) = self.decode_position_core(k);
+        self.flip ^= flip;
+        self.weight += weight;
 
         // Retire erasures that can no longer intersect a future window.
         match self.plan.positions.get(k + 1) {
@@ -647,12 +681,46 @@ impl WindowedDecoder<'_> {
 
         let nanos = started.elapsed().as_nanos() as u64;
         self.nanos += nanos;
-        let committed_rounds = if commit_rel == usize::MAX {
+        let pos = &self.plan.positions[k];
+        let committed_rounds = if pos.commit_rel == usize::MAX {
             pos.hi - pos.lo + 1 - pos.overlap
         } else {
-            commit_rel
+            pos.commit_rel
         };
         self.latencies.push((nanos, committed_rounds as u32));
+    }
+
+    /// Replays position `k` as a pure function of explicit inputs: the
+    /// defect set carried out of position `k − 1`, the fresh defects of
+    /// rounds `(hi_{k−1}, hi_k]` (sorted global node ids — carry ids always
+    /// precede fresh ids because node numbering is round-major), and the
+    /// erasure edges pushed through round `hi_k` (global indices, push
+    /// order, duplicates tolerated — translation sorts and dedups, and
+    /// indices outside the window simply don't map). Writes the carried-out
+    /// defect set to `carry_out` and returns the position's flip/weight
+    /// partials.
+    ///
+    /// This is the fusion primitive: feeding each position its sequential
+    /// inputs reproduces the sequential decode exactly (same per-shape
+    /// decoder behavior, same fold order), which is what makes the fused
+    /// path bit-identical once its speculative carries converge.
+    pub(crate) fn replay_position(
+        &mut self,
+        k: usize,
+        carry_in: &[usize],
+        fresh: &[usize],
+        erasures: &[usize],
+        carry_out: &mut Vec<usize>,
+    ) -> (bool, f64) {
+        self.defects.clear();
+        self.defects.extend_from_slice(carry_in);
+        self.defects.extend_from_slice(fresh);
+        self.erasures.clear();
+        self.erasures.extend_from_slice(erasures);
+        let partials = self.decode_position_core(k);
+        carry_out.clear();
+        carry_out.extend_from_slice(&self.defects);
+        partials
     }
 }
 
@@ -781,6 +849,62 @@ mod tests {
         // APSP (which would be ((4·41)+1)² ≈ 27k entries here — at R=1000 it
         // would be ~16M entries).
         assert!(plan.approx_decoder_bytes() < 4 << 20);
+    }
+
+    #[test]
+    fn approx_decoder_bytes_tracks_each_backends_tables() {
+        let g = graph(5, 30);
+        let (window, stride) = (10, 5);
+        let mut by_backend = std::collections::HashMap::new();
+        for backend in [
+            WindowBackend::Mwpm,
+            WindowBackend::SparseMwpm,
+            WindowBackend::UnionFind,
+            WindowBackend::Greedy,
+        ] {
+            let plan = WindowPlan::new(&g, window, stride, backend);
+            // The estimate must delegate to the populated tables' own
+            // `approx_bytes` — recompute it from the parts and demand
+            // equality, so a table layout change can't silently desync
+            // the cache pricing.
+            let mut expected = 0;
+            for (shape, data) in plan.shapes.iter().zip(&plan.shape_data) {
+                expected += std::mem::size_of_val(shape.graph().edges());
+                expected += shape.node_count() * std::mem::size_of::<usize>() * 3;
+                expected += data.paths.as_ref().map_or(0, |t| t.approx_bytes());
+                expected += data.capacities.as_ref().map_or(0, |t| t.approx_bytes());
+                expected += data.sparse.as_ref().map_or(0, |t| t.approx_bytes());
+                // Exactly one table per shape, matching the backend.
+                let tables = [
+                    data.paths.is_some(),
+                    data.capacities.is_some(),
+                    data.sparse.is_some(),
+                ];
+                assert_eq!(tables.iter().filter(|&&t| t).count(), 1, "{backend:?}");
+                let want = match backend {
+                    WindowBackend::Mwpm | WindowBackend::Greedy => [true, false, false],
+                    WindowBackend::UnionFind => [false, true, false],
+                    WindowBackend::SparseMwpm => [false, false, true],
+                };
+                assert_eq!(tables, want, "{backend:?}");
+            }
+            for pos in &plan.positions {
+                expected += pos.edge_globals.len() * std::mem::size_of::<u32>();
+            }
+            assert_eq!(plan.approx_decoder_bytes(), expected, "{backend:?}");
+            by_backend.insert(backend.name(), plan.approx_decoder_bytes());
+        }
+        // The sparse index is O(V) per shape vs the APSP's O(V²): the
+        // sparse-backed plan must be meaningfully smaller, which is the
+        // misreport the old hand-expanded estimate got wrong.
+        assert!(
+            by_backend["sparse-mwpm"] * 2 < by_backend["mwpm"],
+            "sparse {} vs mwpm {}",
+            by_backend["sparse-mwpm"],
+            by_backend["mwpm"]
+        );
+        assert!(by_backend["union-find"] < by_backend["mwpm"]);
+        assert_eq!(by_backend["greedy"], by_backend["mwpm"]);
     }
 
     #[test]

@@ -25,6 +25,7 @@
 //!   memx       memory-X vs memory-Z symmetry check (extension)
 //!   erasure    ERASER+M ± erasure-aware decoding across (d, p) (extension)
 //!   longmem    windowed vs monolithic decoding at R in {d,10d,100d} (extension)
+//!   latency    per-shot decode latency vs fusion_threads, all backends (extension)
 //!   adaptive   feedback-controlled LRC density vs static policies (extension)
 //!   all        run everything
 //!
@@ -89,12 +90,13 @@ fn dispatch(command: &str, opts: &Opts) -> Result<(), String> {
         "memx" => figures::memx(opts),
         "erasure" => figures::erasure(opts),
         "longmem" => figures::longmem(opts),
+        "latency" => figures::latency(opts),
         "adaptive" => figures::adaptive(opts),
         "all" => {
             for cmd in [
                 "analytic", "table2", "fig8", "table3", "fig1c", "fig2c", "fig5", "fig6", "fig14",
                 "fig15", "fig16", "table4", "fig17", "fig18", "fig20", "fig21", "ablation",
-                "erasure", "longmem", "adaptive",
+                "erasure", "longmem", "latency", "adaptive",
             ] {
                 dispatch(cmd, opts)?;
             }

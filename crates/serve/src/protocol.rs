@@ -189,6 +189,10 @@ pub struct JobSpec {
     pub window: usize,
     /// Sliding-window stride; 0 derives `window − d` (default 0).
     pub stride: usize,
+    /// Intra-shot fusion threads; 0 resolves `ERASER_FUSION`, else
+    /// sequential windowed decoding (default 0). Values > 1 decode each
+    /// shot's window chain in parallel, bit-identically.
+    pub fusion: usize,
     /// Controller spec for adaptive policies, e.g. `"ewma:up=0.2"` or
     /// `"budget:quota=40"`; empty = each adaptive policy's embedded
     /// defaults (default empty; see
@@ -218,6 +222,7 @@ impl Default for JobSpec {
             erasure_fn: 0.0,
             window: 0,
             stride: 0,
+            fusion: 0,
             control: String::new(),
             profile: String::new(),
         }
@@ -258,6 +263,7 @@ impl JobSpec {
         v.set("erasure_fn", self.erasure_fn);
         v.set("window", self.window);
         v.set("stride", self.stride);
+        v.set("fusion", self.fusion);
         v.set("control", self.control.as_str());
         v.set("profile", self.profile.as_str());
         v
@@ -316,6 +322,7 @@ impl JobSpec {
         read_f64(v, "erasure_fn", &mut spec.erasure_fn)?;
         read_usize(v, "window", &mut spec.window)?;
         read_usize(v, "stride", &mut spec.stride)?;
+        read_usize(v, "fusion", &mut spec.fusion)?;
         read_string(v, "control", &mut spec.control)?;
         read_string(v, "profile", &mut spec.profile)?;
         Ok(spec)
@@ -357,7 +364,8 @@ impl JobSpec {
             .leakage_aware_decoding(self.leakage_aware)
             .erasure_detection(self.erasure_fp, self.erasure_fn)
             .window_rounds(self.window)
-            .window_stride(self.stride);
+            .window_stride(self.stride)
+            .fusion_threads(self.fusion);
         if !self.control.trim().is_empty() {
             let config = ControllerConfig::parse_spec(self.control.trim())
                 .map_err(|reason| format!("invalid control spec: {reason}"))?;
@@ -419,6 +427,9 @@ mod tests {
             distances: vec![3, 5, 7],
             seed: u64::MAX - 1,
             policies: vec!["no-lrc".into(), "eraser".into()],
+            window: 9,
+            stride: 4,
+            fusion: 2,
             ..JobSpec::default()
         };
         let mut wire = Vec::new();
