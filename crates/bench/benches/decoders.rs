@@ -13,7 +13,7 @@ use qec_core::NoiseParams;
 use qec_decoder::{
     build_dem, max_weight_matching, DecoderFactory, DecodingGraph, FusionDecoder, FusionPlan,
     FusionPool, MwpmBatchDecoder, MwpmFactory, ShortestPaths, StreamingDecoder, Syndrome,
-    SyndromeDecoder, WindowBackend, WindowPlan,
+    SyndromeDecoder, TieredDecoder, WindowBackend, WindowPlan,
 };
 use std::hint::black_box;
 use surface_code::{MemoryExperiment, RotatedCode};
@@ -79,6 +79,62 @@ fn main() {
                     outcomes.iter().filter(|o| o.flip).count()
                 },
             );
+        }
+
+        // The tier ladder in front of the same dense backend on the same
+        // batch: every fixture shot carries 6 faults, so nearly all of
+        // them fall through to tier 2 — this entry documents the guard's
+        // overhead on dense work (budget: ≤15%, asserted by
+        // `crates/bench/tests/baselines.rs`). The sparse batch below
+        // documents the win.
+        {
+            let factory = DecoderKind::Mwpm.build_factory(&fixture.graph);
+            let mut decoder = TieredDecoder::new(factory.build());
+            let mut outcomes = Vec::new();
+            h.bench("decode_batch_32/d5_r10/tiered-mwpm", || {
+                decoder.decode_batch(black_box(&syndromes), &mut outcomes);
+                outcomes.iter().filter(|o| o.flip).count()
+            });
+        }
+
+        // The paper's operating-point shot statistics (p ≈ 1e-3, d=5,
+        // R=10): most shots carry 0–2 faults, the tier-0/1 regime. The
+        // mwpm/tiered-mwpm gap on this batch is the predecoder's win where
+        // it is designed to fire; `baselines.rs` asserts the speedup.
+        let mut rng = qec_core::Rng::new(0x1E3);
+        let sparse_syndromes: Vec<Syndrome> = (0..32)
+            .map(|i| {
+                let faults = [0usize, 1, 1, 2][i % 4];
+                let mut events = vec![false; fixture.graph.num_nodes()];
+                for _ in 0..faults {
+                    let mech = &fixture.dem.mechanisms
+                        [rng.below(fixture.dem.mechanisms.len() as u64) as usize];
+                    for &det in &mech.detectors {
+                        if let Some(node) = fixture.graph.node_of_detector(det) {
+                            events[node] ^= true;
+                        }
+                    }
+                }
+                Syndrome::new(
+                    (0..fixture.graph.num_nodes())
+                        .filter(|&n| events[n])
+                        .collect(),
+                )
+            })
+            .collect();
+        for tiered in [false, true] {
+            let factory = DecoderKind::Mwpm.build_factory(&fixture.graph);
+            let mut decoder: Box<dyn SyndromeDecoder> = if tiered {
+                Box::new(TieredDecoder::new(factory.build()))
+            } else {
+                factory.build()
+            };
+            let name = if tiered { "tiered-mwpm" } else { "mwpm" };
+            let mut outcomes = Vec::new();
+            h.bench(&format!("decode_batch_32_sparse/d5_r10/{name}"), || {
+                decoder.decode_batch(black_box(&sparse_syndromes), &mut outcomes);
+                outcomes.iter().filter(|o| o.flip).count()
+            });
         }
 
         // The same 32-shot batch through the erasure `WeightOverlay`: a
@@ -209,12 +265,28 @@ fn main() {
 
         let plan = std::sync::Arc::new(WindowPlan::new(&graph, 21, 14, WindowBackend::Mwpm));
         let mut windowed = plan.streaming();
+        windowed.set_predecode(false);
         h.bench("decode_window_shot/d7_r110/windowed_mwpm", || {
             windowed.begin_shot();
             for round in black_box(&by_round) {
                 windowed.push_round(round, &[]);
             }
             windowed.finish().flip
+        });
+
+        // The same windowed chain with the tier ladder enabled (the
+        // default). This shot is dense (~3 faults per round), so nearly
+        // every window position falls through to tier 2: the gap versus
+        // `windowed_mwpm` above is the predecoder's worst-case guard
+        // overhead on the streaming path, not its win (see
+        // `decode_batch_32_sparse` and `results/predecode.csv` for that).
+        let mut windowed_tiered = plan.streaming();
+        h.bench("decode_window_shot/d7_r110/windowed_tiered_mwpm", || {
+            windowed_tiered.begin_shot();
+            for round in black_box(&by_round) {
+                windowed_tiered.push_round(round, &[]);
+            }
+            windowed_tiered.finish().flip
         });
 
         // Intra-shot fusion over the same window chain: the sequential

@@ -198,6 +198,54 @@ fn bench_decoders_baseline_records_the_sparse_blossom_speedup() {
 }
 
 #[test]
+fn bench_decoders_baseline_records_the_tiered_predecode_tradeoff() {
+    let entries = parse_baseline("BENCH_decoders.json");
+    let find = |name: &str| {
+        entries
+            .iter()
+            .find(|(n, _)| n == name)
+            .unwrap_or_else(|| panic!("BENCH_decoders.json must record `{name}`"))
+            .1
+    };
+
+    // On the sparse batch (the paper's p ≈ 1e-3 operating point: 0–2 faults
+    // per shot, the tier-0/1 regime) the committed baseline must document
+    // the predecoder's win: the closed-form tier-1 match replaces a full
+    // blossom solve on most shots. Measured ~1.9× on the reference host;
+    // assert a conservative ≥1.3×.
+    let sparse_full = find("decode_batch_32_sparse/d5_r10/mwpm");
+    let sparse_tiered = find("decode_batch_32_sparse/d5_r10/tiered-mwpm");
+    assert!(
+        sparse_full / sparse_tiered >= 1.3,
+        "committed baseline shows {:.2}× (full {sparse_full} ns vs tiered {sparse_tiered} ns)",
+        sparse_full / sparse_tiered
+    );
+
+    // On the dense batch (6 faults per shot, nearly all tier-2) the ladder
+    // is pure guard overhead; it must stay within 15% of the bare backend
+    // so `ERASER_PREDECODE=on` is safe to leave as the default.
+    let dense_full = find("decode_batch_32/d5_r10/mwpm");
+    let dense_tiered = find("decode_batch_32/d5_r10/tiered-mwpm");
+    assert!(
+        dense_tiered / dense_full <= 1.15,
+        "committed baseline shows {:.1}% tier-guard overhead on dense work \
+         (full {dense_full} ns vs tiered {dense_tiered} ns)",
+        (dense_tiered / dense_full - 1.0) * 100.0
+    );
+
+    // Same bound on the streaming path: the dense d=7 long-memory shot
+    // falls through to tier 2 at nearly every window position.
+    let win_full = find("decode_window_shot/d7_r110/windowed_mwpm");
+    let win_tiered = find("decode_window_shot/d7_r110/windowed_tiered_mwpm");
+    assert!(
+        win_tiered / win_full <= 1.15,
+        "committed baseline shows {:.1}% tier-guard overhead on the windowed path \
+         (full {win_full} ns vs tiered {win_tiered} ns)",
+        (win_tiered / win_full - 1.0) * 100.0
+    );
+}
+
+#[test]
 fn bench_serve_baseline_records_the_artifact_cache_win() {
     // `eraser-serve loadgen --json` writes this one (see crates/serve); the
     // shape differs from the harness files, so it gets its own validator.

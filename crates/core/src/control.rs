@@ -585,18 +585,7 @@ fn parse_f64(value: &str) -> Result<f64, &'static str> {
 /// Strict `ERASER_CONTROL` parser: empty/whitespace means unset, anything
 /// else must be a valid controller spec.
 pub fn parse_control_env(raw: &str) -> Result<Option<ControllerConfig>, EnvOverrideError> {
-    let trimmed = raw.trim();
-    if trimmed.is_empty() {
-        return Ok(None);
-    }
-    match ControllerConfig::parse_spec(trimmed) {
-        Ok(config) => Ok(Some(config)),
-        Err(reason) => Err(EnvOverrideError {
-            var: "ERASER_CONTROL",
-            value: raw.to_string(),
-            reason,
-        }),
-    }
+    crate::runtime::parse_env_override("ERASER_CONTROL", raw, ControllerConfig::parse_spec)
 }
 
 // ---------------------------------------------------------------------------

@@ -653,6 +653,7 @@ pub struct ExperimentBuilder {
     fusion_threads: usize,
     controller: Option<ControllerConfig>,
     profile: LeakageProfile,
+    predecode: Option<bool>,
 }
 
 impl Default for ExperimentBuilder {
@@ -677,6 +678,7 @@ impl Default for ExperimentBuilder {
             fusion_threads: config.fusion_threads,
             controller: config.controller,
             profile: config.profile,
+            predecode: config.predecode,
         }
     }
 }
@@ -834,6 +836,15 @@ impl ExperimentBuilder {
         self
     }
 
+    /// Tiered sparse-syndrome fast path in front of every decode (tier 0
+    /// skips empty syndromes/windows, tier 1 resolves 1–2 defects in
+    /// closed form) — bit-identical either way. An explicit setting beats
+    /// the `ERASER_PREDECODE` environment hook; unset defaults to on.
+    pub fn predecode(mut self, on: bool) -> Self {
+        self.predecode = Some(on);
+        self
+    }
+
     fn validated(&self) -> Result<(usize, usize), ExperimentError> {
         let d = self.distance.ok_or(ExperimentError::MissingDistance)?;
         validate_distance(d)?;
@@ -866,6 +877,7 @@ impl ExperimentBuilder {
             fusion_threads: self.fusion_threads,
             controller: self.controller,
             profile: self.profile,
+            predecode: self.predecode,
         };
         config.validate_env()?;
         let runner = MemoryRunner::new_with_basis(d, self.noise, rounds, self.basis);
@@ -960,6 +972,7 @@ pub struct Sweep {
     fusion_threads: usize,
     controller: Option<ControllerConfig>,
     profile: LeakageProfile,
+    predecode: Option<bool>,
 }
 
 impl Sweep {
@@ -1028,6 +1041,7 @@ impl Sweep {
             fusion_threads: self.fusion_threads,
             controller: self.controller,
             profile: self.profile,
+            predecode: self.predecode,
         };
         // The builder validated the environment, but it can have changed
         // since; the panic here is the documented low-level behaviour.
@@ -1103,6 +1117,7 @@ pub struct SweepBuilder {
     fusion_threads: usize,
     controller: Option<ControllerConfig>,
     profile: LeakageProfile,
+    predecode: Option<bool>,
 }
 
 impl Default for SweepBuilder {
@@ -1128,6 +1143,7 @@ impl Default for SweepBuilder {
             fusion_threads: config.fusion_threads,
             controller: config.controller,
             profile: config.profile,
+            predecode: config.predecode,
         }
     }
 }
@@ -1281,6 +1297,14 @@ impl SweepBuilder {
         self
     }
 
+    /// Tiered predecoder on every grid point (bit-identical either way;
+    /// beats the `ERASER_PREDECODE` environment hook, unset defaults to
+    /// on — as on [`ExperimentBuilder::predecode`]).
+    pub fn predecode(mut self, on: bool) -> Self {
+        self.predecode = Some(on);
+        self
+    }
+
     /// Validates the grid and run parameters.
     pub fn build(self) -> Result<Sweep, ExperimentError> {
         if self.distances.is_empty() {
@@ -1339,6 +1363,7 @@ impl SweepBuilder {
             fusion_threads: self.fusion_threads,
             controller: self.controller,
             profile: self.profile,
+            predecode: self.predecode,
         })
     }
 }
@@ -1448,8 +1473,10 @@ mod tests {
             .window_stride(2)
             // Pinned sequential: the per-window sample count asserted below
             // is a property of the sequential chain (a CI-set ERASER_FUSION
-            // would switch to one per-shot sample).
+            // would switch to one per-shot sample), and pinned tier-free:
+            // the tier-0 skip elides empty windows' latency samples.
             .fusion_threads(1)
+            .predecode(false)
             .build()
             .unwrap();
         assert_eq!(exp.config().window_rounds, 4);
@@ -1458,6 +1485,31 @@ mod tests {
         // Rounds 0..=9 are ten detector rounds: windows start at 0, 2, 4, 6
         // (the final [6, 9] commits the rest) → 4 windows per shot.
         assert_eq!(windowed.decode_latency.samples(), 40 * 4);
+        assert!(!windowed.predecode.is_active(), "predecoder pinned off");
+
+        // With the predecoder on (pinned, so a CI-set ERASER_PREDECODE=off
+        // cannot flip the default) the physics and outcome are identical;
+        // empty windows resolve at tier 0 without a sample, and every
+        // window lands in exactly one tier.
+        let tiered = base()
+            .shots(40)
+            .rounds(9)
+            .noise(NoiseParams::standard(3e-3))
+            .policy(PolicyKind::eraser())
+            .window_rounds(4)
+            .window_stride(2)
+            .fusion_threads(1)
+            .predecode(true)
+            .build()
+            .unwrap()
+            .run();
+        assert_eq!(tiered.logical_errors, windowed.logical_errors);
+        assert_eq!(tiered.total_lrcs, windowed.total_lrcs);
+        assert_eq!(tiered.predecode.total(), 40 * 4);
+        assert_eq!(
+            tiered.decode_latency.samples() + tiered.predecode.hits[0],
+            40 * 4
+        );
         // Same physics as the monolithic run of the same seed.
         let mono = base()
             .shots(40)
@@ -1470,7 +1522,8 @@ mod tests {
         assert_eq!(mono.total_lrcs, windowed.total_lrcs);
         assert_eq!(mono.speculation, windowed.speculation);
 
-        // Sweep builder carries the same knobs.
+        // Sweep builder carries the same knobs (predecode pinned off so the
+        // per-window sample floor holds; on, tier 0 absorbs empty windows).
         let sweep = Sweep::builder()
             .distances([3])
             .error_rates([1e-3])
@@ -1480,11 +1533,13 @@ mod tests {
             .window_rounds(4)
             .window_stride(4)
             .fusion_threads(1)
+            .predecode(false)
             .build()
             .unwrap();
         let points = sweep.run();
         assert_eq!(points.len(), 1);
         assert!(points[0].result.decode_latency.samples() >= 8 * 2);
+        assert!(!points[0].result.predecode.is_active());
         assert!(Sweep::builder()
             .distances([3])
             .error_rates([1e-3])

@@ -89,6 +89,7 @@ pub use policy::{
     AlwaysLrcPolicy, EraserOptions, EraserPolicy, LeakageDetections, LrcPolicy, NoLrcPolicy,
     OptimalPolicy, RoundContext, StripeRoundContext, StripedPolicy,
 };
+pub use qec_decoder::TierCounters;
 pub use resource::{FpgaPart, ResourceEstimate};
 pub use runtime::{
     DecodeLatencyStats, DecoderKind, EnvOverrideError, ErasureDetection, LrcProtocol,

@@ -53,7 +53,8 @@ use qec_core::{DetectorInfo, MeasKey, NoiseParams, Op, OpCond, Rng};
 use qec_decoder::{
     build_dem, DecodeOutcome, DecoderFactory, DecodingGraph, FusionDecoder, FusionPlan, FusionPool,
     GreedyFactory, MwpmFactory, ShortestPaths, SparseIndex, SparseMwpmFactory, StreamingDecoder,
-    Syndrome, UnionFindCapacities, UnionFindFactory, WindowBackend, WindowPlan, WindowedDecoder,
+    Syndrome, SyndromeDecoder, TierCounters, TieredDecoder, UnionFindCapacities, UnionFindFactory,
+    WindowBackend, WindowPlan, WindowedDecoder,
 };
 use std::sync::Arc;
 use surface_code::{
@@ -270,6 +271,12 @@ pub struct RunConfig {
     /// scalar and striped paths. [`LeakageProfile::Stationary`] (the
     /// default) injects nothing.
     pub profile: LeakageProfile,
+    /// Tiered sparse-syndrome fast path in front of every decode (tier 0
+    /// skips empty syndromes/windows, tier 1 resolves 1–2 defects in
+    /// closed form, tier 2 is the configured backend — bit-identical
+    /// either way). `Some` forces it; `None` defers to the
+    /// `ERASER_PREDECODE` environment variable (`on`/`off`), then to on.
+    pub predecode: Option<bool>,
 }
 
 impl Default for RunConfig {
@@ -288,6 +295,7 @@ impl Default for RunConfig {
             fusion_threads: 0,
             controller: None,
             profile: LeakageProfile::Stationary,
+            predecode: None,
         }
     }
 }
@@ -323,42 +331,54 @@ impl std::fmt::Display for EnvOverrideError {
 
 impl std::error::Error for EnvOverrideError {}
 
+/// The shared envelope of every strict `ERASER_*` parser: trim the raw
+/// value, treat empty/whitespace as unset (CI matrix legs pass `""` to
+/// mean "no override"), and wrap any value-level rejection in an
+/// [`EnvOverrideError`] naming the variable. Each override supplies only
+/// its value grammar; the unset/error plumbing can't drift between knobs.
+pub(crate) fn parse_env_override<T>(
+    var: &'static str,
+    raw: &str,
+    parse: impl FnOnce(&str) -> Result<T, &'static str>,
+) -> Result<Option<T>, EnvOverrideError> {
+    let trimmed = raw.trim();
+    if trimmed.is_empty() {
+        return Ok(None);
+    }
+    match parse(trimmed) {
+        Ok(value) => Ok(Some(value)),
+        Err(reason) => Err(EnvOverrideError {
+            var,
+            value: raw.to_string(),
+            reason,
+        }),
+    }
+}
+
 /// Parses an `ERASER_THREADS` value: a positive integer. An empty (or
 /// all-whitespace) value counts as unset — CI matrix legs pass `""` to
 /// mean "no override".
 pub fn parse_threads_env(raw: &str) -> Result<Option<usize>, EnvOverrideError> {
-    parse_positive_env("ERASER_THREADS", raw)
+    parse_env_override("ERASER_THREADS", raw, parse_positive)
 }
 
 /// Parses an `ERASER_STRIPE` value: a positive integer (clamped to the
 /// 64-lane stripe width at resolution time). Empty counts as unset.
 pub fn parse_stripe_env(raw: &str) -> Result<Option<usize>, EnvOverrideError> {
-    parse_positive_env("ERASER_STRIPE", raw)
+    parse_env_override("ERASER_STRIPE", raw, parse_positive)
 }
 
 /// Parses an `ERASER_FUSION` value: a positive intra-shot fusion thread
 /// count (1 = sequential windowed decoding). Empty counts as unset.
 pub fn parse_fusion_env(raw: &str) -> Result<Option<usize>, EnvOverrideError> {
-    parse_positive_env("ERASER_FUSION", raw)
+    parse_env_override("ERASER_FUSION", raw, parse_positive)
 }
 
-fn parse_positive_env(var: &'static str, raw: &str) -> Result<Option<usize>, EnvOverrideError> {
-    let trimmed = raw.trim();
-    if trimmed.is_empty() {
-        return Ok(None);
-    }
-    match trimmed.parse::<usize>() {
-        Ok(0) => Err(EnvOverrideError {
-            var,
-            value: raw.to_string(),
-            reason: "must be a positive integer",
-        }),
-        Ok(n) => Ok(Some(n)),
-        Err(_) => Err(EnvOverrideError {
-            var,
-            value: raw.to_string(),
-            reason: "not an integer",
-        }),
+fn parse_positive(value: &str) -> Result<usize, &'static str> {
+    match value.parse::<usize>() {
+        Ok(0) => Err("must be a positive integer"),
+        Ok(n) => Ok(n),
+        Err(_) => Err("not an integer"),
     }
 }
 
@@ -367,48 +387,45 @@ fn parse_positive_env(var: &'static str, raw: &str) -> Result<Option<usize>, Env
 /// [`DecoderKind`]'s `FromStr`). Empty counts as unset — CI matrix legs
 /// pass `""` to mean "no override".
 pub fn parse_decoder_env(raw: &str) -> Result<Option<DecoderKind>, EnvOverrideError> {
-    let trimmed = raw.trim();
-    if trimmed.is_empty() {
-        return Ok(None);
-    }
-    trimmed
-        .parse::<DecoderKind>()
-        .map(Some)
-        .map_err(|_| EnvOverrideError {
-            var: "ERASER_DECODER",
-            value: raw.to_string(),
-            reason: "unknown decoder (expected auto, mwpm, sparse-mwpm, union-find, or greedy)",
+    parse_env_override("ERASER_DECODER", raw, |value| {
+        value.parse::<DecoderKind>().map_err(|_| {
+            "unknown decoder (expected auto, mwpm, sparse-mwpm, union-find, or greedy)"
         })
+    })
 }
 
 /// Parses an `ERASER_WINDOW` specification: `"15"` (window only, stride
 /// defaulted at run time against the code distance) or `"15:10"`
 /// (window:stride, stride ≤ window). Empty counts as unset.
 pub fn parse_window_env(raw: &str) -> Result<Option<(usize, usize)>, EnvOverrideError> {
-    let err = |reason: &'static str| EnvOverrideError {
-        var: "ERASER_WINDOW",
-        value: raw.to_string(),
-        reason,
-    };
-    let trimmed = raw.trim();
-    if trimmed.is_empty() {
-        return Ok(None);
-    }
-    let mut it = trimmed.splitn(2, ':');
-    let window = match it.next().unwrap_or("").trim().parse::<usize>() {
-        Ok(0) => return Err(err("window must be a positive round count")),
-        Ok(w) => w,
-        Err(_) => return Err(err("expected \"W\" or \"W:S\" with integer rounds")),
-    };
-    let stride = match it.next() {
-        Some(s) => match s.trim().parse::<usize>() {
-            Ok(x) if x <= window => x,
-            Ok(_) => return Err(err("stride exceeds the window")),
-            Err(_) => return Err(err("expected \"W\" or \"W:S\" with integer rounds")),
-        },
-        None => 0,
-    };
-    Ok(Some((window, stride)))
+    parse_env_override("ERASER_WINDOW", raw, |value| {
+        let mut it = value.splitn(2, ':');
+        let window = match it.next().unwrap_or("").trim().parse::<usize>() {
+            Ok(0) => return Err("window must be a positive round count"),
+            Ok(w) => w,
+            Err(_) => return Err("expected \"W\" or \"W:S\" with integer rounds"),
+        };
+        let stride = match it.next() {
+            Some(s) => match s.trim().parse::<usize>() {
+                Ok(x) if x <= window => x,
+                Ok(_) => return Err("stride exceeds the window"),
+                Err(_) => return Err("expected \"W\" or \"W:S\" with integer rounds"),
+            },
+            None => 0,
+        };
+        Ok((window, stride))
+    })
+}
+
+/// Parses an `ERASER_PREDECODE` value: `on` or `off` (the tiered
+/// sparse-syndrome fast path in front of every decode). Empty counts as
+/// unset — the predecoder then defaults to on.
+pub fn parse_predecode_env(raw: &str) -> Result<Option<bool>, EnvOverrideError> {
+    parse_env_override("ERASER_PREDECODE", raw, |value| match value {
+        "on" => Ok(true),
+        "off" => Ok(false),
+        _ => Err("expected \"on\" or \"off\""),
+    })
 }
 
 impl RunConfig {
@@ -526,6 +543,24 @@ impl RunConfig {
         Ok(None)
     }
 
+    /// Whether the tiered predecoder is active for this run: `predecode`
+    /// itself when set; else the `ERASER_PREDECODE` environment variable
+    /// (`on`/`off`, the CI test matrix's hook); else on. Results are
+    /// bit-identical for either resolution — the tiers are exact — so this
+    /// only affects decode latency and telemetry. A malformed override is
+    /// an error, never a silent default.
+    pub fn resolved_predecode(&self) -> Result<bool, EnvOverrideError> {
+        if let Some(on) = self.predecode {
+            return Ok(on);
+        }
+        if let Ok(raw) = std::env::var("ERASER_PREDECODE") {
+            if let Some(on) = parse_predecode_env(&raw)? {
+                return Ok(on);
+            }
+        }
+        Ok(true)
+    }
+
     /// Checks every `ERASER_*` override this configuration would consult,
     /// so facades can reject malformed environments eagerly (at build
     /// time) instead of deep inside a worker thread.
@@ -536,6 +571,7 @@ impl RunConfig {
         self.resolved_stripe_width()?;
         self.resolved_fusion()?;
         self.resolved_controller()?;
+        self.resolved_predecode()?;
         Ok(())
     }
 }
@@ -733,6 +769,18 @@ impl DecodeLatencyStats {
         unreachable!("count is the sum of the buckets")
     }
 
+    /// Total nanoseconds across all samples. Tier-0-skipped windows take no
+    /// sample, so figure-level ns/round normalization must divide this by
+    /// the *true* round count, not [`DecodeLatencyStats::samples`] × stride.
+    pub fn total_nanos(&self) -> u64 {
+        self.total_nanos
+    }
+
+    /// Total rounds settled across all samples.
+    pub fn total_rounds(&self) -> u64 {
+        self.total_rounds
+    }
+
     /// Median ns/round.
     pub fn p50_ns_per_round(&self) -> f64 {
         self.quantile_ns_per_round(0.50)
@@ -791,6 +839,11 @@ pub struct MemoryRunResult {
     /// estimator trace stats). All-zero for static policies; see
     /// [`ControllerStats::is_active`].
     pub controller: ControllerStats,
+    /// Tiered-predecoder telemetry: per-tier decode counts and nanos (tier
+    /// 0 = skipped empty syndromes/windows, tier 1 = closed-form 1–2 defect
+    /// decodes, tier 2 = full backend). All-zero when the predecoder is
+    /// disabled or decoding is off; see [`TierCounters::is_active`].
+    pub predecode: TierCounters,
 }
 
 impl MemoryRunResult {
@@ -830,6 +883,7 @@ struct PartialStats {
     postselection: PostSelection,
     decode_latency: DecodeLatencyStats,
     controller: ControllerStats,
+    predecode: TierCounters,
 }
 
 /// Reusable memory-experiment runner: owns the experiment description, the
@@ -980,6 +1034,22 @@ impl ShotStream<'_> {
         match self {
             ShotStream::Windowed(w) => w.window_latencies(),
             ShotStream::Fused(f) => f.shot_latencies(),
+        }
+    }
+
+    fn set_predecode(&mut self, on: bool) {
+        match self {
+            ShotStream::Windowed(w) => w.set_predecode(on),
+            ShotStream::Fused(f) => f.set_predecode(on),
+        }
+    }
+
+    /// Accumulated tier telemetry across every shot this stream decoded
+    /// (merged over the fusion path's replay engines).
+    fn tier_counters(&self) -> TierCounters {
+        match self {
+            ShotStream::Windowed(w) => *w.tier_counters(),
+            ShotStream::Fused(f) => f.tier_counters(),
         }
     }
 }
@@ -1492,6 +1562,7 @@ impl MemoryRunner {
             merged.postselection.errors_on_kept += p.postselection.errors_on_kept;
             merged.decode_latency.merge(&p.decode_latency);
             merged.controller.merge(&p.controller);
+            merged.predecode.merge(&p.predecode);
             for r in 0..rounds {
                 merged.lpr_data_sum[r] += p.lpr_data_sum[r];
                 merged.lpr_parity_sum[r] += p.lpr_parity_sum[r];
@@ -1538,6 +1609,7 @@ impl MemoryRunner {
                 .to_string(),
             decode_latency: merged.decode_latency,
             controller: merged.controller,
+            predecode: merged.predecode,
         }
     }
 
@@ -1565,8 +1637,13 @@ impl MemoryRunner {
         // Per-thread decoder instance: mutable, with scratch buffers reused
         // across every shot this worker decodes. Exactly one of `decoder`
         // (monolithic) and `streaming` (sliding-window) is live on
-        // decode-enabled runs.
-        let mut decoder = factory.map(|f| f.build());
+        // decode-enabled runs. Both are fronted by the tiered predecoder
+        // (bit-identical either way; env validated upstream, so a malformed
+        // `ERASER_PREDECODE` here can only panic, never silently default).
+        let predecode = config
+            .resolved_predecode()
+            .unwrap_or_else(|e| panic!("{e}"));
+        let mut decoder = factory.map(|f| TieredDecoder::with_enabled(f.build(), predecode));
         let mut streaming: Option<ShotStream> = match (fused, plan) {
             (Some(f), _) => Some(ShotStream::Fused(FusionDecoder::new(
                 f,
@@ -1575,6 +1652,9 @@ impl MemoryRunner {
             (None, Some(p)) => Some(ShotStream::Windowed(p.streaming())),
             (None, None) => None,
         };
+        if let Some(stream) = streaming.as_mut() {
+            stream.set_predecode(predecode);
+        }
         let erasure_active = config.erasure.enabled && (decoder.is_some() || streaming.is_some());
         let mut policy = policy_factory(code);
         let discriminator = if policy.uses_multilevel() {
@@ -1791,7 +1871,7 @@ impl MemoryRunner {
             if suspect {
                 stats.postselection.flagged_shots += 1;
             }
-            if let Some(decoder) = decoder.as_deref_mut() {
+            if let Some(decoder) = decoder.as_mut() {
                 for (i, det) in self.detectors.iter().enumerate() {
                     det_events[i] = sim.record().parity(&det.keys);
                 }
@@ -1834,9 +1914,16 @@ impl MemoryRunner {
             }
         }
         // Controller telemetry accumulates across this worker's shots;
-        // harvest it once (sum/max merge makes the order irrelevant).
+        // harvest it once (sum/max merge makes the order irrelevant). Same
+        // for the predecoder's tier counters.
         if let Some(controller) = policy.controller() {
             stats.controller.merge(controller);
+        }
+        if let Some(decoder) = decoder.as_ref() {
+            stats.predecode.merge(decoder.counters());
+        }
+        if let Some(stream) = streaming.as_ref() {
+            stats.predecode.merge(&stream.tier_counters());
         }
         stats
     }
@@ -1911,7 +1998,10 @@ impl MemoryRunner {
             LrcProtocol::Dqlr => &self.masked_dqlr,
         };
 
-        let mut decoder = factory.map(|f| f.build());
+        let predecode = config
+            .resolved_predecode()
+            .unwrap_or_else(|e| panic!("{e}"));
+        let mut decoder = factory.map(|f| TieredDecoder::with_enabled(f.build(), predecode));
         // One streaming decoder per lane: each lane is its own shot, so each
         // needs its own streaming state (the expensive tables stay shared
         // through the plan). On the fusion path the lanes finish strictly one
@@ -1929,6 +2019,9 @@ impl MemoryRunner {
                 .collect(),
             (None, None) => Vec::new(),
         };
+        for stream in &mut streams {
+            stream.set_predecode(predecode);
+        }
         let erasure_active = config.erasure.enabled && (decoder.is_some() || !streams.is_empty());
         let mut policy = StripedPolicy::new(policy_factory, code, width);
         let discriminator = if policy.uses_multilevel() {
@@ -2179,7 +2272,7 @@ impl MemoryRunner {
             sim.run_masked(&self.final_segment, active);
 
             stats.postselection.flagged_shots += suspect.count_ones() as u64;
-            if let Some(decoder) = decoder.as_deref_mut() {
+            if let Some(decoder) = decoder.as_mut() {
                 // Detector parities for all lanes at once, then per-lane
                 // defect extraction into the stripe's syndrome batch.
                 for (i, det) in self.detectors.iter().enumerate() {
@@ -2240,10 +2333,17 @@ impl MemoryRunner {
         }
         // Controller telemetry accumulates per lane across the worker's
         // stripes; harvest each lane once (sum/max merge is order-free).
+        // Same for the predecoder's tier counters.
         for lane in 0..width {
             if let Some(controller) = policy.lane_controller(lane) {
                 stats.controller.merge(controller);
             }
+        }
+        if let Some(decoder) = decoder.as_ref() {
+            stats.predecode.merge(decoder.counters());
+        }
+        for stream in &streams {
+            stats.predecode.merge(&stream.tier_counters());
         }
         stats
     }
@@ -2507,14 +2607,38 @@ mod tests {
         assert!(result.ler() < 0.2);
     }
 
-    /// Table-driven coverage of every `ERASER_*` override parser. The
-    /// parsers are pure functions of the raw string — no `set_var` here,
-    /// which would race with concurrently running tests — and the contract
-    /// under test is exactly the satellite's: valid values parse, empty
-    /// means unset, and malformed values are a *clear error*, never a
-    /// silent default or a panic.
+    /// Table-driven coverage of every `ERASER_*` override parser. All
+    /// seven route through the shared [`parse_env_override`] envelope, and
+    /// this single test pins the shared contract: valid values parse,
+    /// empty/whitespace means unset, and malformed values are a *clear
+    /// error* naming the variable and the reason — never a silent default
+    /// or a panic. The parsers are pure functions of the raw string — no
+    /// `set_var` here, which would race with concurrently running tests.
     #[test]
     fn env_override_parsing_is_strict() {
+        use crate::control::{parse_control_env, ControlBase, ControlLawKind, ControllerConfig};
+
+        // The shared envelope assertion every knob's cases run through.
+        fn check<T: std::fmt::Debug + PartialEq>(
+            var: &str,
+            raw: &str,
+            result: Result<Option<T>, EnvOverrideError>,
+            expected: &Result<Option<T>, &str>,
+        ) {
+            match expected {
+                Ok(v) => assert_eq!(result.as_ref().ok(), Some(v), "{var}={raw:?}"),
+                Err(reason) => {
+                    let err = result.expect_err(&format!("{var}={raw:?} must error"));
+                    assert_eq!(err.var, var);
+                    assert_eq!(err.reason, *reason);
+                    assert!(
+                        err.to_string().contains(var) && err.to_string().contains(reason),
+                        "message names the variable and the problem: {err}"
+                    );
+                }
+            }
+        }
+
         // (raw, expected) for the positive-integer knobs.
         let int_cases: &[(&str, Result<Option<usize>, &str>)] = &[
             ("4", Ok(Some(4))),
@@ -2529,24 +2653,9 @@ mod tests {
             ("4.0", Err("not an integer")),
         ];
         for (raw, expected) in int_cases {
-            for (var, result) in [
-                ("ERASER_THREADS", parse_threads_env(raw)),
-                ("ERASER_STRIPE", parse_stripe_env(raw)),
-                ("ERASER_FUSION", parse_fusion_env(raw)),
-            ] {
-                match expected {
-                    Ok(v) => assert_eq!(result.as_ref().ok(), Some(v), "{var}={raw:?}"),
-                    Err(reason) => {
-                        let err = result.expect_err(&format!("{var}={raw:?} must error"));
-                        assert_eq!(err.var, var);
-                        assert_eq!(err.reason, *reason);
-                        assert!(
-                            err.to_string().contains(var) && err.to_string().contains(reason),
-                            "message names the variable and the problem: {err}"
-                        );
-                    }
-                }
-            }
+            check("ERASER_THREADS", raw, parse_threads_env(raw), expected);
+            check("ERASER_STRIPE", raw, parse_stripe_env(raw), expected);
+            check("ERASER_FUSION", raw, parse_fusion_env(raw), expected);
         }
 
         type WindowCase = (&'static str, Result<Option<(usize, usize)>, &'static str>);
@@ -2564,21 +2673,12 @@ mod tests {
             ("8:", Err("expected \"W\" or \"W:S\" with integer rounds")),
         ];
         for (raw, expected) in window_cases {
-            match expected {
-                Ok(v) => assert_eq!(
-                    parse_window_env(raw).as_ref().ok(),
-                    Some(v),
-                    "ERASER_WINDOW={raw:?}"
-                ),
-                Err(reason) => {
-                    let err = parse_window_env(raw)
-                        .expect_err(&format!("ERASER_WINDOW={raw:?} must error"));
-                    assert_eq!(err.reason, *reason);
-                }
-            }
+            check("ERASER_WINDOW", raw, parse_window_env(raw), expected);
         }
 
-        type DecoderCase = (&'static str, Result<Option<DecoderKind>, ()>);
+        let unknown_decoder =
+            "unknown decoder (expected auto, mwpm, sparse-mwpm, union-find, or greedy)";
+        type DecoderCase = (&'static str, Result<Option<DecoderKind>, &'static str>);
         let decoder_cases: &[DecoderCase] = &[
             ("mwpm", Ok(Some(DecoderKind::Mwpm))),
             (" sparse-mwpm ", Ok(Some(DecoderKind::SparseMwpm))),
@@ -2589,37 +2689,28 @@ mod tests {
             ("auto", Ok(Some(DecoderKind::Auto))),
             ("", Ok(None)),
             ("  ", Ok(None)),
-            ("tensor-network", Err(())),
-            ("mwpm2", Err(())),
+            ("tensor-network", Err(unknown_decoder)),
+            ("mwpm2", Err(unknown_decoder)),
         ];
         for (raw, expected) in decoder_cases {
-            match expected {
-                Ok(v) => assert_eq!(
-                    parse_decoder_env(raw).as_ref().ok(),
-                    Some(v),
-                    "ERASER_DECODER={raw:?}"
-                ),
-                Err(()) => {
-                    let err = parse_decoder_env(raw)
-                        .expect_err(&format!("ERASER_DECODER={raw:?} must error"));
-                    assert_eq!(err.var, "ERASER_DECODER");
-                    assert!(
-                        err.to_string().contains("ERASER_DECODER"),
-                        "message names the variable: {err}"
-                    );
-                }
-            }
+            check("ERASER_DECODER", raw, parse_decoder_env(raw), expected);
         }
-    }
 
-    /// `ERASER_CONTROL` goes through the same strict contract as the other
-    /// overrides: empty means unset, anything else parses fully or errors
-    /// with a named reason — never a silent default.
-    #[test]
-    fn control_env_parsing_is_strict() {
-        use crate::control::{parse_control_env, ControlBase, ControlLawKind, ControllerConfig};
+        let predecode_cases: &[(&str, Result<Option<bool>, &str>)] = &[
+            ("on", Ok(Some(true))),
+            (" off ", Ok(Some(false))),
+            ("", Ok(None)),
+            ("  ", Ok(None)),
+            ("1", Err("expected \"on\" or \"off\"")),
+            ("true", Err("expected \"on\" or \"off\"")),
+            ("ON", Err("expected \"on\" or \"off\"")),
+        ];
+        for (raw, expected) in predecode_cases {
+            check("ERASER_PREDECODE", raw, parse_predecode_env(raw), expected);
+        }
+
         type ControlCase = (&'static str, Result<Option<ControllerConfig>, &'static str>);
-        let cases: &[ControlCase] = &[
+        let control_cases: &[ControlCase] = &[
             ("", Ok(None)),
             ("   ", Ok(None)),
             ("ewma", Ok(Some(ControllerConfig::ewma()))),
@@ -2664,24 +2755,8 @@ mod tests {
             ),
             ("ewma:up", Err("knobs must be key=value pairs")),
         ];
-        for (raw, expected) in cases {
-            match expected {
-                Ok(v) => assert_eq!(
-                    parse_control_env(raw).as_ref().ok(),
-                    Some(v),
-                    "ERASER_CONTROL={raw:?}"
-                ),
-                Err(reason) => {
-                    let err = parse_control_env(raw)
-                        .expect_err(&format!("ERASER_CONTROL={raw:?} must error"));
-                    assert_eq!(err.var, "ERASER_CONTROL");
-                    assert_eq!(err.reason, *reason);
-                    assert!(
-                        err.to_string().contains("ERASER_CONTROL"),
-                        "message names the variable: {err}"
-                    );
-                }
-            }
+        for (raw, expected) in control_cases {
+            check("ERASER_CONTROL", raw, parse_control_env(raw), expected);
         }
     }
 
@@ -2758,8 +2833,11 @@ mod tests {
             window_rounds: window,
             // Pinned sequential: the per-window latency-sample count below
             // is the sequential path's contract (a CI-set `ERASER_FUSION`
-            // would otherwise flip this run to one sample per shot).
+            // would otherwise flip this run to one sample per shot), and
+            // pinned tier-free (the tier-0 skip elides empty windows'
+            // samples; tier identity has its own tests).
             fusion_threads: 1,
+            predecode: Some(false),
             erasure: ErasureDetection::perfect_readout(),
             ..RunConfig::default()
         };

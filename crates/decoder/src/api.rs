@@ -199,6 +199,25 @@ pub trait SyndromeDecoder {
         )
     }
 
+    /// Tier-1 fast path: decodes a 1–2 defect, erasure-free syndrome in
+    /// closed form, bit-identically to the full decoder (flip, f64 weight
+    /// bits, and — when `correction` is given — the exact correction-edge
+    /// sequence), or returns `None` to defer to the full path.
+    ///
+    /// Implementations must return `None` whenever they cannot *guarantee*
+    /// bit-identity (ambiguous optimal matchings, order-dependent
+    /// corrections, out-of-scope syndromes: 0 or ≥ 3 defects, any
+    /// erasures). The default always defers, which is correct for any
+    /// backend; see [`crate::predecode`] for the tier dispatcher.
+    fn decode_tier1(
+        &mut self,
+        syndrome: &Syndrome,
+        correction: Option<&mut Vec<usize>>,
+    ) -> Option<DecodeOutcome> {
+        let _ = (syndrome, correction);
+        None
+    }
+
     /// Decodes a batch of syndromes into `out` (cleared first, allocation
     /// reused). The default implementation loops over
     /// [`SyndromeDecoder::decode_syndrome`]; backends with real batch

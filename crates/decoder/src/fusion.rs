@@ -44,6 +44,7 @@
 //! under erasure overlays by `tests/fusion.rs`).
 
 use crate::api::DecodeOutcome;
+use crate::predecode::TierCounters;
 use crate::window::{StreamingDecoder, WindowPlan, WindowedDecoder};
 use std::ops::Range;
 use std::panic::{catch_unwind, AssertUnwindSafe};
@@ -401,6 +402,27 @@ impl<'p> FusionDecoder<'p> {
     /// counterpart of [`WindowedDecoder::window_latencies`].
     pub fn shot_latencies(&self) -> &[(u64, u32)] {
         &self.latencies
+    }
+
+    /// Enables or disables the tiered fast path on every replay engine
+    /// (default on; see [`WindowedDecoder::set_predecode`]). Call before
+    /// decoding — engines are only touched between shots.
+    pub fn set_predecode(&mut self, on: bool) {
+        for engine in &self.engines {
+            engine.lock().unwrap().set_predecode(on);
+        }
+    }
+
+    /// Per-tier telemetry merged across every replay engine. Counts decode
+    /// *attempts*: a position replayed again during a merge contributes a
+    /// second sample, so totals can exceed the position count — hit *rates*
+    /// remain meaningful.
+    pub fn tier_counters(&self) -> TierCounters {
+        let mut total = TierCounters::default();
+        for engine in &self.engines {
+            total.merge(engine.lock().unwrap().tier_counters());
+        }
+        total
     }
 
     fn flat_start(starts: &[usize], flat_len: usize, round: usize) -> usize {

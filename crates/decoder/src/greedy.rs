@@ -213,6 +213,57 @@ impl SyndromeDecoder for GreedyBatchDecoder<'_> {
         self.decode_inner(syndrome, Some(correction))
     }
 
+    /// Closed form for 1–2 erasure-free defects. One defect drains to the
+    /// boundary; two defects replay the greedy loop's single decision
+    /// exactly — the pair is taken unless `d > b₀ + b₁` (its skip test),
+    /// so on the f64 tie the pair wins, matching the full path bit for bit.
+    fn decode_tier1(
+        &mut self,
+        syndrome: &Syndrome,
+        mut correction: Option<&mut Vec<usize>>,
+    ) -> Option<DecodeOutcome> {
+        let defects = &syndrome.defects;
+        let k = defects.len();
+        if !(1..=2).contains(&k) || !syndrome.erasures.is_empty() {
+            return None;
+        }
+        if let Some(c) = correction.as_deref_mut() {
+            c.clear();
+        }
+        let start = Instant::now();
+        let boundary = self.graph.boundary();
+        let mut flip = false;
+        let mut weight = 0.0;
+        let pair = k == 2 && {
+            let d = self.paths.distance(defects[0], defects[1]);
+            // The greedy loop's skip test, verbatim (ties take the pair).
+            let dominated = d > self.paths.distance(defects[0], boundary)
+                + self.paths.distance(defects[1], boundary);
+            !dominated
+        };
+        if pair {
+            flip ^= self.paths.observable_parity(defects[0], defects[1]);
+            weight += self.paths.distance(defects[0], defects[1]);
+            if let Some(c) = correction.as_deref_mut() {
+                self.paths.path_edges(self.graph, defects[0], defects[1], c);
+            }
+        } else {
+            for &u in defects {
+                flip ^= self.paths.observable_parity(u, boundary);
+                weight += self.paths.distance(u, boundary);
+                if let Some(c) = correction.as_deref_mut() {
+                    self.paths.path_edges(self.graph, u, boundary, c);
+                }
+            }
+        }
+        Some(DecodeOutcome {
+            flip,
+            weight,
+            defects: k,
+            nanos: start.elapsed().as_nanos() as u64,
+        })
+    }
+
     fn name(&self) -> &'static str {
         "greedy"
     }

@@ -44,6 +44,11 @@
 //!   precomputation is O(window²) per *shape* rather than O(R²), and the
 //!   [`StreamingDecoder`] / [`WindowedDecoder`] round-incremental interface
 //!   that gives all three decoders bounded-memory decoding at any R.
+//! * [`predecode`] — the tiered sparse-syndrome fast path in front of every
+//!   backend: tier 0 skips empty windows/shots outright, tier 1 resolves
+//!   1–2 defect syndromes in closed form, tier 2 is the configured backend —
+//!   all bit-identical to the untier'd path, with per-tier
+//!   [`TierCounters`] telemetry.
 //! * [`fusion`] — intra-shot parallel decoding over the window chain: a
 //!   [`FusionPlan`] partitions the positions into leaf blocks, a
 //!   [`FusionDecoder`] decodes them concurrently on a std-only
@@ -90,6 +95,7 @@ pub mod greedy;
 pub mod matching;
 pub mod mwpm;
 pub mod overlay;
+pub mod predecode;
 pub mod sparse;
 pub mod unionfind;
 pub mod weight;
@@ -103,6 +109,7 @@ pub use greedy::{GreedyBatchDecoder, GreedyFactory};
 pub use matching::{max_weight_matching, MatchingContext};
 pub use mwpm::{MwpmBatchDecoder, MwpmFactory, ShortestPaths};
 pub use overlay::{DijkstraScratch, WeightOverlay, ERASED_WEIGHT};
+pub use predecode::{TierCounters, TieredDecoder};
 pub use sparse::{SparseIndex, SparseMwpmDecoder, SparseMwpmFactory};
 pub use unionfind::{UnionFindBatchDecoder, UnionFindCapacities, UnionFindFactory};
 pub use weight::{scale_weight, snap_weight, WEIGHT_SCALE};

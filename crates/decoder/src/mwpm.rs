@@ -432,6 +432,65 @@ impl SyndromeDecoder for MwpmBatchDecoder<'_> {
         self.decode_inner(syndrome, Some(correction))
     }
 
+    /// Closed form for 1–2 erasure-free defects. One defect always matches
+    /// to the boundary (the blossom's only perfect matching); two defects
+    /// pair up or both go to the boundary by the same *scaled* integer
+    /// comparison `MwpmBatchDecoder::match_defects_into` stages, so the
+    /// decision is bit-identical. On a scaled tie the optimal matching is
+    /// not unique and the blossom's tie-break must stand: defer (`None`).
+    fn decode_tier1(
+        &mut self,
+        syndrome: &Syndrome,
+        mut correction: Option<&mut Vec<usize>>,
+    ) -> Option<DecodeOutcome> {
+        let defects = &syndrome.defects;
+        let k = defects.len();
+        if !(1..=2).contains(&k) || !syndrome.erasures.is_empty() {
+            return None;
+        }
+        let boundary = self.graph.boundary();
+        // Decide before touching the correction so a deferral leaves the
+        // caller's state exactly as the full path expects it.
+        let pair = if k == 2 {
+            let s01 = scale_weight(self.paths.distance(defects[0], defects[1]));
+            let sb = scale_weight(self.paths.distance(defects[0], boundary))
+                + scale_weight(self.paths.distance(defects[1], boundary));
+            if s01 == sb {
+                return None;
+            }
+            s01 < sb
+        } else {
+            false
+        };
+        if let Some(c) = correction.as_deref_mut() {
+            c.clear();
+        }
+        let start = Instant::now();
+        let mut flip = false;
+        let mut weight = 0.0;
+        if pair {
+            flip ^= self.paths.observable_parity(defects[0], defects[1]);
+            weight += self.paths.distance(defects[0], defects[1]);
+            if let Some(c) = correction.as_deref_mut() {
+                self.paths.path_edges(self.graph, defects[0], defects[1], c);
+            }
+        } else {
+            for &u in defects {
+                flip ^= self.paths.observable_parity(u, boundary);
+                weight += self.paths.distance(u, boundary);
+                if let Some(c) = correction.as_deref_mut() {
+                    self.paths.path_edges(self.graph, u, boundary, c);
+                }
+            }
+        }
+        Some(DecodeOutcome {
+            flip,
+            weight,
+            defects: k,
+            nanos: start.elapsed().as_nanos() as u64,
+        })
+    }
+
     fn name(&self) -> &'static str {
         "mwpm"
     }

@@ -694,6 +694,106 @@ impl SyndromeDecoder for SparseMwpmDecoder<'_> {
         self.decode_inner(syndrome, Some(correction))
     }
 
+    /// Closed form for 1–2 erasure-free defects. One defect matches to the
+    /// boundary straight off the shared index — no Dijkstra at all. Two
+    /// defects run at most the same bounded pair Dijkstras the full path
+    /// runs: a discovered candidate is strictly cheaper than two boundary
+    /// matches (the candidate inequality), no candidate means both drain to
+    /// the boundary. The candidate kept is the low-`src` record, exactly
+    /// what the full path's sort + dedup canonicalization keeps, and its
+    /// predecessor scratch is still current, so the correction walk emits
+    /// the identical edge sequence as [`SparseMwpmDecoder`]'s `emit_pair`.
+    fn decode_tier1(
+        &mut self,
+        syndrome: &Syndrome,
+        mut correction: Option<&mut Vec<usize>>,
+    ) -> Option<DecodeOutcome> {
+        let defects = &syndrome.defects;
+        let k = defects.len();
+        if !(1..=2).contains(&k) || !syndrome.erasures.is_empty() {
+            return None;
+        }
+        if let Some(c) = correction.as_deref_mut() {
+            c.clear();
+        }
+        let start = Instant::now();
+        for &u in defects {
+            assert!(
+                self.index.d_b[u] < i64::MAX,
+                "defect on node {u} cut off from the boundary cannot be matched"
+            );
+        }
+        let mut flip = false;
+        let mut wsum: i64 = 0;
+        if k == 1 {
+            let u = defects[0];
+            flip ^= self.index.par_b[u];
+            wsum += self.index.d_b[u];
+            if let Some(c) = correction.as_deref_mut() {
+                self.emit_boundary(u, false, c);
+            }
+        } else {
+            // Mark the defects and discover the (0, 1) candidate the way the
+            // full path does, but stop at the first run that finds it: the
+            // sort + dedup canonicalization keeps the low-src record anyway.
+            let n = self.index.n;
+            if self.defect_stamp.len() < n {
+                self.defect_stamp.resize(n, 0);
+                self.defect_idx.resize(n, 0);
+            }
+            if self.defect_epoch == u32::MAX {
+                self.defect_stamp.fill(0);
+                self.defect_epoch = 0;
+            }
+            self.defect_epoch += 1;
+            for (i, &u) in defects.iter().enumerate() {
+                self.defect_stamp[u] = self.defect_epoch;
+                self.defect_idx[u] = i as u32;
+            }
+            self.candidates.clear();
+            self.bounded_dijkstra(defects[0], 0, false, true);
+            if self.candidates.is_empty() {
+                self.bounded_dijkstra(defects[1], 1, false, true);
+            }
+            if let Some(&cand) = self.candidates.first() {
+                flip ^= cand.par;
+                wsum += cand.dist;
+                if let Some(c) = correction.as_deref_mut() {
+                    // The discovering run's predecessor scratch is still
+                    // current (same epoch), so walk it directly — the same
+                    // dst → src edge order `emit_pair` re-derives.
+                    let src = defects[cand.src as usize];
+                    let dst = defects[if cand.src == 0 { 1 } else { 0 }];
+                    let graph = self.graph;
+                    let mut cur = dst;
+                    let mut guard = graph.edges().len() + 1;
+                    while cur != src {
+                        let ei = self.pred[cur] as usize;
+                        c.push(ei);
+                        let e = &graph.edges()[ei];
+                        cur = if e.a == cur { e.b } else { e.a };
+                        guard -= 1;
+                        assert!(guard > 0, "pair predecessor chain failed to terminate");
+                    }
+                }
+            } else {
+                for &u in defects {
+                    flip ^= self.index.par_b[u];
+                    wsum += self.index.d_b[u];
+                    if let Some(c) = correction.as_deref_mut() {
+                        self.emit_boundary(u, false, c);
+                    }
+                }
+            }
+        }
+        Some(DecodeOutcome {
+            flip,
+            weight: wsum as f64 / WEIGHT_SCALE,
+            defects: k,
+            nanos: start.elapsed().as_nanos() as u64,
+        })
+    }
+
     fn name(&self) -> &'static str {
         "sparse-mwpm"
     }

@@ -52,6 +52,7 @@ use crate::api::{DecodeOutcome, Syndrome, SyndromeDecoder};
 use crate::graph::{DecodingGraph, GraphEdge};
 use crate::greedy::GreedyBatchDecoder;
 use crate::mwpm::{MwpmBatchDecoder, ShortestPaths};
+use crate::predecode::{tier0_applies, tier1_applies, TierCounters};
 use crate::sparse::{SparseIndex, SparseMwpmDecoder};
 use crate::unionfind::{UnionFindBatchDecoder, UnionFindCapacities};
 use std::sync::Arc;
@@ -481,6 +482,8 @@ impl WindowPlan {
             par_val: Vec::new(),
             par_epoch: 0,
             touched: Vec::new(),
+            predecode: true,
+            counters: TierCounters::default(),
         }
     }
 }
@@ -535,12 +538,38 @@ pub struct WindowedDecoder<'p> {
     par_val: Vec<bool>,
     par_epoch: u32,
     touched: Vec<usize>,
+    /// Whether the tiered fast path ([`crate::predecode`]) fronts each
+    /// window: tier 0 skips empty windows outright, tier 1 resolves 1–2
+    /// defect windows in closed form. Bit-identical either way; on by
+    /// default.
+    predecode: bool,
+    /// Per-tier telemetry, accumulated across shots (run-level, not
+    /// cleared by [`StreamingDecoder::begin_shot`]).
+    counters: TierCounters,
 }
 
 impl WindowedDecoder<'_> {
     /// The plan this decoder runs.
     pub fn plan(&self) -> &WindowPlan {
         self.plan
+    }
+
+    /// Enables or disables the tiered fast path (default on). Disabling it
+    /// restores the pre-tier behavior: every window position runs the full
+    /// backend and takes a latency sample.
+    pub fn set_predecode(&mut self, on: bool) {
+        self.predecode = on;
+    }
+
+    /// Whether the tiered fast path is active.
+    pub fn predecode(&self) -> bool {
+        self.predecode
+    }
+
+    /// Per-tier hit/latency telemetry, accumulated across every shot this
+    /// instance decoded (all zeros when the predecoder is disabled).
+    pub fn tier_counters(&self) -> &TierCounters {
+        &self.counters
     }
 
     /// Per-window decode latency samples of the current shot: `(nanos,
@@ -569,6 +598,15 @@ impl WindowedDecoder<'_> {
     /// accumulation — and therefore the whole outcome — bit-identical
     /// between the two paths.
     fn decode_position_core(&mut self, k: usize) -> (bool, f64) {
+        // Tier 0: nothing fired in the window and nothing was erased — the
+        // full path would decode an empty local syndrome to the default
+        // outcome and carry nothing, so skip building it entirely. The
+        // sequential driver checks this first (to also skip the latency
+        // sample); this check covers the fusion replay path.
+        if self.predecode && tier0_applies(&self.defects, &self.erasures) {
+            self.counters.record(0, 0);
+            return (false, 0.0);
+        }
         let pos = &self.plan.positions[k];
         let shape = &self.plan.shapes[pos.shape];
         let sgraph = shape.graph();
@@ -597,8 +635,26 @@ impl WindowedDecoder<'_> {
         self.local.erasures.sort_unstable();
         self.local.erasures.dedup();
 
+        // Tier 1: 1–2 defects and no erasures resolve in closed form when
+        // the backend guarantees bit-identity; otherwise tier 2 runs the
+        // full decoder. Carried-in defects are in the live set, so they
+        // count against the tier threshold.
+        let tier1 = self.predecode && tier1_applies(&self.local.defects, &self.local.erasures);
         let inner = &mut self.inner[pos.shape];
-        inner.decode_with_correction(&self.local, &mut self.correction);
+        let tier = if tier1 {
+            inner
+                .decode_tier1(&self.local, Some(&mut self.correction))
+                .map(|out| (1usize, out.nanos))
+        } else {
+            None
+        };
+        let (tier, tier_nanos) = tier.unwrap_or_else(|| {
+            let out = inner.decode_with_correction(&self.local, &mut self.correction);
+            (2, out.nanos)
+        });
+        if self.predecode {
+            self.counters.record(tier, tier_nanos);
+        }
 
         // Commit every correction edge touching the commit region; toggle
         // defect parity so the uncommitted remainder (plus any committed
@@ -665,6 +721,13 @@ impl WindowedDecoder<'_> {
     /// shot accumulators, retire erasures the remaining windows can never
     /// see, and record the per-window latency sample.
     fn decode_position(&mut self, k: usize) {
+        // Tier 0: an empty window is skipped outright — no local syndrome,
+        // no erasure translation (the live set is empty, so retirement is a
+        // no-op too), no latency sample.
+        if self.predecode && tier0_applies(&self.defects, &self.erasures) {
+            self.counters.record(0, 0);
+            return;
+        }
         let started = Instant::now();
         let (flip, weight) = self.decode_position_core(k);
         self.flip ^= flip;
@@ -963,7 +1026,24 @@ mod tests {
         assert!(!out.flip);
         assert_eq!(out.defects, 0);
         assert_eq!(out.weight, 0.0);
-        assert_eq!(dec.window_latencies().len(), plan.num_positions());
+        // Tier 0 skips every empty window outright: no latency samples.
+        assert!(dec.window_latencies().is_empty());
+        assert_eq!(dec.tier_counters().hits[0], plan.num_positions() as u64);
+        assert_eq!(dec.tier_counters().total(), plan.num_positions() as u64);
         assert_eq!(dec.name(), "mwpm");
+
+        // With the predecoder off, every position runs the full backend and
+        // takes a latency sample (the pre-tier behavior).
+        let mut dec = plan.streaming();
+        dec.set_predecode(false);
+        dec.begin_shot();
+        for _ in 0..=g.max_round() {
+            dec.push_round(&[], &[]);
+        }
+        let out = dec.finish();
+        assert!(!out.flip);
+        assert_eq!(out.weight, 0.0);
+        assert_eq!(dec.window_latencies().len(), plan.num_positions());
+        assert!(!dec.tier_counters().is_active());
     }
 }

@@ -11,6 +11,7 @@ use crate::paper;
 use eraser_core::{
     analysis, resource, rtl, ControlLawKind, DecoderKind, EraserOptions, Experiment,
     LeakageProfile, LrcProtocol, MemoryRunResult, NoiseModel, PolicyKind, Sweep, SweepPoint,
+    TierCounters,
 };
 use qec_core::NoiseParams;
 use surface_code::RotatedCode;
@@ -1028,6 +1029,144 @@ pub fn latency(opts: &Opts) -> Result<(), String> {
          1.00x when the host has cores for the fusion pool to use)"
     );
     t.write_csv(&opts.out, "latency")
+}
+
+/// Mean recorded latency of one tier's windows, in nanoseconds.
+fn mean_tier_ns(tiers: &TierCounters, tier: usize) -> f64 {
+    if tiers.hits[tier] == 0 {
+        0.0
+    } else {
+        tiers.nanos[tier] as f64 / tiers.hits[tier] as f64
+    }
+}
+
+/// Extension: tiered sparse-syndrome fast-path decoding (the predecoder).
+///
+/// Runs the windowed memory experiment twice per (d, p, backend) cell —
+/// predecode on vs off, same seed — and reports per-tier hit rates plus
+/// ns per committed round for both paths. The two runs are bit-identical
+/// by construction (the tier ladder emits the full decoder's corrections),
+/// which the figure re-checks via the logical-error counts.
+pub fn predecode(opts: &Opts) -> Result<(), String> {
+    let ds: Vec<usize> = [3usize, 5, 7]
+        .into_iter()
+        .filter(|&d| d <= opts.dmax)
+        .collect();
+    let ps: Vec<f64> = if opts.quick {
+        vec![opts.p]
+    } else {
+        vec![5e-4, 1e-3, 2e-3, 5e-3]
+    };
+    let shots = (opts.effective_shots() / 5).max(20);
+    let window_label = if opts.window.0 > 0 {
+        format!("w={}:{}", opts.window.0, opts.window.1)
+    } else {
+        "w=d+1, stride 1".to_string()
+    };
+    let mut t = Table::new(
+        &format!(
+            "Tiered predecode: hit rates and decode cost, windowed ({window_label}), \
+             R=10d, {shots} shots, 1 worker thread, seed {} (ns/rd = total decode \
+             nanos / total committed rounds; both paths emit identical corrections)",
+            opts.seed
+        ),
+        &[
+            "d",
+            "p",
+            "backend",
+            "tier0 %",
+            "tier1 %",
+            "tier2 %",
+            "t1 ns/win",
+            "t2 ns/win",
+            "ns/rd tiered",
+            "ns/rd full",
+            "speedup",
+        ],
+    );
+    for &d in &ds {
+        let rounds = if opts.quick { 2 * d } else { 10 * d };
+        // Short windows keep per-window syndromes sparse, which is the
+        // regime the tier ladder targets (sub-threshold p, streaming
+        // round-by-round commits); --window overrides for exploration.
+        let (window, stride) = if opts.window.0 > 0 {
+            opts.window
+        } else {
+            (d + 1, 1)
+        };
+        for &p in &ps {
+            for decoder in [
+                DecoderKind::Mwpm,
+                DecoderKind::SparseMwpm,
+                DecoderKind::UnionFind,
+                DecoderKind::Greedy,
+            ] {
+                let run = |on: bool, timing_shots: u64| -> Result<MemoryRunResult, String> {
+                    Ok(Experiment::builder()
+                        .distance(d)
+                        .noise(NoiseParams::standard(p))
+                        .rounds(rounds)
+                        .shots(timing_shots)
+                        .seed(opts.seed)
+                        // One worker, like the latency figure: the ns/rd
+                        // columns are wall-clock and must not be polluted
+                        // by workers contending for cores.
+                        .threads(1)
+                        .decoder(decoder)
+                        .window_rounds(window)
+                        .window_stride(stride)
+                        .predecode(on)
+                        .policy(PolicyKind::eraser())
+                        .build()
+                        .map_err(|e| e.to_string())?
+                        .run())
+                };
+                // Untimed warm-up so allocator and cache cold-start costs
+                // land on neither timed run.
+                run(false, shots.min(4))?;
+                let tiered = run(true, shots)?;
+                let full = run(false, shots)?;
+                if tiered.logical_errors != full.logical_errors
+                    || tiered.total_lrcs != full.total_lrcs
+                {
+                    return Err(format!(
+                        "tiered decode diverged from full at d={d} p={p} {}",
+                        full.decoder
+                    ));
+                }
+                let true_rounds = (shots as u128 * rounds as u128) as f64;
+                let ns_tiered = tiered.decode_latency.total_nanos() as f64 / true_rounds;
+                let ns_full = full.decode_latency.total_nanos() as f64 / true_rounds;
+                t.row(vec![
+                    d.to_string(),
+                    sci(p),
+                    full.decoder.clone(),
+                    fixed(tiered.predecode.hit_rate(0) * 100.0, 1),
+                    fixed(tiered.predecode.hit_rate(1) * 100.0, 1),
+                    fixed(tiered.predecode.hit_rate(2) * 100.0, 1),
+                    fixed(mean_tier_ns(&tiered.predecode, 1), 0),
+                    fixed(mean_tier_ns(&tiered.predecode, 2), 0),
+                    fixed(ns_tiered, 0),
+                    fixed(ns_full, 0),
+                    format!(
+                        "{:.2}x",
+                        if ns_tiered > 0.0 {
+                            ns_full / ns_tiered
+                        } else {
+                            0.0
+                        }
+                    ),
+                ]);
+            }
+        }
+    }
+    t.print();
+    println!(
+        "(tier 0 = window skipped outright, tier 1 = 1-2 defects resolved in closed\n \
+         form, tier 2 = full backend decode; ERASER_PREDECODE=off or .predecode(false)\n \
+         disables the ladder without changing any decoded output)"
+    );
+    t.write_csv(&opts.out, "predecode")
 }
 
 // ---------------------------------------------------------------------------

@@ -26,6 +26,7 @@
 //!   erasure    ERASER+M ± erasure-aware decoding across (d, p) (extension)
 //!   longmem    windowed vs monolithic decoding at R in {d,10d,100d} (extension)
 //!   latency    per-shot decode latency vs fusion_threads, all backends (extension)
+//!   predecode  tiered fast-path hit rates and decode cost, all backends (extension)
 //!   adaptive   feedback-controlled LRC density vs static policies (extension)
 //!   all        run everything
 //!
@@ -91,12 +92,32 @@ fn dispatch(command: &str, opts: &Opts) -> Result<(), String> {
         "erasure" => figures::erasure(opts),
         "longmem" => figures::longmem(opts),
         "latency" => figures::latency(opts),
+        "predecode" => figures::predecode(opts),
         "adaptive" => figures::adaptive(opts),
         "all" => {
             for cmd in [
-                "analytic", "table2", "fig8", "table3", "fig1c", "fig2c", "fig5", "fig6", "fig14",
-                "fig15", "fig16", "table4", "fig17", "fig18", "fig20", "fig21", "ablation",
-                "erasure", "longmem", "latency", "adaptive",
+                "analytic",
+                "table2",
+                "fig8",
+                "table3",
+                "fig1c",
+                "fig2c",
+                "fig5",
+                "fig6",
+                "fig14",
+                "fig15",
+                "fig16",
+                "table4",
+                "fig17",
+                "fig18",
+                "fig20",
+                "fig21",
+                "ablation",
+                "erasure",
+                "longmem",
+                "latency",
+                "predecode",
+                "adaptive",
             ] {
                 dispatch(cmd, opts)?;
             }

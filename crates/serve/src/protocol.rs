@@ -202,6 +202,9 @@ pub struct JobSpec {
     /// empty = stationary (default empty; see
     /// [`LeakageProfile::parse_spec`](eraser_core::LeakageProfile)).
     pub profile: String,
+    /// Tiered predecode fast path: `"on"`, `"off"`, or empty to defer to
+    /// the server's `ERASER_PREDECODE` environment (default empty).
+    pub predecode: String,
 }
 
 impl Default for JobSpec {
@@ -225,6 +228,7 @@ impl Default for JobSpec {
             fusion: 0,
             control: String::new(),
             profile: String::new(),
+            predecode: String::new(),
         }
     }
 }
@@ -266,6 +270,7 @@ impl JobSpec {
         v.set("fusion", self.fusion);
         v.set("control", self.control.as_str());
         v.set("profile", self.profile.as_str());
+        v.set("predecode", self.predecode.as_str());
         v
     }
 
@@ -325,6 +330,7 @@ impl JobSpec {
         read_usize(v, "fusion", &mut spec.fusion)?;
         read_string(v, "control", &mut spec.control)?;
         read_string(v, "profile", &mut spec.profile)?;
+        read_string(v, "predecode", &mut spec.predecode)?;
         Ok(spec)
     }
 
@@ -375,6 +381,16 @@ impl JobSpec {
             let profile = LeakageProfile::parse_spec(self.profile.trim())
                 .map_err(|reason| format!("invalid leakage profile: {reason}"))?;
             builder = builder.leakage_profile(profile);
+        }
+        match self.predecode.trim() {
+            "" => {}
+            "on" => builder = builder.predecode(true),
+            "off" => builder = builder.predecode(false),
+            other => {
+                return Err(format!(
+                    "invalid predecode `{other}` (expected \"on\" or \"off\")"
+                ));
+            }
         }
         for kind in policies {
             builder = builder.policy(kind);
@@ -430,6 +446,7 @@ mod tests {
             window: 9,
             stride: 4,
             fusion: 2,
+            predecode: "off".into(),
             ..JobSpec::default()
         };
         let mut wire = Vec::new();
@@ -530,6 +547,19 @@ mod tests {
             ..JobSpec::default()
         };
         assert!(bad.build_sweep(1).is_err());
+
+        let good = JobSpec {
+            predecode: " on ".into(),
+            ..JobSpec::default()
+        };
+        assert_eq!(good.build_sweep(1).unwrap().len(), 1);
+
+        let bad = JobSpec {
+            predecode: "yes".into(),
+            ..JobSpec::default()
+        };
+        let err = bad.build_sweep(1).unwrap_err();
+        assert!(err.contains("predecode"), "{err}");
     }
 
     #[test]

@@ -273,6 +273,13 @@ fn point_frame(job: u64, point: &SweepPoint) -> Value {
         v.set("ctrl_mean_estimate", r.controller.mean_estimate());
         v.set("ctrl_peak_estimate", r.controller.peak_estimate());
     }
+    if r.predecode.is_active() {
+        v.set("predecode_tier0", r.predecode.hits[0]);
+        v.set("predecode_tier1", r.predecode.hits[1]);
+        v.set("predecode_tier2", r.predecode.hits[2]);
+        v.set("predecode_tier1_nanos", r.predecode.nanos[1]);
+        v.set("predecode_tier2_nanos", r.predecode.nanos[2]);
+    }
     v.set("flagged_shots", r.postselection.flagged_shots);
     v.set("errors_on_kept", r.postselection.errors_on_kept);
     v.set(
